@@ -1,0 +1,23 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates, and asserts the paper's qualitative *shape* (who wins, by
+roughly what factor, where crossovers fall). Absolute numbers differ
+from the paper's physical testbed by design — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one paper-style results table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

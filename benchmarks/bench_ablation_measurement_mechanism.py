@@ -1,0 +1,86 @@
+"""Ablation — measurement collection mechanism vs attestation overhead.
+
+Paper §7.1.2 explains why Fig. 10 shows zero overhead: "This is for
+CPU-resource monitoring, where the measurements are taken during the VM
+switch — the VMM Profile Tool does not intercept the VM's execution.
+Whether runtime attestation causes performance degradation to the VM
+execution time depends on the measurement collection mechanism."
+
+This bench makes both halves measurable: non-intercepting collection
+(the default) costs nothing at any frequency; an intercepting VMI scan
+that pauses the guest costs work time proportional to frequency × scan
+length.
+"""
+
+from _tables import print_table
+
+from repro import CloudMonatt, SecurityProperty
+
+SCAN_MS = 150.0
+MEASURE_WINDOW_MS = 120_000.0
+FREQUENCIES = {"1min": 60_000.0, "10s": 10_000.0, "2s": 2_000.0}
+
+
+def work_rate(intercepting: bool, frequency_ms) -> float:
+    cloud = CloudMonatt(num_servers=1, seed=37)
+    if intercepting:
+        # replace the fleet with one intercepting-VMI server
+        cloud.servers.clear()
+        cloud.controller.database._servers.clear()
+        cloud.add_server(intercepting_vmi_scan_ms=SCAN_MS)
+    customer = cloud.register_customer("alice")
+    vm = customer.launch_vm(
+        "large", "ubuntu",
+        properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                    SecurityProperty.STARTUP_INTEGRITY],
+        workload={"name": "database"},
+    )
+    if frequency_ms is not None:
+        customer.start_periodic_attestation(
+            vm.vid, SecurityProperty.RUNTIME_INTEGRITY, frequency_ms=frequency_ms
+        )
+    server = cloud.server_of(vm.vid)
+    domain = server.hypervisor.domains[vm.vid]
+    start_cpu = sum(v.runtime_until(cloud.now) for v in domain.vcpus)
+    start_time = cloud.now
+    cloud.run_for(MEASURE_WINDOW_MS)
+    end_cpu = sum(v.runtime_until(cloud.now) for v in domain.vcpus)
+    return (end_cpu - start_cpu) / (cloud.now - start_time)
+
+
+def run_matrix() -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for label, intercepting in (("switch-time (paper)", False),
+                                ("intercepting scan", True)):
+        baseline = work_rate(intercepting, None)
+        results[label] = {
+            freq_label: work_rate(intercepting, freq) / baseline
+            for freq_label, freq in FREQUENCIES.items()
+        }
+    return results
+
+
+def test_measurement_mechanism_ablation(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = [
+        [mechanism] + [f"{results[mechanism][f]:.1%}" for f in FREQUENCIES]
+        for mechanism in results
+    ]
+    print_table(
+        "Ablation: collection mechanism vs relative VM performance "
+        f"(scan pause {SCAN_MS:.0f} ms)",
+        ["mechanism"] + list(FREQUENCIES),
+        rows,
+    )
+
+    switch_time = results["switch-time (paper)"]
+    intercepting = results["intercepting scan"]
+    # the paper's mechanism: no degradation at any frequency
+    assert all(value > 0.97 for value in switch_time.values())
+    # intercepting collection: fine at low frequency...
+    assert intercepting["1min"] > 0.97
+    # ...measurable at high frequency (150 ms pause / 2 s period ~ 7%)
+    assert intercepting["2s"] < 0.96
+    # and monotone in frequency
+    assert intercepting["2s"] < intercepting["10s"] <= 1.01

@@ -1,0 +1,103 @@
+"""Attestation cost breakdown and scalability.
+
+Two analyses supporting the paper's §7.1.1 observation ("the main
+overhead of an attestation is from the message transmitting in the
+network") and its §3.2.3 scalability argument (attestation servers can
+be added per cluster; the controller only brokers):
+
+1. **Breakdown** — attestation latency under the standard cost model,
+   with crypto costs zeroed, and with network latency zeroed. Shape:
+   removing the network saves more than removing the crypto.
+2. **Scalability** — mean attestation latency as the fleet and the
+   number of monitored VMs grow. Shape: per-attestation latency stays
+   roughly flat (no bottleneck at the controller).
+"""
+
+from _tables import print_table
+
+from repro import CloudMonatt, SecurityProperty
+
+
+def _mean_attest_ms(cloud, customer, vid, rounds: int = 4) -> float:
+    times = [
+        customer.attest(vid, SecurityProperty.RUNTIME_INTEGRITY).attest_ms
+        for _ in range(rounds)
+    ]
+    return sum(times) / len(times)
+
+
+def measure_breakdown() -> dict[str, float]:
+    results = {}
+    for label, zero_network, zero_crypto in (
+        ("full protocol", False, False),
+        ("no crypto costs", False, True),
+        ("no network latency", True, False),
+    ):
+        cloud = CloudMonatt(
+            num_servers=1, seed=55,
+            network_latency_ms=0.0 if zero_network else 55.0,
+        )
+        if zero_crypto:
+            for operation in ("session_keygen", "tpm_quote_sign", "pca_certify",
+                              "verify_signature", "report_sign"):
+                cloud.cost.set_cost(operation, 0.0)
+        customer = cloud.register_customer("alice")
+        vm = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+        )
+        results[label] = _mean_attest_ms(cloud, customer, vm.vid)
+    return results
+
+
+def measure_scalability() -> dict[int, float]:
+    results = {}
+    for fleet in (1, 4, 8):
+        cloud = CloudMonatt(num_servers=fleet, seed=60 + fleet)
+        customer = cloud.register_customer("alice")
+        vms = [
+            customer.launch_vm(
+                "small", "cirros",
+                properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                            SecurityProperty.STARTUP_INTEGRITY],
+            )
+            for _ in range(fleet)
+        ]
+        times = [
+            customer.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY).attest_ms
+            for vm in vms
+        ]
+        results[fleet] = sum(times) / len(times)
+    return results
+
+
+def run_both() -> dict:
+    return {"breakdown": measure_breakdown(), "scalability": measure_scalability()}
+
+
+def test_attestation_cost(benchmark):
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    breakdown = result["breakdown"]
+    print_table(
+        "Attestation latency breakdown",
+        ["configuration", "mean latency (ms)"],
+        [[label, f"{value:.0f}"] for label, value in breakdown.items()],
+    )
+    scalability = result["scalability"]
+    print_table(
+        "Attestation latency vs fleet size (one VM per server)",
+        ["servers", "mean latency (ms)"],
+        [[fleet, f"{value:.0f}"] for fleet, value in scalability.items()],
+    )
+
+    full = breakdown["full protocol"]
+    network_saving = full - breakdown["no network latency"]
+    crypto_saving = full - breakdown["no crypto costs"]
+    # §7.1.1: network transmission dominates the attestation overhead
+    assert network_saving > crypto_saving
+    assert network_saving > 0.4 * full
+    # scalability: latency roughly flat as the fleet grows
+    values = list(scalability.values())
+    assert max(values) < 1.3 * min(values)

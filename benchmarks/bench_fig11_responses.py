@@ -1,0 +1,94 @@
+"""Fig. 11 — Attestation reaction times during VM runtime.
+
+For each remediation strategy (Termination, Suspension, Migration) and
+each VM flavor, the bench launches a victim, co-locates the CPU
+availability attack, triggers a runtime attestation that fails, and
+measures the attestation time and the response's reaction time.
+
+Paper shape: Termination is the fastest response and Migration the
+slowest; migration time grows with VM size (memory copy dominates);
+attestation time is roughly constant across strategies.
+"""
+
+from _tables import print_table
+
+from repro import CloudMonatt, SecurityProperty
+from repro.controller.response import ResponseAction
+
+FLAVORS = ["small", "medium", "large"]
+STRATEGIES = [ResponseAction.TERMINATE, ResponseAction.SUSPEND,
+              ResponseAction.MIGRATE]
+
+
+def run_cell(strategy: ResponseAction, flavor: str, seed: int) -> dict:
+    cloud = CloudMonatt(num_servers=2, num_pcpus=4, seed=seed)
+    cloud.controller.response.set_policy(
+        SecurityProperty.CPU_AVAILABILITY, strategy
+    )
+    customer = cloud.register_customer("alice")
+    victim = customer.launch_vm(
+        flavor,
+        "ubuntu",
+        properties=[SecurityProperty.CPU_AVAILABILITY],
+        workload={"name": "cpu_bound"},
+        pins=[0] * cloud.flavors[flavor].vcpus,
+    )
+    victim_server = cloud.controller.database.vm(victim.vid).server
+    customer.launch_vm(
+        "medium",
+        "ubuntu",
+        workload={"name": "cpu_availability_attack"},
+        pins=[0, 0],
+        force_server=str(victim_server),
+    )
+    result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+    assert not result.report.healthy, "the attack must be detected"
+    assert result.response is not None
+    return {
+        "attest_ms": result.attest_ms,
+        "reaction_ms": result.response["reaction_ms"],
+    }
+
+
+def run_matrix() -> dict[tuple[str, str], dict]:
+    results = {}
+    for index, strategy in enumerate(STRATEGIES):
+        for jndex, flavor in enumerate(FLAVORS):
+            results[(strategy.value, flavor)] = run_cell(
+                strategy, flavor, seed=500 + 10 * index + jndex
+            )
+    return results
+
+
+def test_fig11_response_reaction_times(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = [
+        [strategy, flavor, f"{cell['attest_ms'] / 1000.0:.2f}",
+         f"{cell['reaction_ms'] / 1000.0:.2f}",
+         f"{(cell['attest_ms'] + cell['reaction_ms']) / 1000.0:.2f}"]
+        for (strategy, flavor), cell in results.items()
+    ]
+    print_table(
+        "Fig. 11: attestation + response times (seconds)",
+        ["strategy", "flavor", "attestation", "response", "total"],
+        rows,
+    )
+
+    for flavor in FLAVORS:
+        termination = results[("terminate", flavor)]["reaction_ms"]
+        suspension = results[("suspend", flavor)]["reaction_ms"]
+        migration = results[("migrate", flavor)]["reaction_ms"]
+        # ordering: Termination < Suspension < Migration
+        assert termination < suspension < migration, flavor
+    # migration grows with VM memory size
+    assert (
+        results[("migrate", "small")]["reaction_ms"]
+        < results[("migrate", "medium")]["reaction_ms"]
+        < results[("migrate", "large")]["reaction_ms"]
+    )
+    # suspension grows with VM memory size too (state save)
+    assert (
+        results[("suspend", "small")]["reaction_ms"]
+        < results[("suspend", "large")]["reaction_ms"]
+    )

@@ -1,0 +1,108 @@
+"""Fig. 4 — Cross-VM covert information leakage.
+
+The receiver VM measures its own execution time; gaps in its execution
+are the sender's CPU usage. The regenerated series is the sequence of
+sender occupancy intervals the receiver observes; the decoded bit
+stream and channel bandwidth are reported alongside.
+
+Paper shape: the trace alternates between two clearly separated
+interval durations encoding 0/1, and the channel carries data at a
+usable bandwidth with high accuracy.
+"""
+
+from _tables import print_table
+
+from repro.attacks import CovertChannelReceiver, CovertChannelSender, decode_intervals
+from repro.attacks.covert_channel import bit_accuracy
+from repro.common.identifiers import VmId
+from repro.xen import Hypervisor
+
+BITS = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+
+
+def run_covert_channel(duration_ms: float = 20_000.0) -> dict:
+    hv = Hypervisor()
+    sender = CovertChannelSender(BITS)
+    receiver = CovertChannelReceiver(VmId("receiver"))
+    hv.add_monitor(receiver)
+    hv.create_domain(VmId("sender"), sender)
+    hv.create_domain(VmId("receiver"), CovertChannelReceiver.workload())
+    hv.run_for(duration_ms)
+    durations = [gap for _, gap in receiver.observed_gaps]
+    decoded = decode_intervals(durations, sender.zero_ms, sender.one_ms)
+    best_accuracy = 0.0
+    for phase in range(len(BITS)):
+        pattern = BITS[phase:] + BITS[:phase]
+        sent = (pattern * (len(decoded) // len(pattern) + 1))[: len(decoded)]
+        best_accuracy = max(best_accuracy, bit_accuracy(sent, decoded))
+    return {
+        "trace": receiver.observed_gaps,
+        "decoded_bits": len(decoded),
+        "accuracy": best_accuracy,
+        "bandwidth_bps": sender.bandwidth_bps,
+        "zero_ms": sender.zero_ms,
+        "one_ms": sender.one_ms,
+    }
+
+
+def run_fast_channel(duration_ms: float = 10_000.0) -> dict:
+    """The high-rate configuration approaching the paper's 200 bps."""
+    hv = Hypervisor()
+    sender = CovertChannelSender(BITS, zero_ms=1.0, one_ms=5.0, gap_ms=4.0)
+    receiver = CovertChannelReceiver(VmId("receiver"), min_gap_ms=0.5)
+    hv.add_monitor(receiver)
+    hv.create_domain(VmId("sender"), sender)
+    hv.create_domain(VmId("receiver"), CovertChannelReceiver.workload())
+    hv.run_for(duration_ms)
+    durations = [gap for _, gap in receiver.observed_gaps]
+    decoded = decode_intervals(durations, sender.zero_ms, sender.one_ms)
+    best_accuracy = 0.0
+    for phase in range(len(BITS)):
+        pattern = BITS[phase:] + BITS[:phase]
+        sent = (pattern * (len(decoded) // len(pattern) + 1))[: len(decoded)]
+        best_accuracy = max(best_accuracy, bit_accuracy(sent, decoded))
+    return {
+        "decoded_bits": len(decoded),
+        "accuracy": best_accuracy,
+        "bandwidth_bps": sender.bandwidth_bps,
+    }
+
+
+def test_fig4_high_rate_channel(benchmark):
+    result = benchmark.pedantic(run_fast_channel, rounds=1, iterations=1)
+    print(
+        f"\nhigh-rate configuration: {result['bandwidth_bps']:.0f} bps nominal, "
+        f"{result['decoded_bits']} bits decoded at {result['accuracy']:.1%} accuracy"
+    )
+    # the paper reports ~200 bps; the shape criterion is a channel in the
+    # hundred-bps class that still decodes reliably
+    assert result["bandwidth_bps"] > 100.0
+    assert result["accuracy"] > 0.9
+
+
+def test_fig4_covert_trace(benchmark):
+    result = benchmark.pedantic(run_covert_channel, rounds=1, iterations=1)
+
+    rows = [
+        [f"{start:9.1f}", f"{duration:5.2f}",
+         "1" if duration > (result["zero_ms"] + result["one_ms"]) / 2 else "0"]
+        for start, duration in result["trace"][:20]
+    ]
+    print_table(
+        "Fig. 4: sender CPU usage observed by the receiver (first 20 symbols)",
+        ["gap start (ms)", "duration (ms)", "decoded bit"],
+        rows,
+    )
+    print(
+        f"decoded {result['decoded_bits']} bits, "
+        f"accuracy {result['accuracy']:.1%}, "
+        f"nominal bandwidth {result['bandwidth_bps']:.1f} bps"
+    )
+
+    # shape: two clearly separated symbol durations, decodable reliably
+    assert result["decoded_bits"] >= 10 * len(BITS)
+    assert result["accuracy"] > 0.9
+    durations = [d for _, d in result["trace"]]
+    shorts = [d for d in durations if d < 15.0]
+    longs = [d for d in durations if d >= 15.0]
+    assert shorts and longs, "both symbols must appear in the trace"

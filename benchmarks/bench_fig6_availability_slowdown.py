@@ -1,0 +1,72 @@
+"""Fig. 6 — Performance for CPU availability attacks.
+
+The victim VM runs three CPU-bound SPEC-like programs (bzip2, hmmer,
+astar); a co-resident VM on the same CPU runs each cloud service, or
+the paper's CPU availability attack. The regenerated series is the
+victim's relative execution time (completion wall time / solo time).
+
+Paper shape: I/O-bound co-runners (File/Stream/Mail) ≈ 1x; CPU-bound
+co-runners (Database/Web/App) ≈ 2x (fair share); the availability
+attack > 10x.
+"""
+
+from _tables import print_table
+
+from repro.attacks import AvailabilityAttackWorkload
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.workloads import make_workload
+from repro.xen import FiniteCpuBoundWorkload, Hypervisor
+
+VICTIM_PROGRAMS = {"bzip2": 600.0, "hmmer": 750.0, "astar": 500.0}
+ATTACKERS = ["idle", "database", "file", "web", "app", "stream", "mail",
+             "cpu_availability_attack"]
+
+
+def run_cell(program_ms: float, attacker: str, seed: int) -> float:
+    """One (victim program, co-runner) cell; returns relative exec time."""
+    hv = Hypervisor(num_pcpus=1)
+    rng = DeterministicRng(seed)
+    hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(program_ms))
+    workload = make_workload(attacker, rng)
+    num_vcpus = 2 if isinstance(workload, AvailabilityAttackWorkload) else 1
+    hv.create_domain(
+        VmId("attacker"), workload, num_vcpus=num_vcpus, pcpus=[0] * num_vcpus
+    )
+    finish = hv.run_until_domain_finishes(VmId("victim"), max_ms=60_000.0)
+    return finish / program_ms
+
+
+def run_matrix() -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for program, demand in VICTIM_PROGRAMS.items():
+        results[program] = {}
+        for index, attacker in enumerate(ATTACKERS):
+            results[program][attacker] = run_cell(demand, attacker, seed=100 + index)
+    return results
+
+
+def test_fig6_availability_slowdown(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = [
+        [program] + [f"{results[program][a]:.2f}x" for a in ATTACKERS]
+        for program in VICTIM_PROGRAMS
+    ]
+    print_table(
+        "Fig. 6: victim relative execution time vs co-resident workload",
+        ["victim \\ attacker"] + ATTACKERS,
+        rows,
+    )
+
+    for program in VICTIM_PROGRAMS:
+        cells = results[program]
+        # idle and I/O-bound co-runners: no meaningful slowdown
+        assert cells["idle"] < 1.15
+        for io_attacker in ("file", "stream", "mail"):
+            assert cells[io_attacker] < 1.45, (program, io_attacker)
+        # CPU-bound co-runners: fair-share doubling
+        for cpu_attacker in ("database", "web", "app"):
+            assert 1.5 <= cells[cpu_attacker] <= 2.6, (program, cpu_attacker)
+        # the availability attack: order-of-magnitude starvation
+        assert cells["cpu_availability_attack"] > 10.0, program

@@ -1,0 +1,95 @@
+"""Fig. 7 — Measurements of CPU availability vulnerability.
+
+The VMM Profile Tool measures relative CPU usage (virtual running time
+over wall time) for both the attacker VM and an always-runnable victim
+VM, under each co-runner workload. This is exactly the measurement the
+CPU_AVAILABILITY property interprets.
+
+Paper shape: under I/O-bound co-runners the victim keeps ~100%;
+under CPU-bound co-runners both get ~50%; under the availability
+attack the attacker approaches 100% while the victim collapses below
+its SLA floor, and the interpreter flags it.
+"""
+
+from _tables import print_table
+
+from repro.attacks import AvailabilityAttackWorkload
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.monitors import VmmProfileTool
+from repro.monitors.monitor_module import MEAS_CPU_USAGE
+from repro.properties import AvailabilityInterpreter
+from repro.workloads import make_workload
+from repro.xen import CpuBoundWorkload, Hypervisor
+
+ATTACKERS = ["idle", "database", "file", "web", "app", "stream", "mail",
+             "cpu_availability_attack"]
+WINDOW_MS = 5_000.0
+
+
+def run_cell(attacker: str, seed: int) -> dict:
+    hv = Hypervisor(num_pcpus=1)
+    rng = DeterministicRng(seed)
+    hv.create_domain(VmId("victim"), CpuBoundWorkload())
+    workload = make_workload(attacker, rng)
+    num_vcpus = 2 if isinstance(workload, AvailabilityAttackWorkload) else 1
+    hv.create_domain(
+        VmId("attacker"), workload, num_vcpus=num_vcpus, pcpus=[0] * num_vcpus
+    )
+    tool = VmmProfileTool(hv)
+    hv.run_for(500.0)  # settle
+    tool.start_window(VmId("victim"))
+    tool.start_window(VmId("attacker"))
+    hv.run_for(WINDOW_MS)
+    victim = tool.stop_window(VmId("victim"))
+    attacker_window = tool.stop_window(VmId("attacker"))
+    interpreter = AvailabilityInterpreter(default_entitled_share=0.5)
+    report = interpreter.interpret(
+        VmId("victim"),
+        {MEAS_CPU_USAGE: {"cpu_ms": victim.cpu_ms, "wall_ms": victim.wall_ms,
+                          "wait_ms": victim.wait_ms}},
+    )
+    return {
+        "victim": victim.relative_usage,
+        "victim_steal": victim.steal_ratio,
+        "attacker": attacker_window.relative_usage,
+        "healthy": report.healthy,
+    }
+
+
+def run_series() -> dict[str, dict]:
+    return {
+        attacker: run_cell(attacker, seed=200 + i)
+        for i, attacker in enumerate(ATTACKERS)
+    }
+
+
+def test_fig7_relative_cpu_usage(benchmark):
+    results = benchmark.pedantic(run_series, rounds=1, iterations=1)
+
+    rows = [
+        [attacker, f"{cell['attacker']:.1%}", f"{cell['victim']:.1%}",
+         f"{cell['victim_steal']:.1%}",
+         "healthy" if cell["healthy"] else "COMPROMISED"]
+        for attacker, cell in results.items()
+    ]
+    print_table(
+        "Fig. 7: relative CPU usage (attacker vs victim)",
+        ["attacker workload", "attacker usage", "victim usage",
+         "victim steal", "availability"],
+        rows,
+    )
+
+    # idle / I/O-bound: victim keeps nearly the whole CPU, healthy
+    for light in ("idle", "file", "stream", "mail"):
+        assert results[light]["victim"] > 0.75, light
+        assert results[light]["healthy"], light
+    # CPU-bound co-runners: fair halves, still healthy per SLA
+    for heavy in ("database", "web", "app"):
+        assert 0.40 <= results[heavy]["victim"] <= 0.62, heavy
+        assert results[heavy]["healthy"], heavy
+    # the attack: attacker monopolizes, victim below the SLA floor
+    attack = results["cpu_availability_attack"]
+    assert attack["attacker"] > 0.80
+    assert attack["victim"] < 0.15
+    assert not attack["healthy"]

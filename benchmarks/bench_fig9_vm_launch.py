@@ -1,0 +1,72 @@
+"""Fig. 9 — Performance for VM launching.
+
+Launches each (image × flavor) combination of the paper's matrix
+through the full CloudMonatt stack and reports the per-stage breakdown:
+Scheduling, Networking, Block_device_mapping, Spawning, and the new
+fifth Attestation stage.
+
+Paper shape: the attestation stage adds roughly 20% overhead, dominated
+by network message transmission; totals land in the seconds range and
+grow with image size and flavor.
+"""
+
+from _tables import print_table
+
+from repro import CloudMonatt, SecurityProperty
+
+IMAGES = ["cirros", "fedora", "ubuntu"]
+FLAVORS = ["small", "medium", "large"]
+STAGES = ["scheduling", "networking", "block_device_mapping", "spawning",
+          "attestation"]
+
+
+def run_matrix() -> dict[tuple[str, str], dict[str, float]]:
+    results: dict[tuple[str, str], dict[str, float]] = {}
+    for image in IMAGES:
+        for flavor in FLAVORS:
+            cloud = CloudMonatt(num_servers=3, seed=hash((image, flavor)) % 1000)
+            customer = cloud.register_customer("alice")
+            launch = customer.launch_vm(
+                flavor, image, properties=[SecurityProperty.STARTUP_INTEGRITY]
+            )
+            assert launch.accepted
+            results[(image, flavor)] = launch.stage_times_ms
+    return results
+
+
+def test_fig9_vm_launch_breakdown(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for (image, flavor), stages in results.items():
+        total = sum(stages.values())
+        rows.append(
+            [image, flavor]
+            + [f"{stages[s] / 1000.0:.2f}" for s in STAGES]
+            + [f"{total / 1000.0:.2f}", f"{stages['attestation'] / total:.0%}"]
+        )
+    print_table(
+        "Fig. 9: VM launch time by stage (seconds)",
+        ["image", "flavor"] + STAGES + ["total", "attest %"],
+        rows,
+    )
+
+    for (image, flavor), stages in results.items():
+        total = sum(stages.values())
+        # totals in the seconds band, as in the paper
+        assert 2_000.0 <= total <= 7_000.0, (image, flavor, total)
+        # attestation overhead ≈ 20% (10-35% band)
+        fraction = stages["attestation"] / total
+        assert 0.10 <= fraction <= 0.35, (image, flavor, fraction)
+    # spawning grows with image size: ubuntu > cirros at equal flavor
+    for flavor in FLAVORS:
+        assert (
+            results[("ubuntu", flavor)]["spawning"]
+            > results[("cirros", flavor)]["spawning"]
+        )
+    # spawning grows with flavor: large > small at equal image
+    for image in IMAGES:
+        assert (
+            results[(image, "large")]["spawning"]
+            > results[(image, "small")]["spawning"]
+        )

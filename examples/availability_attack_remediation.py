@@ -1,0 +1,60 @@
+"""Case study IV (paper §4.5): CPU availability attack and remediation.
+
+An attacker VM exploits the Xen credit scheduler's boost mechanism
+(IPI wake-ups + tick evasion) to starve a co-resident victim. The VMM
+Profile Tool's relative-CPU-usage measurement exposes the starvation;
+a migration response restores the victim's SLA.
+
+Run: ``python examples/availability_attack_remediation.py``
+"""
+
+from repro import CloudMonatt, SecurityProperty
+from repro.controller.response import ResponseAction
+
+
+def main() -> None:
+    cloud = CloudMonatt(num_servers=2, num_pcpus=1, seed=33)
+    cloud.controller.response.set_policy(
+        SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
+    )
+    alice = cloud.register_customer("alice")
+
+    victim = alice.launch_vm(
+        "small",
+        "ubuntu",
+        properties=[SecurityProperty.CPU_AVAILABILITY,
+                    SecurityProperty.STARTUP_INTEGRITY],
+        workload={"name": "database"},
+        pins=[0],
+    )
+    victim_server = cloud.controller.database.vm(victim.vid).server
+    print(f"victim {victim.vid} running a database service on {victim_server}")
+
+    baseline = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+    print(f"baseline availability: {baseline.report.explanation}")
+
+    print("\n-- attacker co-locates and runs the boost-stealing attack --")
+    alice.launch_vm(
+        "medium",
+        "ubuntu",
+        workload={"name": "cpu_availability_attack"},
+        pins=[0, 0],
+        force_server=str(victim_server),
+    )
+
+    attacked = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+    print(f"under attack: healthy={attacked.report.healthy}")
+    print(f"  {attacked.report.explanation}")
+    if attacked.response:
+        print(f"  remediation: {attacked.response['action']} "
+              f"({attacked.response['reaction_ms']:.0f} ms)")
+
+    new_server = cloud.controller.database.vm(victim.vid).server
+    print(f"\nvictim migrated: {victim_server} -> {new_server}")
+    recovered = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+    print(f"after migration: healthy={recovered.report.healthy}")
+    print(f"  {recovered.report.explanation}")
+
+
+if __name__ == "__main__":
+    main()

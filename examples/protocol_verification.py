@@ -1,0 +1,34 @@
+"""Protocol verification (paper §7.2.2).
+
+Runs the symbolic Dolev-Yao verifier over the attestation protocol of
+paper Fig. 3 and prints the verdict for every property — the six
+secrecy / integrity / authentication properties the paper verifies with
+ProVerif, plus freshness and server-anonymity analyses. Then analyzes
+three deliberately weakened variants to show the verifier finds the
+attacks the removed protections were preventing.
+
+Run: ``python examples/protocol_verification.py``
+"""
+
+from repro.verification import ProtocolVariant, ProtocolVerifier
+
+
+def show(variant: ProtocolVariant) -> None:
+    verifier = ProtocolVerifier(variant)
+    print(f"\n=== {variant.value} protocol ===")
+    for result in verifier.verify_all():
+        status = "verified    " if result.holds else "ATTACK FOUND"
+        print(f"  [{status}] {result.property_id} {result.description}")
+        if not result.holds and result.witness:
+            print(f"               witness: {result.witness}")
+
+
+def main() -> None:
+    show(ProtocolVariant.STANDARD)
+    show(ProtocolVariant.PLAINTEXT)
+    show(ProtocolVariant.NO_NONCES)
+    show(ProtocolVariant.IDENTITY_KEY_REUSE)
+
+
+if __name__ == "__main__":
+    main()

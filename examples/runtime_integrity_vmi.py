@@ -1,0 +1,56 @@
+"""Case study II (paper §4.3): runtime integrity via VM introspection.
+
+A rootkit infects the guest and hides its processes from the guest's
+own task listing. The VMI tool in the hypervisor's Monitor Module reads
+the true process table from guest memory; the attestation report
+exposes the malware, and the customer's own comparison of the attested
+list against the in-guest view pinpoints the hidden processes.
+
+Run: ``python examples/runtime_integrity_vmi.py``
+"""
+
+from repro import CloudMonatt, SecurityProperty
+from repro.guest import Rootkit
+from repro.properties.runtime_integrity import detect_hidden_tasks
+
+
+def main() -> None:
+    cloud = CloudMonatt(num_servers=2, seed=9)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small",
+        "ubuntu",
+        properties=[
+            SecurityProperty.STARTUP_INTEGRITY,
+            SecurityProperty.RUNTIME_INTEGRITY,
+        ],
+    )
+    print(f"VM {vm.vid} launched; startup attestation: {vm.report.healthy}")
+
+    clean = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+    print(f"before infection: healthy={clean.report.healthy} "
+          f"({clean.report.explanation})")
+
+    print("\n-- attacker infects the guest with a rootkit --")
+    server = cloud.server_of(vm.vid)
+    guest = server.hosted[vm.vid].guest
+    Rootkit().infect(guest)
+
+    # the compromised guest lies to its own administrator:
+    inside_view = server.vmi.reported_tasks(vm.vid)
+    print(f"guest's own task list ({len(inside_view)} tasks): "
+          f"{[t['name'] for t in inside_view]}")
+
+    infected = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+    print(f"\nattestation verdict: healthy={infected.report.healthy}")
+    print(f"  {infected.report.explanation}")
+
+    # the customer compares the attested (true) list with the inside view
+    attested_list = server.vmi.running_tasks(vm.vid)
+    hidden = detect_hidden_tasks(attested_list, inside_view)
+    print(f"hidden processes the guest concealed: "
+          f"{[(t['pid'], t['name']) for t in hidden]}")
+
+
+if __name__ == "__main__":
+    main()

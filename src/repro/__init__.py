@@ -1,0 +1,18 @@
+"""CloudMonatt reproduction (ISCA 2015, Zhang & Lee).
+
+A complete, self-contained simulation of the CloudMonatt architecture
+for security health monitoring and attestation of virtual machines:
+cloud controller, attestation server, privacy CA, Xen-credit-scheduler
+cloud servers with Trust and Monitor modules, the property-based
+attestation protocol with end-to-end signatures and nonces, the paper's
+two new cloud attacks, and a symbolic Dolev-Yao protocol verifier.
+
+Start with :class:`repro.cloud.CloudMonatt`.
+"""
+
+from repro.cloud import CloudMonatt, Customer
+from repro.properties import PropertyReport, SecurityProperty
+
+__version__ = "1.0.0"
+
+__all__ = ["CloudMonatt", "Customer", "PropertyReport", "SecurityProperty"]

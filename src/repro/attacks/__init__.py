@@ -1,0 +1,46 @@
+"""Attack implementations.
+
+The paper designs two new cloud attacks (its §8 contribution (4)) and
+reuses two classic ones; all four are implemented here against our
+substrates, plus the network attacker used in the protocol evaluation:
+
+- :class:`~repro.attacks.covert_channel.CovertChannelSender` /
+  :class:`~repro.attacks.covert_channel.CovertChannelReceiver` — the
+  CPU-based cross-VM covert channel of §4.4 (Fig. 4/5).
+- :class:`~repro.attacks.availability.AvailabilityAttackWorkload` — the
+  CPU availability attack of §4.5 against the credit scheduler's boost
+  mechanism (Fig. 6/7).
+- :mod:`repro.attacks.malware` — in-VM malware injection for the runtime
+  integrity case study (§4.3).
+- :mod:`repro.attacks.image_tampering` — corrupted VM images / platform
+  software for the startup integrity case study (§4.2).
+
+Network attacks (replay, forgery, eavesdropping) live with the network
+substrate in :mod:`repro.network.attacker` since they operate on wires,
+not hosts.
+"""
+
+from repro.attacks.availability import AvailabilityAttackWorkload
+from repro.attacks.bus_covert_channel import BusCovertChannelSender
+from repro.attacks.covert_channel import (
+    CovertChannelReceiver,
+    CovertChannelSender,
+    decode_intervals,
+)
+from repro.attacks.image_tampering import tamper_image, tamper_platform
+from repro.attacks.malware import infect_with_hidden_service, infect_with_rootkit
+from repro.attacks.rfa import RfaPressureCampaign, RfaTargetWorkload
+
+__all__ = [
+    "AvailabilityAttackWorkload",
+    "BusCovertChannelSender",
+    "CovertChannelReceiver",
+    "CovertChannelSender",
+    "RfaPressureCampaign",
+    "RfaTargetWorkload",
+    "decode_intervals",
+    "infect_with_hidden_service",
+    "infect_with_rootkit",
+    "tamper_image",
+    "tamper_platform",
+]

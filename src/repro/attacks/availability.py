@@ -1,0 +1,98 @@
+"""The CPU availability attack (paper §4.5.1, Figs. 6-7).
+
+"This attack targets the boost mechanism of Xen's credit scheduler...
+the attacker's strategy is to launch a VM with multiple vCPUs and use
+them to keep sending and receiving Inter Processor Interrupts (IPIs) to
+each other, so one of the attacker's vCPUs always has the highest
+priority."
+
+Two scheduler weaknesses combine:
+
+1. **Sampled accounting** — credits are debited only from the vCPU
+   running at each 10 ms tick instant, so a vCPU that sleeps across
+   ticks is never charged and stays UNDER (non-negative credits).
+2. **Wake-up boost** — a waking UNDER vCPU gets BOOST priority and
+   preempts the victim instantly.
+
+The attack workload runs its *runner* vCPU from just after one tick to
+just before the next, sleeps across the tick instant (leaving the victim
+holding the bill), and wakes boosted to seize the CPU back. A *helper*
+vCPU exchanges IPIs with the runner, keeping a boosted attacker vCPU
+available at every moment, per the paper's description.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.xen.scheduler import TICK_MS
+from repro.xen.workload import BlockSpec, Burst, Workload
+
+
+class AvailabilityAttackWorkload(Workload):
+    """Two-vCPU boost-stealing attack workload.
+
+    vCPU 0 is the runner; vCPU 1 is the IPI helper. Both must be pinned
+    to the victim's pCPU (vCPU 1 barely runs). ``margin_before_ms`` /
+    ``margin_after_ms`` control how tightly the runner straddles tick
+    instants — the victim's only CPU time is these margins, which is why
+    its slowdown exceeds 10x.
+    """
+
+    RUNNER = 0
+    HELPER = 1
+
+    def __init__(self, margin_before_ms: float = 0.4, margin_after_ms: float = 0.15):
+        super().__init__()
+        if margin_before_ms <= 0 or margin_after_ms <= 0:
+            raise ValueError("margins must be positive")
+        if margin_before_ms + margin_after_ms >= TICK_MS:
+            raise ValueError("margins must leave room to run between ticks")
+        self.margin_before_ms = margin_before_ms
+        self.margin_after_ms = margin_after_ms
+
+    def initial_delay_ms(self, vcpu) -> float:
+        """Phase the runner just after a tick; stagger the helper."""
+        if vcpu.index == self.RUNNER:
+            return self.margin_after_ms
+        return TICK_MS / 2.0
+
+    def next_burst(self, vcpu) -> Burst:
+        if self.hypervisor is None:
+            raise StateError("attack workload not bound to a hypervisor")
+        if vcpu.index == self.HELPER:
+            # The helper wakes on the runner's IPI, runs a sliver (well
+            # clear of the tick instant, since the runner's burst ends
+            # margin_before ahead of it), IPIs back, and waits again —
+            # the paper's "keep sending and receiving IPIs to each other".
+            return Burst(
+                cpu_ms=0.05,
+                block=BlockSpec.wait_ipi(),
+                ipi_targets=(self.RUNNER,),
+            )
+        # The CPU demand is provisional: on_scheduled() retimes it against
+        # the tick grid when the runner actually gets the core. The sleep
+        # is fixed at (margin_before + margin_after): because the burst
+        # *ends* margin_before ahead of a tick, the wake always lands
+        # margin_after past that tick, off the accounting grid.
+        sleep = self.margin_before_ms + self.margin_after_ms
+        return Burst(
+            cpu_ms=TICK_MS,
+            block=BlockSpec.sleep(sleep),
+            ipi_targets=(self.HELPER,),
+        )
+
+    def on_scheduled(self, vcpu, now: float) -> None:
+        """Retime the runner's burst to end just before the next tick.
+
+        Models the attacker reading the clock in a tight loop while
+        running — the only way a real attack can stay phase-locked to the
+        scheduler tick when its own dispatch is delayed by contention.
+        """
+        if vcpu.index != self.RUNNER or self.hypervisor is None:
+            return
+        next_tick = self.hypervisor.scheduler.next_tick_time()
+        run_for = next_tick - self.margin_before_ms - now
+        if run_for < 0.05:
+            # too close to the tick: yield a sliver and sleep past it
+            run_for = 0.05
+        vcpu.burst_remaining = run_for

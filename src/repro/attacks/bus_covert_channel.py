@@ -1,0 +1,124 @@
+"""Memory-bus covert channel: the cross-core second channel.
+
+The CPU-interval channel of §4.4 needs sender and receiver to share a
+CPU. The bus channel does not: the sender modulates its rate of atomic
+(bus-locking) memory operations while keeping its CPU usage perfectly
+uniform; a receiver on *any other core* recovers the bits by timing its
+own memory accesses. This is the channel class the paper cites from Wu
+et al. [44] ("memory bus activities (locked or unlocked bus)") and the
+reason §4.4.3 proposes monitoring multiple covert-channel sources.
+
+Evasion property: because every burst has the same CPU duration, the
+CPU-usage-interval histogram of this sender is unimodal — the attack is
+invisible to the Fig. 5 monitor and only the bus-lock monitor sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.rng import DeterministicRng
+from repro.xen.workload import BlockSpec, Burst, Workload
+
+
+class BusCovertChannelSender(Workload):
+    """Sender workload: lock-rate modulation at constant CPU usage.
+
+    Each transmitted bit occupies one ``symbol_ms`` burst: a ``1`` issues
+    ``high_rate`` locked operations per ms; a ``0`` issues none. The
+    burst length never varies, so scheduler-level interval monitoring
+    sees a benign, uniform pattern.
+    """
+
+    def __init__(
+        self,
+        bits: Sequence[int],
+        symbol_ms: float = 10.0,
+        high_rate: float = 20.0,
+        repeat: bool = True,
+    ):
+        super().__init__()
+        if not bits:
+            raise ValueError("need at least one bit to transmit")
+        if symbol_ms <= 0 or high_rate <= 0:
+            raise ValueError("symbol duration and rate must be positive")
+        self.bits = [int(b) & 1 for b in bits]
+        self.symbol_ms = symbol_ms
+        self.high_rate = high_rate
+        self.repeat = repeat
+        self._position = 0
+        self.bits_sent = 0
+
+    def next_burst(self, vcpu) -> Burst:
+        if self._position >= len(self.bits):
+            if not self.repeat:
+                return Burst(cpu_ms=0.0, block=BlockSpec.terminate())
+            self._position = 0
+        bit = self.bits[self._position]
+        self._position += 1
+        self.bits_sent += 1
+        return Burst(
+            cpu_ms=self.symbol_ms,
+            block=BlockSpec.sleep(0.01),
+            bus_lock_rate=self.high_rate if bit else 0.0,
+        )
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Nominal channel bandwidth in bits per second."""
+        return 1000.0 / (self.symbol_ms + 0.01)
+
+
+class RandomizedRateBusSender(Workload):
+    """Histogram-evading variant: per-symbol rates drawn from a continuum.
+
+    Instead of two fixed rates (which make two histogram peaks), each
+    ``1`` symbol draws its rate uniformly from ``high_band`` and each
+    ``0`` from ``low_band``. The rate *distribution* is then smeared
+    across many bins — below any peak detector's mass threshold — while
+    a receiver thresholding at the band gap still decodes perfectly.
+
+    What survives is the time structure: fixed ``symbol_ms`` cells give
+    the autocorrelation plateau the CC-Hunter-style detector keys on.
+    This workload exists to show why the defender needs event-train
+    analysis in addition to distribution analysis.
+    """
+
+    def __init__(
+        self,
+        bits: Sequence[int],
+        rng: DeterministicRng,
+        symbol_ms: float = 10.0,
+        low_band: tuple[float, float] = (0.0, 7.0),
+        high_band: tuple[float, float] = (13.0, 28.0),
+        repeat: bool = True,
+    ):
+        super().__init__()
+        if not bits:
+            raise ValueError("need at least one bit to transmit")
+        if low_band[1] >= high_band[0]:
+            raise ValueError("bands must not overlap (the receiver thresholds)")
+        self.bits = [int(b) & 1 for b in bits]
+        self._rng = rng
+        self.symbol_ms = symbol_ms
+        self.low_band = low_band
+        self.high_band = high_band
+        self.repeat = repeat
+        self._position = 0
+        self.bits_sent = 0
+
+    def next_burst(self, vcpu) -> Burst:
+        if self._position >= len(self.bits):
+            if not self.repeat:
+                return Burst(cpu_ms=0.0, block=BlockSpec.terminate())
+            self._position = 0
+        bit = self.bits[self._position]
+        self._position += 1
+        self.bits_sent += 1
+        band = self.high_band if bit else self.low_band
+        rate = self._rng.uniform(band[0], band[1])
+        return Burst(
+            cpu_ms=self.symbol_ms,
+            block=BlockSpec.sleep(0.01),
+            bus_lock_rate=rate,
+        )

@@ -1,0 +1,127 @@
+"""The CPU-based cross-VM covert channel (paper §4.4.1, Figs. 4-5).
+
+"The sender VM can occupy the CPU for different amounts of time, to
+indicate different information (e.g. long CPU usage indicates a '1'
+while short CPU usage signals a '0')."
+
+The sender modulates its continuous run-interval durations: a short
+burst encodes 0, a long burst encodes 1, with an idle gap between bursts
+to rebuild scheduler credits (so each wake-up is boosted and the burst
+runs uninterrupted). A co-resident receiver on the same pCPU infers the
+sender's occupancy from gaps in its own execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.identifiers import VmId
+from repro.xen.workload import BlockSpec, Burst, CpuBoundWorkload, Workload
+
+
+class CovertChannelSender(Workload):
+    """Sender VM workload: run-interval modulation of a bit string.
+
+    Parameters mirror the paper's experiment: interval granularity is
+    1 ms and intervals stay under the 30 ms Xen timeslice so each burst
+    is one continuous run interval. The default symbol times put the two
+    histogram peaks well apart, as in Fig. 5 (top).
+    """
+
+    def __init__(
+        self,
+        bits: Sequence[int],
+        zero_ms: float = 5.0,
+        one_ms: float = 25.0,
+        gap_ms: float = 30.0,
+        repeat: bool = True,
+    ):
+        super().__init__()
+        if not bits:
+            raise ValueError("need at least one bit to transmit")
+        if not 0 < zero_ms < one_ms:
+            raise ValueError("need 0 < zero_ms < one_ms")
+        self.bits = [int(b) & 1 for b in bits]
+        self.zero_ms = zero_ms
+        self.one_ms = one_ms
+        self.gap_ms = gap_ms
+        self.repeat = repeat
+        self._position = 0
+        #: total bits transmitted so far (for bandwidth accounting)
+        self.bits_sent = 0
+
+    def next_burst(self, vcpu) -> Burst:
+        if self._position >= len(self.bits):
+            if not self.repeat:
+                return Burst(cpu_ms=0.0, block=BlockSpec.terminate())
+            self._position = 0
+        bit = self.bits[self._position]
+        self._position += 1
+        self.bits_sent += 1
+        duration = self.one_ms if bit else self.zero_ms
+        return Burst(cpu_ms=duration, block=BlockSpec.sleep(self.gap_ms))
+
+    @property
+    def symbol_period_ms(self) -> float:
+        """Average wall time per transmitted bit."""
+        mean_burst = (self.zero_ms + self.one_ms) / 2.0
+        return mean_burst + self.gap_ms
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Nominal channel bandwidth in bits per second."""
+        return 1000.0 / self.symbol_period_ms
+
+
+class CovertChannelReceiver:
+    """Receiver-side observer: infers sender activity from its own gaps.
+
+    The receiver VM runs a CPU-bound workload on the shared pCPU; every
+    pause in its own execution is time the sender (or another VM) held
+    the CPU. Attached as a scheduler listener, this class records the
+    receiver's run intervals and reconstructs the gap sequence — the
+    receiver's view of the sender's CPU usage (paper Fig. 4).
+    """
+
+    def __init__(self, receiver_vid: VmId, min_gap_ms: float = 1.0):
+        self.receiver_vid = receiver_vid
+        self.min_gap_ms = min_gap_ms
+        self._last_end: float | None = None
+        #: (gap_start, gap_duration) pairs — the observed sender intervals
+        self.observed_gaps: list[tuple[float, float]] = []
+
+    @staticmethod
+    def workload() -> CpuBoundWorkload:
+        """The busy-loop the receiver runs to sense its own preemption."""
+        return CpuBoundWorkload()
+
+    def on_run_interval(self, vcpu, start: float, end: float) -> None:
+        """Scheduler hook: track the receiver's own execution intervals."""
+        if vcpu.domain.vid != self.receiver_vid:
+            return
+        if self._last_end is not None:
+            gap = start - self._last_end
+            if gap >= self.min_gap_ms:
+                self.observed_gaps.append((self._last_end, gap))
+        self._last_end = end
+
+    def decode(self, threshold_ms: float) -> list[int]:
+        """Decode observed gaps into bits by thresholding duration."""
+        return [1 if gap > threshold_ms else 0 for _, gap in self.observed_gaps]
+
+
+def decode_intervals(
+    durations: Sequence[float], zero_ms: float, one_ms: float
+) -> list[int]:
+    """Decode a sequence of occupancy durations with the midpoint rule."""
+    threshold = (zero_ms + one_ms) / 2.0
+    return [1 if duration > threshold else 0 for duration in durations]
+
+
+def bit_accuracy(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of correctly received bits over the aligned prefix."""
+    if not sent or not received:
+        return 0.0
+    n = min(len(sent), len(received))
+    matches = sum(1 for i in range(n) if sent[i] == received[i])
+    return matches / n

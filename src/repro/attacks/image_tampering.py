@@ -1,0 +1,28 @@
+"""Image and platform tampering (startup integrity case study, §4.2.1).
+
+"Attackers may try to launch a malicious hypervisor, host OS, or guest
+OS... Similarly, the VM image could have been compromised, with malware
+inserted."
+
+Tampering is content substitution: the measured-boot chains then diverge
+from the Attestation Server's pre-computed good values.
+"""
+
+from __future__ import annotations
+
+from repro.monitors.integrity_unit import SoftwareInventory
+
+
+def tamper_image(image_content: bytes, implant: bytes = b"<malware implant>") -> bytes:
+    """Corrupt a VM image by appending a malware implant."""
+    return image_content + implant
+
+
+def tamper_platform(
+    inventory: SoftwareInventory,
+    component: str = "xen-hypervisor-4.2",
+    implant: bytes = b" with hypervisor backdoor",
+) -> SoftwareInventory:
+    """Corrupt one platform component (e.g. a backdoored hypervisor)."""
+    original = dict(inventory.components)[component]
+    return inventory.tampered(component, original + implant)

@@ -1,0 +1,110 @@
+"""Resource-Freeing Attack (RFA) — the paper's cited availability attack.
+
+§4.5.1: "The attacker can also change the victim VM's behavior to give
+up computing resources to the attacker, such as in Resource-Freeing
+Attacks (RFA) introduced in [40]."
+
+The RFA has two halves:
+
+- a **beneficiary** VM co-resident with the victim, contending for the
+  victim's CPU (an ordinary CPU-bound workload here);
+- a **helper** elsewhere in the network that sends the victim's public
+  service expensive requests, shifting the victim toward its *other*
+  bottleneck (I/O). The victim then voluntarily yields the CPU, which
+  the beneficiary absorbs.
+
+Unlike the boost-stealing attack, nothing here abuses the scheduler:
+the victim's own workload is modified. CloudMonatt still observes the
+effect — the victim's relative CPU usage collapses — which is exactly
+the "resource usage of the attested VM" signal §4.5.2 monitors.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.common.rng import DeterministicRng
+from repro.sim.engine import Engine
+from repro.xen.workload import BlockSpec, Burst, Workload
+
+
+class RfaTargetWorkload(Workload):
+    """A request-serving victim (e.g. a web server with a disk-bound tail).
+
+    Each request costs ``cpu_ms`` of CPU and then ``io_ms`` of I/O wait.
+    External *pressure* — expensive requests sent by the RFA helper —
+    stretches the I/O phase by up to ``max_io_stretch``x, collapsing the
+    victim's CPU demand (its duty cycle) while it drowns in I/O.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        cpu_ms: float = 2.0,
+        io_ms: float = 2.0,
+        max_io_stretch: float = 12.0,
+    ):
+        super().__init__()
+        if cpu_ms <= 0 or io_ms <= 0:
+            raise ValueError("request phases must be positive")
+        if max_io_stretch < 1.0:
+            raise ValueError("max_io_stretch must be >= 1")
+        self._rng = rng
+        self.cpu_ms = cpu_ms
+        self.io_ms = io_ms
+        self.max_io_stretch = max_io_stretch
+        #: externally applied pressure in [0, 1]; set by the campaign
+        self.pressure = 0.0
+        #: requests served (throughput accounting for the experiments)
+        self.requests_served = 0
+
+    def apply_pressure(self, level: float) -> None:
+        """Set the fraction of maximal I/O stretching (0 = unattacked)."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("pressure must be in [0, 1]")
+        self.pressure = level
+
+    @property
+    def nominal_duty_cycle(self) -> float:
+        """CPU demand fraction at the current pressure level."""
+        io = self.io_ms * (1.0 + self.pressure * (self.max_io_stretch - 1.0))
+        return self.cpu_ms / (self.cpu_ms + io)
+
+    def next_burst(self, vcpu) -> Burst:
+        self.requests_served += 1
+        io = self.io_ms * (1.0 + self.pressure * (self.max_io_stretch - 1.0))
+        return Burst(
+            cpu_ms=self._rng.jitter(self.cpu_ms, 0.1),
+            block=BlockSpec.sleep(self._rng.jitter(io, 0.1)),
+        )
+
+
+class RfaPressureCampaign:
+    """The helper's request campaign, as a schedule of pressure changes.
+
+    The helper itself runs on some other machine (it costs the attacker
+    nothing on the contended server); what the simulation needs is its
+    *effect*: the victim's I/O phases stretching while the campaign is
+    active.
+    """
+
+    def __init__(self, engine: Engine, target: RfaTargetWorkload):
+        self._engine = engine
+        self._target = target
+        self._schedule: list[tuple[float, float]] = []
+
+    def ramp(self, start_ms: float, level: float) -> None:
+        """Apply ``level`` pressure at ``start_ms`` from now."""
+        if start_ms < 0:
+            raise StateError("campaign events cannot be scheduled in the past")
+        self._schedule.append((start_ms, level))
+        self._engine.schedule(start_ms, self._target.apply_pressure, level)
+
+    def pulse(self, start_ms: float, duration_ms: float, level: float) -> None:
+        """Apply ``level`` for ``duration_ms`` then release."""
+        self.ramp(start_ms, level)
+        self.ramp(start_ms + duration_ms, 0.0)
+
+    @property
+    def schedule(self) -> list[tuple[float, float]]:
+        """The (offset_ms, level) events registered so far."""
+        return list(self._schedule)

@@ -1,0 +1,127 @@
+"""The appraiser: runs the measurement round and validates the response.
+
+Everything that makes the cloud server's answer trustworthy is checked
+here, in one place:
+
+1. the session certificate chains to the privacy CA (so the attester is
+   *some* enrolled CloudMonatt server, anonymously);
+2. the signature over (Vid, rM, M, N3, Q3) verifies under the certified
+   session key AVKs;
+3. the echoed nonce equals the fresh N3 this request minted (replay);
+4. the quote recomputes: Q3 = H(Vid‖rM‖M‖N3) (binding);
+5. the response answers exactly the measurements requested.
+
+Any failure raises; the attestation server converts that into a failed
+attestation rather than a forged "healthy" report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import ProtocolError, ReplayError, SignatureError
+from repro.common.identifiers import ServerId, VmId
+from repro.crypto.certificates import certificate_from_dict
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import RsaPublicKey
+from repro.crypto.nonces import NonceCache, NonceGenerator
+from repro.crypto.signatures import verify, verify as _verify
+from repro.crypto.certificates import verify_certificate
+from repro.lifecycle.timing import CostModel
+from repro.network.secure_channel import SecureEndpoint
+from repro.protocol import messages as msg
+from repro.protocol.quotes import attestation_quote
+
+
+class OatAppraiser:
+    """Measurement collection + cryptographic validation."""
+
+    def __init__(
+        self,
+        endpoint: SecureEndpoint,
+        ca_public_key: RsaPublicKey,
+        drbg: HmacDrbg,
+        cost_model: CostModel,
+        check_signatures: bool = True,
+        check_nonces: bool = True,
+    ):
+        self._endpoint = endpoint
+        self._ca_key = ca_public_key
+        self._nonces = NonceGenerator(drbg.fork("n3"))
+        self._seen_nonces = NonceCache()
+        self.cost = cost_model
+        # ablation switches (security evaluation: what breaks without them)
+        self.check_signatures = check_signatures
+        self.check_nonces = check_nonces
+
+    def collect(
+        self,
+        server: ServerId,
+        vid: VmId,
+        measurements: tuple[str, ...],
+        window_ms: float,
+        params: dict | None = None,
+    ) -> dict[str, Any]:
+        """One full measurement round; returns validated measurements M."""
+        nonce = self._nonces.fresh()
+        response = self._endpoint.call(
+            str(server),
+            {
+                msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
+                msg.KEY_VID: str(vid),
+                msg.KEY_REQUESTED: list(measurements),
+                msg.KEY_NONCE: bytes(nonce),
+                msg.KEY_WINDOW: window_ms,
+                "params": params or {},
+            },
+        )
+        msg.require_fields(
+            response,
+            msg.KEY_VID,
+            msg.KEY_REQUESTED,
+            msg.KEY_MEASUREMENTS,
+            msg.KEY_NONCE,
+            msg.KEY_QUOTE,
+            msg.KEY_SIGNATURE,
+            msg.KEY_SESSION_CERT,
+        )
+        returned_measurements = response[msg.KEY_MEASUREMENTS]
+        returned_nonce = bytes(response[msg.KEY_NONCE])
+
+        if self.check_nonces:
+            if returned_nonce != bytes(nonce):
+                raise ReplayError("cloud server echoed a stale nonce")
+            self._seen_nonces.check_and_store(returned_nonce)
+
+        # certificate chain: AVKs certified by the pCA
+        session_cert = certificate_from_dict(response[msg.KEY_SESSION_CERT])
+        if self.check_signatures:
+            self.cost.charge("verify_signature")
+            verify_certificate(self._ca_key, session_cert)
+            payload = {
+                msg.KEY_VID: response[msg.KEY_VID],
+                msg.KEY_REQUESTED: response[msg.KEY_REQUESTED],
+                msg.KEY_MEASUREMENTS: returned_measurements,
+                msg.KEY_NONCE: returned_nonce,
+                msg.KEY_QUOTE: bytes(response[msg.KEY_QUOTE]),
+            }
+            self.cost.charge("verify_signature")
+            verify(
+                session_cert.public_key, payload, bytes(response[msg.KEY_SIGNATURE])
+            )
+
+        # quote binding
+        expected_quote = attestation_quote(
+            str(vid), list(measurements), returned_measurements, returned_nonce
+        )
+        if bytes(response[msg.KEY_QUOTE]) != expected_quote:
+            raise SignatureError("quote Q3 does not bind the returned measurements")
+
+        if response[msg.KEY_VID] != str(vid):
+            raise ProtocolError("response names a different VM")
+        if list(response[msg.KEY_REQUESTED]) != list(measurements):
+            raise ProtocolError("response answers different measurements")
+        missing = set(measurements) - set(returned_measurements)
+        if missing:
+            raise ProtocolError(f"measurements missing from response: {missing}")
+        return returned_measurements

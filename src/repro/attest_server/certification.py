@@ -1,0 +1,145 @@
+"""The Property Certification Module (paper §3.2.3).
+
+"The Property Certification Module is responsible for issuing an
+attestation certificate for the properties monitored."
+
+A property certificate is a signed, time-bounded statement: "VM *Vid*
+held property *P* at time *t*, valid until *t + validity*". The
+customer can retain it or present it to a third party (an auditor, an
+insurer) without another attestation round — the deferred-verification
+analogue of the live protocol. Expiry forces freshness: a certificate
+is evidence about a window, not a permanent fact, because security
+health changes (that is the whole premise of runtime attestation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SignatureError, StateError
+from repro.common.identifiers import VmId
+from repro.crypto.keys import RsaPublicKey
+from repro.crypto.signatures import verify
+from repro.properties.catalog import SecurityProperty
+from repro.properties.report import PropertyReport
+
+DEFAULT_VALIDITY_MS = 300_000.0
+"""Default certificate lifetime: five minutes of simulated time."""
+
+
+@dataclass(frozen=True)
+class PropertyCertificate:
+    """A signed, expiring attestation statement."""
+
+    vid: str
+    prop: str
+    healthy: bool
+    issued_at_ms: float
+    valid_until_ms: float
+    serial: int
+    issuer: str
+    signature: bytes
+
+    def tbs(self) -> dict:
+        """The to-be-signed structure."""
+        return {
+            "vid": self.vid,
+            "prop": self.prop,
+            "healthy": self.healthy,
+            "issued_at_ms": self.issued_at_ms,
+            "valid_until_ms": self.valid_until_ms,
+            "serial": self.serial,
+            "issuer": self.issuer,
+        }
+
+    def to_dict(self) -> dict:
+        """Transportable form."""
+        return {**self.tbs(), "signature": self.signature}
+
+    @staticmethod
+    def from_dict(data: dict) -> "PropertyCertificate":
+        """Inverse of :meth:`to_dict`."""
+        return PropertyCertificate(
+            vid=str(data["vid"]),
+            prop=str(data["prop"]),
+            healthy=bool(data["healthy"]),
+            issued_at_ms=float(data["issued_at_ms"]),
+            valid_until_ms=float(data["valid_until_ms"]),
+            serial=int(data["serial"]),
+            issuer=str(data["issuer"]),
+            signature=bytes(data["signature"]),
+        )
+
+
+class PropertyCertificationModule:
+    """Issues and verifies property certificates for one AS identity."""
+
+    def __init__(self, issuer: str, signer, validity_ms: float = DEFAULT_VALIDITY_MS):
+        """``signer`` is a callable ``payload -> signature`` bound to the
+        issuing entity's identity key (e.g. ``endpoint.sign``)."""
+        if validity_ms <= 0:
+            raise StateError("certificate validity must be positive")
+        self.issuer = issuer
+        self._signer = signer
+        self.validity_ms = validity_ms
+        self._serial = 0
+        #: serials revoked before expiry (e.g. a later failed attestation)
+        self._revoked: set[int] = set()
+
+    def issue(
+        self, vid: VmId, report: PropertyReport, now_ms: float
+    ) -> PropertyCertificate:
+        """Certify one attestation outcome at time ``now_ms``."""
+        self._serial += 1
+        tbs = {
+            "vid": str(vid),
+            "prop": report.prop.value,
+            "healthy": report.healthy,
+            "issued_at_ms": now_ms,
+            "valid_until_ms": now_ms + self.validity_ms,
+            "serial": self._serial,
+            "issuer": self.issuer,
+        }
+        return PropertyCertificate(
+            vid=str(vid),
+            prop=report.prop.value,
+            healthy=report.healthy,
+            issued_at_ms=now_ms,
+            valid_until_ms=now_ms + self.validity_ms,
+            serial=self._serial,
+            issuer=self.issuer,
+            signature=self._signer(tbs),
+        )
+
+    def revoke(self, serial: int) -> None:
+        """Revoke a certificate before its expiry.
+
+        Used when a later attestation of the same (vid, property) turns
+        unhealthy: the stale healthy statement must stop being usable.
+        """
+        self._revoked.add(serial)
+
+    def is_revoked(self, serial: int) -> bool:
+        """Whether a serial has been revoked."""
+        return serial in self._revoked
+
+
+def verify_property_certificate(
+    issuer_key: RsaPublicKey,
+    certificate: PropertyCertificate,
+    now_ms: float,
+    revocation_check=None,
+) -> None:
+    """Relying-party verification: signature, expiry, revocation.
+
+    ``revocation_check`` is a callable ``serial -> bool`` (e.g. the
+    certification module's :meth:`is_revoked`, or a distributed CRL).
+    Raises on any failure.
+    """
+    verify(issuer_key, certificate.tbs(), certificate.signature)
+    if now_ms > certificate.valid_until_ms:
+        raise SignatureError(
+            f"property certificate expired at {certificate.valid_until_ms:.0f} ms"
+        )
+    if revocation_check is not None and revocation_check(certificate.serial):
+        raise SignatureError(f"property certificate {certificate.serial} revoked")

@@ -1,0 +1,92 @@
+"""The ``oat interpreter`` module (paper §6.2).
+
+"This essential new module implements the Property Interpretation and
+Certification Modules of the Attestation Server. It can interpret the
+security health of the VM and make attestation decisions."
+
+Wraps the interpreter registry with reference-data management: known
+good platform/image values, per-VM task whitelists, and SLA shares all
+live here — on the trusted Attestation Server, never on cloud servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.identifiers import VmId
+from repro.lifecycle.flavors import VmImage
+from repro.monitors.integrity_unit import IntegrityMeasurementUnit, SoftwareInventory
+from repro.properties.ima import ImaAppraiser
+from repro.properties import (
+    AvailabilityInterpreter,
+    CovertChannelInterpreter,
+    InterpreterRegistry,
+    PropertyReport,
+    RuntimeIntegrityInterpreter,
+    SecurityProperty,
+    StartupIntegrityInterpreter,
+)
+
+
+class OatInterpreter:
+    """Interpretation + the reference data that powers it."""
+
+    def __init__(self):
+        self.startup = StartupIntegrityInterpreter()
+        self.runtime = RuntimeIntegrityInterpreter()
+        self.covert = CovertChannelInterpreter()
+        self.availability = AvailabilityInterpreter()
+        self.registry = InterpreterRegistry()
+        for interpreter in (self.startup, self.runtime, self.covert, self.availability):
+            self.registry.register(interpreter)
+        self._trusted_images: dict[str, VmImage] = {}
+
+    # ------------------------------------------------------------------
+    # reference data registration (the appraiser's "full knowledge")
+    # ------------------------------------------------------------------
+
+    def trust_platform(self, inventory: SoftwareInventory) -> None:
+        """Whitelist a pristine platform configuration.
+
+        Both appraisal paths of §4.2.2 are fed: the aggregate PCR value
+        (fast match) and the IMA-style per-component digest database
+        (diagnostics naming the modified component on a mismatch).
+        """
+        self.startup.add_good_platform(
+            IntegrityMeasurementUnit.expected_platform_value(inventory)
+        )
+        if self.startup.ima is None:
+            self.startup.ima = ImaAppraiser()
+        self.startup.ima.trust_inventory(inventory)
+
+    def trust_image(self, image: VmImage) -> None:
+        """Whitelist a pristine VM image and its standard service set."""
+        self.startup.add_good_image(
+            image.name, IntegrityMeasurementUnit.expected_image_value(image.content)
+        )
+        self._trusted_images[image.name] = image
+
+    def trusted_image(self, name: str) -> VmImage | None:
+        """A previously trusted image, by name."""
+        return self._trusted_images.get(name)
+
+    def register_vm(
+        self, vid: VmId, image: VmImage, entitled_share: float | None = None
+    ) -> None:
+        """Install per-VM expectations at launch time."""
+        self.startup.expect_image(vid, image.name)
+        self.runtime.set_whitelist(
+            vid, list(image.standard_tasks), list(image.standard_modules)
+        )
+        if entitled_share is not None:
+            self.availability.set_entitled_share(vid, entitled_share)
+
+    # ------------------------------------------------------------------
+    # interpretation
+    # ------------------------------------------------------------------
+
+    def interpret(
+        self, prop: SecurityProperty, vid: VmId, measurements: dict[str, Any]
+    ) -> PropertyReport:
+        """Turn measurements M into the attestation report R."""
+        return self.registry.interpret(prop, vid, measurements)

@@ -1,0 +1,70 @@
+"""The privacy Certificate Authority entity.
+
+Paper §3.2.3/§3.4.2: the pCA issues public-key certificates binding keys
+to machines, and certifies per-session attestation keys *anonymously* so
+attestation traffic cannot be used to locate which server hosts a VM.
+
+The pCA is a trusted server with its own network endpoint; cloud servers
+reach it during step ③ of the attestation flow.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.crypto.certificates import CertificateAuthority, certificate_to_dict
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import RsaPublicKey
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+
+PCA_ENDPOINT = "pca"
+
+
+class PrivacyCA:
+    """Network frontend over a :class:`CertificateAuthority`.
+
+    The same CA root also signs the channel-identity certificates of all
+    entities (it is the cloud's certificate infrastructure); this class
+    adds the attestation-key certification service on the wire.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        drbg: HmacDrbg,
+        ca: CertificateAuthority,
+        key_bits: int = 1024,
+    ):
+        self.ca = ca
+        self.endpoint = SecureEndpoint(
+            PCA_ENDPOINT, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+        )
+        self.endpoint.handler = self._handle
+        #: count of certificates issued (for the evaluation)
+        self.certificates_issued = 0
+
+    def enroll_server(self, server_name: str, identity_key: RsaPublicKey) -> None:
+        """Trusted setup: register a Trust Module's identity key.
+
+        Happens once when a secure server is deployed in the data center.
+        """
+        self.ca.enroll(server_name, identity_key)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The CA verification key all relying parties hold."""
+        return self.ca.public_key
+
+    def _handle(self, peer: str, body: dict) -> dict:
+        if body.get("type") != "certify_attestation_key":
+            raise ProtocolError(f"pCA: unknown request {body.get('type')!r}")
+        # the channel authenticated `peer`; require the claim to match it,
+        # so one server cannot obtain certificates in another's name
+        if body.get("server") != peer:
+            raise ProtocolError("pCA: server name does not match channel identity")
+        attestation_key = RsaPublicKey.from_dict(body["attestation_key"])
+        certificate = self.ca.certify_attestation_key(
+            peer, attestation_key, bytes(body["endorsement"])
+        )
+        self.certificates_issued += 1
+        return {"certificate": certificate_to_dict(certificate)}

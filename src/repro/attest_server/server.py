@@ -1,0 +1,285 @@
+"""The Attestation Server entity.
+
+Serves the Cloud Controller's attestation requests: looks up the target
+server's capabilities, drives the appraiser's measurement round, runs
+property interpretation, and returns the report R signed under its
+identity key with quote Q2 = H(Vid‖I‖P‖R‖N2) — the middle hop of the
+protocol in paper Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.attest_server.accumulator import MeasurementAccumulator
+from repro.attest_server.appraiser import OatAppraiser
+from repro.attest_server.certification import PropertyCertificationModule
+from repro.attest_server.database import AttestationLogRecord, OatDatabase
+from repro.attest_server.interpreter import OatInterpreter
+from repro.common.errors import CloudMonattError, ProtocolError
+from repro.common.identifiers import ServerId, VmId
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.nonces import NonceCache
+from repro.lifecycle.timing import CostModel
+from repro.monitors.audit_log import AuditLog
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+from repro.properties.catalog import PropertyCatalog, SecurityProperty
+from repro.properties.report import PropertyReport
+from repro.properties.trends import AvailabilityTrendAnalyzer
+from repro.protocol import messages as msg
+from repro.protocol.quotes import report_quote_q2
+
+ATTESTATION_SERVER_ENDPOINT = "attestation-server"
+
+
+class AttestationServer:
+    """The attestation requester/appraiser entity (paper §3.2.3)."""
+
+    def __init__(
+        self,
+        network: Network,
+        drbg: HmacDrbg,
+        ca: CertificateAuthority,
+        cost_model: CostModel,
+        name: str = ATTESTATION_SERVER_ENDPOINT,
+        key_bits: int = 1024,
+    ):
+        self.name = name
+        self.endpoint = SecureEndpoint(
+            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+        )
+        self.endpoint.handler = self._handle
+        self.catalog = PropertyCatalog()
+        self.database = OatDatabase()
+        self.interpreter = OatInterpreter()
+        #: tamper-evident audit trail of every attestation outcome
+        self.audit = AuditLog()
+        #: Property Certification Module (§3.2.3): issues signed,
+        #: expiring attestation certificates for monitored properties
+        self.certification = PropertyCertificationModule(
+            issuer=name, signer=self.endpoint.sign
+        )
+        self._healthy_serials: dict[tuple[VmId, str], list[int]] = {}
+        #: periodic-mode measurement accumulation (§3.2.1)
+        self.accumulator = MeasurementAccumulator()
+        self.appraiser = OatAppraiser(
+            self.endpoint, ca.public_key, drbg.fork("appraiser"), cost_model
+        )
+        self.cost = cost_model
+        self._seen_n2 = NonceCache()
+
+    # ------------------------------------------------------------------
+    # the attestation round (invoked by the controller)
+    # ------------------------------------------------------------------
+
+    def _handle(self, peer: str, body: dict) -> dict:
+        if body.get(msg.KEY_TYPE) == "register_vm":
+            return self._handle_register_vm(body)
+        if body.get(msg.KEY_TYPE) == "raw_measure_request":
+            return self._handle_raw(body)
+        if body.get(msg.KEY_TYPE) != msg.MSG_ATTEST_REQUEST:
+            raise ProtocolError(
+                f"attestation server: unknown request {body.get(msg.KEY_TYPE)!r}"
+            )
+        msg.require_fields(
+            body, msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY, msg.KEY_NONCE
+        )
+        vid = VmId(body[msg.KEY_VID])
+        server = ServerId(body[msg.KEY_SERVER])
+        prop = SecurityProperty(body[msg.KEY_PROPERTY])
+        nonce_n2 = bytes(body[msg.KEY_NONCE])
+        self._seen_n2.check_and_store(nonce_n2)
+
+        report = self.attest(
+            vid, server, prop,
+            window_ms=body.get(msg.KEY_WINDOW),
+            accumulate=bool(body.get("accumulate", False)),
+        )
+
+        report_dict = report.to_dict()
+        quote = report_quote_q2(str(vid), str(server), prop.value, report_dict, nonce_n2)
+        signed = {
+            msg.KEY_VID: str(vid),
+            msg.KEY_SERVER: str(server),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_REPORT: report_dict,
+            msg.KEY_NONCE: nonce_n2,
+            msg.KEY_QUOTE: quote,
+        }
+        self.cost.charge("report_sign")
+        certificate = self._certify(vid, prop, report)
+        return {
+            **signed,
+            msg.KEY_SIGNATURE: self.endpoint.sign(signed),
+            "certificate": certificate.to_dict(),
+        }
+
+    def _certify(self, vid: VmId, prop: SecurityProperty, report):
+        """Issue a property certificate; revoke stale healthy ones when
+        the VM's health degrades (a stale "healthy" statement must not
+        remain usable after the property stops holding)."""
+        key = (vid, prop.value)
+        certificate = self.certification.issue(vid, report, self.cost.engine.now)
+        if report.healthy:
+            self._healthy_serials.setdefault(key, []).append(certificate.serial)
+        else:
+            for serial in self._healthy_serials.pop(key, []):
+                self.certification.revoke(serial)
+        return certificate
+
+    def _handle_raw(self, body: dict) -> dict:
+        """Pass-through mode (paper §4.1): validate and relay the raw
+        measurements M without interpreting them — "a simpler Attestation
+        Server may just pass back the measurements M' without performing
+        any interpretation". Everything cryptographic is still checked.
+        """
+        msg.require_fields(
+            body, msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY, msg.KEY_NONCE
+        )
+        vid = VmId(body[msg.KEY_VID])
+        server = ServerId(body[msg.KEY_SERVER])
+        prop = SecurityProperty(body[msg.KEY_PROPERTY])
+        nonce_n2 = bytes(body[msg.KEY_NONCE])
+        self._seen_n2.check_and_store(nonce_n2)
+        spec = self.catalog.spec(prop)
+        window = body.get(msg.KEY_WINDOW)
+        measurements = self.appraiser.collect(
+            server, vid, spec.measurements,
+            spec.default_window_ms if window is None else float(window),
+        )
+        quote = report_quote_q2(
+            str(vid), str(server), prop.value, measurements, nonce_n2
+        )
+        signed = {
+            msg.KEY_VID: str(vid),
+            msg.KEY_SERVER: str(server),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_MEASUREMENTS: measurements,
+            msg.KEY_NONCE: nonce_n2,
+            msg.KEY_QUOTE: quote,
+        }
+        self.cost.charge("report_sign")
+        return {**signed, msg.KEY_SIGNATURE: self.endpoint.sign(signed)}
+
+    def availability_trend(self, vid: VmId):
+        """Trend analysis over the VM's availability attestation history.
+
+        Distinguishes a transient dip from sustained degradation — the
+        operational judgement the response module should act on (see
+        :mod:`repro.properties.trends`).
+        """
+        history = [
+            record
+            for record in self.database.history(
+                vid, SecurityProperty.CPU_AVAILABILITY
+            )
+            if record.metric is not None
+        ]
+        analyzer = AvailabilityTrendAnalyzer(
+            floor=self.interpreter.availability.default_entitled_share
+            * self.interpreter.availability.tolerance
+        )
+        return analyzer.analyze(
+            [record.time_ms for record in history],
+            [record.metric for record in history],
+        )
+
+    def _handle_register_vm(self, body: dict) -> dict:
+        """Install per-VM interpretation references at launch time.
+
+        The image expectations come from the AS's own trusted image
+        catalog (never from wire content); the controller only names
+        which image the VM was launched from.
+        """
+        msg.require_fields(body, msg.KEY_VID, "image_name")
+        vid = VmId(body[msg.KEY_VID])
+        image = self.interpreter.trusted_image(str(body["image_name"]))
+        if image is None:
+            raise ProtocolError(
+                f"image {body['image_name']!r} is not in the trusted catalog"
+            )
+        entitled = body.get("entitled_share")
+        self.interpreter.register_vm(
+            vid, image, float(entitled) if entitled is not None else None
+        )
+        return {msg.KEY_STATUS: "registered", msg.KEY_VID: str(vid)}
+
+    def attest(
+        self,
+        vid: VmId,
+        server: ServerId,
+        prop: SecurityProperty,
+        window_ms: float | None = None,
+        accumulate: bool = False,
+    ) -> PropertyReport:
+        """Run one attestation: measure, validate, interpret, log.
+
+        With ``accumulate=True`` (the periodic mode, §3.2.1) this
+        round's measurements are merged with earlier rounds' and the
+        *accumulated* view is interpreted — so short per-round windows
+        still converge on a confident verdict.
+
+        A cryptographic or protocol failure during collection is itself
+        an attestation outcome: the property is reported unhealthy with
+        the failure as the explanation (never silently dropped).
+        """
+        spec = self.catalog.spec(prop)
+        if not self.database.supports(server, spec.measurements):
+            report = PropertyReport(
+                prop=prop,
+                healthy=False,
+                explanation=(
+                    f"server {server} does not support the measurements "
+                    f"required for {prop.value}"
+                ),
+            )
+        else:
+            window = spec.default_window_ms if window_ms is None else float(window_ms)
+            try:
+                measurements = self.appraiser.collect(
+                    server, vid, spec.measurements, window
+                )
+            except CloudMonattError as exc:
+                report = PropertyReport(
+                    prop=prop,
+                    healthy=False,
+                    explanation=f"measurement collection failed: {exc}",
+                    details={"failure": type(exc).__name__},
+                )
+            else:
+                if accumulate:
+                    self.accumulator.add(vid, prop, measurements)
+                    measurements = self.accumulator.accumulated(vid, prop)
+                self.cost.charge("interpret_measurements")
+                report = self.interpreter.interpret(prop, vid, measurements)
+                if accumulate:
+                    report = PropertyReport(
+                        prop=report.prop,
+                        healthy=report.healthy,
+                        explanation=report.explanation,
+                        details={
+                            **report.details,
+                            "accumulated_rounds": self.accumulator.rounds(vid, prop),
+                        },
+                    )
+        self.database.record(
+            AttestationLogRecord(
+                time_ms=self.cost.engine.now,
+                vid=vid,
+                server=server,
+                prop=prop,
+                healthy=report.healthy,
+                metric=report.details.get("relative_usage"),
+            )
+        )
+        self.audit.append(
+            time_ms=self.cost.engine.now,
+            event="attestation",
+            payload={
+                "vid": str(vid),
+                "server": str(server),
+                "property": prop.value,
+                "healthy": report.healthy,
+            },
+        )
+        return report

@@ -1,0 +1,18 @@
+"""Baseline attestation schemes the paper compares against (§2.2).
+
+- :mod:`repro.baselines.vtpm_attestation` — vTPM-based attestation: a
+  per-VM virtual TPM plus an **in-guest** monitoring agent, so the
+  customer attests directly with their VM. The paper's critique, which
+  the comparison tests demonstrate concretely: "it cannot monitor the
+  security conditions of the VM's environment. Furthermore, the
+  monitoring tool resides in the guest OS... and commodity OSes are
+  also highly susceptible to attacks."
+- :mod:`repro.baselines.binary_attestation` — plain TCG-style binary
+  attestation: boot-time hash comparison only, no runtime properties,
+  no property interpretation (what [36]/[34] build on).
+"""
+
+from repro.baselines.binary_attestation import BinaryAttestationVerifier
+from repro.baselines.vtpm_attestation import GuestAgent, VTpm, VTpmAttestor
+
+__all__ = ["BinaryAttestationVerifier", "GuestAgent", "VTpm", "VTpmAttestor"]

@@ -1,0 +1,83 @@
+"""Binary attestation baseline (paper §2.2, TCG-style).
+
+"TPM-based attestation... can verify the platform integrity of a remote
+server. The targeted server uses the TPM to calculate the binary hash
+values of the platform configurations and send them to the customer.
+The customer compares these values with reference configurations."
+
+This is the classical scheme the centralized systems [36]/[34] build
+on, and the scheme CloudMonatt generalizes: it answers exactly one
+question — *is the boot-time software state a known-good binary image?*
+— and nothing about runtime behaviour, confidentiality or availability.
+
+The comparison tests show the consequence: binary attestation verifies
+a pristine platform correctly, flags a tampered one correctly, and is
+structurally silent about every runtime property the paper's case
+studies II-IV cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SignatureError, StateError
+from repro.tpm.tpm_emulator import Quote, TpmEmulator, verify_quote
+
+
+@dataclass(frozen=True)
+class BinaryVerdict:
+    """Outcome of a binary attestation: match / mismatch, nothing else."""
+
+    matches_reference: bool
+    pcr_value: bytes
+
+
+class BinaryAttestationVerifier:
+    """A customer-side verifier holding reference PCR values.
+
+    The verifier can only answer boot-time integrity; asking it about a
+    runtime property raises, making the scheme's scope explicit in code.
+    """
+
+    RUNTIME_PROPERTIES = (
+        "runtime_integrity",
+        "covert_channel_freedom",
+        "cpu_availability",
+    )
+
+    def __init__(self):
+        self._references: set[bytes] = set()
+
+    def add_reference(self, pcr_value: bytes) -> None:
+        """Whitelist a known-good platform configuration value."""
+        self._references.add(pcr_value)
+
+    def challenge(self, tpm: TpmEmulator, pcr_index: int, nonce: bytes) -> Quote:
+        """Issue the challenge and obtain the signed quote."""
+        return tpm.quote([pcr_index], nonce)
+
+    def appraise(
+        self,
+        quote: Quote,
+        aik_public,
+        pcr_index: int,
+        expected_nonce: bytes,
+    ) -> BinaryVerdict:
+        """Verify the quote and compare against the reference set."""
+        verify_quote(aik_public, quote, expected_nonce)
+        value = quote.pcr_values.get(str(pcr_index))
+        if value is None:
+            raise SignatureError(f"quote does not cover PCR {pcr_index}")
+        return BinaryVerdict(
+            matches_reference=value in self._references, pcr_value=value
+        )
+
+    def appraise_runtime_property(self, prop: str) -> None:
+        """The structural gap: binary attestation has no runtime scope."""
+        if prop in self.RUNTIME_PROPERTIES:
+            raise StateError(
+                f"binary attestation cannot appraise {prop!r}: it verifies "
+                "boot-time binary state only (the gap property-based "
+                "attestation closes)"
+            )
+        raise StateError(f"unknown property {prop!r}")

@@ -1,0 +1,156 @@
+"""vTPM-based attestation baseline (paper §2.2).
+
+"The virtual Trusted Platform Module (vTPM) was designed to provide the
+same usage model and services to the VMs as the hardware TPM. Then,
+remote attestation can be carried out directly between the customers
+and their virtual machines by the vTPM instances."
+
+Faithfully modelled *including its blind spots*:
+
+1. the monitoring agent runs **inside** the guest, so it reports the
+   guest OS's own (inside) view — a rootkit that filters the task list
+   fools it completely;
+2. the vTPM vouches only for the VM's own software state — it has no
+   visibility into the platform, the hypervisor, co-resident VMs, CPU
+   starvation, or covert channels.
+
+The quotes themselves are cryptographically sound (signed, nonce-bound):
+the baseline fails at the *measurement* layer, not the crypto layer —
+exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import SignatureError, StateError
+from repro.common.identifiers import VmId
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import KeyPair, RsaPublicKey
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign, verify
+from repro.guest.os_model import GuestOS
+
+
+@dataclass(frozen=True)
+class VTpmQuote:
+    """A vTPM quote over in-guest measurements, bound to a nonce."""
+
+    vid: str
+    measurements: dict
+    nonce: bytes
+    signature: bytes
+
+    def tbs(self) -> dict:
+        """The to-be-signed structure."""
+        return {
+            "vid": self.vid,
+            "measurements": self.measurements,
+            "nonce": self.nonce,
+        }
+
+
+class VTpm:
+    """A per-VM virtual TPM instance: its own AIK and quote operation."""
+
+    def __init__(self, vid: VmId, drbg: HmacDrbg, key_bits: int = 512):
+        self.vid = vid
+        self._aik: KeyPair = generate_keypair(drbg.fork(f"vtpm-{vid}"), key_bits)
+
+    @property
+    def aik_public(self) -> RsaPublicKey:
+        """The vTPM's attestation identity key (customer-verifiable)."""
+        return self._aik.public
+
+    def quote(self, measurements: dict, nonce: bytes) -> VTpmQuote:
+        """Sign in-guest measurements with the vTPM AIK."""
+        tbs = {"vid": str(self.vid), "measurements": measurements, "nonce": nonce}
+        return VTpmQuote(
+            vid=str(self.vid),
+            measurements=measurements,
+            nonce=nonce,
+            signature=sign(self._aik.private, tbs),
+        )
+
+
+class GuestAgent:
+    """The in-guest monitoring agent.
+
+    Collects measurements by asking the guest OS — i.e. it gets the
+    *inside* view. If the guest is compromised, the agent faithfully
+    signs the attacker's lies.
+    """
+
+    def __init__(self, guest: GuestOS):
+        self._guest = guest
+
+    def collect(self) -> dict:
+        """In-guest measurements: task list, modules, guest image hash."""
+        return {
+            "task_list": [
+                {"pid": p.pid, "name": p.name} for p in self._guest.query_tasks()
+            ],
+            "kernel_modules": list(self._guest.kernel_modules),
+            "os_name_digest": hashlib.sha256(
+                self._guest.name.encode()
+            ).hexdigest(),
+        }
+
+
+class VTpmAttestor:
+    """The baseline service: per-VM vTPM + agent, direct customer access.
+
+    The deliberately missing surface *is* the comparison: there is no
+    platform attestation, no co-resident visibility, no availability or
+    covert-channel monitoring — requesting them raises.
+    """
+
+    def __init__(self, drbg: HmacDrbg, key_bits: int = 512):
+        self._drbg = drbg
+        self._key_bits = key_bits
+        self._vtpms: dict[VmId, VTpm] = {}
+        self._agents: dict[VmId, GuestAgent] = {}
+
+    def provision(self, vid: VmId, guest: GuestOS) -> VTpm:
+        """Create a vTPM instance and install the agent in the guest."""
+        vtpm = VTpm(vid, self._drbg.fork(str(vid)), self._key_bits)
+        self._vtpms[vid] = vtpm
+        self._agents[vid] = GuestAgent(guest)
+        return vtpm
+
+    def aik_for(self, vid: VmId) -> RsaPublicKey:
+        """The verification key the customer pins for their VM."""
+        if vid not in self._vtpms:
+            raise StateError(f"no vTPM provisioned for {vid}")
+        return self._vtpms[vid].aik_public
+
+    def attest(self, vid: VmId, nonce: bytes) -> VTpmQuote:
+        """One attestation round: agent collects, vTPM signs."""
+        if vid not in self._vtpms:
+            raise StateError(f"no vTPM provisioned for {vid}")
+        measurements = self._agents[vid].collect()
+        return self._vtpms[vid].quote(measurements, nonce)
+
+    def attest_environment(self, vid: VmId) -> None:
+        """The structural gap: vTPM attestation has no environment view.
+
+        Always raises — there is no mechanism to measure the platform,
+        co-resident VMs, CPU availability, or covert channels from
+        inside one VM's trust boundary.
+        """
+        raise StateError(
+            "vTPM-based attestation cannot measure the VM's environment "
+            "(platform integrity, co-residents, availability, covert "
+            "channels) — the gap CloudMonatt closes"
+        )
+
+
+def verify_vtpm_quote(
+    aik: RsaPublicKey, quote: VTpmQuote, expected_nonce: bytes
+) -> dict:
+    """Customer-side verification; returns the measurements on success."""
+    if quote.nonce != expected_nonce:
+        raise SignatureError("vTPM quote nonce does not match the challenge")
+    verify(aik, quote.tbs(), quote.signature)
+    return quote.measurements

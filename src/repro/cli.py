@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo`` — launch a monitored VM and attest all four properties;
+- ``attack <scenario>`` — run one attack scenario end to end and show
+  detection plus remediation (scenarios: ``covert``, ``bus-covert``,
+  ``availability``, ``rootkit``, ``tampered-image``);
+- ``verify-protocol [--variant V]`` — run the symbolic verifier;
+- ``leak-analysis`` — the key-leak trust-dependency matrix;
+- ``export-proverif [PATH]`` — write the ProVerif cross-check model;
+- ``launch-matrix`` — the Fig. 9 launch-stage breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import CloudMonatt, SecurityProperty
+from repro.controller.response import ResponseAction
+
+
+def _print_report(label: str, result) -> None:
+    status = "healthy" if result.report.healthy else "COMPROMISED"
+    print(f"  {label:28s} {status:12s} ({result.attest_ms:6.0f} ms)")
+    print(f"    -> {result.report.explanation}")
+    if result.response and result.response["action"] != "none":
+        print(f"    remediation: {result.response['action']} "
+              f"({result.response['reaction_ms']:.0f} ms)")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    cloud = CloudMonatt(num_servers=3, seed=args.seed)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small", "ubuntu",
+        properties=[SecurityProperty.STARTUP_INTEGRITY,
+                    SecurityProperty.RUNTIME_INTEGRITY,
+                    SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                    SecurityProperty.CPU_AVAILABILITY],
+        workload={"name": "app"},
+    )
+    print(f"VM {vm.vid}: launch {'accepted' if vm.accepted else 'rejected'} "
+          f"in {vm.total_ms / 1000.0:.2f} s")
+    for stage, duration in vm.stage_times_ms.items():
+        print(f"  {stage:22s} {duration:8.0f} ms")
+    print("\nruntime attestations:")
+    for prop in (SecurityProperty.RUNTIME_INTEGRITY,
+                 SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                 SecurityProperty.CPU_AVAILABILITY):
+        _print_report(prop.value, alice.attest(vm.vid, prop))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    scenario = args.scenario
+    if scenario == "covert":
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=args.seed)
+        cloud.controller.response.set_policy(
+            SecurityProperty.COVERT_CHANNEL_FREEDOM, ResponseAction.MIGRATE
+        )
+        alice = cloud.register_customer("alice")
+        target = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "covert_channel_sender"}, pins=[0],
+        )
+        alice.launch_vm("small", "ubuntu", workload={"name": "cpu_bound"},
+                        pins=[0])
+        prop = SecurityProperty.COVERT_CHANNEL_FREEDOM
+    elif scenario == "bus-covert":
+        cloud = CloudMonatt(num_servers=1, num_pcpus=2, seed=args.seed)
+        alice = cloud.register_customer("alice")
+        target = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "bus_covert_channel_sender"}, pins=[1],
+        )
+        alice.launch_vm("small", "ubuntu", workload={"name": "cpu_bound"},
+                        pins=[0])
+        prop = SecurityProperty.COVERT_CHANNEL_FREEDOM
+    elif scenario == "availability":
+        cloud = CloudMonatt(num_servers=2, num_pcpus=1, seed=args.seed)
+        cloud.controller.response.set_policy(
+            SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
+        )
+        alice = cloud.register_customer("alice")
+        target = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        server = cloud.controller.database.vm(target.vid).server
+        alice.launch_vm(
+            "medium", "ubuntu", workload={"name": "cpu_availability_attack"},
+            pins=[0, 0], force_server=str(server),
+        )
+        prop = SecurityProperty.CPU_AVAILABILITY
+    elif scenario == "rootkit":
+        from repro.guest import Rootkit
+
+        cloud = CloudMonatt(num_servers=1, seed=args.seed)
+        alice = cloud.register_customer("alice")
+        target = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+        )
+        Rootkit().infect(cloud.server_of(target.vid).hosted[target.vid].guest)
+        prop = SecurityProperty.RUNTIME_INTEGRITY
+    elif scenario == "tampered-image":
+        from repro.attacks.image_tampering import tamper_image
+        from repro.lifecycle.flavors import VmImage
+
+        cloud = CloudMonatt(num_servers=1, seed=args.seed)
+        pristine = cloud.images["fedora"]
+        cloud.controller.images["fedora"] = VmImage(
+            name="fedora", size_mb=pristine.size_mb,
+            content=tamper_image(pristine.content),
+        )
+        alice = cloud.register_customer("alice")
+        result = alice.launch_vm(
+            "small", "fedora", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        print(f"launch accepted: {result.accepted}")
+        print(f"  -> {result.report.explanation}")
+        return 0
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown scenario {scenario}", file=sys.stderr)
+        return 2
+    _print_report(scenario, alice.attest(target.vid, prop))
+    return 0
+
+
+def cmd_verify_protocol(args: argparse.Namespace) -> int:
+    from repro.verification import ProtocolVariant, ProtocolVerifier
+
+    variant = ProtocolVariant(args.variant)
+    verifier = ProtocolVerifier(variant)
+    failures = 0
+    for result in verifier.verify_all():
+        status = "verified    " if result.holds else "ATTACK FOUND"
+        print(f"[{status}] {result.property_id} {result.description}")
+        if not result.holds:
+            failures += 1
+    print(f"\n{failures} attack(s) found on the {variant.value} protocol")
+    return 0 if (failures == 0) == (variant is ProtocolVariant.STANDARD) else 1
+
+
+def cmd_leak_analysis(args: argparse.Namespace) -> int:
+    from repro.verification.verifier import trust_dependency_matrix
+
+    for key, failures in trust_dependency_matrix().items():
+        print(f"leak {key}:")
+        if not failures:
+            print("  (nothing breaks)")
+        for failure in failures:
+            print(f"  [{failure.property_id}] {failure.description}")
+    return 0
+
+
+def cmd_export_proverif(args: argparse.Namespace) -> int:
+    from repro.verification.proverif_export import export_proverif, write_proverif
+
+    if args.path:
+        print(f"wrote {write_proverif(args.path)}")
+    else:
+        print(export_proverif())
+    return 0
+
+
+def cmd_launch_matrix(args: argparse.Namespace) -> int:
+    for image in ("cirros", "fedora", "ubuntu"):
+        for flavor in ("small", "medium", "large"):
+            cloud = CloudMonatt(num_servers=3, seed=args.seed)
+            alice = cloud.register_customer("alice")
+            result = alice.launch_vm(
+                flavor, image, properties=[SecurityProperty.STARTUP_INTEGRITY]
+            )
+            attest_pct = result.stage_times_ms["attestation"] / result.total_ms
+            print(f"{image:8s} {flavor:8s} total {result.total_ms / 1000.0:5.2f} s "
+                  f"(attestation {attest_pct:4.0%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CloudMonatt reproduction CLI"
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="simulation seed (default 42)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="launch and attest a monitored VM"
+                        ).set_defaults(func=cmd_demo)
+
+    attack = commands.add_parser("attack", help="run one attack scenario")
+    attack.add_argument(
+        "scenario",
+        choices=["covert", "bus-covert", "availability", "rootkit",
+                 "tampered-image"],
+    )
+    attack.set_defaults(func=cmd_attack)
+
+    verify = commands.add_parser("verify-protocol",
+                                 help="run the symbolic verifier")
+    verify.add_argument("--variant", default="standard",
+                        choices=["standard", "plaintext", "no_nonces",
+                                 "identity_key_reuse"])
+    verify.set_defaults(func=cmd_verify_protocol)
+
+    commands.add_parser("leak-analysis",
+                        help="key-leak trust dependencies"
+                        ).set_defaults(func=cmd_leak_analysis)
+
+    export = commands.add_parser("export-proverif",
+                                 help="emit the ProVerif cross-check model")
+    export.add_argument("path", nargs="?", default=None)
+    export.set_defaults(func=cmd_export_proverif)
+
+    commands.add_parser("launch-matrix",
+                        help="Fig. 9 launch-stage breakdown"
+                        ).set_defaults(func=cmd_launch_matrix)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

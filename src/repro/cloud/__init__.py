@@ -1,0 +1,22 @@
+"""Public API: the assembled CloudMonatt system and the customer handle.
+
+Typical use::
+
+    from repro.cloud import CloudMonatt
+    from repro.properties import SecurityProperty
+
+    cloud = CloudMonatt(num_servers=3, seed=42)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small", "ubuntu",
+        properties=[SecurityProperty.STARTUP_INTEGRITY,
+                    SecurityProperty.CPU_AVAILABILITY],
+    )
+    result = alice.attest(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+    print(result.report.healthy, result.report.explanation)
+"""
+
+from repro.cloud.cloudmonatt import CloudMonatt
+from repro.cloud.customer import Customer, LaunchResult, VerifiedAttestation
+
+__all__ = ["CloudMonatt", "Customer", "LaunchResult", "VerifiedAttestation"]

@@ -1,0 +1,228 @@
+"""The assembled CloudMonatt system.
+
+One object owns the whole simulated deployment: the shared event engine,
+the network (with its attacker interposition point), the privacy CA, the
+Attestation Server, the Cloud Controller, a fleet of cloud servers, and
+the trusted-setup wiring between them (pCA enrollment of Trust Module
+identity keys, capability registration in both databases, pristine
+platform/image references in the interpreter).
+
+Everything stochastic derives from one seed, so experiments replay
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attest_server.privacy_ca import PrivacyCA
+from repro.attest_server.server import AttestationServer
+from repro.cloud.customer import Customer
+from repro.common.errors import StateError
+from repro.common.identifiers import IdFactory, ServerId
+from repro.common.rng import DeterministicRng
+from repro.controller.api import CloudController
+from repro.controller.topology import DataCenterTopology
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.lifecycle.flavors import default_flavors, default_images
+from repro.lifecycle.timing import CostModel
+from repro.monitors.integrity_unit import SoftwareInventory
+from repro.network.network import Network
+from repro.server.node import CloudServer
+from repro.sim.engine import Engine
+
+DEFAULT_KEY_BITS = 512
+"""Default modulus size for the simulation. Small keys keep large
+experiment sweeps fast; all protocol logic is key-size independent and
+the test suite exercises 1024-bit keys too."""
+
+
+class CloudMonatt:
+    """A complete simulated CloudMonatt cloud."""
+
+    def __init__(
+        self,
+        num_servers: int = 3,
+        num_pcpus: int = 4,
+        seed: int = 42,
+        key_bits: int = DEFAULT_KEY_BITS,
+        network_latency_ms: float = 55.0,
+        insecure_servers: int = 0,
+        num_attestation_servers: int = 1,
+        rack_size: int = 4,
+    ):
+        if num_servers < 1:
+            raise StateError("a cloud needs at least one server")
+        self.engine = Engine()
+        self.rng = DeterministicRng(seed)
+        self._drbg = HmacDrbg(seed, "cloudmonatt")
+        self.ids = IdFactory()
+        self.key_bits = key_bits
+        self.num_pcpus = num_pcpus
+
+        self.network = Network(
+            self.engine, self.rng.child("network"), latency_ms=network_latency_ms
+        )
+        self.cost = CostModel(engine=self.engine, rng=self.rng.child("cost"))
+        self.ca = CertificateAuthority(
+            "pCA", self._drbg.fork("ca"), key_bits=key_bits
+        )
+        self.privacy_ca = PrivacyCA(
+            self.network, self._drbg.fork("pca"), self.ca, key_bits=key_bits
+        )
+        if num_attestation_servers < 1:
+            raise StateError("need at least one attestation server")
+        # one Attestation Server per cluster of cloud servers (§3.2.3);
+        # servers are assigned round-robin at add_server time
+        self.attestation_servers: list[AttestationServer] = [
+            AttestationServer(
+                self.network,
+                self._drbg.fork(f"as-{index}"),
+                self.ca,
+                self.cost,
+                name=(
+                    "attestation-server"
+                    if num_attestation_servers == 1
+                    else f"attestation-server-{index + 1}"
+                ),
+                key_bits=key_bits,
+            )
+            for index in range(num_attestation_servers)
+        ]
+        self.attestation_server = self.attestation_servers[0]
+        self.flavors = default_flavors()
+        self.images = default_images()
+        self.controller = CloudController(
+            self.network,
+            self.engine,
+            self._drbg.fork("controller"),
+            self.rng.child("controller"),
+            self.ca,
+            self.cost,
+            flavors=self.flavors,
+            images=self.images,
+            id_factory=self.ids,
+            key_bits=key_bits,
+        )
+        self.topology = DataCenterTopology(rack_size=rack_size)
+        self.controller.response.topology = self.topology
+        for attestation_server in self.attestation_servers:
+            self.controller.attest_service.set_attestation_server_key(
+                attestation_server.endpoint.public_key,
+                name=attestation_server.name,
+            )
+            # trusted references: every AS knows every pristine image
+            for image in self.images.values():
+                attestation_server.interpreter.trust_image(image)
+
+        self.servers: dict[ServerId, CloudServer] = {}
+        self.customers: dict[str, Customer] = {}
+        for index in range(num_servers):
+            self.add_server(secure=index >= insecure_servers)
+
+    # ------------------------------------------------------------------
+    # fleet management
+    # ------------------------------------------------------------------
+
+    def add_server(
+        self,
+        secure: bool = True,
+        num_pcpus: Optional[int] = None,
+        memory_mb: int = 32768,
+        platform_inventory: Optional[SoftwareInventory] = None,
+        trust_platform: bool = True,
+        intercepting_vmi_scan_ms: float = 0.0,
+    ) -> CloudServer:
+        """Deploy a cloud server and perform its trusted setup.
+
+        ``platform_inventory`` lets experiments deploy a *tampered*
+        platform; ``trust_platform=False`` keeps a (pristine-looking)
+        platform out of the attestation server's good list — both make
+        startup attestation fail, exercising the launch rejection path.
+        """
+        server_id = self.ids.server_id()
+        # cluster assignment: round-robin over the attestation servers
+        cluster_as = self.attestation_servers[
+            len(self.servers) % len(self.attestation_servers)
+        ]
+        server = CloudServer(
+            server_id=server_id,
+            network=self.network,
+            engine=self.engine,
+            drbg=self._drbg.fork(f"server-{server_id}"),
+            rng=self.rng.child(f"server-{server_id}"),
+            ca=self.ca,
+            cost_model=self.cost,
+            num_pcpus=num_pcpus or self.num_pcpus,
+            memory_mb=memory_mb,
+            platform_inventory=platform_inventory,
+            secure=secure,
+            key_bits=self.key_bits,
+            intercepting_vmi_scan_ms=intercepting_vmi_scan_ms,
+        )
+        self.servers[server_id] = server
+
+        # trusted setup: enroll the Trust Module with the pCA and record
+        # capabilities in both databases
+        if secure and server.trust_module is not None:
+            self.privacy_ca.enroll_server(
+                str(server_id), server.trust_module.identity_public
+            )
+            if trust_platform:
+                for attestation_server in self.attestation_servers:
+                    attestation_server.interpreter.trust_platform(
+                        server.platform_inventory
+                    )
+        from repro.controller.database import ServerInfo
+
+        self.controller.database.register_server(
+            ServerInfo(
+                server_id=server_id,
+                num_pcpus=server.num_pcpus,
+                memory_mb=memory_mb,
+                capabilities=set(server.supported_measurements()),
+                secure=secure,
+                attestation_server=cluster_as.name,
+            )
+        )
+        cluster_as.database.register_server(
+            server_id, server.supported_measurements()
+        )
+        self.topology.add_server(server_id)
+        return server
+
+    def register_customer(self, name: str) -> Customer:
+        """Create a customer with its own endpoint and verification keys."""
+        if name in self.customers:
+            raise StateError(f"customer {name!r} already registered")
+        customer = Customer(
+            name=name,
+            network=self.network,
+            drbg=self._drbg.fork(f"customer-{name}"),
+            ca=self.ca,
+            controller_key=self.controller.endpoint.public_key,
+            key_bits=self.key_bits,
+        )
+        self.customers[name] = customer
+        return customer
+
+    # ------------------------------------------------------------------
+    # conveniences for experiments
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in ms."""
+        return self.engine.now
+
+    def run_for(self, duration_ms: float) -> None:
+        """Advance the whole cloud by ``duration_ms``."""
+        self.engine.run_until(self.engine.now + duration_ms)
+
+    def server_of(self, vid) -> CloudServer:
+        """The cloud server currently hosting a VM."""
+        record = self.controller.database.vm(vid)
+        if record.server is None:
+            raise StateError(f"VM {vid} is not placed")
+        return self.servers[record.server]

@@ -1,0 +1,339 @@
+"""The Cloud Customer: initiator and end-verifier (paper §3.2.1).
+
+The customer talks only to the Cloud Controller, over a secure channel,
+and independently verifies every attestation report it receives: the
+controller's signature ([...]SKc), the quote Q1 = H(Vid‖P‖R‖N1), and
+the freshness nonce N1 it minted for the request. A forged or replayed
+report raises rather than being silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ProtocolError, ReplayError
+from repro.common.identifiers import VmId
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import RsaPublicKey
+from repro.crypto.nonces import NonceGenerator
+from repro.crypto.signatures import verify
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+from repro.properties.catalog import SecurityProperty
+from repro.properties.report import PropertyReport
+from repro.protocol import messages as msg
+from repro.protocol.quotes import report_quote_q1
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """What the customer learns from a launch request."""
+
+    vid: VmId
+    accepted: bool
+    stage_times_ms: dict[str, float]
+    report: Optional[PropertyReport]
+
+    @property
+    def total_ms(self) -> float:
+        """Total launch latency."""
+        return sum(self.stage_times_ms.values())
+
+
+@dataclass(frozen=True)
+class VerifiedAttestation:
+    """An attestation report that passed the customer's own checks."""
+
+    report: PropertyReport
+    attest_ms: float
+    response: Optional[dict] = None
+    #: AS-issued property certificate (present a copy to third parties;
+    #: verify with the AS public key and the revocation service)
+    certificate: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class PeriodicResult:
+    """One verified push from a periodic attestation subscription."""
+
+    seq: int
+    report: PropertyReport
+    response: Optional[dict]
+    received_at_ms: float
+
+
+@dataclass
+class _SubscriptionState:
+    nonce: bytes
+    last_seq: int = 0
+    results: list[PeriodicResult] = field(default_factory=list)
+
+
+class Customer:
+    """A cloud customer with its own endpoint and verification state."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        drbg: HmacDrbg,
+        ca: CertificateAuthority,
+        controller_key: RsaPublicKey,
+        key_bits: int = 1024,
+        controller_name: str = "controller",
+    ):
+        self.name = name
+        self.endpoint = SecureEndpoint(
+            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+        )
+        self.endpoint.handler = self._handle_push
+        self._controller = controller_name
+        self._controller_key = controller_key
+        self._nonces = NonceGenerator(drbg.fork("n1"))
+        self._network = network
+        self._subscriptions: dict[tuple[VmId, str], _SubscriptionState] = {}
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+
+    def launch_vm(
+        self,
+        flavor_name: str,
+        image_name: str,
+        properties: Optional[list[SecurityProperty]] = None,
+        workload: Optional[dict] = None,
+        pins: Optional[list[int]] = None,
+        entitled_share: Optional[float] = None,
+        force_server: Optional[str] = None,
+        dedicated: bool = False,
+    ) -> LaunchResult:
+        """Request a VM with the given resources and security properties.
+
+        ``dedicated=True`` requests anti-co-location: the VM never
+        shares a server with other customers (a defense against the
+        co-residence attacks the paper cites). ``force_server`` is an
+        operator placement hint used by the experiment harnesses to
+        co-locate VMs deliberately.
+        """
+        response = self.endpoint.call(
+            self._controller,
+            {
+                msg.KEY_TYPE: msg.MSG_LAUNCH,
+                "flavor_name": flavor_name,
+                "image_name": image_name,
+                "properties": [p.value for p in (properties or [])],
+                "workload": workload or {"name": "idle"},
+                "pins": pins,
+                "entitled_share": entitled_share,
+                "force_server": force_server,
+                "dedicated": dedicated,
+            },
+        )
+        report = (
+            PropertyReport.from_dict(response[msg.KEY_REPORT])
+            if response.get(msg.KEY_REPORT)
+            else None
+        )
+        return LaunchResult(
+            vid=VmId(response[msg.KEY_VID]),
+            accepted=response[msg.KEY_STATUS] == "active",
+            stage_times_ms=dict(response["stage_times_ms"]),
+            report=report,
+        )
+
+    def terminate_vm(self, vid: VmId) -> None:
+        """Shut a VM down."""
+        self.endpoint.call(
+            self._controller, {msg.KEY_TYPE: msg.MSG_TERMINATE, msg.KEY_VID: str(vid)}
+        )
+
+    def resume_vm(self, vid: VmId) -> None:
+        """Resume a VM the controller suspended."""
+        self.endpoint.call(
+            self._controller, {msg.KEY_TYPE: msg.MSG_RESUME, msg.KEY_VID: str(vid)}
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1: attestation requests
+    # ------------------------------------------------------------------
+
+    def attest(
+        self,
+        vid: VmId,
+        prop: SecurityProperty,
+        window_ms: Optional[float] = None,
+        at_startup: bool = False,
+    ) -> VerifiedAttestation:
+        """One-time attestation (``runtime_attest_current`` /
+        ``startup_attest_current``), with full report verification."""
+        nonce = self._nonces.fresh()
+        request = {
+            msg.KEY_TYPE: (
+                "startup_attest_current" if at_startup else "runtime_attest_current"
+            ),
+            msg.KEY_VID: str(vid),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_NONCE: bytes(nonce),
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        response = self.endpoint.call(self._controller, request)
+        report = self._verify_report(vid, prop, bytes(nonce), response)
+        return VerifiedAttestation(
+            report=report,
+            attest_ms=float(response.get("attest_ms", 0.0)),
+            response=response.get("response"),
+            certificate=response.get("certificate"),
+        )
+
+    def collect_raw_measurements(
+        self, vid: VmId, prop: SecurityProperty, window_ms: Optional[float] = None
+    ) -> dict:
+        """Pass-through mode (§4.1): the validated raw measurements M for
+        a property, leaving interpretation to the customer."""
+        nonce = self._nonces.fresh()
+        request = {
+            msg.KEY_TYPE: "runtime_collect_raw",
+            msg.KEY_VID: str(vid),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_NONCE: bytes(nonce),
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        response = self.endpoint.call(self._controller, request)
+        msg.require_fields(
+            response, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_MEASUREMENTS,
+            msg.KEY_NONCE, msg.KEY_QUOTE, msg.KEY_SIGNATURE,
+        )
+        if bytes(response[msg.KEY_NONCE]) != bytes(nonce):
+            raise ReplayError("controller echoed a stale nonce N1")
+        signed = {
+            key: response[key]
+            for key in (msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_MEASUREMENTS,
+                        msg.KEY_NONCE, msg.KEY_QUOTE)
+        }
+        verify(self._controller_key, signed, bytes(response[msg.KEY_SIGNATURE]))
+        expected = report_quote_q1(
+            str(vid), prop.value, response[msg.KEY_MEASUREMENTS], bytes(nonce)
+        )
+        if bytes(response[msg.KEY_QUOTE]) != expected:
+            raise ProtocolError("quote does not bind the raw measurements")
+        return response[msg.KEY_MEASUREMENTS]
+
+    def start_periodic_attestation(
+        self,
+        vid: VmId,
+        prop: SecurityProperty,
+        frequency_ms: Optional[float] = None,
+        random_range_ms: Optional[tuple[float, float]] = None,
+    ) -> None:
+        """``runtime_attest_periodic``: fixed or random-interval mode."""
+        nonce = self._nonces.fresh()
+        request = {
+            msg.KEY_TYPE: "runtime_attest_periodic",
+            msg.KEY_VID: str(vid),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_NONCE: bytes(nonce),
+        }
+        if frequency_ms is not None:
+            request[msg.KEY_FREQ] = float(frequency_ms)
+        if random_range_ms is not None:
+            request["random_range_ms"] = [float(random_range_ms[0]),
+                                          float(random_range_ms[1])]
+        self.endpoint.call(self._controller, request)
+        self._subscriptions[(vid, prop.value)] = _SubscriptionState(nonce=bytes(nonce))
+
+    def stop_periodic_attestation(self, vid: VmId, prop: SecurityProperty) -> None:
+        """``stop_attest_periodic``."""
+        self.endpoint.call(
+            self._controller,
+            {
+                msg.KEY_TYPE: "stop_attest_periodic",
+                msg.KEY_VID: str(vid),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: bytes(self._nonces.fresh()),
+            },
+        )
+
+    def periodic_results(
+        self, vid: VmId, prop: SecurityProperty
+    ) -> list[PeriodicResult]:
+        """Verified results received so far for one subscription."""
+        state = self._subscriptions.get((vid, prop.value))
+        return list(state.results) if state else []
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def _verify_report(
+        self, vid: VmId, prop: SecurityProperty, nonce: bytes, response: dict
+    ) -> PropertyReport:
+        msg.require_fields(
+            response,
+            msg.KEY_VID,
+            msg.KEY_PROPERTY,
+            msg.KEY_REPORT,
+            msg.KEY_NONCE,
+            msg.KEY_QUOTE,
+            msg.KEY_SIGNATURE,
+        )
+        if bytes(response[msg.KEY_NONCE]) != nonce:
+            raise ReplayError("controller echoed a stale nonce N1")
+        if response[msg.KEY_VID] != str(vid) or response[msg.KEY_PROPERTY] != prop.value:
+            raise ProtocolError("report names a different VM or property")
+        signed = {
+            key: response[key]
+            for key in (
+                msg.KEY_VID,
+                msg.KEY_PROPERTY,
+                msg.KEY_REPORT,
+                msg.KEY_NONCE,
+                msg.KEY_QUOTE,
+            )
+        }
+        verify(self._controller_key, signed, bytes(response[msg.KEY_SIGNATURE]))
+        expected = report_quote_q1(
+            str(vid), prop.value, response[msg.KEY_REPORT], nonce
+        )
+        if bytes(response[msg.KEY_QUOTE]) != expected:
+            raise ProtocolError("quote Q1 does not bind the report")
+        return PropertyReport.from_dict(response[msg.KEY_REPORT])
+
+    def _handle_push(self, peer: str, body: dict) -> dict:
+        """Receive a periodic attestation push from the controller."""
+        if body.get(msg.KEY_TYPE) != msg.MSG_PERIODIC_RESULT:
+            raise ProtocolError(f"customer: unexpected push {body.get(msg.KEY_TYPE)!r}")
+        key = (VmId(body[msg.KEY_VID]), str(body[msg.KEY_PROPERTY]))
+        state = self._subscriptions.get(key)
+        if state is None:
+            raise ProtocolError("push for an unknown subscription")
+        signed = {
+            k: body[k]
+            for k in (
+                msg.KEY_VID,
+                msg.KEY_PROPERTY,
+                msg.KEY_REPORT,
+                "seq",
+                msg.KEY_NONCE,
+            )
+        }
+        verify(self._controller_key, signed, bytes(body[msg.KEY_SIGNATURE]))
+        if bytes(body[msg.KEY_NONCE]) != state.nonce:
+            raise ReplayError("periodic push bound to a different subscription nonce")
+        seq = int(body["seq"])
+        if seq <= state.last_seq:
+            raise ReplayError(f"periodic push sequence {seq} not fresh")
+        state.last_seq = seq
+        state.results.append(
+            PeriodicResult(
+                seq=seq,
+                report=PropertyReport.from_dict(body[msg.KEY_REPORT]),
+                response=body.get("response"),
+                received_at_ms=self._network.engine.now,
+            )
+        )
+        return {msg.KEY_STATUS: "received"}

@@ -1,0 +1,65 @@
+"""Shared foundations: errors, identifiers, units, deterministic randomness.
+
+Every CloudMonatt subsystem builds on this package. It deliberately has no
+dependencies on any other ``repro`` package so it can be imported anywhere
+without cycles.
+"""
+
+from repro.common.errors import (
+    CloudMonattError,
+    ConfigurationError,
+    CryptoError,
+    PlacementError,
+    ProtocolError,
+    ReplayError,
+    SchedulingError,
+    SignatureError,
+    StateError,
+    VerificationError,
+)
+from repro.common.identifiers import (
+    CustomerId,
+    IdFactory,
+    RequestId,
+    ServerId,
+    SessionId,
+    VmId,
+)
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    Milliseconds,
+    Seconds,
+    ms_to_s,
+    s_to_ms,
+)
+
+__all__ = [
+    "CloudMonattError",
+    "ConfigurationError",
+    "CryptoError",
+    "CustomerId",
+    "DeterministicRng",
+    "GB",
+    "IdFactory",
+    "KB",
+    "MB",
+    "Milliseconds",
+    "PlacementError",
+    "ProtocolError",
+    "ReplayError",
+    "RequestId",
+    "SchedulingError",
+    "Seconds",
+    "ServerId",
+    "SessionId",
+    "SignatureError",
+    "StateError",
+    "VerificationError",
+    "VmId",
+    "derive_seed",
+    "ms_to_s",
+    "s_to_ms",
+]

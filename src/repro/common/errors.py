@@ -1,0 +1,69 @@
+"""Exception hierarchy for the CloudMonatt reproduction.
+
+All library-raised exceptions derive from :class:`CloudMonattError` so that
+callers can catch the whole family with a single ``except`` clause while
+tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class CloudMonattError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(CloudMonattError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class StateError(CloudMonattError):
+    """An operation was attempted in a state that does not permit it.
+
+    Example: attesting a VM that has already been terminated, or resuming
+    a VM that was never suspended.
+    """
+
+
+class CryptoError(CloudMonattError):
+    """Base class for failures inside the cryptographic substrate."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed to verify.
+
+    Raised both for genuinely corrupt data and for attacker-forged
+    messages; the attestation protocol treats the two identically.
+    """
+
+
+class ReplayError(CloudMonattError):
+    """A nonce was seen twice: the message is a replay and must be dropped."""
+
+
+class ProtocolError(CloudMonattError):
+    """An attestation-protocol message was malformed or out of sequence."""
+
+
+class NetworkError(CloudMonattError):
+    """A message could not be delivered (dropped by the attacker, or the
+    destination endpoint does not exist)."""
+
+
+class PlacementError(CloudMonattError):
+    """No cloud server satisfies a VM's resource + security-property needs."""
+
+
+class SchedulingError(CloudMonattError):
+    """The hypervisor scheduler was driven into an invalid configuration."""
+
+
+class VerificationError(CloudMonattError):
+    """The symbolic protocol verifier found a property violation.
+
+    Carries the violated property name and, when available, a witness
+    attack trace assembled by the deduction engine.
+    """
+
+    def __init__(self, message: str, witness: object | None = None):
+        super().__init__(message)
+        self.witness = witness

@@ -1,0 +1,80 @@
+"""Typed identifiers for the entities that appear in attestation messages.
+
+The paper's protocol (Fig. 3) passes a VM identifier ``Vid`` and a cloud
+server identifier ``I`` through every message. Using distinct ``str``
+subclasses rather than bare strings lets the type checker (and reviewers)
+catch a ``VmId``/``ServerId`` mix-up, while the values still serialize and
+hash exactly like strings inside quotes and signatures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+class VmId(str):
+    """Identifier of a virtual machine (``Vid`` in the paper)."""
+
+    __slots__ = ()
+
+
+class ServerId(str):
+    """Identifier of a cloud server (``I`` in the paper)."""
+
+    __slots__ = ()
+
+
+class CustomerId(str):
+    """Identifier of a cloud customer."""
+
+    __slots__ = ()
+
+
+class RequestId(str):
+    """Identifier of one attestation request (for tracing and auditing)."""
+
+    __slots__ = ()
+
+
+class SessionId(str):
+    """Identifier of one secure-channel session."""
+
+    __slots__ = ()
+
+
+@dataclass
+class IdFactory:
+    """Deterministic factory for fresh identifiers.
+
+    Identifiers are sequential per prefix (``vm-0001``, ``server-0003``)
+    which keeps simulation runs reproducible and logs readable. A factory
+    instance is owned by the top-level :class:`~repro.cloud.CloudMonatt`
+    system and threaded to whoever mints ids.
+    """
+
+    _counters: dict[str, itertools.count] = field(default_factory=dict)
+
+    def _next(self, prefix: str) -> str:
+        counter = self._counters.setdefault(prefix, itertools.count(1))
+        return f"{prefix}-{next(counter):04d}"
+
+    def vm_id(self) -> VmId:
+        """Mint a fresh VM identifier."""
+        return VmId(self._next("vm"))
+
+    def server_id(self) -> ServerId:
+        """Mint a fresh cloud-server identifier."""
+        return ServerId(self._next("server"))
+
+    def customer_id(self) -> CustomerId:
+        """Mint a fresh customer identifier."""
+        return CustomerId(self._next("customer"))
+
+    def request_id(self) -> RequestId:
+        """Mint a fresh attestation-request identifier."""
+        return RequestId(self._next("request"))
+
+    def session_id(self) -> SessionId:
+        """Mint a fresh secure-channel session identifier."""
+        return SessionId(self._next("session"))

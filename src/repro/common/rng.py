@@ -1,0 +1,87 @@
+"""Deterministic randomness.
+
+Every stochastic decision in the library flows through a
+:class:`DeterministicRng` seeded at construction. Components never touch
+global random state, so a whole-cloud simulation replays bit-identically
+for the same seed — a requirement for regenerating the paper's figures.
+
+Independent sub-streams are derived with :func:`derive_seed`, which hashes
+(parent seed, label) so that adding a new consumer of randomness does not
+perturb the draws seen by existing consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a child seed from ``parent_seed`` and a stable ``label``.
+
+    The derivation is a SHA-256 hash truncated to 63 bits, so distinct
+    labels give statistically independent streams and the mapping is
+    stable across runs and platforms.
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class DeterministicRng:
+    """A seeded random source with convenience helpers.
+
+    Wraps :class:`random.Random` (sufficient for simulation jitter and
+    shuffles; the crypto substrate uses its own deterministic DRBG built
+    on SHA-256, not this class).
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def child(self, label: str) -> "DeterministicRng":
+        """Create an independent child stream identified by ``label``."""
+        return DeterministicRng(derive_seed(self.seed, label))
+
+    def uniform(self, low: float, high: float) -> float:
+        """Draw a float uniformly from ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def gauss(self, mean: float, stddev: float) -> float:
+        """Draw from a normal distribution."""
+        return self._random.gauss(mean, stddev)
+
+    def jitter(self, base: float, fraction: float = 0.05) -> float:
+        """Return ``base`` perturbed by up to ``±fraction`` relatively.
+
+        Used by the latency models so repeated stage timings look like
+        real measurements rather than constants, while remaining seeded.
+        """
+        return base * (1.0 + self._random.uniform(-fraction, fraction))
+
+    def randint(self, low: int, high: int) -> int:
+        """Draw an integer uniformly from ``[low, high]`` inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Draw a float uniformly from ``[0, 1)``."""
+        return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Draw from an exponential distribution with the given rate."""
+        return self._random.expovariate(rate)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one element of a non-empty sequence uniformly."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle a list in place."""
+        self._random.shuffle(items)
+
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes (NOT for crypto keys)."""
+        return self._random.randbytes(n)

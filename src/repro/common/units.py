@@ -1,0 +1,31 @@
+"""Units used throughout the simulation.
+
+Simulated time is kept in **milliseconds** as ``float`` — the Xen credit
+scheduler accounts in 10 ms ticks and 30 ms timeslices, and the covert
+channel is measured at 1 ms granularity, so milliseconds are the natural
+resolution. Memory and disk sizes are kept in **megabytes** as ``int``.
+"""
+
+from __future__ import annotations
+
+Milliseconds = float
+Seconds = float
+
+KB: int = 1
+"""One kilobyte expressed in the library's size unit conventions (KB)."""
+
+MB: int = 1024 * KB
+"""One megabyte in KB."""
+
+GB: int = 1024 * MB
+"""One gigabyte in KB."""
+
+
+def s_to_ms(seconds: Seconds) -> Milliseconds:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def ms_to_s(millis: Milliseconds) -> Seconds:
+    """Convert milliseconds to seconds."""
+    return millis / 1000.0

@@ -1,0 +1,37 @@
+"""The Cloud Controller: the cloud manager entity (paper §3.2.2, §6.1).
+
+Mirrors the OpenStack-Nova-based prototype structure:
+
+- :class:`~repro.controller.database.NovaDatabase` — VM records, server
+  capacity/capability registry, customer property requirements.
+- :class:`~repro.controller.scheduler.NovaScheduler` — placement with
+  the new ``property_filter`` on top of resource filtering.
+- :class:`~repro.controller.attest_service.AttestService` — ``nova
+  attest_service``: brokers attestations to the Attestation Server and
+  validates its signed reports.
+- :class:`~repro.controller.response.ResponseModule` — ``nova
+  response``: termination / suspension / migration remediation.
+- :class:`~repro.controller.api.CloudController` — ``nova api``: the
+  customer-facing entity implementing Table 1 plus VM lifecycle
+  commands, including the five-stage CloudMonatt launch pipeline.
+"""
+
+from repro.controller.api import CloudController, LaunchOutcome
+from repro.controller.attest_service import AttestService
+from repro.controller.database import NovaDatabase, ServerInfo
+from repro.controller.response import ResponseAction, ResponseModule, ResponseOutcome
+from repro.controller.scheduler import NovaScheduler
+from repro.controller.topology import DataCenterTopology
+
+__all__ = [
+    "AttestService",
+    "CloudController",
+    "DataCenterTopology",
+    "LaunchOutcome",
+    "NovaDatabase",
+    "NovaScheduler",
+    "ResponseAction",
+    "ResponseModule",
+    "ResponseOutcome",
+    "ServerInfo",
+]

@@ -1,0 +1,573 @@
+"""The Cloud Controller entity (``nova api`` + orchestration).
+
+Implements the customer-facing API of paper Table 1:
+
+- ``startup_attest_current(Vid, P, N)`` — attest before launch completes
+  (the fifth launch stage);
+- ``runtime_attest_current(Vid, P, N)`` — immediate attestation;
+- ``runtime_attest_periodic(Vid, P, freq, N)`` — periodic attestation
+  with fixed or random intervals, results pushed to the customer;
+- ``stop_attest_periodic(Vid, P, N)``;
+
+plus VM lifecycle commands (launch, terminate, resume).
+
+The launch pipeline follows §7.1.1: Scheduling (with the property
+filter and the oat-database capability check), Networking,
+Block_device_mapping, Spawning, and the new fifth **Attestation** stage
+that verifies the VM launched securely. Per-stage durations are
+returned, which is how the Fig. 9 bench regenerates its breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import CloudMonattError, PlacementError, ProtocolError
+from repro.common.identifiers import CustomerId, IdFactory, ServerId, VmId
+from repro.controller.attest_service import AttestService
+from repro.controller.database import NovaDatabase
+from repro.controller.response import ResponseAction, ResponseModule
+from repro.controller.scheduler import NovaScheduler
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.nonces import NonceCache
+from repro.common.rng import DeterministicRng
+from repro.lifecycle.flavors import Flavor, VmImage
+from repro.lifecycle.states import VmRecord, VmState
+from repro.lifecycle.timing import CostModel
+from repro.monitors.audit_log import AuditLog
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+from repro.properties.catalog import PropertyCatalog, SecurityProperty
+from repro.protocol import messages as msg
+from repro.protocol.quotes import report_quote_q1
+from repro.sim.engine import Engine, EventHandle
+
+CONTROLLER_ENDPOINT = "controller"
+
+
+@dataclass
+class LaunchOutcome:
+    """Result of a VM launch: placement, per-stage times, health."""
+
+    vid: VmId
+    server: Optional[ServerId]
+    accepted: bool
+    stage_times_ms: dict[str, float] = field(default_factory=dict)
+    report: Optional[dict] = None
+
+    @property
+    def total_ms(self) -> float:
+        """Total launch latency across all stages."""
+        return sum(self.stage_times_ms.values())
+
+
+@dataclass
+class _Subscription:
+    """One periodic-attestation subscription."""
+
+    vid: VmId
+    prop: SecurityProperty
+    customer: str
+    nonce: bytes
+    frequency_ms: float
+    random_range_ms: Optional[tuple[float, float]]
+    seq: int = 0
+    active: bool = True
+    handle: Optional[EventHandle] = None
+
+
+class CloudController:
+    """The cloud manager entity."""
+
+    def __init__(
+        self,
+        network: Network,
+        engine: Engine,
+        drbg: HmacDrbg,
+        rng: DeterministicRng,
+        ca: CertificateAuthority,
+        cost_model: CostModel,
+        flavors: dict[str, Flavor],
+        images: dict[str, VmImage],
+        id_factory: IdFactory,
+        key_bits: int = 1024,
+        name: str = CONTROLLER_ENDPOINT,
+    ):
+        self.engine = engine
+        self.rng = rng
+        self.cost = cost_model
+        self.flavors = flavors
+        self.images = images
+        self.ids = id_factory
+        self.catalog = PropertyCatalog()
+        self.database = NovaDatabase(flavors=flavors)
+        self.scheduler = NovaScheduler(self.database, self.catalog)
+        self.endpoint = SecureEndpoint(
+            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+        )
+        self.endpoint.handler = self._handle
+        self.attest_service = AttestService(
+            self.endpoint, self.database, drbg.fork("attest"), cost_model
+        )
+        self.response = ResponseModule(
+            self.endpoint, self.database, self.scheduler, cost_model
+        )
+        self._seen_n1 = NonceCache()
+        self._subscriptions: dict[tuple[VmId, str], _Subscription] = {}
+        #: whether failed attestations trigger the response module
+        self.auto_respond = True
+        #: tamper-evident provenance of every VM lifecycle transition
+        #: (the paper's §4 "logging, auditing and provenance mechanisms")
+        self.provenance = AuditLog()
+        self.response.provenance = self.provenance
+
+    def _record_provenance(self, vid: VmId, event: str, **payload) -> None:
+        self.provenance.append(
+            time_ms=self.engine.now,
+            event=event,
+            payload={"vid": str(vid), **payload},
+        )
+
+    def vm_provenance(self, vid: VmId) -> list:
+        """The ordered lifecycle history of one VM."""
+        return [
+            record
+            for record in self.provenance
+            if record.payload.get("vid") == str(vid)
+        ]
+
+    # ------------------------------------------------------------------
+    # customer-facing dispatch
+    # ------------------------------------------------------------------
+
+    def _handle(self, peer: str, body: dict) -> dict:
+        msg.require_fields(body, msg.KEY_TYPE)
+        handlers = {
+            msg.MSG_LAUNCH: self._handle_launch,
+            "runtime_attest_current": self._handle_attest_current,
+            "startup_attest_current": self._handle_attest_current,
+            "runtime_attest_periodic": self._handle_attest_periodic,
+            "runtime_collect_raw": self._handle_collect_raw,
+            "stop_attest_periodic": self._handle_stop_periodic,
+            msg.MSG_TERMINATE: self._handle_terminate,
+            msg.MSG_RESUME: self._handle_resume,
+        }
+        handler = handlers.get(body[msg.KEY_TYPE])
+        if handler is None:
+            raise ProtocolError(f"controller: unknown request {body[msg.KEY_TYPE]!r}")
+        return handler(peer, body)
+
+    # ------------------------------------------------------------------
+    # VM launch: the five-stage pipeline
+    # ------------------------------------------------------------------
+
+    def _handle_launch(self, peer: str, body: dict) -> dict:
+        msg.require_fields(body, "flavor_name", "image_name", "properties", "workload")
+        flavor = self.flavors.get(str(body["flavor_name"]))
+        image = self.images.get(str(body["image_name"]))
+        if flavor is None or image is None:
+            raise ProtocolError("unknown flavor or image")
+        properties = [SecurityProperty(p) for p in body["properties"]]
+        outcome = self.launch_vm(
+            customer=CustomerId(peer),
+            flavor=flavor,
+            image=image,
+            properties=properties,
+            workload=dict(body["workload"]),
+            pins=[int(p) for p in body["pins"]] if body.get("pins") else None,
+            entitled_share=body.get("entitled_share"),
+            force_server=(
+                ServerId(body["force_server"]) if body.get("force_server") else None
+            ),
+            dedicated=bool(body.get("dedicated", False)),
+        )
+        return {
+            msg.KEY_VID: str(outcome.vid),
+            msg.KEY_STATUS: "active" if outcome.accepted else "rejected",
+            "stage_times_ms": outcome.stage_times_ms,
+            msg.KEY_REPORT: outcome.report,
+        }
+
+    def launch_vm(
+        self,
+        customer: CustomerId,
+        flavor: Flavor,
+        image: VmImage,
+        properties: list[SecurityProperty],
+        workload: dict,
+        pins: Optional[list[int]] = None,
+        entitled_share: Optional[float] = None,
+        exclude_servers: Optional[set[ServerId]] = None,
+        force_server: Optional[ServerId] = None,
+        dedicated: bool = False,
+    ) -> LaunchOutcome:
+        """Run the launch pipeline; returns placement and stage timings."""
+        vid = self.ids.vm_id()
+        record = VmRecord(
+            vid=vid,
+            customer=customer,
+            flavor=flavor.name,
+            image=image.name,
+            properties=list(properties),
+            entitled_share=entitled_share,
+            dedicated=dedicated,
+        )
+        self.database.add_vm(record)
+        stage_times: dict[str, float] = {}
+
+        # stage 1: scheduling (property filter included)
+        stage_start = self.engine.now
+        self.cost.charge("db_access")
+        self.cost.charge("scheduling_base")
+        if properties:
+            self.cost.charge("scheduling_property_filter")
+        try:
+            if force_server is not None:
+                # operator placement hint (nova's force_hosts): bypass the
+                # filters but still respect physical capacity
+                if not self.database.fits(force_server, flavor):
+                    raise PlacementError(
+                        f"forced server {force_server} cannot fit the VM"
+                    )
+                server = force_server
+            else:
+                server = self.scheduler.select_server(
+                    flavor, properties, exclude=exclude_servers,
+                    customer=str(customer), dedicated=dedicated,
+                )
+        except PlacementError:
+            record.transition(VmState.REJECTED)
+            self._record_provenance(vid, "placement_failed", customer=str(customer))
+            raise
+        record.server = server
+        record.transition(VmState.SCHEDULED)
+        self._record_provenance(
+            vid, "scheduled", server=str(server), flavor=flavor.name,
+            image=image.name, customer=str(customer),
+        )
+        stage_times["scheduling"] = self.engine.now - stage_start
+
+        # stage 2: networking
+        stage_start = self.engine.now
+        self.cost.charge("networking")
+        stage_times["networking"] = self.engine.now - stage_start
+
+        # stage 3: block device mapping
+        stage_start = self.engine.now
+        self.cost.charge("block_device_mapping")
+        stage_times["block_device_mapping"] = self.engine.now - stage_start
+
+        # stage 4: spawning (the cloud server fetches, measures, boots)
+        stage_start = self.engine.now
+        self.endpoint.call(
+            str(server),
+            {
+                msg.KEY_TYPE: msg.MSG_LAUNCH,
+                msg.KEY_VID: str(vid),
+                "image": {
+                    "name": image.name,
+                    "size_mb": image.size_mb,
+                    "content": image.content,
+                    "tasks": list(image.standard_tasks),
+                    "modules": list(image.standard_modules),
+                },
+                "flavor": {
+                    "name": flavor.name,
+                    "vcpus": flavor.vcpus,
+                    "memory_mb": flavor.memory_mb,
+                    "disk_gb": flavor.disk_gb,
+                },
+                "workload": workload,
+                "pins": pins,
+            },
+        )
+        record.transition(VmState.ACTIVE)
+        self._record_provenance(vid, "launched", server=str(server))
+        stage_times["spawning"] = self.engine.now - stage_start
+
+        # stage 5: attestation — check the VM launched securely
+        report_dict: Optional[dict] = None
+        accepted = True
+        if properties:
+            stage_start = self.engine.now
+            self.endpoint.call(
+                self.database.server(server).attestation_server,
+                {
+                    msg.KEY_TYPE: "register_vm",
+                    msg.KEY_VID: str(vid),
+                    "image_name": image.name,
+                    "entitled_share": entitled_share,
+                },
+            )
+            outcome = self.attest_service.attest(
+                vid, SecurityProperty.STARTUP_INTEGRITY
+            )
+            report_dict = outcome.report.to_dict()
+            stage_times["attestation"] = self.engine.now - stage_start
+            if not outcome.report.healthy:
+                # §5.1: "If the platform's integrity is compromised,
+                # CloudMonatt will select another qualified server for
+                # hosting this VM. If the VM image is compromised, then
+                # the VM launch request will be rejected."
+                self.response.terminate(vid)
+                platform_bad = not outcome.report.details.get(
+                    "platform_known_good", True
+                )
+                image_ok = outcome.report.details.get("image_known_good", False)
+                if platform_bad and image_ok:
+                    record.state = VmState.REJECTED  # this attempt
+                    self._record_provenance(
+                        vid, "platform_failed_retrying", server=str(server),
+                        reason=outcome.report.explanation,
+                    )
+                    retry_exclude = set(exclude_servers or set()) | {server}
+                    return self.launch_vm(
+                        customer=customer,
+                        flavor=flavor,
+                        image=image,
+                        properties=properties,
+                        workload=workload,
+                        pins=pins,
+                        entitled_share=entitled_share,
+                        exclude_servers=retry_exclude,
+                        dedicated=dedicated,
+                    )
+                record.state = VmState.REJECTED
+                accepted = False
+                self._record_provenance(
+                    vid, "rejected", reason=outcome.report.explanation
+                )
+        return LaunchOutcome(
+            vid=vid,
+            server=record.server,
+            accepted=accepted,
+            stage_times_ms=stage_times,
+            report=report_dict,
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1: one-time attestation
+    # ------------------------------------------------------------------
+
+    def _handle_attest_current(self, peer: str, body: dict) -> dict:
+        msg.require_fields(body, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_NONCE)
+        vid = VmId(body[msg.KEY_VID])
+        prop = SecurityProperty(body[msg.KEY_PROPERTY])
+        nonce = bytes(body[msg.KEY_NONCE])
+        self._seen_n1.check_and_store(nonce)
+        record = self.database.vm(vid)
+        if record.customer != peer:
+            raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+        outcome = self.attest_service.attest(
+            vid, prop, window_ms=body.get(msg.KEY_WINDOW)
+        )
+        response_info = None
+        if not outcome.report.healthy and self.auto_respond:
+            response_outcome = self.response.respond(vid, prop)
+            response_info = {
+                "action": response_outcome.action.value,
+                "reaction_ms": response_outcome.reaction_ms,
+                "new_server": str(response_outcome.new_server or ""),
+            }
+        return self._sign_report(vid, prop, outcome.report.to_dict(), nonce, {
+            "attest_ms": outcome.attest_ms,
+            "response": response_info,
+            "certificate": outcome.certificate,
+        })
+
+    def _handle_collect_raw(self, peer: str, body: dict) -> dict:
+        """Pass-through mode: return validated raw measurements (§4.1)."""
+        msg.require_fields(body, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_NONCE)
+        vid = VmId(body[msg.KEY_VID])
+        prop = SecurityProperty(body[msg.KEY_PROPERTY])
+        nonce = bytes(body[msg.KEY_NONCE])
+        self._seen_n1.check_and_store(nonce)
+        record = self.database.vm(vid)
+        if record.customer != peer:
+            raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+        measurements = self.attest_service.collect_raw(
+            vid, prop, window_ms=body.get(msg.KEY_WINDOW)
+        )
+        quote = report_quote_q1(str(vid), prop.value, measurements, nonce)
+        signed = {
+            msg.KEY_VID: str(vid),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_MEASUREMENTS: measurements,
+            msg.KEY_NONCE: nonce,
+            msg.KEY_QUOTE: quote,
+        }
+        self.cost.charge("report_sign")
+        return {**signed, msg.KEY_SIGNATURE: self.endpoint.sign(signed)}
+
+    def _sign_report(
+        self, vid: VmId, prop: SecurityProperty, report: dict, nonce: bytes,
+        extras: dict,
+    ) -> dict:
+        quote = report_quote_q1(str(vid), prop.value, report, nonce)
+        signed = {
+            msg.KEY_VID: str(vid),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_REPORT: report,
+            msg.KEY_NONCE: nonce,
+            msg.KEY_QUOTE: quote,
+        }
+        self.cost.charge("report_sign")
+        return {
+            **signed,
+            msg.KEY_SIGNATURE: self.endpoint.sign(signed),
+            **{k: v for k, v in extras.items() if v is not None},
+        }
+
+    # ------------------------------------------------------------------
+    # Table 1: periodic attestation
+    # ------------------------------------------------------------------
+
+    def _handle_attest_periodic(self, peer: str, body: dict) -> dict:
+        msg.require_fields(body, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_NONCE)
+        vid = VmId(body[msg.KEY_VID])
+        prop = SecurityProperty(body[msg.KEY_PROPERTY])
+        nonce = bytes(body[msg.KEY_NONCE])
+        self._seen_n1.check_and_store(nonce)
+        record = self.database.vm(vid)
+        if record.customer != peer:
+            raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+        random_range = body.get("random_range_ms")
+        frequency = float(body.get(msg.KEY_FREQ, 0.0))
+        if not random_range and frequency <= 0:
+            raise ProtocolError("periodic attestation needs a frequency or range")
+        key = (vid, prop.value)
+        if key in self._subscriptions and self._subscriptions[key].active:
+            raise ProtocolError(f"periodic attestation already running for {key}")
+        subscription = _Subscription(
+            vid=vid,
+            prop=prop,
+            customer=peer,
+            nonce=nonce,
+            frequency_ms=frequency,
+            random_range_ms=(
+                (float(random_range[0]), float(random_range[1]))
+                if random_range
+                else None
+            ),
+        )
+        self._subscriptions[key] = subscription
+        self._schedule_next(subscription)
+        return {msg.KEY_STATUS: "periodic_started", msg.KEY_VID: str(vid)}
+
+    def _next_interval(self, subscription: _Subscription) -> float:
+        if subscription.random_range_ms is not None:
+            low, high = subscription.random_range_ms
+            return self.rng.uniform(low, high)
+        return subscription.frequency_ms
+
+    def _schedule_next(self, subscription: _Subscription) -> None:
+        subscription.handle = self.engine.schedule(
+            self._next_interval(subscription), self._periodic_fire, subscription
+        )
+
+    def _periodic_fire(self, subscription: _Subscription) -> None:
+        if not subscription.active:
+            return
+        record = self.database.vm(subscription.vid)
+        if not record.live:
+            subscription.active = False
+            return
+        try:
+            # periodic mode: the AS accumulates measurements across
+            # rounds and interprets the merged view (§3.2.1)
+            outcome = self.attest_service.attest(
+                subscription.vid, subscription.prop, accumulate=True
+            )
+        except CloudMonattError as exc:
+            # collection failed outright — surface as an unhealthy push
+            from repro.properties.report import PropertyReport
+
+            outcome_report = PropertyReport(
+                prop=subscription.prop,
+                healthy=False,
+                explanation=f"periodic attestation failed: {exc}",
+            )
+            self._push_result(subscription, outcome_report.to_dict(), None)
+            self._schedule_next(subscription)
+            return
+        response_info = None
+        if not outcome.report.healthy and self.auto_respond:
+            action = self.response.policy_for(subscription.prop)
+            if action is not ResponseAction.NONE:
+                try:
+                    response_outcome = self.response.respond(
+                        subscription.vid, subscription.prop
+                    )
+                except PlacementError:
+                    response_outcome = None
+                if response_outcome is not None:
+                    response_info = {
+                        "action": response_outcome.action.value,
+                        "reaction_ms": response_outcome.reaction_ms,
+                    }
+        self._push_result(subscription, outcome.report.to_dict(), response_info)
+        if self.database.vm(subscription.vid).live:
+            self._schedule_next(subscription)
+        else:
+            subscription.active = False
+
+    def _push_result(
+        self, subscription: _Subscription, report: dict, response_info: Optional[dict]
+    ) -> None:
+        subscription.seq += 1
+        signed = {
+            msg.KEY_VID: str(subscription.vid),
+            msg.KEY_PROPERTY: subscription.prop.value,
+            msg.KEY_REPORT: report,
+            "seq": subscription.seq,
+            msg.KEY_NONCE: subscription.nonce,
+        }
+        push = {
+            msg.KEY_TYPE: msg.MSG_PERIODIC_RESULT,
+            **signed,
+            msg.KEY_SIGNATURE: self.endpoint.sign(signed),
+            "response": response_info,
+        }
+        try:
+            self.endpoint.call(subscription.customer, push)
+        except CloudMonattError:
+            # the customer endpoint being unreachable must not kill the
+            # periodic loop; results keep accumulating in the AS log
+            pass
+
+    def _handle_stop_periodic(self, peer: str, body: dict) -> dict:
+        msg.require_fields(body, msg.KEY_VID, msg.KEY_PROPERTY)
+        key = (VmId(body[msg.KEY_VID]), str(body[msg.KEY_PROPERTY]))
+        subscription = self._subscriptions.get(key)
+        if subscription is None or not subscription.active:
+            raise ProtocolError("no active periodic attestation to stop")
+        if subscription.customer != peer:
+            raise ProtocolError("subscription belongs to a different customer")
+        subscription.active = False
+        if subscription.handle is not None:
+            self.engine.cancel(subscription.handle)
+        return {msg.KEY_STATUS: "periodic_stopped"}
+
+    # ------------------------------------------------------------------
+    # lifecycle commands
+    # ------------------------------------------------------------------
+
+    def _owned_vm(self, peer: str, body: dict) -> VmId:
+        msg.require_fields(body, msg.KEY_VID)
+        vid = VmId(body[msg.KEY_VID])
+        record = self.database.vm(vid)
+        if record.customer != peer:
+            raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+        return vid
+
+    def _handle_terminate(self, peer: str, body: dict) -> dict:
+        vid = self._owned_vm(peer, body)
+        self.response.terminate(vid)
+        return {msg.KEY_STATUS: "terminated", msg.KEY_VID: str(vid)}
+
+    def _handle_resume(self, peer: str, body: dict) -> dict:
+        vid = self._owned_vm(peer, body)
+        self.response.resume(vid)
+        return {msg.KEY_STATUS: "active", msg.KEY_VID: str(vid)}

@@ -1,0 +1,200 @@
+"""The ``nova attest_service`` module (paper §6.1).
+
+"This essential module manages the attestation services. It connects
+nova database (for retrieving security properties), oat api (for
+issuing attestations and receiving results) and nova response (for
+triggering the responses)."
+
+For each request the service adds the cloud-server identifier I (from
+the database's VM→server mapping) and a fresh nonce N2, calls the
+Attestation Server, and validates its signed report: SKa signature,
+quote Q2, nonce echo, and field binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ProtocolError, ReplayError
+from repro.common.identifiers import VmId
+from repro.controller.database import NovaDatabase
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import RsaPublicKey
+from repro.crypto.nonces import NonceGenerator
+from repro.crypto.signatures import verify
+from repro.lifecycle.timing import CostModel
+from repro.network.secure_channel import SecureEndpoint
+from repro.properties.catalog import SecurityProperty
+from repro.properties.report import PropertyReport
+from repro.protocol import messages as msg
+from repro.protocol.quotes import report_quote_q2
+
+
+@dataclass(frozen=True)
+class AttestationOutcome:
+    """A validated attestation with its timing."""
+
+    report: PropertyReport
+    attest_ms: float
+    #: the AS-issued property certificate (transportable dict), if any
+    certificate: dict | None = None
+
+
+class AttestService:
+    """Brokers attestations between the controller and the AS."""
+
+    def __init__(
+        self,
+        endpoint: SecureEndpoint,
+        database: NovaDatabase,
+        drbg: HmacDrbg,
+        cost_model: CostModel,
+        attestation_server_name: str = "attestation-server",
+    ):
+        self._endpoint = endpoint
+        self._db = database
+        self._nonces = NonceGenerator(drbg.fork("n2"))
+        self._default_as = attestation_server_name
+        self._as_keys: dict[str, RsaPublicKey] = {}
+        self.cost = cost_model
+
+    def set_attestation_server_key(
+        self, key: RsaPublicKey, name: str | None = None
+    ) -> None:
+        """Install VKa for one Attestation Server (by endpoint name).
+
+        With per-cluster attestation servers (§3.2.3), the controller
+        holds one verification key per AS.
+        """
+        self._as_keys[name or self._default_as] = key
+
+    def _as_for(self, record) -> str:
+        """The Attestation Server responsible for the VM's cluster."""
+        return self._db.server(record.server).attestation_server
+
+    def attest(
+        self,
+        vid: VmId,
+        prop: SecurityProperty,
+        window_ms: float | None = None,
+        accumulate: bool = False,
+    ) -> AttestationOutcome:
+        """One brokered, validated attestation of property P for VM Vid.
+
+        ``accumulate=True`` asks the Attestation Server to merge this
+        round with earlier ones (the periodic mode of §3.2.1).
+        """
+        record = self._db.vm(vid)
+        if record.server is None:
+            raise ProtocolError(f"VM {vid} has no assigned server")
+        started = self.cost.engine.now
+        nonce = self._nonces.fresh()
+        self.cost.charge("db_access")
+        as_name = self._as_for(record)
+        request = {
+            msg.KEY_TYPE: msg.MSG_ATTEST_REQUEST,
+            msg.KEY_VID: str(vid),
+            msg.KEY_SERVER: str(record.server),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_NONCE: bytes(nonce),
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        if accumulate:
+            request["accumulate"] = True
+        response = self._endpoint.call(as_name, request)
+        report = self._validate(vid, prop, bytes(nonce), response, as_name)
+        return AttestationOutcome(
+            report=report,
+            attest_ms=self.cost.engine.now - started,
+            certificate=response.get("certificate"),
+        )
+
+    def collect_raw(
+        self, vid: VmId, prop: SecurityProperty, window_ms: float | None = None
+    ) -> dict:
+        """Pass-through collection: validated raw measurements, no verdict."""
+        record = self._db.vm(vid)
+        if record.server is None:
+            raise ProtocolError(f"VM {vid} has no assigned server")
+        nonce = self._nonces.fresh()
+        self.cost.charge("db_access")
+        as_name = self._as_for(record)
+        request = {
+            msg.KEY_TYPE: "raw_measure_request",
+            msg.KEY_VID: str(vid),
+            msg.KEY_SERVER: str(record.server),
+            msg.KEY_PROPERTY: prop.value,
+            msg.KEY_NONCE: bytes(nonce),
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        response = self._endpoint.call(as_name, request)
+        msg.require_fields(
+            response, msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY,
+            msg.KEY_MEASUREMENTS, msg.KEY_NONCE, msg.KEY_QUOTE, msg.KEY_SIGNATURE,
+        )
+        as_key = self._as_keys.get(as_name)
+        if as_key is None:
+            raise ProtocolError(f"no verification key for {as_name!r}")
+        if bytes(response[msg.KEY_NONCE]) != bytes(nonce):
+            raise ReplayError("attestation server echoed a stale nonce N2")
+        signed = {
+            key: response[key]
+            for key in (msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY,
+                        msg.KEY_MEASUREMENTS, msg.KEY_NONCE, msg.KEY_QUOTE)
+        }
+        self.cost.charge("verify_signature")
+        verify(as_key, signed, bytes(response[msg.KEY_SIGNATURE]))
+        expected = report_quote_q2(
+            str(vid), str(response[msg.KEY_SERVER]), prop.value,
+            response[msg.KEY_MEASUREMENTS], bytes(nonce),
+        )
+        if bytes(response[msg.KEY_QUOTE]) != expected:
+            raise ProtocolError("quote does not bind the raw measurements")
+        return response[msg.KEY_MEASUREMENTS]
+
+    def _validate(
+        self, vid: VmId, prop: SecurityProperty, nonce: bytes, response: dict,
+        as_name: str,
+    ) -> PropertyReport:
+        msg.require_fields(
+            response,
+            msg.KEY_VID,
+            msg.KEY_SERVER,
+            msg.KEY_PROPERTY,
+            msg.KEY_REPORT,
+            msg.KEY_NONCE,
+            msg.KEY_QUOTE,
+            msg.KEY_SIGNATURE,
+        )
+        as_key = self._as_keys.get(as_name)
+        if as_key is None:
+            raise ProtocolError(f"no verification key for {as_name!r}")
+        if bytes(response[msg.KEY_NONCE]) != nonce:
+            raise ReplayError("attestation server echoed a stale nonce N2")
+        if response[msg.KEY_VID] != str(vid) or response[msg.KEY_PROPERTY] != prop.value:
+            raise ProtocolError("attestation response names a different VM/property")
+        signed = {
+            key: response[key]
+            for key in (
+                msg.KEY_VID,
+                msg.KEY_SERVER,
+                msg.KEY_PROPERTY,
+                msg.KEY_REPORT,
+                msg.KEY_NONCE,
+                msg.KEY_QUOTE,
+            )
+        }
+        self.cost.charge("verify_signature")
+        verify(as_key, signed, bytes(response[msg.KEY_SIGNATURE]))
+        expected_quote = report_quote_q2(
+            str(vid),
+            str(response[msg.KEY_SERVER]),
+            prop.value,
+            response[msg.KEY_REPORT],
+            bytes(response[msg.KEY_NONCE]),
+        )
+        if bytes(response[msg.KEY_QUOTE]) != expected_quote:
+            raise ProtocolError("quote Q2 does not bind the attestation report")
+        return PropertyReport.from_dict(response[msg.KEY_REPORT])

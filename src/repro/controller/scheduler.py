@@ -1,0 +1,93 @@
+"""Placement: the nova scheduler with the new ``property_filter``.
+
+"The default scheduler in OpenStack is to choose the server with the
+most remaining physical resources, to achieve workload balance. We add
+a new filter: property_filter, to select qualified cloud servers to
+host VMs based on their customers' security properties, monitoring and
+attestation requirements." (paper §6.1)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import PlacementError
+from repro.common.identifiers import ServerId
+from repro.controller.database import NovaDatabase
+from repro.lifecycle.flavors import Flavor
+from repro.properties.catalog import PropertyCatalog, SecurityProperty
+
+
+class NovaScheduler:
+    """Filter-and-weigh placement."""
+
+    def __init__(self, database: NovaDatabase, catalog: PropertyCatalog):
+        self._db = database
+        self._catalog = catalog
+
+    def required_measurements(
+        self, properties: Iterable[SecurityProperty]
+    ) -> set[str]:
+        """Union of measurements the requested properties need."""
+        needed: set[str] = set()
+        for prop in properties:
+            needed.update(self._catalog.measurements_for(prop))
+        return needed
+
+    def select_server(
+        self,
+        flavor: Flavor,
+        properties: Iterable[SecurityProperty],
+        exclude: set[ServerId] | None = None,
+        customer: str | None = None,
+        dedicated: bool = False,
+    ) -> ServerId:
+        """Pick the qualified server with the most remaining capacity.
+
+        Filters: capacity (resource filter); the property filter (the
+        server's Monitor Module must support every required
+        measurement); and the anti-co-location filter when ``customer``
+        is given (dedicated VMs never share with other customers, in
+        either direction). Raises :class:`PlacementError` when no server
+        qualifies.
+        """
+        candidates = self.qualified_servers(
+            flavor, properties, exclude=exclude, customer=customer,
+            dedicated=dedicated,
+        )
+        if not candidates:
+            needed = self.required_measurements(properties)
+            raise PlacementError(
+                "no cloud server satisfies the resource and property "
+                f"requirements (needed measurements: {sorted(needed)})"
+            )
+        return candidates[0]
+
+    def qualified_servers(
+        self,
+        flavor: Flavor,
+        properties: Iterable[SecurityProperty],
+        exclude: set[ServerId] | None = None,
+        customer: str | None = None,
+        dedicated: bool = False,
+    ) -> list[ServerId]:
+        """All servers passing the filters, most-free first."""
+        exclude = exclude or set()
+        needed = self.required_measurements(properties)
+        candidates = []
+        for info in self._db.servers():
+            if info.server_id in exclude:
+                continue
+            if not self._db.fits(info.server_id, flavor):
+                continue
+            if needed and not needed <= info.capabilities:
+                continue
+            if customer is not None and not self._db.co_location_allowed(
+                info.server_id, customer, dedicated
+            ):
+                continue
+            free_vcpus = info.capacity_vcpus - self._db.allocated_vcpus(info.server_id)
+            candidates.append((free_vcpus, str(info.server_id), info.server_id))
+        # most free resources wins; server id breaks ties deterministically
+        candidates.sort(key=lambda c: (-c[0], c[1]))
+        return [server_id for _, _, server_id in candidates]

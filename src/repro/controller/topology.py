@@ -1,0 +1,116 @@
+"""Data-center network topology (racks, switches, distance).
+
+The paper's testbed is three machines on one switch; a deployment spans
+racks, and two CloudMonatt operations care about network distance:
+
+- **migration** (§5.3): copying a VM's memory across racks traverses
+  aggregation links — the cost model scales the copy time by the hop
+  distance between source and destination;
+- **placement**: all else equal, the scheduler can prefer a destination
+  close to the source to shrink the Fig. 11 migration tail.
+
+The topology is a two-tier tree (core switch → rack top-of-rack
+switches → servers) held in a ``networkx`` graph; distances are
+shortest-path hop counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import ServerId
+
+CORE = "core-switch"
+
+
+class DataCenterTopology:
+    """Rack-structured topology with hop distances."""
+
+    def __init__(self, rack_size: int = 4):
+        if rack_size < 1:
+            raise ConfigurationError("racks need at least one slot")
+        self.rack_size = rack_size
+        self._graph = nx.Graph()
+        self._graph.add_node(CORE, kind="core")
+        self._racks: list[str] = []
+        self._rack_of: dict[ServerId, str] = {}
+
+    def _new_rack(self) -> str:
+        rack = f"rack-{len(self._racks) + 1}"
+        self._graph.add_node(rack, kind="rack")
+        self._graph.add_edge(CORE, rack)
+        self._racks.append(rack)
+        return rack
+
+    def add_server(self, server_id: ServerId) -> str:
+        """Place a server in the first rack with a free slot.
+
+        Returns the rack name. New racks are added on demand.
+        """
+        if server_id in self._rack_of:
+            raise ConfigurationError(f"server {server_id} already racked")
+        for rack in self._racks:
+            occupied = sum(1 for sid, r in self._rack_of.items() if r == rack)
+            if occupied < self.rack_size:
+                break
+        else:
+            rack = self._new_rack()
+        self._graph.add_node(str(server_id), kind="server")
+        self._graph.add_edge(rack, str(server_id))
+        self._rack_of[server_id] = rack
+        return rack
+
+    def rack_of(self, server_id: ServerId) -> str:
+        """The rack hosting a server."""
+        if server_id not in self._rack_of:
+            raise ConfigurationError(f"server {server_id} not racked")
+        return self._rack_of[server_id]
+
+    def same_rack(self, a: ServerId, b: ServerId) -> bool:
+        """Whether two servers share a top-of-rack switch."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def distance(self, a: ServerId, b: ServerId) -> int:
+        """Network hop count between two servers.
+
+        Same server: 0. Same rack: 2 (up and down one ToR switch).
+        Cross rack: 4 (via the core).
+        """
+        if a == b:
+            return 0
+        return nx.shortest_path_length(self._graph, str(a), str(b))
+
+    def migration_distance_factor(self, a: ServerId, b: ServerId) -> float:
+        """Memory-copy cost multiplier for a migration path.
+
+        Same-rack copies run at ToR line rate (1.0x); each extra hop
+        pair through the aggregation layer halves effective bandwidth
+        (adds 0.5x time) — a standard oversubscription model.
+        """
+        hops = self.distance(a, b)
+        if hops <= 2:
+            return 1.0
+        return 1.0 + 0.5 * ((hops - 2) // 2)
+
+    def racks(self) -> list[str]:
+        """All racks, in creation order."""
+        return list(self._racks)
+
+    def servers_in(self, rack: str) -> list[ServerId]:
+        """Servers in one rack."""
+        return sorted(
+            (sid for sid, r in self._rack_of.items() if r == rack),
+            key=str,
+        )
+
+    def nearest(
+        self, source: ServerId, candidates: Iterable[ServerId]
+    ) -> Optional[ServerId]:
+        """The candidate with the fewest hops from ``source``."""
+        ranked = sorted(
+            ((self.distance(source, c), str(c), c) for c in candidates),
+        )
+        return ranked[0][2] if ranked else None

@@ -1,0 +1,159 @@
+"""Public-key certificates and the privacy Certificate Authority.
+
+Paper §3.4.2: each attestation session, the Trust Module mints a fresh
+attestation key pair {AVKs, ASKs}; the public half is signed by the cloud
+server's long-term identity key and sent to the privacy CA (pCA), which
+verifies the binding and issues a certificate for AVKs. The certificate
+lets the Attestation Server authenticate the cloud server *anonymously* —
+it proves "some enrolled CloudMonatt server vouches for this key" without
+naming the server, so observers cannot learn which host runs a VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SignatureError
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import KeyPair, RsaPublicKey
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign, verify
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject name to a public key.
+
+    ``subject`` is a display name only; for anonymous attestation
+    certificates the pCA sets it to a session-scoped pseudonym rather
+    than the server's identity.
+    """
+
+    subject: str
+    public_key: RsaPublicKey
+    issuer: str
+    serial: int
+    signature: bytes
+
+    def tbs(self) -> dict:
+        """The *to-be-signed* structure covered by the signature."""
+        return {
+            "subject": self.subject,
+            "public_key": self.public_key.to_dict(),
+            "issuer": self.issuer,
+            "serial": self.serial,
+        }
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates; plays the pCA role.
+
+    Enrollment is explicit: :meth:`enroll` registers a server's identity
+    public key; :meth:`certify_attestation_key` checks that a fresh
+    attestation key is vouched for by *some* enrolled identity key before
+    issuing an anonymous certificate for it.
+    """
+
+    def __init__(self, name: str, drbg: HmacDrbg, key_bits: int = 1024):
+        self.name = name
+        self._keypair: KeyPair = generate_keypair(drbg.fork("ca-key"), key_bits)
+        self._serial = 0
+        self._enrolled: dict[str, RsaPublicKey] = {}
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """CA verification key, distributed to all relying parties."""
+        return self._keypair.public
+
+    def enroll(self, server_name: str, identity_key: RsaPublicKey) -> None:
+        """Register a cloud server's long-term identity key with the CA.
+
+        In a deployment this happens once, out of band, when the server
+        is installed in the data center (paper §3.4.2).
+        """
+        self._enrolled[server_name] = identity_key
+
+    def is_enrolled(self, server_name: str) -> bool:
+        """Whether the named server has an enrolled identity key."""
+        return server_name in self._enrolled
+
+    def issue(self, subject: str, public_key: RsaPublicKey) -> Certificate:
+        """Issue a certificate directly (used for controller / attestation
+        server identity certificates, where anonymity is not needed)."""
+        self._serial += 1
+        tbs = {
+            "subject": subject,
+            "public_key": public_key.to_dict(),
+            "issuer": self.name,
+            "serial": self._serial,
+        }
+        return Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=self._serial,
+            signature=sign(self._keypair.private, tbs),
+        )
+
+    def certify_attestation_key(
+        self,
+        server_name: str,
+        attestation_key: RsaPublicKey,
+        endorsement: bytes,
+    ) -> Certificate:
+        """Issue an **anonymous** certificate for a session attestation key.
+
+        ``endorsement`` must be the server's identity-key signature over
+        the attestation public key; the CA verifies it against the
+        enrolled identity key and then issues a certificate whose subject
+        is a pseudonym, deliberately not naming the server.
+        """
+        if server_name not in self._enrolled:
+            raise SignatureError(f"server {server_name!r} not enrolled with pCA")
+        identity_key = self._enrolled[server_name]
+        verify(identity_key, attestation_key.to_dict(), endorsement)
+        pseudonym = f"anon-attester-{attestation_key.fingerprint()}"
+        return self.issue(pseudonym, attestation_key)
+
+    def check(self, certificate: Certificate) -> None:
+        """Verify a certificate chain of depth one against this CA.
+
+        Raises :class:`SignatureError` if the certificate was not issued
+        by this CA or has been altered.
+        """
+        if certificate.issuer != self.name:
+            raise SignatureError(
+                f"certificate issued by {certificate.issuer!r}, not {self.name!r}"
+            )
+        verify(self._keypair.public, certificate.tbs(), certificate.signature)
+
+
+def certificate_to_dict(certificate: Certificate) -> dict:
+    """Serialize a certificate for transport in protocol messages."""
+    return {
+        "subject": certificate.subject,
+        "public_key": certificate.public_key.to_dict(),
+        "issuer": certificate.issuer,
+        "serial": certificate.serial,
+        "signature": certificate.signature,
+    }
+
+
+def certificate_from_dict(data: dict) -> Certificate:
+    """Inverse of :func:`certificate_to_dict`."""
+    return Certificate(
+        subject=str(data["subject"]),
+        public_key=RsaPublicKey.from_dict(data["public_key"]),
+        issuer=str(data["issuer"]),
+        serial=int(data["serial"]),
+        signature=bytes(data["signature"]),
+    )
+
+
+def verify_certificate(ca_key: RsaPublicKey, certificate: Certificate) -> None:
+    """Verify a certificate given only the CA public key.
+
+    Relying parties that hold the CA key but not the CA object (i.e.
+    everyone except the CA itself) use this form.
+    """
+    verify(ca_key, certificate.tbs(), certificate.signature)

@@ -1,0 +1,67 @@
+"""Deterministic random bit generator (HMAC-DRBG, simplified).
+
+Key generation must be reproducible under a seed for the figures to
+regenerate identically, yet unpredictable-looking enough to exercise the
+real code paths (distinct servers get distinct keys; nonces never repeat).
+This is a compact HMAC-SHA256 construction in the spirit of NIST SP
+800-90A's HMAC_DRBG: state ``(K, V)`` updated through HMAC invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class HmacDrbg:
+    """HMAC-SHA256 based deterministic byte stream.
+
+    Not certified randomness — deterministic by design. Within the
+    simulation it plays the role of the Trust Module's hardware RNG.
+    """
+
+    def __init__(self, seed: bytes | int, personalization: str = ""):
+        if isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=False)
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._reseed(seed + personalization.encode("utf-8"))
+
+    def _hmac(self, key: bytes, data: bytes) -> bytes:
+        return hmac.new(key, data, hashlib.sha256).digest()
+
+    def _reseed(self, data: bytes) -> None:
+        self._key = self._hmac(self._key, self._value + b"\x00" + data)
+        self._value = self._hmac(self._key, self._value)
+        self._key = self._hmac(self._key, self._value + b"\x01" + data)
+        self._value = self._hmac(self._key, self._value)
+
+    def generate(self, n: int) -> bytes:
+        """Produce ``n`` pseudo-random bytes and advance the state."""
+        output = b""
+        while len(output) < n:
+            self._value = self._hmac(self._key, self._value)
+            output += self._value
+        self._reseed(b"")
+        return output[:n]
+
+    def randint_bits(self, bits: int) -> int:
+        """Return a uniformly distributed integer with at most ``bits`` bits."""
+        nbytes = (bits + 7) // 8
+        raw = int.from_bytes(self.generate(nbytes), "big")
+        excess = nbytes * 8 - bits
+        return raw >> excess
+
+    def randint_below(self, bound: int) -> int:
+        """Return an integer uniform in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        bits = bound.bit_length()
+        while True:
+            candidate = self.randint_bits(bits)
+            if candidate < bound:
+                return candidate
+
+    def fork(self, label: str) -> "HmacDrbg":
+        """Derive an independent child generator keyed by ``label``."""
+        return HmacDrbg(self.generate(32), personalization=label)

@@ -1,0 +1,159 @@
+"""Canonical deterministic serialization.
+
+Signatures, quotes and MACs must be computed over an unambiguous byte
+representation of structured data. This module implements a small
+type-length-value (TLV) encoding over the JSON-ish data model used by the
+protocol layer: ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+sequences and string-keyed mappings.
+
+Properties:
+
+- **Canonical** — equal values always encode to equal bytes; dict keys are
+  sorted, so insertion order does not leak into signatures.
+- **Injective** — distinct values encode to distinct bytes (types are
+  tagged and lengths are explicit), so ``H(encode(a)) == H(encode(b))``
+  implies ``a == b`` up to hash collisions. This prevents the classic
+  ambiguity attacks on naive ``"||"``-concatenation hashing.
+- **Invertible** — :func:`decode` restores the value, which the secure
+  channel uses after decrypting a message body.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.common.errors import CryptoError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+def _len_prefix(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into canonical bytes.
+
+    Raises :class:`~repro.common.errors.CryptoError` for unsupported types
+    rather than guessing at a representation.
+    """
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return _TAG_INT + _len_prefix(raw)
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        return _TAG_STR + _len_prefix(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return _TAG_BYTES + _len_prefix(bytes(value))
+    if isinstance(value, (list, tuple)):
+        body = b"".join(encode(item) for item in value)
+        return _TAG_LIST + _len_prefix(body)
+    if isinstance(value, dict):
+        parts = []
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise CryptoError(f"dict keys must be str, got {type(key).__name__}")
+            parts.append(encode(key))
+            parts.append(encode(value[key]))
+        return _TAG_DICT + _len_prefix(b"".join(parts))
+    raise CryptoError(f"cannot canonically encode {type(value).__name__}")
+
+
+_MAX_DEPTH = 64
+"""Nesting bound: protocol messages are shallow; a hostile blob nesting
+thousands of containers must fail cleanly, not exhaust the stack."""
+
+
+def decode(blob: bytes) -> Any:
+    """Decode canonical bytes back into a value.
+
+    Trailing garbage is rejected: the blob must be exactly one encoding.
+    """
+    value, offset = _decode_at(blob, 0)
+    if offset != len(blob):
+        raise CryptoError("trailing bytes after canonical encoding")
+    return value
+
+
+def _read_len(blob: bytes, offset: int) -> tuple[int, int]:
+    if offset + 4 > len(blob):
+        raise CryptoError("truncated length prefix")
+    (length,) = struct.unpack_from(">I", blob, offset)
+    offset += 4
+    if offset + length > len(blob):
+        raise CryptoError("truncated payload")
+    return length, offset
+
+
+def _decode_at(blob: bytes, offset: int, depth: int = 0) -> tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise CryptoError("encoding nests too deeply")
+    if offset >= len(blob):
+        raise CryptoError("truncated encoding")
+    tag = blob[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        length, offset = _read_len(blob, offset)
+        raw = blob[offset : offset + length]
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(blob):
+            raise CryptoError("truncated float")
+        (value,) = struct.unpack_from(">d", blob, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        length, offset = _read_len(blob, offset)
+        raw = blob[offset : offset + length]
+        try:
+            return raw.decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise CryptoError("string field is not valid UTF-8") from exc
+    if tag == _TAG_BYTES:
+        length, offset = _read_len(blob, offset)
+        return blob[offset : offset + length], offset + length
+    if tag == _TAG_LIST:
+        length, offset = _read_len(blob, offset)
+        end = offset + length
+        items = []
+        while offset < end:
+            item, offset = _decode_at(blob, offset, depth + 1)
+            items.append(item)
+        if offset != end:
+            raise CryptoError("malformed list body")
+        return items, offset
+    if tag == _TAG_DICT:
+        length, offset = _read_len(blob, offset)
+        end = offset + length
+        result: dict[str, Any] = {}
+        while offset < end:
+            key, offset = _decode_at(blob, offset, depth + 1)
+            if not isinstance(key, str):
+                raise CryptoError("dict key is not a string")
+            value, offset = _decode_at(blob, offset, depth + 1)
+            result[key] = value
+        if offset != end:
+            raise CryptoError("malformed dict body")
+        return result, offset
+    raise CryptoError(f"unknown tag {tag!r}")

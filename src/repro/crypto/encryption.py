@@ -1,0 +1,49 @@
+"""RSA public-key encryption (key transport for session establishment).
+
+PKCS#1-v1.5-style encryption padding: ``0x00 0x02 <nonzero random pad>
+0x00 <message>``. Used solely to transport the 32-byte session seed
+during the secure-channel handshake, mirroring TLS RSA key exchange.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CryptoError
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import RsaPrivateKey, RsaPublicKey
+from repro.crypto.rsa import private_op, public_op
+
+_MIN_PAD = 8
+
+
+def public_encrypt(key: RsaPublicKey, message: bytes, drbg: HmacDrbg) -> bytes:
+    """Encrypt ``message`` to the key holder. Random pad from ``drbg``."""
+    modulus_bytes = (key.n.bit_length() + 7) // 8
+    pad_len = modulus_bytes - len(message) - 3
+    if pad_len < _MIN_PAD:
+        raise CryptoError("message too long for RSA modulus")
+    pad = bytearray()
+    while len(pad) < pad_len:
+        pad.extend(b for b in drbg.generate(pad_len - len(pad)) if b != 0)
+    block = b"\x00\x02" + bytes(pad[:pad_len]) + b"\x00" + message
+    value = public_op(key, int.from_bytes(block, "big"))
+    return value.to_bytes(modulus_bytes, "big")
+
+
+def private_decrypt(key: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    """Decrypt a :func:`public_encrypt` ciphertext; raises on bad padding."""
+    modulus_bytes = (key.n.bit_length() + 7) // 8
+    if len(ciphertext) != modulus_bytes:
+        raise CryptoError("ciphertext length does not match modulus")
+    value = int.from_bytes(ciphertext, "big")
+    if value >= key.n:
+        raise CryptoError("ciphertext out of range")
+    block = private_op(key, value).to_bytes(modulus_bytes, "big")
+    if block[0:2] != b"\x00\x02":
+        raise CryptoError("invalid encryption padding")
+    try:
+        separator = block.index(0, 2)
+    except ValueError as exc:
+        raise CryptoError("missing padding separator") from exc
+    if separator < 2 + _MIN_PAD:
+        raise CryptoError("padding too short")
+    return block[separator + 1 :]

@@ -1,0 +1,80 @@
+"""Hashing helpers and hash chains.
+
+The quote in the attestation protocol is ``Q = H(Vid || rM || M || N)``;
+the TPM's platform configuration registers accumulate measurements as
+``PCR <- H(PCR || measurement)``. Both are built here, on SHA-256 over the
+canonical encoding from :mod:`repro.crypto.encoding`, so there is exactly
+one way any structured value hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.crypto.encoding import encode
+
+DIGEST_SIZE = 32
+"""Size in bytes of all digests produced by this module (SHA-256)."""
+
+
+def sha256(*values: Any) -> bytes:
+    """Hash one or more values canonically.
+
+    Multiple values hash as the encoded tuple, so ``sha256(a, b)`` can
+    never collide with ``sha256(ab)`` — the injectivity of the canonical
+    encoding rules out concatenation ambiguity.
+    """
+    if len(values) == 1:
+        payload = encode(values[0])
+    else:
+        payload = encode(list(values))
+    return hashlib.sha256(payload).digest()
+
+
+def sha256_hex(*values: Any) -> str:
+    """Hex form of :func:`sha256`, convenient for reports and logs."""
+    return sha256(*values).hex()
+
+
+class HashChain:
+    """An extend-only accumulator with TPM PCR semantics.
+
+    The current value is ``H(previous || measurement)`` after each
+    :meth:`extend`. Order matters and no extension can be undone, which is
+    precisely the property measured boot relies on.
+    """
+
+    def __init__(self, initial: bytes = b"\x00" * DIGEST_SIZE):
+        if len(initial) != DIGEST_SIZE:
+            raise ValueError(f"initial value must be {DIGEST_SIZE} bytes")
+        self._value = initial
+        self._history: list[bytes] = []
+
+    @property
+    def value(self) -> bytes:
+        """The current accumulated digest."""
+        return self._value
+
+    @property
+    def history(self) -> tuple[bytes, ...]:
+        """Digests extended so far, in order (the measurement log)."""
+        return tuple(self._history)
+
+    def extend(self, measurement: bytes) -> bytes:
+        """Fold ``measurement`` into the chain and return the new value."""
+        self._value = hashlib.sha256(self._value + measurement).digest()
+        self._history.append(measurement)
+        return self._value
+
+    @staticmethod
+    def replay(measurements: list[bytes], initial: bytes = b"\x00" * DIGEST_SIZE) -> bytes:
+        """Compute the value a chain would have after the given extensions.
+
+        Appraisers use this to check a measurement log against a quoted
+        PCR value.
+        """
+        chain = HashChain(initial)
+        for measurement in measurements:
+            chain.extend(measurement)
+        return chain.value

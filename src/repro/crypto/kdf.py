@@ -1,0 +1,32 @@
+"""HKDF-style key derivation (RFC 5869 shape, SHA-256)."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.common.errors import CryptoError
+
+_HASH_LEN = 32
+
+
+def hkdf(master: bytes, info: bytes, length: int, salt: bytes = b"") -> bytes:
+    """Derive ``length`` bytes from ``master`` for the context ``info``.
+
+    Extract-then-expand: distinct ``info`` labels yield independent keys
+    from one master secret, which is how session keys split into
+    encryption and MAC subkeys.
+    """
+    if length <= 0 or length > 255 * _HASH_LEN:
+        raise CryptoError("invalid HKDF output length")
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    prk = hmac.new(salt, master, hashlib.sha256).digest()
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        output += block
+        counter += 1
+    return output[:length]

@@ -1,0 +1,70 @@
+"""Key containers.
+
+RSA keys are plain frozen dataclasses; what matters architecturally is who
+*holds* them (paper Fig. 3): each entity owns a long-term identity key
+pair, and the Trust Module mints a fresh attestation key pair {AVKs, ASKs}
+per attestation session so the cloud server stays anonymous to observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import sha256_hex
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """Public half of an RSA key pair: modulus ``n`` and exponent ``e``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    def fingerprint(self) -> str:
+        """Stable short identifier for logs, reports and certificates."""
+        return sha256_hex({"n": self.n, "e": self.e})[:16]
+
+    def to_dict(self) -> dict:
+        """Serializable form, used inside certificates and messages."""
+        return {"n": self.n, "e": self.e}
+
+    @staticmethod
+    def from_dict(data: dict) -> "RsaPublicKey":
+        """Inverse of :meth:`to_dict`."""
+        return RsaPublicKey(n=int(data["n"]), e=int(data["e"]))
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """Private half of an RSA key pair.
+
+    ``p`` and ``q`` are retained so signing can use the CRT speed-up;
+    ``d`` is the private exponent.
+    """
+
+    n: int
+    d: int
+    p: int = field(repr=False, default=0)
+    q: int = field(repr=False, default=0)
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched public/private key pair owned by one entity."""
+
+    public: RsaPublicKey
+    private: RsaPrivateKey
+
+    def fingerprint(self) -> str:
+        """Fingerprint of the public half."""
+        return self.public.fingerprint()

@@ -1,0 +1,76 @@
+"""Nonces and replay protection.
+
+The protocol uses three nonces N1, N2, N3 — one per hop — so that each
+entity can detect replays on its own channel (paper §3.4). A
+:class:`NonceGenerator` mints fresh nonces from a DRBG; a
+:class:`NonceCache` remembers what has been seen and raises
+:class:`~repro.common.errors.ReplayError` on a repeat.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReplayError
+from repro.crypto.drbg import HmacDrbg
+
+NONCE_SIZE = 16
+
+
+class Nonce(bytes):
+    """A 16-byte freshness value. Subclass of ``bytes`` for readability."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: bytes):
+        if len(value) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+        return super().__new__(cls, value)
+
+    def hex_short(self) -> str:
+        """First 8 hex chars, for logs."""
+        return self.hex()[:8]
+
+
+class NonceGenerator:
+    """Mints fresh nonces from a DRBG stream.
+
+    Collisions are impossible in practice (128-bit values) and the DRBG
+    never repeats its output stream, so generated nonces are unique per
+    generator instance.
+    """
+
+    def __init__(self, drbg: HmacDrbg):
+        self._drbg = drbg
+
+    def fresh(self) -> Nonce:
+        """Return a never-before-issued nonce."""
+        return Nonce(self._drbg.generate(NONCE_SIZE))
+
+
+class NonceCache:
+    """Replay detector: each nonce may be accepted exactly once.
+
+    A bounded FIFO window keeps memory constant over long simulations;
+    the window must exceed the attacker's replay horizon, and the default
+    of 65536 far exceeds any run in this reproduction.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._seen: dict[bytes, None] = {}  # insertion-ordered set
+
+    def check_and_store(self, nonce: bytes) -> None:
+        """Accept a fresh nonce or raise :class:`ReplayError` on a repeat."""
+        if nonce in self._seen:
+            raise ReplayError(f"nonce {nonce.hex()[:8]} replayed")
+        self._seen[nonce] = None
+        if len(self._seen) > self._capacity:
+            oldest = next(iter(self._seen))
+            del self._seen[oldest]
+
+    def __contains__(self, nonce: bytes) -> bool:
+        return nonce in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)

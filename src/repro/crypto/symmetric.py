@@ -1,0 +1,92 @@
+"""Authenticated symmetric encryption.
+
+The SSL-like channels of paper Fig. 3 protect message bodies with
+symmetric session keys (Kx, Ky, Kz). We build an authenticated cipher from
+HMAC-SHA256 alone:
+
+- **Keystream**: ``HMAC(enc_key, nonce || counter)`` blocks XORed over the
+  plaintext (a counter-mode stream cipher).
+- **Integrity**: encrypt-then-MAC with an independent MAC key; the tag
+  covers nonce and ciphertext, so truncation, bit flips and nonce swaps
+  are all rejected.
+
+Encryption and MAC keys are derived from the session key with HKDF so a
+single 32-byte session key is all the handshake must agree on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.kdf import hkdf
+
+_MAC_SIZE = 32
+_NONCE_SIZE = 16
+_BLOCK = 32
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A 32-byte symmetric session key with derived enc/MAC subkeys."""
+
+    material: bytes
+
+    def __post_init__(self):
+        if len(self.material) != 32:
+            raise CryptoError("session keys must be 32 bytes")
+
+    @property
+    def enc_key(self) -> bytes:
+        """Subkey for the keystream."""
+        return hkdf(self.material, b"enc", 32)
+
+    @property
+    def mac_key(self) -> bytes:
+        """Subkey for the authentication tag."""
+        return hkdf(self.material, b"mac", 32)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    stream = b""
+    counter = 0
+    while len(stream) < length:
+        block = hmac.new(
+            key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+        ).digest()
+        stream += block
+        counter += 1
+    return stream[:length]
+
+
+def seal(key: SymmetricKey, plaintext: bytes, nonce: bytes) -> bytes:
+    """Encrypt-then-MAC ``plaintext``; returns ``nonce || ct || tag``.
+
+    The caller supplies the nonce (the secure channel uses a per-message
+    counter-derived nonce); reusing a nonce with the same key voids
+    confidentiality, so channels must never do that.
+    """
+    if len(nonce) != _NONCE_SIZE:
+        raise CryptoError(f"nonce must be {_NONCE_SIZE} bytes")
+    ciphertext = bytes(
+        a ^ b for a, b in zip(plaintext, _keystream(key.enc_key, nonce, len(plaintext)))
+    )
+    tag = hmac.new(key.mac_key, nonce + ciphertext, hashlib.sha256).digest()
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key: SymmetricKey, sealed: bytes) -> bytes:
+    """Verify and decrypt a sealed message; raise ``CryptoError`` on tamper."""
+    if len(sealed) < _NONCE_SIZE + _MAC_SIZE:
+        raise CryptoError("sealed message too short")
+    nonce = sealed[:_NONCE_SIZE]
+    ciphertext = sealed[_NONCE_SIZE:-_MAC_SIZE]
+    tag = sealed[-_MAC_SIZE:]
+    expected = hmac.new(key.mac_key, nonce + ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise CryptoError("authentication tag mismatch: message tampered")
+    return bytes(
+        a ^ b for a, b in zip(ciphertext, _keystream(key.enc_key, nonce, len(ciphertext)))
+    )

@@ -1,0 +1,14 @@
+"""Guest operating-system model.
+
+The runtime-integrity case study (paper §4.3) needs a semantic gap to
+bridge: the view of a VM *from inside* (what a possibly-compromised guest
+OS reports) versus *from outside* (what the hypervisor's VM Introspection
+tool reads out of guest memory). This package models exactly enough of a
+guest OS to make that gap real: a process table whose entries can be
+hidden by a rootkit, kernel modules, and the two views.
+"""
+
+from repro.guest.malware import HiddenServiceMalware, Rootkit
+from repro.guest.os_model import GuestOS, Process
+
+__all__ = ["GuestOS", "HiddenServiceMalware", "Process", "Rootkit"]

@@ -1,0 +1,115 @@
+"""A minimal guest OS: process table, kernel modules, inside/outside views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import StateError
+
+
+@dataclass(frozen=True)
+class Process:
+    """One entry in the guest's process table."""
+
+    pid: int
+    name: str
+    #: set by rootkits: hidden processes are dropped from the inside view
+    hidden: bool = False
+
+
+@dataclass
+class GuestOS:
+    """The software state of one guest VM.
+
+    Two views exist of the process table:
+
+    - :meth:`query_tasks` — the *inside* view, what ``ps`` run in the
+      guest reports. A rootkit filters its own processes out of this.
+    - :meth:`memory_process_table` — the *outside* view, the raw table as
+      the hypervisor's VMI tool reconstructs it from guest memory.
+
+    A healthy guest has identical views; a divergence is the runtime
+    integrity signal CloudMonatt attests (paper §4.3.2).
+    """
+
+    name: str
+    _processes: dict[int, Process] = field(default_factory=dict)
+    kernel_modules: list[str] = field(default_factory=list)
+    _next_pid: int = 100
+
+    @staticmethod
+    def with_standard_services(name: str) -> "GuestOS":
+        """A guest booted with a typical service set."""
+        guest = GuestOS(name)
+        for service in ("init", "sshd", "cron", "rsyslogd", "app-server"):
+            guest.spawn(service)
+        guest.kernel_modules.extend(["ext4", "e1000", "iptables"])
+        return guest
+
+    def spawn(self, name: str, hidden: bool = False) -> Process:
+        """Start a process; returns its table entry."""
+        process = Process(pid=self._next_pid, name=name, hidden=hidden)
+        self._processes[process.pid] = process
+        self._next_pid += 1
+        return process
+
+    def kill(self, pid: int) -> None:
+        """Remove a process from the table."""
+        if pid not in self._processes:
+            raise StateError(f"no process with pid {pid}")
+        del self._processes[pid]
+
+    def load_module(self, module: str) -> None:
+        """Load a kernel module (rootkits use this hook)."""
+        self.kernel_modules.append(module)
+
+    def query_tasks(self) -> list[Process]:
+        """The **inside** view: what the guest OS itself reports.
+
+        Hidden processes are filtered — this is the lie a compromised
+        guest tells its own administrator.
+        """
+        return sorted(
+            (p for p in self._processes.values() if not p.hidden),
+            key=lambda p: p.pid,
+        )
+
+    def to_snapshot(self) -> dict:
+        """Serialize the full guest state (for VM migration).
+
+        The snapshot is the guest's *memory image*: hidden malware
+        travels with it, exactly as live migration moves a compromised
+        guest unchanged.
+        """
+        return {
+            "name": self.name,
+            "processes": [
+                {"pid": p.pid, "name": p.name, "hidden": p.hidden}
+                for p in self._processes.values()
+            ],
+            "kernel_modules": list(self.kernel_modules),
+            "next_pid": self._next_pid,
+        }
+
+    @staticmethod
+    def from_snapshot(snapshot: dict) -> "GuestOS":
+        """Reconstruct a guest from a migration snapshot."""
+        guest = GuestOS(str(snapshot["name"]))
+        for entry in snapshot["processes"]:
+            process = Process(
+                pid=int(entry["pid"]),
+                name=str(entry["name"]),
+                hidden=bool(entry["hidden"]),
+            )
+            guest._processes[process.pid] = process
+        guest.kernel_modules = [str(m) for m in snapshot["kernel_modules"]]
+        guest._next_pid = int(snapshot["next_pid"])
+        return guest
+
+    def memory_process_table(self) -> list[Process]:
+        """The **outside** view: the true table as read from guest memory.
+
+        Only the hypervisor's VMI tool calls this; nothing inside the
+        guest can alter what is physically present in its memory image.
+        """
+        return sorted(self._processes.values(), key=lambda p: p.pid)

@@ -1,0 +1,23 @@
+"""VM lifecycle: states, flavors/images, and the operation cost model.
+
+The paper evaluates attestation at every lifecycle stage (launch,
+runtime, migration, termination — §5, Figs. 9-11). This package holds
+the shared lifecycle vocabulary: the VM state machine, the flavor/image
+catalogs of the evaluation testbed, and the :class:`CostModel` that
+charges simulated time for management and crypto operations (in place
+of the authors' physical OpenStack testbed — see DESIGN.md §2).
+"""
+
+from repro.lifecycle.flavors import Flavor, VmImage, default_flavors, default_images
+from repro.lifecycle.states import VmRecord, VmState
+from repro.lifecycle.timing import CostModel
+
+__all__ = [
+    "CostModel",
+    "Flavor",
+    "VmImage",
+    "VmRecord",
+    "VmState",
+    "default_flavors",
+    "default_images",
+]

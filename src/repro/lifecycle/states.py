@@ -1,0 +1,77 @@
+"""The VM lifecycle state machine.
+
+States and legal transitions follow §5: a VM is requested, scheduled,
+launched (possibly rejected at startup attestation), runs, may be
+suspended/resumed or migrated, and ends terminated. Illegal transitions
+raise :class:`~repro.common.errors.StateError` — the controller's
+response module relies on these guards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import StateError
+from repro.common.identifiers import CustomerId, ServerId, VmId
+from repro.properties.catalog import SecurityProperty
+
+
+class VmState(enum.Enum):
+    """Lifecycle states of a VM in the controller's database."""
+
+    REQUESTED = "requested"
+    SCHEDULED = "scheduled"
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    MIGRATING = "migrating"
+    TERMINATED = "terminated"
+    REJECTED = "rejected"  # launch refused (failed startup attestation)
+
+
+_TRANSITIONS: dict[VmState, set[VmState]] = {
+    VmState.REQUESTED: {VmState.SCHEDULED, VmState.REJECTED},
+    VmState.SCHEDULED: {VmState.ACTIVE, VmState.REJECTED},
+    VmState.ACTIVE: {VmState.SUSPENDED, VmState.MIGRATING, VmState.TERMINATED},
+    VmState.SUSPENDED: {VmState.ACTIVE, VmState.TERMINATED},
+    VmState.MIGRATING: {VmState.ACTIVE, VmState.TERMINATED},
+    VmState.TERMINATED: set(),
+    VmState.REJECTED: set(),
+}
+
+
+@dataclass
+class VmRecord:
+    """Everything the controller knows about one VM."""
+
+    vid: VmId
+    customer: CustomerId
+    flavor: str
+    image: str
+    properties: list[SecurityProperty] = field(default_factory=list)
+    state: VmState = VmState.REQUESTED
+    server: ServerId | None = None
+    #: SLA-contracted CPU share (None = the interpreter's default)
+    entitled_share: float | None = None
+    #: anti-co-location: this VM must not share a server with other
+    #: customers' VMs (defense against the co-residence attacks of
+    #: Ristenpart et al., the paper's [31])
+    dedicated: bool = False
+
+    def transition(self, new_state: VmState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise StateError(
+                f"VM {self.vid}: illegal transition {self.state.value} -> "
+                f"{new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def live(self) -> bool:
+        """Whether the VM still exists from the customer's perspective."""
+        return self.state in {
+            VmState.ACTIVE,
+            VmState.SUSPENDED,
+            VmState.MIGRATING,
+        }

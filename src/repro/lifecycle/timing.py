@@ -1,0 +1,92 @@
+"""The operation cost model.
+
+Substitution note (DESIGN.md §2): the paper measures wall-clock times on
+a physical OpenStack testbed. Our substrate executes the same *logical*
+operations but in simulated time, so management and crypto operations
+charge simulated milliseconds through this model. Base costs are
+calibrated so the reproduced Figures 9-11 match the paper's shape:
+
+- network transmission dominates attestation cost ("the main overhead of
+  an attestation is from the message transmitting in the network",
+  §7.1.1);
+- a full VM launch lands in the 2.5-5 s band with attestation ≈ 20%;
+- responses order as Termination < Suspension < Migration, with
+  migration scaling in VM memory size (Fig. 11).
+
+All costs are jittered through the injected RNG so repeated stages look
+like measurements; the jitter is seeded, so runs remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.sim.engine import Engine
+
+DEFAULT_COSTS_MS: dict[str, float] = {
+    # management-plane operations (OpenStack-equivalents)
+    "db_access": 12.0,
+    "scheduling_base": 420.0,
+    "scheduling_property_filter": 130.0,
+    "networking": 760.0,
+    "block_device_mapping": 240.0,
+    "spawn_base": 850.0,
+    "boot_per_flavor_vcpu": 90.0,
+    # crypto / trust operations — calibrated below the per-attestation
+    # network cost so that message transmission dominates, matching the
+    # paper's §7.1.1 observation
+    "tpm_extend": 18.0,
+    "tpm_quote_sign": 110.0,
+    "session_keygen": 70.0,
+    "pca_certify": 30.0,
+    "verify_signature": 8.0,
+    "interpret_measurements": 25.0,
+    "report_sign": 10.0,
+    # data movement
+    "image_fetch_per_mb": 1.1,
+    "memory_copy_per_gb": 900.0,
+    "state_save_per_gb": 380.0,
+    "vm_destroy": 260.0,
+    "vm_resume": 420.0,
+}
+
+
+@dataclass
+class CostModel:
+    """Charges simulated time for named operations.
+
+    ``costs_ms`` can be overridden wholesale or per key; unknown
+    operation names raise, so typos cannot silently cost nothing.
+    """
+
+    engine: Engine
+    rng: DeterministicRng
+    costs_ms: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COSTS_MS))
+    jitter: float = 0.08
+    #: accumulated charge per operation name (for breakdown figures)
+    charged_ms: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, operation: str, scale: float = 1.0) -> float:
+        """Advance simulated time by the operation's jittered cost.
+
+        ``scale`` multiplies the base (e.g. per-MB costs). Returns the
+        charged duration in ms.
+        """
+        if operation not in self.costs_ms:
+            raise ConfigurationError(f"unknown cost operation {operation!r}")
+        duration = self.rng.jitter(self.costs_ms[operation] * scale, self.jitter)
+        self.engine.run_until(self.engine.now + duration)
+        self.charged_ms[operation] = self.charged_ms.get(operation, 0.0) + duration
+        return duration
+
+    def set_cost(self, operation: str, base_ms: float) -> None:
+        """Override one operation's base cost (ablation experiments)."""
+        if base_ms < 0:
+            raise ConfigurationError("costs cannot be negative")
+        self.costs_ms[operation] = base_ms
+
+    def reset_accounting(self) -> None:
+        """Clear the per-operation charge accumulator."""
+        self.charged_ms.clear()

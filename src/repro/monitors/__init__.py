@@ -1,0 +1,43 @@
+"""The Monitor Module: the measurement side of the cloud server (Fig. 2).
+
+Each monitor produces one family of raw measurements ``M``; the
+:class:`~repro.monitors.monitor_module.MonitorModule` is the registry the
+Attestation Client invokes with a list of requested measurement names
+``rM``. Monitors write their results into the Trust Module (evidence
+registers or trusted evidence storage) before they are signed and
+shipped.
+
+Monitors provided (matching the paper's Fig. 2 inventory):
+
+- :class:`~repro.monitors.integrity_unit.IntegrityMeasurementUnit` — the
+  measured-boot chain (platform and VM image hashes into TPM PCRs).
+- :class:`~repro.monitors.vmi_tool.VmiTool` — VM introspection: the true
+  process table read from guest memory.
+- :class:`~repro.monitors.vmm_profile.VmmProfileTool` — per-VM CPU time
+  accounting from scheduler transitions (availability measurements).
+- :class:`~repro.monitors.perf_counters.RunIntervalHistogram` — the 30
+  CPU-usage-interval counters behind covert-channel detection.
+"""
+
+from repro.monitors.audit_log import AuditLog, AuditRecord
+from repro.monitors.bus_monitor import BusLatencyProbe, BusLockHistogram
+from repro.monitors.integrity_unit import IntegrityMeasurementUnit, SoftwareInventory
+from repro.monitors.monitor_module import MeasurementRequest, MonitorModule
+from repro.monitors.perf_counters import NUM_INTERVAL_BINS, RunIntervalHistogram
+from repro.monitors.vmi_tool import VmiTool
+from repro.monitors.vmm_profile import VmmProfileTool
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "BusLatencyProbe",
+    "BusLockHistogram",
+    "IntegrityMeasurementUnit",
+    "MeasurementRequest",
+    "MonitorModule",
+    "NUM_INTERVAL_BINS",
+    "RunIntervalHistogram",
+    "SoftwareInventory",
+    "VmiTool",
+    "VmmProfileTool",
+]

@@ -1,0 +1,142 @@
+"""Tamper-evident audit logging.
+
+Paper §4: "The CloudMonatt architecture is flexible and allows the
+integration of an arbitrary number of security properties and
+monitoring mechanisms, including logging, auditing and provenance
+mechanisms." §7.2.1 additionally calls for "data hashing" protection of
+the central servers' databases.
+
+This module provides the audit substrate: an append-only log whose
+entries are hash-chained (entry *n* commits to entry *n-1*), so any
+after-the-fact modification, deletion or reordering of records is
+detectable by replaying the chain. The Attestation Server threads its
+attestation outcomes through one of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.crypto.hashing import DIGEST_SIZE, sha256
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable audit entry."""
+
+    index: int
+    time_ms: float
+    event: str
+    payload: dict
+    #: hash of the previous record's commitment (zeros for the first)
+    prev_digest: bytes
+    #: this record's commitment: H(index, time, event, payload, prev)
+    digest: bytes
+
+
+def _commit(index: int, time_ms: float, event: str, payload: dict,
+            prev_digest: bytes) -> bytes:
+    return sha256([index, time_ms, event, payload, prev_digest])
+
+
+@dataclass(frozen=True)
+class TamperFinding:
+    """Where and how the chain verification failed."""
+
+    index: int
+    reason: str
+
+
+class AuditLog:
+    """A hash-chained, append-only audit log."""
+
+    GENESIS = b"\x00" * DIGEST_SIZE
+
+    def __init__(self):
+        self._records: list[AuditRecord] = []
+
+    def append(self, time_ms: float, event: str, payload: dict) -> AuditRecord:
+        """Append one event; returns the committed record."""
+        index = len(self._records)
+        prev_digest = self._records[-1].digest if self._records else self.GENESIS
+        record = AuditRecord(
+            index=index,
+            time_ms=time_ms,
+            event=event,
+            payload=dict(payload),
+            prev_digest=prev_digest,
+            digest=_commit(index, time_ms, event, dict(payload), prev_digest),
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def record(self, index: int) -> AuditRecord:
+        """The record at ``index``."""
+        return self._records[index]
+
+    @property
+    def head_digest(self) -> bytes:
+        """The latest commitment — publish/replicate this to anchor the
+        whole history (a verifier holding it detects any rewrite)."""
+        return self._records[-1].digest if self._records else self.GENESIS
+
+    def verify(self) -> list[TamperFinding]:
+        """Replay the chain; returns every inconsistency found.
+
+        An empty list means the log content matches its commitments and
+        the chain is unbroken.
+        """
+        findings: list[TamperFinding] = []
+        prev_digest = self.GENESIS
+        for position, record in enumerate(self._records):
+            if record.index != position:
+                findings.append(
+                    TamperFinding(position, "record index out of sequence")
+                )
+            if record.prev_digest != prev_digest:
+                findings.append(
+                    TamperFinding(position, "chain link does not match predecessor")
+                )
+            expected = _commit(
+                record.index, record.time_ms, record.event, record.payload,
+                record.prev_digest,
+            )
+            if record.digest != expected:
+                findings.append(
+                    TamperFinding(position, "record content does not match digest")
+                )
+            prev_digest = record.digest
+        return findings
+
+    def events(self, event: str | None = None) -> list[AuditRecord]:
+        """Records, optionally filtered by event name."""
+        if event is None:
+            return list(self._records)
+        return [r for r in self._records if r.event == event]
+
+    # -- attack surface for tests: simulate an intruder editing the log --
+
+    def _tamper_replace(self, index: int, payload: dict) -> None:
+        """(test hook) Overwrite a record's payload, recomputing only its
+        own digest — the follow-on chain link then fails verification."""
+        old = self._records[index]
+        self._records[index] = AuditRecord(
+            index=old.index,
+            time_ms=old.time_ms,
+            event=old.event,
+            payload=dict(payload),
+            prev_digest=old.prev_digest,
+            digest=_commit(old.index, old.time_ms, old.event, dict(payload),
+                           old.prev_digest),
+        )
+
+    def _tamper_delete(self, index: int) -> None:
+        """(test hook) Delete a record outright."""
+        del self._records[index]

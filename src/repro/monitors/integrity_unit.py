@@ -1,0 +1,139 @@
+"""Integrity Measurement Unit: measured boot for platform and VM images.
+
+Paper §4.2.2: "the measurement is typically done in two phases: First,
+the server's platform configuration (hypervisor, host OS, etc.) is
+measured (i.e., hashed) during server bootup. Second, the VM image is
+measured before VM launch."
+
+The platform chain accumulates into the TPM's platform PCR. VM images
+are measured into per-VM chains (the vTPM-style equivalent of a per-VM
+register), because one server hosts many VMs concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import StateError
+from repro.common.identifiers import VmId
+from repro.crypto.hashing import HashChain
+from repro.tpm.pcr import PcrBank
+from repro.tpm.tpm_emulator import TpmEmulator
+
+
+@dataclass
+class SoftwareInventory:
+    """The software loaded on a platform: name -> content bytes.
+
+    Order matters (components are measured in load order), so the
+    component list is kept explicitly. Tampering a component's content
+    (e.g. a corrupted hypervisor) changes its digest and hence every
+    downstream chain value.
+    """
+
+    components: list[tuple[str, bytes]] = field(default_factory=list)
+
+    @staticmethod
+    def pristine_platform() -> "SoftwareInventory":
+        """The reference platform stack (hypervisor + host OS + agents)."""
+        return SoftwareInventory(
+            components=[
+                ("xen-hypervisor-4.2", b"xen hypervisor code v4.2 pristine"),
+                ("dom0-linux-3.10", b"dom0 linux kernel 3.10 pristine"),
+                ("openstack-nova-compute", b"nova compute agent pristine"),
+                ("oat-client", b"openattestation client pristine"),
+            ]
+        )
+
+    def tampered(self, component: str, new_content: bytes) -> "SoftwareInventory":
+        """A copy with one component's content replaced (an attack)."""
+        if component not in {name for name, _ in self.components}:
+            raise StateError(f"no component {component!r} in inventory")
+        return SoftwareInventory(
+            components=[
+                (name, new_content if name == component else content)
+                for name, content in self.components
+            ]
+        )
+
+    def digests(self) -> list[bytes]:
+        """Per-component digests, in load order."""
+        return [hashlib.sha256(content).digest() for _, content in self.components]
+
+
+class IntegrityMeasurementUnit:
+    """Measures software into integrity chains.
+
+    - :meth:`measure_platform` runs once at server boot, extending the
+      TPM platform PCR with each platform component digest.
+    - :meth:`measure_vm_image` runs before each VM launch, opening a
+      per-VM chain with the image digest.
+    """
+
+    def __init__(self, tpm: TpmEmulator):
+        self._tpm = tpm
+        self._platform_log: list[bytes] = []
+        self._platform_components: list[str] = []
+        self._vm_chains: dict[VmId, HashChain] = {}
+        self._vm_logs: dict[VmId, list[bytes]] = {}
+
+    def measure_platform(self, inventory: SoftwareInventory) -> bytes:
+        """Measured boot of the platform stack; returns the final PCR value."""
+        value = self._tpm.read(PcrBank.PLATFORM_PCR)
+        for (name, _), digest in zip(inventory.components, inventory.digests()):
+            value = self._tpm.extend(PcrBank.PLATFORM_PCR, digest)
+            self._platform_log.append(digest)
+            self._platform_components.append(name)
+        return value
+
+    def platform_measurement(self) -> dict:
+        """The platform evidence: PCR value plus the IMA-style log.
+
+        The log carries component names alongside digests (as IMA's
+        measurement list does), enabling per-component appraisal that
+        identifies *which* component diverged, not just that something
+        did.
+        """
+        return {
+            "pcr": self._tpm.read(PcrBank.PLATFORM_PCR),
+            "log": list(self._platform_log),
+            "components": list(self._platform_components),
+        }
+
+    def measure_vm_image(self, vid: VmId, image_content: bytes) -> bytes:
+        """Measure a VM image before launch; returns the chain value."""
+        chain = HashChain()
+        digest = hashlib.sha256(image_content).digest()
+        chain.extend(digest)
+        self._vm_chains[vid] = chain
+        self._vm_logs[vid] = [digest]
+        return chain.value
+
+    def vm_image_measurement(self, vid: VmId) -> dict:
+        """The VM-image evidence for one VM."""
+        if vid not in self._vm_chains:
+            raise StateError(f"no image measurement recorded for {vid}")
+        return {
+            "pcr": self._vm_chains[vid].value,
+            "log": list(self._vm_logs[vid]),
+        }
+
+    def forget_vm(self, vid: VmId) -> None:
+        """Drop a VM's chain (terminated or migrated away)."""
+        self._vm_chains.pop(vid, None)
+        self._vm_logs.pop(vid, None)
+
+    @staticmethod
+    def expected_platform_value(inventory: SoftwareInventory) -> bytes:
+        """What the platform PCR *should* read for a pristine inventory.
+
+        The Attestation Server uses this ("full knowledge of the attested
+        software, and the correct pre-calculated hash values", §4.2.2).
+        """
+        return HashChain.replay(inventory.digests())
+
+    @staticmethod
+    def expected_image_value(image_content: bytes) -> bytes:
+        """What a VM image chain should read for pristine content."""
+        return HashChain.replay([hashlib.sha256(image_content).digest()])

@@ -1,0 +1,59 @@
+"""VM Introspection tool (paper §2.1, §4.3.2).
+
+Located in the hypervisor's Monitor Module, the VMI tool probes the
+target VM's memory to obtain ground truth about the guest — here, the
+true process table and kernel module list — without any cooperation from
+(or trust in) the guest OS.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.common.identifiers import VmId
+from repro.guest.os_model import GuestOS
+
+
+class VmiTool:
+    """Out-of-VM introspection over a registry of guest OS images."""
+
+    def __init__(self):
+        self._guests: dict[VmId, GuestOS] = {}
+
+    def attach(self, vid: VmId, guest: GuestOS) -> None:
+        """Register a guest's memory image for introspection."""
+        self._guests[vid] = guest
+
+    def detach(self, vid: VmId) -> None:
+        """Remove a guest (VM terminated or migrated away)."""
+        self._guests.pop(vid, None)
+
+    def _guest(self, vid: VmId) -> GuestOS:
+        guest = self._guests.get(vid)
+        if guest is None:
+            raise StateError(f"VMI: no guest memory mapped for {vid}")
+        return guest
+
+    def running_tasks(self, vid: VmId) -> list[dict]:
+        """The true task list, reconstructed from guest memory.
+
+        Serialized as plain dicts so the result can flow through quotes
+        and signed messages unchanged.
+        """
+        return [
+            {"pid": p.pid, "name": p.name}
+            for p in self._guest(vid).memory_process_table()
+        ]
+
+    def reported_tasks(self, vid: VmId) -> list[dict]:
+        """What the guest itself would report (the inside view).
+
+        Exposed so the appraiser can demonstrate the divergence; a real
+        deployment obtains this view from the customer's own query.
+        """
+        return [
+            {"pid": p.pid, "name": p.name} for p in self._guest(vid).query_tasks()
+        ]
+
+    def kernel_modules(self, vid: VmId) -> list[str]:
+        """Loaded kernel modules, from guest memory."""
+        return list(self._guest(vid).kernel_modules)

@@ -1,0 +1,38 @@
+"""Simulated network with a Dolev-Yao attacker, and SSL-like channels.
+
+The paper's threat model (§3.3) includes "an active adversary who has
+full control of the network between different servers... able to
+eavesdrop as well as falsify the attestation messages". This package
+provides:
+
+- :class:`~repro.network.network.Network` — request/response transport
+  between named endpoints over the shared event engine, with a latency
+  model and an attacker interposition point on every wire crossing.
+- :mod:`repro.network.attacker` — attacker implementations: passive
+  eavesdropper, bit-flipping tamperer, replayer, dropper and forger.
+- :class:`~repro.network.secure_channel.SecureEndpoint` — the SSL-like
+  layer: certificate-authenticated RSA key transport handshakes yielding
+  per-pair symmetric session keys (the Kx/Ky/Kz of paper Fig. 3), then
+  sequence-numbered authenticated encryption for every message.
+"""
+
+from repro.network.attacker import (
+    DropAttacker,
+    Eavesdropper,
+    ForgeAttacker,
+    ReplayAttacker,
+    TamperAttacker,
+)
+from repro.network.network import Envelope, Network
+from repro.network.secure_channel import SecureEndpoint
+
+__all__ = [
+    "DropAttacker",
+    "Eavesdropper",
+    "Envelope",
+    "ForgeAttacker",
+    "Network",
+    "ReplayAttacker",
+    "SecureEndpoint",
+    "TamperAttacker",
+]

@@ -1,0 +1,115 @@
+"""Dolev-Yao attacker implementations for the security evaluation.
+
+Each class exercises one capability of the paper's network adversary
+(§3.3): eavesdropping, falsification, replay, denial, and forgery. The
+security tests assert that the secure-channel layer defeats each one —
+except denial, which no cryptography prevents (the protocol surfaces it
+as a delivery failure rather than a forged report).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.network import Envelope
+
+
+class Eavesdropper:
+    """Passive: records every payload, delivers unchanged.
+
+    Secrecy holds if recorded traffic never contains protected plaintext.
+    """
+
+    def __init__(self):
+        self.captured: list[Envelope] = []
+
+    def process(self, envelope: Envelope) -> Optional[bytes]:
+        self.captured.append(envelope)
+        return envelope.payload
+
+    def saw_plaintext(self, marker: bytes) -> bool:
+        """Whether any captured payload contains ``marker`` in the clear."""
+        return any(marker in env.payload for env in self.captured)
+
+
+class TamperAttacker:
+    """Active: flips one byte in messages matching a direction filter."""
+
+    def __init__(self, direction: str = "response", flip_offset: int = -10):
+        self.direction = direction
+        self.flip_offset = flip_offset
+        self.tampered_count = 0
+
+    def process(self, envelope: Envelope) -> Optional[bytes]:
+        if envelope.direction != self.direction or not envelope.payload:
+            return envelope.payload
+        payload = bytearray(envelope.payload)
+        payload[self.flip_offset % len(payload)] ^= 0x01
+        self.tampered_count += 1
+        return bytes(payload)
+
+
+class ReplayAttacker:
+    """Active: records payloads, then replays a captured one on demand.
+
+    ``arm(index)`` makes the attacker substitute the recorded payload
+    for the next message in the same direction — modelling an adversary
+    who suppresses a fresh report and replays a stale favourable one.
+    """
+
+    def __init__(self, direction: str = "response"):
+        self.direction = direction
+        self.captured: list[bytes] = []
+        self._armed: Optional[int] = None
+
+    def arm(self, index: int = 0) -> None:
+        """Substitute capture #``index`` for the next matching message."""
+        self._armed = index
+
+    def process(self, envelope: Envelope) -> Optional[bytes]:
+        if envelope.direction != self.direction:
+            return envelope.payload
+        if self._armed is not None and self._armed < len(self.captured):
+            stale = self.captured[self._armed]
+            self._armed = None
+            return stale
+        self.captured.append(envelope.payload)
+        return envelope.payload
+
+
+class DropAttacker:
+    """Active: drops every ``n``-th matching message (denial of service)."""
+
+    def __init__(self, direction: str = "request", drop_every: int = 1):
+        if drop_every < 1:
+            raise ValueError("drop_every must be >= 1")
+        self.direction = direction
+        self.drop_every = drop_every
+        self._count = 0
+
+    def process(self, envelope: Envelope) -> Optional[bytes]:
+        if envelope.direction != self.direction:
+            return envelope.payload
+        self._count += 1
+        if self._count % self.drop_every == 0:
+            return None
+        return envelope.payload
+
+
+class ForgeAttacker:
+    """Active: replaces matching payloads with attacker-chosen bytes.
+
+    Models an adversary fabricating an entire "attestation report"
+    without knowing any keys; the channel layer must reject it.
+    """
+
+    def __init__(self, forged_payload: bytes, direction: str = "response"):
+        self.forged_payload = forged_payload
+        self.direction = direction
+        self.forged_count = 0
+
+    def process(self, envelope: Envelope) -> Optional[bytes]:
+        if envelope.direction != self.direction:
+            return envelope.payload
+        self.forged_count += 1
+        return self.forged_payload

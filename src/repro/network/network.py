@@ -1,0 +1,110 @@
+"""The wire: named endpoints, latency, and the attacker interposition.
+
+Transport is synchronous request/response (the attestation protocol of
+Fig. 3 is strictly request/response at every hop), but *time is real*:
+each wire crossing advances the shared event engine by the modelled
+latency, so VM execution, measurement windows and scheduler events
+interleave naturally with protocol traffic. This is what makes the
+launch/attestation timing figures (9-11) fall out of the same clock as
+the scheduler experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.common.errors import NetworkError
+from repro.common.rng import DeterministicRng
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in transit."""
+
+    sender: str
+    receiver: str
+    payload: bytes
+    #: "request" or "response" — lets attackers target a direction
+    direction: str = "request"
+
+
+class WireAttacker(Protocol):
+    """Attacker interposed on every wire crossing.
+
+    ``process`` may return the payload unchanged (eavesdrop), a modified
+    payload (tamper/forge), or ``None`` to drop the message.
+    """
+
+    def process(self, envelope: Envelope) -> Optional[bytes]: ...
+
+
+class Network:
+    """Request/response transport between named endpoints."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: DeterministicRng,
+        latency_ms: float = 0.35,
+        latency_jitter: float = 0.15,
+    ):
+        if latency_ms < 0:
+            raise NetworkError("latency cannot be negative")
+        self.engine = engine
+        self._rng = rng
+        self.latency_ms = latency_ms
+        self.latency_jitter = latency_jitter
+        self._handlers: dict[str, Callable[[str, bytes], bytes]] = {}
+        self.attacker: Optional[WireAttacker] = None
+        #: total messages carried (for the performance evaluation)
+        self.messages_sent = 0
+        #: total bytes carried
+        self.bytes_sent = 0
+
+    def register(self, name: str, handler: Callable[[str, bytes], bytes]) -> None:
+        """Attach an endpoint: ``handler(sender_name, request) -> response``."""
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} already registered")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (server decommissioned)."""
+        self._handlers.pop(name, None)
+
+    def install_attacker(self, attacker: Optional[WireAttacker]) -> None:
+        """Put an attacker on the wire (or remove with ``None``)."""
+        self.attacker = attacker
+
+    def _cross_wire(self, envelope: Envelope) -> bytes:
+        """One direction of transit: attacker, then latency."""
+        payload: Optional[bytes] = envelope.payload
+        if self.attacker is not None:
+            payload = self.attacker.process(envelope)
+        if payload is None:
+            raise NetworkError(
+                f"message {envelope.sender} -> {envelope.receiver} "
+                "dropped in transit"
+            )
+        latency = self._rng.jitter(self.latency_ms, self.latency_jitter)
+        self.engine.run_until(self.engine.now + latency)
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        return payload
+
+    def rpc(self, sender: str, receiver: str, request: bytes) -> bytes:
+        """Send a request and return the response, paying latency each way."""
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            raise NetworkError(f"no endpoint {receiver!r} on the network")
+        delivered = self._cross_wire(
+            Envelope(sender=sender, receiver=receiver, payload=request)
+        )
+        response = handler(sender, delivered)
+        return self._cross_wire(
+            Envelope(
+                sender=receiver, receiver=sender, payload=response,
+                direction="response",
+            )
+        )

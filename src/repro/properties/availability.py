@@ -1,0 +1,118 @@
+"""CPU-availability interpretation (case study IV, paper §4.5.3).
+
+"The Attestation Server retrieves the attested VM's virtual running
+time and calculates the relative CPU usage as the ratio of a VM's
+virtual running time to real time. If the relative CPU usage is very
+small, then the Attestation Server interprets the VM's CPU availability
+as compromised."
+
+The SLA context matters: a VM that *chose* to idle is healthy at 0%
+usage. When the measurement includes **steal time** (time the VM's
+vCPUs spent runnable but denied the CPU — observable from the same
+vCPU transitions the VMM Profile Tool already watches), the interpreter
+is demand-aware: availability is compromised only when the VM was
+*asking* and being denied — a high steal ratio together with usage
+below the SLA floor. Without steal data (legacy measurements), it falls
+back to the raw usage threshold, which assumes an always-runnable VM
+(the configuration the paper's Fig. 7 experiments use).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.identifiers import VmId
+from repro.monitors.monitor_module import MEAS_CPU_USAGE
+from repro.properties.catalog import SecurityProperty
+from repro.properties.interpretation import PropertyInterpreter
+from repro.properties.report import PropertyReport
+
+
+class AvailabilityInterpreter(PropertyInterpreter):
+    """Thresholds relative CPU usage against the SLA's entitled share."""
+
+    prop = SecurityProperty.CPU_AVAILABILITY
+
+    def __init__(
+        self,
+        default_entitled_share: float = 0.5,
+        tolerance: float = 0.6,
+        steal_threshold: float = 0.6,
+    ):
+        if not 0.0 < default_entitled_share <= 1.0:
+            raise ValueError("entitled share must be in (0, 1]")
+        if not 0.0 < tolerance <= 1.0:
+            raise ValueError("tolerance must be in (0, 1]")
+        if not 0.0 < steal_threshold < 1.0:
+            raise ValueError("steal threshold must be in (0, 1)")
+        self.default_entitled_share = default_entitled_share
+        self.tolerance = tolerance
+        #: fraction of demanded CPU that must be denied before the VM
+        #: counts as starved (fair halving of a contended core gives
+        #: exactly 0.5, so the threshold sits above it)
+        self.steal_threshold = steal_threshold
+        self._entitled: dict[VmId, float] = {}
+
+    def set_entitled_share(self, vid: VmId, share: float) -> None:
+        """Record a VM's SLA-contracted CPU share."""
+        if not 0.0 < share <= 1.0:
+            raise ValueError("entitled share must be in (0, 1]")
+        self._entitled[vid] = share
+
+    def interpret(self, vid: VmId, measurements: dict[str, Any]) -> PropertyReport:
+        usage = measurements[MEAS_CPU_USAGE]
+        wall = float(usage["wall_ms"])
+        cpu = float(usage["cpu_ms"])
+        wait = float(usage["wait_ms"]) if "wait_ms" in usage else None
+        relative = cpu / wall if wall > 0 else 0.0
+        entitled = self._entitled.get(vid, self.default_entitled_share)
+        floor = entitled * self.tolerance
+
+        if wait is not None:
+            demanded = cpu + wait
+            steal = wait / demanded if demanded > 0 else 0.0
+            below_floor = relative < floor
+            starved = below_floor and steal > self.steal_threshold
+            healthy = not starved
+            if healthy and below_floor:
+                explanation = (
+                    f"relative CPU usage {relative:.1%} is below the floor "
+                    f"but the VM demanded little CPU (steal {steal:.1%}): "
+                    "idle by choice, not starved"
+                )
+            elif healthy:
+                explanation = (
+                    f"relative CPU usage {relative:.1%} meets the SLA floor "
+                    f"({floor:.1%} of wall time)"
+                )
+            else:
+                explanation = (
+                    f"relative CPU usage {relative:.1%} below the SLA floor "
+                    f"({floor:.1%}) with {steal:.1%} of demanded time denied: "
+                    "availability compromised"
+                )
+        else:
+            # legacy measurement without steal data: raw usage threshold
+            steal = 0.0
+            healthy = relative >= floor
+            explanation = (
+                f"relative CPU usage {relative:.1%} meets the SLA floor "
+                f"({floor:.1%} of wall time)"
+                if healthy
+                else f"relative CPU usage {relative:.1%} below the SLA floor "
+                f"({floor:.1%}): availability compromised"
+            )
+        return PropertyReport(
+            prop=self.prop,
+            healthy=healthy,
+            explanation=explanation,
+            details={
+                "relative_usage": relative,
+                "entitled_share": entitled,
+                "floor": floor,
+                "cpu_ms": cpu,
+                "wall_ms": wall,
+                "wait_ms": wait if wait is not None else 0.0,
+                "steal_ratio": steal,
+            },
+        )

@@ -1,0 +1,97 @@
+"""The property vocabulary and the P → rM mapping (paper §4.1).
+
+"The Attestation Server has a mapping of security property P to
+measurements M. This gives a list of measurements M that can indicate
+the security health with respect to the specified property P."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.monitors.monitor_module import (
+    MEAS_BUS_LOCK_HISTOGRAM,
+    MEAS_CPU_INTERVAL_HISTOGRAM,
+    MEAS_CPU_USAGE,
+    MEAS_KERNEL_MODULES,
+    MEAS_PLATFORM_INTEGRITY,
+    MEAS_TASK_LIST,
+    MEAS_VM_IMAGE_INTEGRITY,
+)
+
+
+class SecurityProperty(str, enum.Enum):
+    """The properties a customer can request (paper's four case studies).
+
+    The architecture is open-ended — "CloudMonatt is flexible and allows
+    the integration of an arbitrary number of security properties" — so
+    the catalog accepts registrations beyond these built-ins.
+    """
+
+    STARTUP_INTEGRITY = "startup_integrity"
+    RUNTIME_INTEGRITY = "runtime_integrity"
+    COVERT_CHANNEL_FREEDOM = "covert_channel_freedom"
+    CPU_AVAILABILITY = "cpu_availability"
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """Measurement requirements for one property."""
+
+    measurements: tuple[str, ...]
+    #: default testing-window length for windowed measurements, in ms
+    default_window_ms: float = 0.0
+
+
+_BUILTIN_SPECS: dict[SecurityProperty, PropertySpec] = {
+    SecurityProperty.STARTUP_INTEGRITY: PropertySpec(
+        measurements=(MEAS_PLATFORM_INTEGRITY, MEAS_VM_IMAGE_INTEGRITY),
+    ),
+    SecurityProperty.RUNTIME_INTEGRITY: PropertySpec(
+        measurements=(MEAS_TASK_LIST, MEAS_KERNEL_MODULES),
+    ),
+    SecurityProperty.COVERT_CHANNEL_FREEDOM: PropertySpec(
+        # both covert-channel sources (§4.4.3: "other types of covert
+        # channels can also be monitored"): scheduler intervals and
+        # memory-bus lock rates
+        measurements=(MEAS_CPU_INTERVAL_HISTOGRAM, MEAS_BUS_LOCK_HISTOGRAM),
+        default_window_ms=3000.0,
+    ),
+    SecurityProperty.CPU_AVAILABILITY: PropertySpec(
+        measurements=(MEAS_CPU_USAGE,),
+        default_window_ms=1000.0,
+    ),
+}
+
+
+class PropertyCatalog:
+    """Registry resolving a property to its required measurements."""
+
+    def __init__(self):
+        self._specs: dict[SecurityProperty, PropertySpec] = dict(_BUILTIN_SPECS)
+
+    def register(self, prop: SecurityProperty, spec: PropertySpec) -> None:
+        """Add or replace a property's measurement mapping."""
+        if not spec.measurements:
+            raise ConfigurationError("a property needs at least one measurement")
+        self._specs[prop] = spec
+
+    def supports(self, prop: SecurityProperty) -> bool:
+        """Whether the catalog knows the property."""
+        return prop in self._specs
+
+    def spec(self, prop: SecurityProperty) -> PropertySpec:
+        """The measurement spec for a property."""
+        if prop not in self._specs:
+            raise ConfigurationError(f"unknown security property {prop!r}")
+        return self._specs[prop]
+
+    def measurements_for(self, prop: SecurityProperty) -> tuple[str, ...]:
+        """The rM list sent to the cloud server for property P."""
+        return self.spec(prop).measurements
+
+    def properties(self) -> list[SecurityProperty]:
+        """All registered properties."""
+        return list(self._specs)

@@ -1,0 +1,77 @@
+"""IMA-style per-component appraisal (paper §4.2.2).
+
+"Alternatively, the Attestation Server can use a trusted Appraiser
+system (like an Integrity Measurement Architecture (IMA)) to check if
+the measured hash values conform to the correct values for a pristine,
+malware-free system."
+
+Where the aggregate-PCR comparison answers only "is the platform
+pristine?", the IMA appraiser walks the named measurement log and
+answers "which components are not" — diagnostics the response module
+can act on (e.g. suspend only until the one bad agent is redeployed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.monitors.integrity_unit import SoftwareInventory
+
+
+@dataclass(frozen=True)
+class ComponentVerdict:
+    """Appraisal of one measurement-log entry."""
+
+    name: str
+    measured_digest: bytes
+    status: str  # "ok" | "modified" | "unknown-component"
+
+
+class ImaAppraiser:
+    """Holds known-good per-component digests; appraises named logs."""
+
+    def __init__(self):
+        self._good_digests: dict[str, set[bytes]] = {}
+
+    def trust_inventory(self, inventory: SoftwareInventory) -> None:
+        """Whitelist every component version in a pristine inventory.
+
+        Multiple calls accumulate: a component may have several
+        acceptable versions (e.g. two patched hypervisor builds).
+        """
+        for (name, content) in inventory.components:
+            digest = hashlib.sha256(content).digest()
+            self._good_digests.setdefault(name, set()).add(digest)
+
+    def knows_component(self, name: str) -> bool:
+        """Whether any good digest is registered for the component."""
+        return name in self._good_digests
+
+    def appraise(
+        self, components: list[str], log: list[bytes]
+    ) -> list[ComponentVerdict]:
+        """Judge each (component, digest) pair in the measurement log."""
+        verdicts = []
+        for name, digest in zip(components, log):
+            good = self._good_digests.get(name)
+            if good is None:
+                status = "unknown-component"
+            elif digest in good:
+                status = "ok"
+            else:
+                status = "modified"
+            verdicts.append(
+                ComponentVerdict(name=name, measured_digest=digest, status=status)
+            )
+        return verdicts
+
+    def violations(
+        self, components: list[str], log: list[bytes]
+    ) -> list[str]:
+        """Names of components that are modified or unrecognized."""
+        return [
+            verdict.name
+            for verdict in self.appraise(components, log)
+            if verdict.status != "ok"
+        ]

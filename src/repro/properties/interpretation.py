@@ -1,0 +1,51 @@
+"""Interpreter framework: measurements M in, attestation report R out."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import VmId
+from repro.properties.catalog import SecurityProperty
+from repro.properties.report import PropertyReport
+
+
+class PropertyInterpreter(abc.ABC):
+    """Judges whether one security property holds, from measurements.
+
+    Subclasses hold whatever reference data the judgement needs (good
+    hash values, process whitelists, SLA shares) — that is Attestation
+    Server state, not cloud-server state, which is what keeps the
+    scheme trustworthy when servers are not.
+    """
+
+    prop: SecurityProperty
+
+    @abc.abstractmethod
+    def interpret(self, vid: VmId, measurements: dict[str, Any]) -> PropertyReport:
+        """Produce the attestation report for ``vid``."""
+
+
+class InterpreterRegistry:
+    """Property → interpreter dispatch, owned by the Attestation Server."""
+
+    def __init__(self):
+        self._interpreters: dict[SecurityProperty, PropertyInterpreter] = {}
+
+    def register(self, interpreter: PropertyInterpreter) -> None:
+        """Install an interpreter for its declared property."""
+        self._interpreters[interpreter.prop] = interpreter
+
+    def supports(self, prop: SecurityProperty) -> bool:
+        """Whether an interpreter is installed for the property."""
+        return prop in self._interpreters
+
+    def interpret(
+        self, prop: SecurityProperty, vid: VmId, measurements: dict[str, Any]
+    ) -> PropertyReport:
+        """Dispatch measurement interpretation for one property."""
+        interpreter = self._interpreters.get(prop)
+        if interpreter is None:
+            raise ConfigurationError(f"no interpreter for property {prop!r}")
+        return interpreter.interpret(vid, measurements)

@@ -1,0 +1,46 @@
+"""The attestation report R produced by property interpretation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.properties.catalog import SecurityProperty
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Verdict of one property interpretation.
+
+    ``healthy`` is the attestation decision the customer acts on;
+    ``details`` carries the supporting evidence (interpreted, not raw);
+    ``explanation`` is a human-readable summary.
+    """
+
+    prop: SecurityProperty
+    healthy: bool
+    explanation: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Serializable form for signing and transport.
+
+        Detail values are kept canonically encodable (the protocol signs
+        reports end to end).
+        """
+        return {
+            "prop": self.prop.value,
+            "healthy": self.healthy,
+            "explanation": self.explanation,
+            "details": self.details,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PropertyReport":
+        """Inverse of :meth:`to_dict`."""
+        return PropertyReport(
+            prop=SecurityProperty(data["prop"]),
+            healthy=bool(data["healthy"]),
+            explanation=str(data["explanation"]),
+            details=dict(data["details"]),
+        )

@@ -1,0 +1,98 @@
+"""Runtime-integrity interpretation (case study II, paper §4.3).
+
+The VMI tool returns the *true* task list from guest memory. Two checks:
+
+1. **Whitelist** — every running task must be one the customer declared
+   (the customer registers the service set their image runs).
+2. **Module whitelist** — loaded kernel modules must likewise be known.
+
+The paper additionally describes the customer comparing the attested
+task list with the (possibly lying) in-guest view; that comparison is
+surfaced by the customer-side helper :func:`detect_hidden_tasks`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.identifiers import VmId
+from repro.monitors.monitor_module import MEAS_KERNEL_MODULES, MEAS_TASK_LIST
+from repro.properties.catalog import SecurityProperty
+from repro.properties.interpretation import PropertyInterpreter
+from repro.properties.report import PropertyReport
+
+
+class RuntimeIntegrityInterpreter(PropertyInterpreter):
+    """Appraises VMI task-list evidence against per-VM whitelists."""
+
+    prop = SecurityProperty.RUNTIME_INTEGRITY
+
+    def __init__(self):
+        self._task_whitelists: dict[VmId, set[str]] = {}
+        self._module_whitelists: dict[VmId, set[str]] = {}
+
+    def set_whitelist(
+        self, vid: VmId, tasks: list[str], modules: list[str] | None = None
+    ) -> None:
+        """Register the customer-declared expected tasks (and modules)."""
+        self._task_whitelists[vid] = set(tasks)
+        if modules is not None:
+            self._module_whitelists[vid] = set(modules)
+
+    def interpret(self, vid: VmId, measurements: dict[str, Any]) -> PropertyReport:
+        tasks = measurements[MEAS_TASK_LIST]
+        modules = measurements.get(MEAS_KERNEL_MODULES, [])
+        task_whitelist = self._task_whitelists.get(vid)
+
+        if task_whitelist is None:
+            return PropertyReport(
+                prop=self.prop,
+                healthy=False,
+                explanation="no task whitelist registered for this VM",
+                details={"unknown_tasks": [t["name"] for t in tasks]},
+            )
+
+        unknown_tasks = sorted(
+            {t["name"] for t in tasks if t["name"] not in task_whitelist}
+        )
+        module_whitelist = self._module_whitelists.get(vid)
+        unknown_modules = (
+            sorted(set(modules) - module_whitelist)
+            if module_whitelist is not None
+            else []
+        )
+
+        healthy = not unknown_tasks and not unknown_modules
+        if healthy:
+            explanation = "all running tasks and modules are whitelisted"
+        else:
+            parts = []
+            if unknown_tasks:
+                parts.append(f"unexpected tasks: {', '.join(unknown_tasks)}")
+            if unknown_modules:
+                parts.append(f"unexpected kernel modules: {', '.join(unknown_modules)}")
+            explanation = "; ".join(parts)
+        return PropertyReport(
+            prop=self.prop,
+            healthy=healthy,
+            explanation=explanation,
+            details={
+                "task_count": len(tasks),
+                "unknown_tasks": unknown_tasks,
+                "unknown_modules": unknown_modules,
+            },
+        )
+
+
+def detect_hidden_tasks(
+    attested_tasks: list[dict], guest_reported_tasks: list[dict]
+) -> list[dict]:
+    """Customer-side check: tasks in the attested (true) list that the
+    guest's own query omits — i.e. processes malware is hiding.
+
+    "The customer can compare this actual task list in the returned
+    Attestation Report and compare it with the one he gets from querying
+    the corrupted guest OS, to detect the malware running in his VM."
+    """
+    reported_pids = {t["pid"] for t in guest_reported_tasks}
+    return [t for t in attested_tasks if t["pid"] not in reported_pids]

@@ -1,0 +1,115 @@
+"""Startup-integrity interpretation (case study I, paper §4.2).
+
+The Attestation Server holds pre-calculated good values for platform
+configurations and VM images ("the correct pre-calculated hash values of
+its executable files"). Interpretation is hash-chain appraisal: the
+measured PCR value must replay from the measurement log, and the final
+value must match a known-good reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.identifiers import VmId
+from repro.crypto.hashing import HashChain
+from repro.monitors.monitor_module import (
+    MEAS_PLATFORM_INTEGRITY,
+    MEAS_VM_IMAGE_INTEGRITY,
+)
+from repro.properties.catalog import SecurityProperty
+from repro.properties.ima import ImaAppraiser
+from repro.properties.interpretation import PropertyInterpreter
+from repro.properties.report import PropertyReport
+
+
+class StartupIntegrityInterpreter(PropertyInterpreter):
+    """Appraises platform and VM-image measured-boot evidence."""
+
+    prop = SecurityProperty.STARTUP_INTEGRITY
+
+    def __init__(self):
+        self._good_platform_values: set[bytes] = set()
+        self._good_image_values: dict[str, bytes] = {}
+        self._image_for_vm: dict[VmId, str] = {}
+        #: optional IMA-style per-component appraiser (paper §4.2.2's
+        #: "trusted Appraiser system (like IMA)") for diagnostics
+        self.ima: "ImaAppraiser | None" = None
+
+    # -- reference management (Attestation Server database state) -------
+
+    def add_good_platform(self, pcr_value: bytes) -> None:
+        """Whitelist a pristine platform configuration value."""
+        self._good_platform_values.add(pcr_value)
+
+    def add_good_image(self, image_name: str, chain_value: bytes) -> None:
+        """Whitelist a pristine VM image's measurement chain value."""
+        self._good_image_values[image_name] = chain_value
+
+    def expect_image(self, vid: VmId, image_name: str) -> None:
+        """Record which image a VM was launched from."""
+        self._image_for_vm[vid] = image_name
+
+    # -- appraisal -------------------------------------------------------
+
+    @staticmethod
+    def _log_consistent(evidence: dict) -> bool:
+        """Does the measurement log replay to the reported PCR value?"""
+        return HashChain.replay(list(evidence["log"])) == evidence["pcr"]
+
+    def interpret(self, vid: VmId, measurements: dict[str, Any]) -> PropertyReport:
+        platform = measurements[MEAS_PLATFORM_INTEGRITY]
+        image = measurements[MEAS_VM_IMAGE_INTEGRITY]
+
+        platform_log_ok = self._log_consistent(platform)
+        platform_known = platform["pcr"] in self._good_platform_values
+        image_log_ok = self._log_consistent(image)
+
+        image_name = self._image_for_vm.get(vid)
+        expected_image = self._good_image_values.get(image_name or "")
+        image_known = expected_image is not None and image["pcr"] == expected_image
+
+        tampered_components: list[str] = []
+        if self.ima is not None and platform.get("components"):
+            tampered_components = self.ima.violations(
+                [str(c) for c in platform["components"]], list(platform["log"])
+            )
+
+        healthy = platform_log_ok and platform_known and image_log_ok and image_known
+        reasons = []
+        if not platform_log_ok:
+            reasons.append("platform measurement log inconsistent")
+        if not platform_known:
+            if tampered_components:
+                reasons.append(
+                    "platform components modified: "
+                    + ", ".join(tampered_components)
+                )
+            else:
+                reasons.append("platform configuration not a known-good value")
+        if not image_log_ok:
+            reasons.append("VM image measurement log inconsistent")
+        if not image_known:
+            reasons.append(
+                f"VM image does not match pristine {image_name!r}"
+                if image_name
+                else "no image expectation recorded for this VM"
+            )
+        explanation = (
+            "platform and VM image match pristine references"
+            if healthy
+            else "; ".join(reasons)
+        )
+        return PropertyReport(
+            prop=self.prop,
+            healthy=healthy,
+            explanation=explanation,
+            details={
+                "platform_log_consistent": platform_log_ok,
+                "platform_known_good": platform_known,
+                "image_log_consistent": image_log_ok,
+                "image_known_good": image_known,
+                "expected_image": image_name or "",
+                "tampered_components": tampered_components,
+            },
+        )

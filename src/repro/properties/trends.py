@@ -1,0 +1,110 @@
+"""Trend analysis over accumulated attestation history.
+
+The periodic mode (§3.2.1) gives the Attestation Server a *time series*
+per (VM, property), not just the latest verdict. This module turns that
+history into operational judgement for the availability property:
+
+- a **transient dip** (one bad round between good ones) usually means a
+  noisy neighbour burst or a measurement artifact — worth logging, not
+  worth migrating over;
+- **sustained degradation** (a significant negative usage trend, or a
+  run of consecutive bad rounds) is what should trigger the §5.2
+  remediation machinery.
+
+The statistical test is a least-squares fit of relative usage against
+time (``scipy.stats.linregress``): degradation is "sustained" when the
+slope is significantly negative (p < alpha) or the recent mean sits
+below the floor for ``min_bad_run`` consecutive rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class TrendVerdict:
+    """Outcome of one trend analysis."""
+
+    classification: str  # "healthy" | "transient_dip" | "sustained_degradation"
+    slope_per_second: float
+    p_value: float
+    bad_run_length: int
+    mean_usage: float
+
+
+class AvailabilityTrendAnalyzer:
+    """Classifies an availability time series."""
+
+    def __init__(
+        self,
+        floor: float = 0.3,
+        alpha: float = 0.05,
+        min_bad_run: int = 3,
+        min_points: int = 4,
+    ):
+        if not 0 < floor < 1:
+            raise ValueError("floor must be in (0, 1)")
+        if min_points < 3:
+            raise ValueError("need at least three points to fit a trend")
+        self.floor = floor
+        self.alpha = alpha
+        self.min_bad_run = min_bad_run
+        self.min_points = min_points
+
+    def analyze(
+        self, times_ms: Sequence[float], usages: Sequence[float]
+    ) -> TrendVerdict:
+        """Classify a (time, relative-usage) series."""
+        if len(times_ms) != len(usages):
+            raise ValueError("times and usages must align")
+        n = len(usages)
+        mean_usage = sum(usages) / n if n else 0.0
+        # trailing run of below-floor rounds
+        bad_run = 0
+        for usage in reversed(usages):
+            if usage < self.floor:
+                bad_run += 1
+            else:
+                break
+
+        if n < self.min_points:
+            classification = (
+                "sustained_degradation"
+                if bad_run >= self.min_bad_run
+                else ("transient_dip" if bad_run else "healthy")
+            )
+            return TrendVerdict(
+                classification=classification,
+                slope_per_second=0.0,
+                p_value=1.0,
+                bad_run_length=bad_run,
+                mean_usage=mean_usage,
+            )
+
+        seconds = [t / 1000.0 for t in times_ms]
+        if len(set(seconds)) < 2 or len(set(usages)) < 2:
+            slope, p_value = 0.0, 1.0
+        else:
+            fit = stats.linregress(seconds, usages)
+            slope, p_value = float(fit.slope), float(fit.pvalue)
+
+        sustained = bad_run >= self.min_bad_run or (
+            slope < 0 and p_value < self.alpha and usages[-1] < self.floor
+        )
+        if sustained:
+            classification = "sustained_degradation"
+        elif bad_run > 0:
+            classification = "transient_dip"
+        else:
+            classification = "healthy"
+        return TrendVerdict(
+            classification=classification,
+            slope_per_second=slope,
+            p_value=p_value,
+            bad_run_length=bad_run,
+            mean_usage=mean_usage,
+        )

@@ -1,0 +1,38 @@
+"""The attestation protocol of paper Fig. 3.
+
+Message schemas and quote computation shared by the four entities. Each
+hop of the protocol carries its own nonce (N1 customer-controller, N2
+controller-attestation server, N3 attestation server-cloud server) and a
+cumulative hash "quote" (Q1/Q2/Q3) binding the hop's content, signed by
+the producing entity's key (SKc / SKa / ASKs).
+"""
+
+from repro.protocol.messages import (
+    KEY_HEALTHY,
+    KEY_MEASUREMENTS,
+    KEY_NONCE,
+    KEY_PROPERTY,
+    KEY_QUOTE,
+    KEY_REPORT,
+    KEY_REQUESTED,
+    KEY_SERVER,
+    KEY_SIGNATURE,
+    KEY_VID,
+)
+from repro.protocol.quotes import attestation_quote, report_quote_q1, report_quote_q2
+
+__all__ = [
+    "KEY_HEALTHY",
+    "KEY_MEASUREMENTS",
+    "KEY_NONCE",
+    "KEY_PROPERTY",
+    "KEY_QUOTE",
+    "KEY_REPORT",
+    "KEY_REQUESTED",
+    "KEY_SERVER",
+    "KEY_SIGNATURE",
+    "KEY_VID",
+    "attestation_quote",
+    "report_quote_q1",
+    "report_quote_q2",
+]

@@ -1,0 +1,45 @@
+"""Shared message-field vocabulary for the attestation protocol.
+
+Entities exchange canonical-encodable dicts over secure channels; these
+constants are the field names, kept in one place so a typo cannot split
+the protocol silently. Validation helpers raise
+:class:`~repro.common.errors.ProtocolError` with the missing field named.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+
+KEY_TYPE = "type"
+KEY_VID = "vid"
+KEY_SERVER = "server"
+KEY_PROPERTY = "property"
+KEY_NONCE = "nonce"
+KEY_REQUESTED = "requested_measurements"
+KEY_WINDOW = "window_ms"
+KEY_MEASUREMENTS = "measurements"
+KEY_QUOTE = "quote"
+KEY_SIGNATURE = "signature"
+KEY_SESSION_CERT = "session_certificate"
+KEY_REPORT = "report"
+KEY_HEALTHY = "healthy"
+KEY_STATUS = "status"
+KEY_FREQ = "frequency_ms"
+
+# message type tags
+MSG_ATTEST_REQUEST = "attest_request"
+MSG_MEASURE_REQUEST = "measure_request"
+MSG_LAUNCH = "launch_vm"
+MSG_TERMINATE = "terminate_vm"
+MSG_SUSPEND = "suspend_vm"
+MSG_RESUME = "resume_vm"
+MSG_MIGRATE_OUT = "migrate_out"
+MSG_MIGRATE_IN = "migrate_in"
+MSG_PERIODIC_RESULT = "periodic_attestation_result"
+
+
+def require_fields(message: dict, *fields: str) -> None:
+    """Assert the presence of all ``fields``; raise naming the first gap."""
+    for field in fields:
+        if field not in message:
+            raise ProtocolError(f"message missing required field {field!r}")

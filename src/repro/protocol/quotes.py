@@ -1,0 +1,38 @@
+"""Quote computation: the cumulative hashes of paper Fig. 3.
+
+- ``Q3 = H(Vid || rM || M || N3)`` — computed by the cloud server over
+  its measurements, signed with the session key ASKs;
+- ``Q2 = H(Vid || I || P || R || N2)`` — computed by the Attestation
+  Server over its report, signed with SKa;
+- ``Q1 = H(Vid || P || R || N1)`` — computed by the Cloud Controller,
+  signed with SKc.
+
+Hashes use the canonical encoding, so "||" concatenation ambiguity does
+not exist: each quote is a hash of a well-typed tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.hashing import sha256
+
+
+def attestation_quote(
+    vid: str, requested: list[str], measurements: dict[str, Any], nonce: bytes
+) -> bytes:
+    """Q3: binds measurements to the VM, the request and the nonce."""
+    return sha256([vid, list(requested), measurements, nonce])
+
+
+def report_quote_q2(
+    vid: str, server: str, prop: str, report: dict, nonce: bytes
+) -> bytes:
+    """Q2: binds the interpreted report to VM, server, property, nonce."""
+    return sha256([vid, server, prop, report, nonce])
+
+
+def report_quote_q1(vid: str, prop: str, report: dict, nonce: bytes) -> bytes:
+    """Q1: the customer-facing binding (the server identity is omitted —
+    the customer must not learn which server hosts the VM)."""
+    return sha256([vid, prop, report, nonce])

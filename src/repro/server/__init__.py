@@ -1,0 +1,12 @@
+"""The Cloud Server: the attester entity (paper Fig. 2).
+
+One :class:`~repro.server.node.CloudServer` bundles a hypervisor (with
+credit scheduler), a hardware Trust Module, the Monitor Module with all
+measurement providers, an Attestation Client that services measurement
+requests from the Attestation Server, and a Management Client that
+services VM lifecycle commands from the Cloud Controller.
+"""
+
+from repro.server.node import CloudServer
+
+__all__ = ["CloudServer"]

@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event engine: a priority queue of timestamped
+callbacks with stable FIFO ordering for simultaneous events. The Xen
+scheduler simulation, the network latency model and the VM lifecycle
+timing all run on one shared engine so their clocks agree.
+"""
+
+from repro.sim.engine import Engine, EventHandle
+
+__all__ = ["Engine", "EventHandle"]

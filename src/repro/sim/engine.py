@@ -1,0 +1,145 @@
+"""The event engine.
+
+Design notes:
+
+- Time is a ``float`` in **milliseconds** (see :mod:`repro.common.units`).
+- Events at the same timestamp fire in scheduling order (a monotonically
+  increasing sequence number breaks ties), so runs are deterministic.
+- Cancellation is lazy: a cancelled event stays in the heap but is skipped
+  when popped. This keeps :meth:`Engine.cancel` O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import StateError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`; allows cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Engine:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(10.0, lambda: print("at t=10ms"))
+        engine.run_until(100.0)
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise StateError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=next(self._seq),
+                       callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule at an absolute simulation time (must not be in the past)."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event. Cancelling twice is a no-op."""
+        handle._event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with timestamps ``<= end_time``.
+
+        Leaves ``now`` at least ``end_time`` even if the queue drains
+        early, so follow-on scheduling is relative to the horizon.
+
+        Re-entrancy: an event callback may itself call ``run_until``
+        (e.g. a periodic attestation firing network calls, each of which
+        advances the clock). Inner calls may push ``now`` past the outer
+        horizon; the ``max`` guards keep time monotonic in that case.
+        """
+        if end_time < self._now:
+            raise StateError("run_until target is in the past")
+        while self._queue:
+            event = self._queue[0]
+            if event.time > end_time:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback(*event.args)
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty; returns the event count executed.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise StateError(f"exceeded {max_events} events; runaway loop?")
+        return executed
+
+    def pending(self) -> int:
+        """Number of (possibly cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,21 @@
+"""TPM emulator and the paper's hardware Trust Module.
+
+Two layers:
+
+- :class:`~repro.tpm.tpm_emulator.TpmEmulator` — a software TPM with the
+  subset of TCG semantics the architecture uses: a PCR bank with extend
+  semantics, attestation identity keys, and signed quotes over selected
+  PCRs plus a nonce. (The paper integrates the Strasser TPM-emulator;
+  this is our from-scratch equivalent.)
+- :class:`~repro.tpm.trust_module.TrustModule` — the new hardware block
+  of paper Fig. 2: identity key, per-session attestation key generation,
+  crypto engine, RNG, and the **Trust Evidence Registers** that store
+  security measurements (the covert-channel detector uses 30 of them as
+  interval counters).
+"""
+
+from repro.tpm.pcr import PcrBank
+from repro.tpm.tpm_emulator import Quote, TpmEmulator
+from repro.tpm.trust_module import AttestationSession, TrustModule
+
+__all__ = ["AttestationSession", "PcrBank", "Quote", "TpmEmulator", "TrustModule"]

@@ -1,0 +1,65 @@
+"""Platform Configuration Register bank."""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.crypto.hashing import DIGEST_SIZE, HashChain
+
+
+class PcrBank:
+    """A bank of PCRs, each an extend-only hash chain.
+
+    Conventional allocation in this reproduction (mirroring measured
+    boot): PCR 0 holds the platform chain (hypervisor, host OS), PCR 8
+    holds the VM image chain. The allocation is policy, not mechanism —
+    any register works the same way.
+    """
+
+    PLATFORM_PCR = 0
+    VM_IMAGE_PCR = 8
+
+    def __init__(self, count: int = 24):
+        if count < 1:
+            raise StateError("a PCR bank needs at least one register")
+        self._registers = [HashChain() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self._registers):
+            raise StateError(f"PCR index {index} out of range")
+
+    def extend(self, index: int, measurement: bytes) -> bytes:
+        """Extend PCR ``index`` with a measurement digest."""
+        self._check(index)
+        return self._registers[index].extend(measurement)
+
+    def read(self, index: int) -> bytes:
+        """Current value of PCR ``index``."""
+        self._check(index)
+        return self._registers[index].value
+
+    def log(self, index: int) -> tuple[bytes, ...]:
+        """The measurement log (extensions in order) for PCR ``index``."""
+        self._check(index)
+        return self._registers[index].history
+
+    def snapshot(self, selection: list[int]) -> dict[str, bytes]:
+        """Read several PCRs at once, keyed by stringified index.
+
+        String keys keep the snapshot directly canonically encodable for
+        inclusion in signed quotes.
+        """
+        return {str(i): self.read(i) for i in selection}
+
+    def reset(self, index: int) -> None:
+        """Reset a resettable PCR to zeros (used on VM teardown for the
+        per-VM image register)."""
+        self._check(index)
+        self._registers[index] = HashChain()
+
+    @staticmethod
+    def zero() -> bytes:
+        """The initial all-zeros register value."""
+        return b"\x00" * DIGEST_SIZE

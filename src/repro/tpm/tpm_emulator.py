@@ -1,0 +1,70 @@
+"""Software TPM: PCR bank + attestation identity keys + signed quotes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SignatureError
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import KeyPair, RsaPublicKey
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign, verify
+from repro.tpm.pcr import PcrBank
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A TPM quote: signed snapshot of selected PCRs bound to a nonce."""
+
+    pcr_values: dict[str, bytes]
+    nonce: bytes
+    signature: bytes
+
+    def tbs(self) -> dict:
+        """The to-be-signed structure."""
+        return {"pcr_values": self.pcr_values, "nonce": self.nonce}
+
+
+class TpmEmulator:
+    """The subset of TPM behaviour the architecture needs.
+
+    - ``extend``/``read`` on the PCR bank;
+    - an Attestation Identity Key (AIK) minted at construction;
+    - ``quote``: sign (selected PCR values, nonce) with the AIK.
+
+    Key material derives from the supplied DRBG, keeping whole-cloud runs
+    reproducible.
+    """
+
+    def __init__(self, drbg: HmacDrbg, key_bits: int = 1024, pcr_count: int = 24):
+        self.pcrs = PcrBank(pcr_count)
+        self._aik: KeyPair = generate_keypair(drbg.fork("tpm-aik"), key_bits)
+
+    @property
+    def aik_public(self) -> RsaPublicKey:
+        """Public half of the attestation identity key."""
+        return self._aik.public
+
+    def extend(self, index: int, measurement: bytes) -> bytes:
+        """Extend a PCR; returns the new register value."""
+        return self.pcrs.extend(index, measurement)
+
+    def read(self, index: int) -> bytes:
+        """Read a PCR value."""
+        return self.pcrs.read(index)
+
+    def quote(self, selection: list[int], nonce: bytes) -> Quote:
+        """Produce a signed quote over the selected PCRs and ``nonce``."""
+        values = self.pcrs.snapshot(selection)
+        tbs = {"pcr_values": values, "nonce": nonce}
+        return Quote(pcr_values=values, nonce=nonce, signature=sign(self._aik.private, tbs))
+
+
+def verify_quote(aik_public: RsaPublicKey, quote: Quote, expected_nonce: bytes) -> None:
+    """Check a quote's signature and nonce binding.
+
+    Raises :class:`SignatureError` on forgery or a stale nonce.
+    """
+    if quote.nonce != expected_nonce:
+        raise SignatureError("quote nonce does not match the challenge")
+    verify(aik_public, quote.tbs(), quote.signature)

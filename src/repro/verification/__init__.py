@@ -1,0 +1,51 @@
+"""Symbolic protocol verification (the paper's ProVerif analysis, §7.2.2).
+
+The paper models its attestation protocol in ProVerif and verifies six
+secrecy / integrity / authentication properties against a Dolev-Yao
+attacker. This package is a from-scratch equivalent:
+
+- :mod:`repro.verification.terms` — a free term algebra with the usual
+  perfect-cryptography constructors (pairing, symmetric and asymmetric
+  encryption, signatures, hashing, key derivation);
+- :mod:`repro.verification.deduction` — attacker-knowledge closure:
+  decompose what was observed (analysis) and decide derivability of any
+  target term (synthesis), the classic decidable two-phase procedure;
+- :mod:`repro.verification.protocol_model` — the CloudMonatt attestation
+  protocol of Fig. 3 as a symbolic message trace, plus deliberately
+  weakened variants (plaintext, nonce-free, identity-key-reuse) used to
+  show the verifier *finds* the corresponding attacks;
+- :mod:`repro.verification.verifier` — the six properties ①-⑥ as
+  queries, returning per-property verdicts with witnesses.
+"""
+
+from repro.verification.deduction import KnowledgeBase
+from repro.verification.protocol_model import ProtocolModel, ProtocolVariant
+from repro.verification.terms import (
+    Name,
+    aenc,
+    h,
+    kdf,
+    pair,
+    pk,
+    senc,
+    sign_t,
+    tuple_t,
+)
+from repro.verification.verifier import ProtocolVerifier, VerificationResult
+
+__all__ = [
+    "KnowledgeBase",
+    "Name",
+    "ProtocolModel",
+    "ProtocolVariant",
+    "ProtocolVerifier",
+    "VerificationResult",
+    "aenc",
+    "h",
+    "kdf",
+    "pair",
+    "pk",
+    "senc",
+    "sign_t",
+    "tuple_t",
+]

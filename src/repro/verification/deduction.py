@@ -1,0 +1,119 @@
+"""Dolev-Yao deduction: what can the attacker derive?
+
+Two-phase decision procedure (standard for this term algebra):
+
+- **Analysis** — saturate the knowledge set under *destructors*: split
+  pairs, open signatures (they reveal the message), decrypt symmetric
+  and asymmetric ciphertexts whenever the needed key is itself
+  derivable. Decryption conditions call back into synthesis, so the two
+  phases iterate to a joint fixpoint.
+- **Synthesis** — decide derivability of a target term: it is known
+  directly, or it is a constructor application whose arguments are all
+  derivable. Hashes, KDFs and public keys are synthesizable from their
+  arguments but never invertible.
+
+The procedure terminates: analysis only ever adds subterms of observed
+messages (a finite set), and synthesis recursion structurally descends
+the target term.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.verification.terms import Func, Term
+
+
+class KnowledgeBase:
+    """An attacker's knowledge with derivability queries."""
+
+    def __init__(self, observed: Iterable[Term] = ()):
+        self._atoms: set[Term] = set(observed)
+        self._analyzed = False
+
+    def learn(self, *terms: Term) -> None:
+        """Add observed terms (invalidates the analysis cache)."""
+        self._atoms.update(terms)
+        self._analyzed = False
+
+    @property
+    def analyzed(self) -> set[Term]:
+        """The analysis-saturated knowledge set."""
+        self._analyze()
+        return set(self._atoms)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self) -> None:
+        if self._analyzed:
+            return
+        changed = True
+        while changed:
+            changed = False
+            for term in list(self._atoms):
+                for extracted in self._destruct(term):
+                    if extracted not in self._atoms:
+                        self._atoms.add(extracted)
+                        changed = True
+        self._analyzed = True
+
+    def _destruct(self, term: Term) -> list[Term]:
+        """Destructor applications possible on one known term."""
+        if not isinstance(term, Func):
+            return []
+        if term.symbol == "pair":
+            return list(term.args)
+        if term.symbol == "sign":
+            # signatures do not hide their message
+            return [term.args[0]]
+        if term.symbol == "senc":
+            message, key = term.args
+            if self._synthesize(key, frozenset()):
+                return [message]
+            return []
+        if term.symbol == "aenc":
+            message, public_key = term.args
+            if (
+                isinstance(public_key, Func)
+                and public_key.symbol == "pk"
+                and self._synthesize(public_key.args[0], frozenset())
+            ):
+                return [message]
+            return []
+        return []
+
+    # ------------------------------------------------------------------
+    # synthesis
+    # ------------------------------------------------------------------
+
+    _SYNTHESIZABLE = {"pair", "senc", "aenc", "sign", "pk", "h", "kdf"}
+
+    def _synthesize(self, target: Term, pending: frozenset) -> bool:
+        if target in self._atoms:
+            return True
+        if target in pending:
+            return False  # cycle guard
+        if isinstance(target, Func) and target.symbol in self._SYNTHESIZABLE:
+            pending = pending | {target}
+            return all(self._synthesize(arg, pending) for arg in target.args)
+        return False
+
+    def can_derive(self, target: Term) -> bool:
+        """Whether the attacker can produce ``target``."""
+        self._analyze()
+        return self._synthesize(target, frozenset())
+
+    def explain(self, target: Term) -> Optional[str]:
+        """A one-line witness of how ``target`` derives (or None).
+
+        Used to attach human-readable attack witnesses to verification
+        failures.
+        """
+        self._analyze()
+        if not self._synthesize(target, frozenset()):
+            return None
+        if target in self._atoms:
+            return f"{target!r} is directly extractable from observed traffic"
+        return f"{target!r} is constructible from extractable components"

@@ -1,0 +1,104 @@
+"""The symbolic term algebra (perfect cryptography assumption).
+
+Terms are either atomic :class:`Name`\\ s (keys, nonces, identifiers,
+payloads) or applications of a fixed constructor vocabulary:
+
+========  =========================  =============================
+symbol    meaning                    destructor semantics
+========  =========================  =============================
+pair      tupling                    both components extractable
+senc      symmetric encryption       plaintext with the key
+aenc      asymmetric encryption      plaintext with the private key
+sign      digital signature          message extractable; forgery
+                                     requires the signing key
+pk        public key of a private    public, not invertible
+h         hash                       not invertible
+kdf       key derivation             not invertible
+========  =========================  =============================
+
+Terms are frozen and hashable, so knowledge sets are plain ``set``\\ s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Term = Union["Name", "Func"]
+
+
+@dataclass(frozen=True)
+class Name:
+    """An atomic symbol: a key, nonce, identity or payload."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Func:
+    """A constructor application."""
+
+    symbol: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(a) for a in self.args)
+        return f"{self.symbol}({inner})"
+
+
+def pair(left: Term, right: Term) -> Func:
+    """Tupling."""
+    return Func("pair", (left, right))
+
+
+def tuple_t(*terms: Term) -> Term:
+    """Right-nested tuple of any arity (n >= 1)."""
+    if not terms:
+        raise ValueError("tuple_t needs at least one term")
+    result = terms[-1]
+    for term in reversed(terms[:-1]):
+        result = pair(term, result)
+    return result
+
+
+def senc(message: Term, key: Term) -> Func:
+    """Symmetric encryption (authenticated — decryption needs the key)."""
+    return Func("senc", (message, key))
+
+
+def aenc(message: Term, public_key: Term) -> Func:
+    """Asymmetric encryption to a public key."""
+    return Func("aenc", (message, public_key))
+
+
+def sign_t(message: Term, private_key: Term) -> Func:
+    """Digital signature. The message is recoverable (signatures do not
+    hide); creating the term requires the private key."""
+    return Func("sign", (message, private_key))
+
+
+def pk(private_key: Term) -> Func:
+    """The public key corresponding to a private key."""
+    return Func("pk", (private_key,))
+
+
+def h(message: Term) -> Func:
+    """Cryptographic hash (one-way)."""
+    return Func("h", (message,))
+
+
+def kdf(seed: Term, label: Term) -> Func:
+    """Key derivation (one-way, label-separated)."""
+    return Func("kdf", (seed, label))
+
+
+def subterms(term: Term) -> set[Term]:
+    """All subterms of ``term``, including itself."""
+    found: set[Term] = {term}
+    if isinstance(term, Func):
+        for arg in term.args:
+            found |= subterms(arg)
+    return found

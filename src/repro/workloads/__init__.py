@@ -1,0 +1,29 @@
+"""Workload catalog: the paper's benchmark programs as workload models.
+
+Two families, matching §7's evaluation inputs:
+
+- **Cloud benchmarks** (Database, File, Web, App, Stream, Mail) — the
+  services run in attacker/co-resident VMs in Figs. 6-7 and as the
+  measured applications in Fig. 10. Modelled by CPU duty cycle and
+  burst structure (CPU-bound services near-saturate; I/O-bound services
+  run short bursts between waits).
+- **SPEC-like programs** (bzip2, hmmer, astar) — the victim's CPU-bound
+  programs in Fig. 6, modelled as finite CPU demands.
+
+The registry resolves names to fresh workload instances so management
+messages can carry a workload by name across the cloud stack.
+"""
+
+from repro.workloads.cloud_benchmarks import (
+    CLOUD_BENCHMARKS,
+    SPEC_PROGRAMS,
+    make_workload,
+    workload_names,
+)
+
+__all__ = [
+    "CLOUD_BENCHMARKS",
+    "SPEC_PROGRAMS",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,120 @@
+"""Benchmark workload definitions and the name → workload registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.attacks.availability import AvailabilityAttackWorkload
+from repro.attacks.bus_covert_channel import BusCovertChannelSender
+from repro.attacks.covert_channel import CovertChannelSender
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.xen.workload import (
+    CpuBoundWorkload,
+    FiniteCpuBoundWorkload,
+    IdleWorkload,
+    IoBoundWorkload,
+    MemoryStreamingWorkload,
+    PhasedWorkload,
+    Workload,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Characterization of one cloud benchmark.
+
+    ``cpu_fraction`` drives a :class:`PhasedWorkload` for CPU-heavy
+    services; I/O-heavy services instead use burst/wait pairs.
+    """
+
+    name: str
+    kind: str  # "cpu" or "io"
+    cpu_fraction: float = 0.0
+    burst_ms: float = 0.0
+    wait_ms: float = 0.0
+
+
+# Fig. 6's attacker services: Database/Web/App are CPU-bound (victim
+# slows ~2x under fair sharing); File/Stream/Mail are I/O-bound (victim
+# unaffected).
+CLOUD_BENCHMARKS: dict[str, BenchmarkProfile] = {
+    "database": BenchmarkProfile("database", kind="cpu", cpu_fraction=0.97),
+    "web": BenchmarkProfile("web", kind="cpu", cpu_fraction=0.93),
+    "app": BenchmarkProfile("app", kind="cpu", cpu_fraction=0.90),
+    "file": BenchmarkProfile("file", kind="io", burst_ms=1.0, wait_ms=9.0),
+    "stream": BenchmarkProfile("stream", kind="io", burst_ms=1.5, wait_ms=8.0),
+    "mail": BenchmarkProfile("mail", kind="io", burst_ms=0.8, wait_ms=12.0),
+}
+
+# The victim's SPEC CPU2006 programs, as CPU demands (ms of CPU per run).
+# Relative magnitudes mirror the programs' run lengths; absolute values
+# are scaled for simulation speed.
+SPEC_PROGRAMS: dict[str, float] = {
+    "bzip2": 1200.0,
+    "hmmer": 1500.0,
+    "astar": 1000.0,
+}
+
+
+def workload_names() -> list[str]:
+    """All names the registry resolves."""
+    return (
+        sorted(CLOUD_BENCHMARKS)
+        + sorted(SPEC_PROGRAMS)
+        + [
+            "idle",
+            "cpu_bound",
+            "memory_streaming",
+            "cpu_availability_attack",
+            "covert_channel_sender",
+            "bus_covert_channel_sender",
+        ]
+    )
+
+
+def make_workload(name: str, rng: DeterministicRng, **params: Any) -> Workload:
+    """Instantiate a fresh workload by registry name.
+
+    ``params`` feed attack constructors (e.g. ``bits`` for the covert
+    sender) and override benchmark scale (``total_cpu_ms`` for SPEC
+    programs).
+    """
+    if name in CLOUD_BENCHMARKS:
+        profile = CLOUD_BENCHMARKS[name]
+        if profile.kind == "cpu":
+            return PhasedWorkload(rng.child(name), cpu_fraction=profile.cpu_fraction)
+        return IoBoundWorkload(
+            rng.child(name), burst_ms=profile.burst_ms, wait_ms=profile.wait_ms
+        )
+    if name in SPEC_PROGRAMS:
+        demand = float(params.get("total_cpu_ms", SPEC_PROGRAMS[name]))
+        return FiniteCpuBoundWorkload(demand)
+    if name == "idle":
+        return IdleWorkload()
+    if name == "cpu_bound":
+        return CpuBoundWorkload()
+    if name == "cpu_availability_attack":
+        return AvailabilityAttackWorkload(
+            margin_before_ms=float(params.get("margin_before_ms", 0.4)),
+            margin_after_ms=float(params.get("margin_after_ms", 0.15)),
+        )
+    if name == "covert_channel_sender":
+        return CovertChannelSender(
+            bits=list(params.get("bits", [1, 0, 1, 1, 0, 0, 1, 0])),
+            zero_ms=float(params.get("zero_ms", 5.0)),
+            one_ms=float(params.get("one_ms", 25.0)),
+            gap_ms=float(params.get("gap_ms", 30.0)),
+        )
+    if name == "bus_covert_channel_sender":
+        return BusCovertChannelSender(
+            bits=list(params.get("bits", [1, 0, 1, 1, 0, 0, 1, 0])),
+            symbol_ms=float(params.get("symbol_ms", 10.0)),
+            high_rate=float(params.get("high_rate", 20.0)),
+        )
+    if name == "memory_streaming":
+        return MemoryStreamingWorkload(
+            lock_rate_per_ms=float(params.get("lock_rate_per_ms", 8.0))
+        )
+    raise ConfigurationError(f"unknown workload {name!r}")

@@ -1,0 +1,64 @@
+"""Xen-like hypervisor substrate.
+
+A discrete-event model of the Xen credit scheduler (paper §4.4-4.5 rely
+on its semantics): per-pCPU run queues with BOOST/UNDER/OVER priorities,
+10 ms accounting ticks that debit credits from whoever is running, 30 ms
+timeslices with round-robin rotation, credit redistribution every 30 ms,
+and the wake-up boost path (a vCPU waking with non-negative credits gets
+BOOST priority and preempts lower-priority vCPUs immediately — including
+wakes caused by Inter-Processor Interrupts).
+
+Both cloud attacks the paper designs live on these semantics:
+
+- the **CPU covert channel** (Fig. 4/5) modulates the sender's run-interval
+  durations, and
+- the **CPU availability attack** (Fig. 6/7) uses IPI wake-ups and
+  tick-evasion to hold BOOST priority and starve a co-resident victim.
+"""
+
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.scheduler import (
+    ACCOUNTING_PERIOD_MS,
+    CREDIT_CAP,
+    CREDITS_PER_TICK,
+    TICK_MS,
+    TIMESLICE_MS,
+    CreditScheduler,
+    Priority,
+)
+from repro.xen.vcpu import VCpu, VCpuState
+from repro.xen.workload import (
+    BlockSpec,
+    Burst,
+    CpuBoundWorkload,
+    FiniteCpuBoundWorkload,
+    IdleWorkload,
+    IoBoundWorkload,
+    MemoryStreamingWorkload,
+    PhasedWorkload,
+    Workload,
+)
+
+__all__ = [
+    "ACCOUNTING_PERIOD_MS",
+    "BlockSpec",
+    "Burst",
+    "CREDITS_PER_TICK",
+    "CREDIT_CAP",
+    "CpuBoundWorkload",
+    "CreditScheduler",
+    "Domain",
+    "FiniteCpuBoundWorkload",
+    "Hypervisor",
+    "IdleWorkload",
+    "IoBoundWorkload",
+    "MemoryStreamingWorkload",
+    "PhasedWorkload",
+    "Priority",
+    "TICK_MS",
+    "TIMESLICE_MS",
+    "VCpu",
+    "VCpuState",
+    "Workload",
+]

@@ -1,0 +1,74 @@
+"""Domain (virtual machine) model for the hypervisor substrate.
+
+A domain groups vCPUs under one scheduling weight and carries the
+completion bookkeeping the availability experiments need: when a finite
+workload terminates, :attr:`Domain.finished_at` records the wall-clock
+completion time, from which slowdown relative to solo execution follows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.identifiers import VmId
+from repro.xen.vcpu import VCpu, VCpuState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xen.workload import Workload
+
+DEFAULT_WEIGHT = 256
+"""Xen's default credit-scheduler weight; all domains are equal unless set."""
+
+
+class Domain:
+    """A virtual machine as seen by the hypervisor scheduler."""
+
+    def __init__(
+        self,
+        vid: VmId,
+        workload: "Workload",
+        num_vcpus: int = 1,
+        pcpus: Optional[list[int]] = None,
+        weight: int = DEFAULT_WEIGHT,
+    ):
+        if num_vcpus < 1:
+            raise ValueError("a domain needs at least one vCPU")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if pcpus is None:
+            pcpus = [0] * num_vcpus
+        if len(pcpus) != num_vcpus:
+            raise ValueError("one pCPU pin per vCPU required")
+        self.vid = vid
+        self.workload = workload
+        self.weight = weight
+        self.vcpus = [VCpu(self, i, pcpus[i]) for i in range(num_vcpus)]
+        #: sim time when a finite workload completed (None while running)
+        self.finished_at: Optional[float] = None
+        #: sim time when the domain was started by the hypervisor
+        self.started_at: Optional[float] = None
+
+    @property
+    def cumulative_runtime(self) -> float:
+        """Total CPU ms consumed across all vCPUs."""
+        return sum(vcpu.cumulative_runtime for vcpu in self.vcpus)
+
+    @property
+    def live(self) -> bool:
+        """True while any vCPU has not terminated."""
+        return any(vcpu.state is not VCpuState.DONE for vcpu in self.vcpus)
+
+    def relative_cpu_usage(self, now: float) -> float:
+        """CPU time used divided by wall time since start.
+
+        This is exactly the measurement the VMM Profile Tool reports for
+        the availability property (paper §4.5.2-4.5.3). A solo CPU-bound
+        VM approaches 1.0; a starved victim is close to 0.
+        """
+        if self.started_at is None or now <= self.started_at:
+            return 0.0
+        runtime = sum(vcpu.runtime_until(now) for vcpu in self.vcpus)
+        return runtime / (now - self.started_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Domain {self.vid} vcpus={len(self.vcpus)} weight={self.weight}>"

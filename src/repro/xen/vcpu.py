@@ -1,0 +1,78 @@
+"""Virtual CPU model.
+
+A vCPU is the schedulable unit: it belongs to a domain, is pinned to one
+physical CPU (the paper's experiments co-locate attacker and victim on
+the same CPU, so no load balancing is modelled), and carries the credit
+scheduler's per-vCPU state: credits, boost flag, and run accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xen.domain import Domain
+    from repro.xen.workload import Burst
+
+
+class VCpuState(enum.Enum):
+    """Lifecycle of a vCPU within the scheduler."""
+
+    BLOCKED = "blocked"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class VCpu:
+    """One virtual CPU pinned to a physical CPU."""
+
+    def __init__(self, domain: "Domain", index: int, pcpu: int):
+        self.domain = domain
+        self.index = index
+        self.pcpu = pcpu
+        self.state = VCpuState.BLOCKED
+        self.credits: float = 0.0
+        self.boosted = False
+        #: CPU milliseconds remaining in the current burst
+        self.burst_remaining: float = 0.0
+        #: the burst being executed (None while blocked with no work queued)
+        self.current_burst: Optional["Burst"] = None
+        #: sim time at which the current run started (None if not running)
+        self.run_start: Optional[float] = None
+        #: total CPU time consumed over the vCPU's life, in ms
+        self.cumulative_runtime: float = 0.0
+        #: sim time at which the vCPU last became RUNNABLE (None if not
+        #: currently waiting for the CPU)
+        self.wait_start: Optional[float] = None
+        #: total time spent runnable-but-not-running ("steal time") —
+        #: the denied-demand signal availability monitoring needs to
+        #: distinguish a starved VM from one that simply isn't asking
+        self.cumulative_wait: float = 0.0
+        #: True while blocked waiting for an IPI (vs. a timer)
+        self.waiting_for_ipi = False
+        #: incremented on every block; stale timer wakes carry an old value
+        self.sleep_generation = 0
+        #: True while forcibly paused mid-burst (e.g. an intercepting
+        #: memory scan); the wake path resumes the burst instead of
+        #: fetching a new one
+        self.paused = False
+
+    def runtime_until(self, now: float) -> float:
+        """Total CPU time consumed by ``now``, including the current run."""
+        in_progress = (now - self.run_start) if self.run_start is not None else 0.0
+        return self.cumulative_runtime + in_progress
+
+    def wait_until(self, now: float) -> float:
+        """Total steal time by ``now``, including the current wait."""
+        in_progress = (now - self.wait_start) if self.wait_start is not None else 0.0
+        return self.cumulative_wait + in_progress
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``vm-0002.vcpu1``."""
+        return f"{self.domain.vid}.vcpu{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VCpu {self.name} {self.state.value} credits={self.credits:.0f}>"

@@ -1,0 +1,248 @@
+"""Workload models that drive vCPUs.
+
+A workload is a burst generator: each time one of its vCPUs is about to
+(re)enter the runnable state, the scheduler asks the workload for the next
+:class:`Burst` — how many milliseconds of CPU the vCPU wants before it
+blocks, what kind of block follows (timed sleep, wait-for-IPI, or
+termination), and which sibling vCPUs to IPI at burst end.
+
+The standard library of workloads here models the paper's benchmark
+programs; the attack workloads live in :mod:`repro.attacks` and use the
+same interface — attacks are just adversarial burst generators.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xen.hypervisor import Hypervisor
+    from repro.xen.vcpu import VCpu
+
+RUN_FOREVER = math.inf
+"""Sentinel burst length: run until preempted, never block voluntarily."""
+
+
+class BlockKind(enum.Enum):
+    """What a vCPU does when its burst's CPU demand is satisfied."""
+
+    SLEEP = "sleep"  # block for a fixed duration, then timer-wake
+    WAIT_IPI = "wait_ipi"  # block until another vCPU sends an IPI
+    TERMINATE = "terminate"  # the vCPU is done forever
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Blocking behaviour at the end of a burst."""
+
+    kind: BlockKind
+    duration_ms: float = 0.0
+
+    @staticmethod
+    def sleep(duration_ms: float) -> "BlockSpec":
+        """Block for ``duration_ms`` then wake via timer."""
+        return BlockSpec(BlockKind.SLEEP, duration_ms)
+
+    @staticmethod
+    def wait_ipi() -> "BlockSpec":
+        """Block until an IPI arrives from a sibling vCPU."""
+        return BlockSpec(BlockKind.WAIT_IPI)
+
+    @staticmethod
+    def terminate() -> "BlockSpec":
+        """Finish: the vCPU never runs again."""
+        return BlockSpec(BlockKind.TERMINATE)
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One CPU burst: run ``cpu_ms``, optionally IPI siblings, then block."""
+
+    cpu_ms: float
+    block: BlockSpec
+    #: indices of sibling vCPUs (same domain) to IPI when the burst ends
+    ipi_targets: tuple[int, ...] = field(default=())
+    #: atomic (bus-locking) memory operations issued per millisecond
+    #: while this burst runs. Locked operations stall every other core's
+    #: memory accesses — the contention medium of bus covert channels
+    #: (Wu et al., cited as [44] in the paper).
+    bus_lock_rate: float = 0.0
+
+
+class Workload(abc.ABC):
+    """Base class for burst generators.
+
+    ``bind`` is called once per vCPU when the domain starts, giving the
+    workload access to the hypervisor (for the clock and IPIs — used by
+    attack workloads that time themselves against scheduler ticks).
+    """
+
+    def __init__(self):
+        self.hypervisor: Optional["Hypervisor"] = None
+
+    def bind(self, hypervisor: "Hypervisor") -> None:
+        """Attach this workload to the hypervisor it runs under."""
+        self.hypervisor = hypervisor
+
+    @abc.abstractmethod
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        """Produce the next burst for ``vcpu``. Called at each wake-up."""
+
+    def initial_delay_ms(self, vcpu: "VCpu") -> float:
+        """Delay before the vCPU first becomes runnable (default: none)."""
+        return 0.0
+
+    def on_scheduled(self, vcpu: "VCpu", now: float) -> None:
+        """Hook called when ``vcpu`` actually gets the CPU.
+
+        The default does nothing. A workload may adjust
+        ``vcpu.burst_remaining`` here — this models code that reads the
+        clock while running, which is how the availability attack times
+        its bursts against the scheduler's tick grid even when its
+        dispatch was delayed.
+        """
+
+
+class CpuBoundWorkload(Workload):
+    """Runs forever, never blocking voluntarily.
+
+    Models a compute-saturated service (the paper's Database / Web / App
+    cloud benchmarks during their busy phases). The scheduler preempts it
+    at timeslice boundaries; it immediately wants the CPU back.
+    """
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        return Burst(cpu_ms=RUN_FOREVER, block=BlockSpec.sleep(0.0))
+
+
+class FiniteCpuBoundWorkload(Workload):
+    """A CPU-bound program with a total CPU demand, then termination.
+
+    Models the victim's SPEC-like programs (bzip2 / hmmer / astar): the
+    program needs ``total_cpu_ms`` of CPU; its wall-clock completion time
+    divided by ``total_cpu_ms`` is the relative execution time plotted in
+    the paper's Fig. 6.
+    """
+
+    def __init__(self, total_cpu_ms: float):
+        super().__init__()
+        if total_cpu_ms <= 0:
+            raise ValueError("total_cpu_ms must be positive")
+        self.total_cpu_ms = total_cpu_ms
+        self._consumed = 0.0
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        remaining = self.total_cpu_ms - vcpu.cumulative_runtime
+        if remaining <= 0:
+            return Burst(cpu_ms=0.0, block=BlockSpec.terminate())
+        return Burst(cpu_ms=remaining, block=BlockSpec.terminate())
+
+
+class IoBoundWorkload(Workload):
+    """Short CPU bursts separated by long blocking waits.
+
+    Models I/O-heavy services (the paper's File / Stream / Mail
+    benchmarks): each request costs ``burst_ms`` of CPU then blocks for
+    ``wait_ms`` on I/O. With small duty cycles it leaves the CPU almost
+    entirely to co-residents, which is why these attacker workloads cause
+    no victim slowdown in Fig. 6.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        burst_ms: float = 1.0,
+        wait_ms: float = 9.0,
+        jitter: float = 0.3,
+    ):
+        super().__init__()
+        if burst_ms <= 0 or wait_ms <= 0:
+            raise ValueError("burst and wait durations must be positive")
+        self._rng = rng
+        self._burst_ms = burst_ms
+        self._wait_ms = wait_ms
+        self._jitter = jitter
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        burst = self._rng.jitter(self._burst_ms, self._jitter)
+        wait = self._rng.jitter(self._wait_ms, self._jitter)
+        return Burst(cpu_ms=burst, block=BlockSpec.sleep(wait))
+
+
+class PhasedWorkload(Workload):
+    """Alternates CPU phases and I/O phases with a target duty cycle.
+
+    The general model behind the cloud-benchmark table in
+    :mod:`repro.workloads.cloud_benchmarks`: ``cpu_fraction`` of wall time
+    is CPU demand, issued in ``phase_ms`` chunks.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRng,
+        cpu_fraction: float,
+        phase_ms: float = 10.0,
+        jitter: float = 0.2,
+    ):
+        super().__init__()
+        if not 0.0 < cpu_fraction <= 1.0:
+            raise ValueError("cpu_fraction must be in (0, 1]")
+        if phase_ms <= 0:
+            raise ValueError("phase_ms must be positive")
+        self._rng = rng
+        self._cpu_fraction = cpu_fraction
+        self._phase_ms = phase_ms
+        self._jitter = jitter
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        cpu = self._rng.jitter(self._phase_ms * self._cpu_fraction, self._jitter)
+        if self._cpu_fraction >= 1.0:
+            return Burst(cpu_ms=RUN_FOREVER, block=BlockSpec.sleep(0.0))
+        idle = self._rng.jitter(self._phase_ms * (1.0 - self._cpu_fraction), self._jitter)
+        return Burst(cpu_ms=cpu, block=BlockSpec.sleep(idle))
+
+
+class MemoryStreamingWorkload(Workload):
+    """CPU-bound work with a steady rate of atomic memory operations.
+
+    Models a benign memory-intensive service (e.g. a streaming analytics
+    job using lock-protected shared structures): its bus-lock rate is
+    constant, so its lock-rate distribution is unimodal — distinguishable
+    from the alternating pattern a bus covert channel produces.
+    """
+
+    def __init__(self, lock_rate_per_ms: float = 8.0, slice_ms: float = 10.0):
+        super().__init__()
+        if lock_rate_per_ms < 0:
+            raise ValueError("lock rate cannot be negative")
+        if slice_ms <= 0:
+            raise ValueError("slice duration must be positive")
+        self.lock_rate_per_ms = lock_rate_per_ms
+        self._slice_ms = slice_ms
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        return Burst(
+            cpu_ms=self._slice_ms,
+            block=BlockSpec.sleep(0.01),
+            bus_lock_rate=self.lock_rate_per_ms,
+        )
+
+
+class IdleWorkload(Workload):
+    """Never wants the CPU: wakes rarely, runs a negligible sliver.
+
+    Models an idle co-resident VM (the paper's "Idle" attacker column).
+    """
+
+    def __init__(self, heartbeat_ms: float = 1000.0):
+        super().__init__()
+        self._heartbeat_ms = heartbeat_ms
+
+    def next_burst(self, vcpu: "VCpu") -> Burst:
+        return Burst(cpu_ms=0.01, block=BlockSpec.sleep(self._heartbeat_ms))

@@ -1,0 +1,137 @@
+"""Tests for periodic measurement accumulation (§3.2.1)."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.attest_server.accumulator import MeasurementAccumulator
+from repro.common.identifiers import VmId
+from repro.monitors.monitor_module import (
+    MEAS_BUS_LOCK_HISTOGRAM,
+    MEAS_CPU_INTERVAL_HISTOGRAM,
+    MEAS_CPU_USAGE,
+    MEAS_KERNEL_MODULES,
+    MEAS_TASK_LIST,
+)
+from repro.properties import CovertChannelInterpreter
+
+VID = VmId("vm-0001")
+PROP = SecurityProperty.COVERT_CHANNEL_FREEDOM
+
+
+class TestMergeRules:
+    @pytest.fixture()
+    def accumulator(self):
+        return MeasurementAccumulator()
+
+    def test_histograms_sum(self, accumulator):
+        accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: [1, 0, 2]})
+        accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: [0, 3, 1]})
+        merged = accumulator.accumulated(VID, PROP)
+        assert merged[MEAS_CPU_INTERVAL_HISTOGRAM] == [1, 3, 3]
+
+    def test_cpu_usage_sums(self, accumulator):
+        prop = SecurityProperty.CPU_AVAILABILITY
+        accumulator.add(VID, prop, {MEAS_CPU_USAGE: {"cpu_ms": 100.0, "wall_ms": 500.0}})
+        accumulator.add(VID, prop, {MEAS_CPU_USAGE: {"cpu_ms": 300.0, "wall_ms": 500.0}})
+        merged = accumulator.accumulated(VID, prop)
+        assert merged[MEAS_CPU_USAGE] == {
+            "cpu_ms": 400.0, "wall_ms": 1000.0, "wait_ms": 0.0,
+        }
+
+    def test_task_list_latest_plus_ever_seen(self, accumulator):
+        prop = SecurityProperty.RUNTIME_INTEGRITY
+        accumulator.add(VID, prop, {MEAS_TASK_LIST: [{"pid": 1, "name": "init"},
+                                                     {"pid": 9, "name": "flash-job"}]})
+        accumulator.add(VID, prop, {MEAS_TASK_LIST: [{"pid": 1, "name": "init"}]})
+        merged = accumulator.accumulated(VID, prop)
+        # the latest snapshot is what the interpreter judges...
+        assert merged[MEAS_TASK_LIST] == [{"pid": 1, "name": "init"}]
+        # ...but the transient process is not forgotten
+        assert "flash-job" in accumulator.ever_seen_tasks(VID, prop)
+
+    def test_modules_union(self, accumulator):
+        prop = SecurityProperty.RUNTIME_INTEGRITY
+        accumulator.add(VID, prop, {MEAS_KERNEL_MODULES: ["ext4"]})
+        accumulator.add(VID, prop, {MEAS_KERNEL_MODULES: ["e1000", "ext4"]})
+        merged = accumulator.accumulated(VID, prop)
+        assert merged[MEAS_KERNEL_MODULES] == ["e1000", "ext4"]
+
+    def test_rounds_counted(self, accumulator):
+        assert accumulator.rounds(VID, PROP) == 0
+        for _ in range(3):
+            accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: [1]})
+        assert accumulator.rounds(VID, PROP) == 3
+
+    def test_reset(self, accumulator):
+        accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: [1]})
+        accumulator.reset(VID)
+        assert accumulator.accumulated(VID, PROP) is None
+        assert accumulator.rounds(VID, PROP) == 0
+
+    def test_keys_are_per_property(self, accumulator):
+        accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: [1]})
+        assert accumulator.accumulated(
+            VID, SecurityProperty.CPU_AVAILABILITY
+        ) is None
+
+
+class TestMinSupport:
+    def test_sparse_histogram_is_inconclusive(self):
+        interpreter = CovertChannelInterpreter(min_support=20.0)
+        counts = [0] * 30
+        counts[4] = 1
+        counts[24] = 1  # bimodal but only 2 samples
+        report = interpreter.interpret(VID, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert report.healthy
+        assert report.details["inconclusive"]
+
+    def test_accumulated_histogram_convicts(self):
+        interpreter = CovertChannelInterpreter(min_support=20.0)
+        accumulator = MeasurementAccumulator()
+        counts = [0] * 30
+        counts[4] = 2
+        counts[24] = 2
+        for _ in range(8):  # 8 sparse rounds -> 32 samples total
+            accumulator.add(VID, PROP, {MEAS_CPU_INTERVAL_HISTOGRAM: list(counts)})
+        merged = accumulator.accumulated(VID, PROP)
+        report = interpreter.interpret(VID, merged)
+        assert not report.healthy
+        assert not report.details["inconclusive"]
+
+
+class TestAccumulationEndToEnd:
+    def test_periodic_rounds_converge_on_a_sparse_covert_channel(self):
+        """A low-duty covert sender emits too few intervals per short
+        window to convict in one round; accumulated periodic rounds
+        reach support and the verdict flips to unhealthy."""
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=47)
+        alice = cloud.register_customer("alice")
+        sender = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "covert_channel_sender",
+                      "params": {"gap_ms": 200.0}},  # sparse bursts
+            pins=[0],
+        )
+        alice.launch_vm("small", "ubuntu", workload={"name": "cpu_bound"},
+                        pins=[0])
+        # one short window: too little evidence
+        single = alice.attest(
+            sender.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM,
+            window_ms=800.0,
+        )
+        assert single.report.healthy
+        assert single.report.details["inconclusive"]
+        # periodic accumulation with the same short windows
+        alice.start_periodic_attestation(
+            sender.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM,
+            frequency_ms=5_000.0,
+        )
+        cloud.run_for(60_000.0)
+        results = alice.periodic_results(
+            sender.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM
+        )
+        assert results
+        assert not results[-1].report.healthy
+        assert results[-1].report.details["accumulated_rounds"] >= 2

@@ -1,0 +1,285 @@
+"""Adversarial tests for the appraiser: a lying cloud server.
+
+The cloud servers are untrusted (threat model §3.3, except their Trust
+and Monitor modules). These tests stand up a *dishonest* server endpoint
+that returns crafted measurement responses, and assert the appraiser
+rejects every class of lie: uncertified keys, bad signatures, unbound
+quotes, stale nonces, renamed VMs, and missing measurements.
+"""
+
+import pytest
+
+from repro.attest_server.appraiser import OatAppraiser
+from repro.common.errors import ProtocolError, ReplayError, SignatureError
+from repro.common.identifiers import ServerId, VmId
+from repro.common.rng import DeterministicRng
+from repro.crypto.certificates import CertificateAuthority, certificate_to_dict
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign
+from repro.lifecycle.timing import CostModel
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+from repro.protocol import messages as msg
+from repro.protocol.quotes import attestation_quote
+from repro.sim.engine import Engine
+
+KEY_BITS = 512
+VID = VmId("vm-0001")
+SERVER = ServerId("server-0001")
+MEASUREMENTS = ("vmi.task_list",)
+
+
+class LyingServer:
+    """A server endpoint whose responses are attacker-controlled."""
+
+    def __init__(self, network, ca, drbg):
+        self.ca = ca
+        self.endpoint = SecureEndpoint(str(SERVER), network, drbg, ca, KEY_BITS)
+        self.endpoint.handler = self._handle
+        # a properly certified session key (the honest baseline)
+        self.session_keys = generate_keypair(HmacDrbg(900), bits=KEY_BITS)
+        self.session_cert = ca.issue("anon-attester-x", self.session_keys.public)
+        #: mutation applied to the honest response before sending
+        self.mutate = lambda response: response
+
+    def _handle(self, peer, body):
+        nonce = bytes(body[msg.KEY_NONCE])
+        measurements = {"vmi.task_list": [{"pid": 1, "name": "init"}]}
+        payload = {
+            msg.KEY_VID: str(VID),
+            msg.KEY_REQUESTED: list(MEASUREMENTS),
+            msg.KEY_MEASUREMENTS: measurements,
+            msg.KEY_NONCE: nonce,
+            msg.KEY_QUOTE: attestation_quote(
+                str(VID), list(MEASUREMENTS), measurements, nonce
+            ),
+        }
+        response = {
+            **payload,
+            msg.KEY_SIGNATURE: sign(self.session_keys.private, payload),
+            msg.KEY_SESSION_CERT: certificate_to_dict(self.session_cert),
+        }
+        return self.mutate(response)
+
+
+@pytest.fixture()
+def harness():
+    engine = Engine()
+    network = Network(engine, DeterministicRng(1), latency_ms=0.1)
+    ca = CertificateAuthority("pCA", HmacDrbg(7), key_bits=KEY_BITS)
+    server = LyingServer(network, ca, HmacDrbg(10))
+    as_endpoint = SecureEndpoint("as", network, HmacDrbg(11), ca, KEY_BITS)
+    appraiser = OatAppraiser(
+        as_endpoint, ca.public_key, HmacDrbg(12),
+        CostModel(engine=engine, rng=DeterministicRng(2)),
+    )
+    return server, appraiser
+
+
+def collect(appraiser):
+    return appraiser.collect(SERVER, VID, MEASUREMENTS, window_ms=0.0)
+
+
+class TestHonestBaseline:
+    def test_honest_response_accepted(self, harness):
+        server, appraiser = harness
+        measurements = collect(appraiser)
+        assert measurements["vmi.task_list"] == [{"pid": 1, "name": "init"}]
+
+
+class TestLies:
+    def test_tampered_measurements_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            response[msg.KEY_MEASUREMENTS] = {
+                "vmi.task_list": [{"pid": 1, "name": "init"},
+                                  {"pid": 2, "name": "looks-clean"}]
+            }
+            return response
+
+        server.mutate = lie
+        with pytest.raises(SignatureError):
+            collect(appraiser)
+
+    def test_uncertified_session_key_rejected(self, harness):
+        server, appraiser = harness
+        rogue_ca = CertificateAuthority("rogue", HmacDrbg(66), key_bits=KEY_BITS)
+        rogue_cert = rogue_ca.issue("anon-attester-x", server.session_keys.public)
+
+        def lie(response):
+            response[msg.KEY_SESSION_CERT] = certificate_to_dict(rogue_cert)
+            return response
+
+        server.mutate = lie
+        with pytest.raises(SignatureError):
+            collect(appraiser)
+
+    def test_attacker_keypair_with_honest_cert_rejected(self, harness):
+        server, appraiser = harness
+        attacker_keys = generate_keypair(HmacDrbg(123), bits=KEY_BITS)
+
+        def lie(response):
+            payload = {
+                key: response[key]
+                for key in (msg.KEY_VID, msg.KEY_REQUESTED,
+                            msg.KEY_MEASUREMENTS, msg.KEY_NONCE, msg.KEY_QUOTE)
+            }
+            response[msg.KEY_SIGNATURE] = sign(attacker_keys.private, payload)
+            return response
+
+        server.mutate = lie
+        with pytest.raises(SignatureError):
+            collect(appraiser)
+
+    def test_stale_nonce_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            stale = b"\x00" * 16
+            response[msg.KEY_NONCE] = stale
+            # even with a recomputed quote and signature over the stale
+            # nonce, the appraiser must notice the nonce mismatch
+            payload = {
+                msg.KEY_VID: response[msg.KEY_VID],
+                msg.KEY_REQUESTED: response[msg.KEY_REQUESTED],
+                msg.KEY_MEASUREMENTS: response[msg.KEY_MEASUREMENTS],
+                msg.KEY_NONCE: stale,
+                msg.KEY_QUOTE: attestation_quote(
+                    str(VID), list(MEASUREMENTS),
+                    response[msg.KEY_MEASUREMENTS], stale,
+                ),
+            }
+            response[msg.KEY_QUOTE] = payload[msg.KEY_QUOTE]
+            response[msg.KEY_SIGNATURE] = sign(
+                server.session_keys.private, payload
+            )
+            return response
+
+        server.mutate = lie
+        with pytest.raises(ReplayError):
+            collect(appraiser)
+
+    def test_unbound_quote_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            fake_quote = b"\xff" * 32
+            payload = {
+                key: response[key]
+                for key in (msg.KEY_VID, msg.KEY_REQUESTED,
+                            msg.KEY_MEASUREMENTS, msg.KEY_NONCE)
+            }
+            payload[msg.KEY_QUOTE] = fake_quote
+            response[msg.KEY_QUOTE] = fake_quote
+            response[msg.KEY_SIGNATURE] = sign(
+                server.session_keys.private, payload
+            )
+            return response
+
+        server.mutate = lie
+        with pytest.raises(SignatureError):
+            collect(appraiser)
+
+    def test_renamed_vm_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            other = "vm-0099"
+            measurements = response[msg.KEY_MEASUREMENTS]
+            nonce = response[msg.KEY_NONCE]
+            payload = {
+                msg.KEY_VID: other,
+                msg.KEY_REQUESTED: response[msg.KEY_REQUESTED],
+                msg.KEY_MEASUREMENTS: measurements,
+                msg.KEY_NONCE: nonce,
+                msg.KEY_QUOTE: attestation_quote(
+                    other, list(MEASUREMENTS), measurements, nonce
+                ),
+            }
+            return {
+                **payload,
+                msg.KEY_SIGNATURE: sign(server.session_keys.private, payload),
+                msg.KEY_SESSION_CERT: response[msg.KEY_SESSION_CERT],
+            }
+
+        server.mutate = lie
+        with pytest.raises((ProtocolError, SignatureError)):
+            collect(appraiser)
+
+    def test_missing_measurement_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            measurements = {}
+            nonce = response[msg.KEY_NONCE]
+            payload = {
+                msg.KEY_VID: str(VID),
+                msg.KEY_REQUESTED: list(MEASUREMENTS),
+                msg.KEY_MEASUREMENTS: measurements,
+                msg.KEY_NONCE: nonce,
+                msg.KEY_QUOTE: attestation_quote(
+                    str(VID), list(MEASUREMENTS), measurements, nonce
+                ),
+            }
+            return {
+                **payload,
+                msg.KEY_SIGNATURE: sign(server.session_keys.private, payload),
+                msg.KEY_SESSION_CERT: response[msg.KEY_SESSION_CERT],
+            }
+
+        server.mutate = lie
+        with pytest.raises(ProtocolError):
+            collect(appraiser)
+
+    def test_missing_field_rejected(self, harness):
+        server, appraiser = harness
+
+        def lie(response):
+            del response[msg.KEY_QUOTE]
+            return response
+
+        server.mutate = lie
+        with pytest.raises(ProtocolError):
+            collect(appraiser)
+
+
+class TestAblationSwitches:
+    def test_disabled_signature_check_accepts_forgery(self, harness):
+        """The ablation switch shows what the checks are worth: with
+        signature checking off, a tampered response passes (quote must
+        still be recomputed to match)."""
+        server, appraiser = harness
+        appraiser.check_signatures = False
+
+        def lie(response):
+            forged = {"vmi.task_list": [{"pid": 1, "name": "all-clean"}]}
+            nonce = response[msg.KEY_NONCE]
+            response[msg.KEY_MEASUREMENTS] = forged
+            response[msg.KEY_QUOTE] = attestation_quote(
+                str(VID), list(MEASUREMENTS), forged, nonce
+            )
+            # signature left stale: nobody checks it now
+            return response
+
+        server.mutate = lie
+        measurements = collect(appraiser)
+        assert measurements["vmi.task_list"][0]["name"] == "all-clean"
+
+    def test_disabled_nonce_check_accepts_stale(self, harness):
+        server, appraiser = harness
+        appraiser.check_nonces = False
+        appraiser.check_signatures = False
+
+        def lie(response):
+            stale = b"\x00" * 16
+            measurements = response[msg.KEY_MEASUREMENTS]
+            response[msg.KEY_NONCE] = stale
+            response[msg.KEY_QUOTE] = attestation_quote(
+                str(VID), list(MEASUREMENTS), measurements, stale
+            )
+            return response
+
+        server.mutate = lie
+        assert collect(appraiser) is not None

@@ -1,0 +1,136 @@
+"""Tests for the two scheduler attacks — they must reproduce the paper's
+qualitative results before the monitoring layers can detect them."""
+
+import pytest
+
+from repro.attacks import (
+    AvailabilityAttackWorkload,
+    CovertChannelReceiver,
+    CovertChannelSender,
+    decode_intervals,
+)
+from repro.attacks.covert_channel import bit_accuracy
+from repro.common.identifiers import VmId
+from repro.monitors import RunIntervalHistogram
+from repro.xen import CpuBoundWorkload, FiniteCpuBoundWorkload, Hypervisor
+
+
+class TestCovertChannel:
+    BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def _run_channel(self, duration_ms=6000.0):
+        hv = Hypervisor()
+        sender = CovertChannelSender(self.BITS)
+        receiver = CovertChannelReceiver(VmId("receiver"))
+        histogram = RunIntervalHistogram()
+        hv.add_monitor(receiver)
+        hv.add_monitor(histogram)
+        hv.create_domain(VmId("sender"), sender)
+        hv.create_domain(VmId("receiver"), CovertChannelReceiver.workload())
+        hv.run_for(duration_ms)
+        return hv, sender, receiver, histogram
+
+    def test_sender_histogram_is_bimodal(self):
+        _, sender, _, histogram = self._run_channel()
+        counts = histogram.histogram(VmId("sender"))
+        # mass concentrates at the two symbol durations (bins 4 and 24)
+        zero_bin = int(sender.zero_ms) - 1
+        one_bin = int(sender.one_ms) - 1
+        mass = sum(counts)
+        near_zero = sum(counts[max(zero_bin - 1, 0):zero_bin + 2])
+        near_one = sum(counts[max(one_bin - 1, 0):one_bin + 2])
+        assert near_zero / mass > 0.25
+        assert near_one / mass > 0.25
+        assert (near_zero + near_one) / mass > 0.8
+
+    def test_benign_histogram_is_unimodal_at_timeslice(self):
+        hv = Hypervisor()
+        histogram = RunIntervalHistogram()
+        hv.add_monitor(histogram)
+        hv.create_domain(VmId("benign"), CpuBoundWorkload())
+        hv.create_domain(VmId("other"), CpuBoundWorkload())
+        hv.run_for(6000.0)
+        counts = histogram.histogram(VmId("benign"))
+        assert counts[-1] / sum(counts) > 0.8
+
+    def test_receiver_decodes_transmitted_bits(self):
+        _, sender, receiver, _ = self._run_channel()
+        durations = [gap for _, gap in receiver.observed_gaps]
+        decoded = decode_intervals(durations, sender.zero_ms, sender.one_ms)
+        assert len(decoded) >= 2 * len(self.BITS)
+        # a real receiver synchronizes on a preamble; equivalently, align
+        # the repeating pattern at the best cyclic phase
+        best = 0.0
+        for phase in range(len(self.BITS)):
+            pattern = self.BITS[phase:] + self.BITS[:phase]
+            sent = (pattern * (len(decoded) // len(pattern) + 1))[: len(decoded)]
+            best = max(best, bit_accuracy(sent, decoded))
+        assert best > 0.9
+
+    def test_bandwidth_reported(self):
+        sender = CovertChannelSender(self.BITS, zero_ms=1.0, one_ms=3.0, gap_ms=1.0)
+        assert sender.bandwidth_bps == pytest.approx(1000.0 / 3.0)
+
+    def test_sender_validation(self):
+        with pytest.raises(ValueError):
+            CovertChannelSender([])
+        with pytest.raises(ValueError):
+            CovertChannelSender([1], zero_ms=10.0, one_ms=5.0)
+
+    def test_non_repeating_sender_terminates(self):
+        hv = Hypervisor()
+        sender = CovertChannelSender([1, 0, 1], repeat=False)
+        dom = hv.create_domain(VmId("sender"), sender)
+        hv.run_for(2000.0)
+        assert not dom.live
+        assert sender.bits_sent == 3
+
+
+class TestAvailabilityAttack:
+    VICTIM_WORK_MS = 1000.0
+
+    def _victim_slowdown(self, attacker_workload, num_attacker_vcpus=1):
+        hv = Hypervisor()
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(self.VICTIM_WORK_MS))
+        if attacker_workload is not None:
+            hv.create_domain(
+                VmId("attacker"),
+                attacker_workload,
+                num_vcpus=num_attacker_vcpus,
+                pcpus=[0] * num_attacker_vcpus,
+            )
+        finish = hv.run_until_domain_finishes(VmId("victim"), max_ms=100_000.0)
+        return finish / self.VICTIM_WORK_MS
+
+    def test_attack_starves_victim_beyond_10x(self):
+        slowdown = self._victim_slowdown(AvailabilityAttackWorkload(), 2)
+        assert slowdown > 10.0
+
+    def test_fair_cpu_bound_only_doubles(self):
+        slowdown = self._victim_slowdown(CpuBoundWorkload())
+        assert 1.7 <= slowdown <= 2.4
+
+    def test_attack_monopolizes_cpu(self):
+        hv = Hypervisor()
+        victim = hv.create_domain(VmId("victim"), CpuBoundWorkload())
+        attacker = hv.create_domain(
+            VmId("attacker"), AvailabilityAttackWorkload(), num_vcpus=2, pcpus=[0, 0]
+        )
+        hv.run_for(10_000.0)
+        assert attacker.relative_cpu_usage(hv.now) > 0.75
+        assert victim.relative_cpu_usage(hv.now) < 0.15
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityAttackWorkload(margin_before_ms=0.0)
+        with pytest.raises(ValueError):
+            AvailabilityAttackWorkload(margin_before_ms=6.0, margin_after_ms=5.0)
+
+    def test_attack_helper_vcpu_nearly_idle(self):
+        hv = Hypervisor()
+        attacker = hv.create_domain(
+            VmId("attacker"), AvailabilityAttackWorkload(), num_vcpus=2, pcpus=[0, 0]
+        )
+        hv.run_for(5000.0)
+        runner, helper = attacker.vcpus
+        assert helper.cumulative_runtime < 0.05 * runner.cumulative_runtime

@@ -1,0 +1,119 @@
+"""Tests for the tamper-evident audit log."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import CloudMonatt, SecurityProperty
+from repro.monitors.audit_log import AuditLog
+
+
+def sample_log(entries: int = 5) -> AuditLog:
+    log = AuditLog()
+    for index in range(entries):
+        log.append(
+            time_ms=float(index * 100),
+            event="attestation",
+            payload={"vid": f"vm-{index}", "healthy": index % 2 == 0},
+        )
+    return log
+
+
+class TestChain:
+    def test_empty_log_verifies(self):
+        log = AuditLog()
+        assert log.verify() == []
+        assert log.head_digest == AuditLog.GENESIS
+
+    def test_appended_log_verifies(self):
+        assert sample_log().verify() == []
+
+    def test_records_chain_to_predecessors(self):
+        log = sample_log(3)
+        assert log.record(1).prev_digest == log.record(0).digest
+        assert log.record(2).prev_digest == log.record(1).digest
+
+    def test_head_digest_changes_per_append(self):
+        log = AuditLog()
+        heads = {log.head_digest}
+        for index in range(5):
+            log.append(0.0, "e", {"i": index})
+            assert log.head_digest not in heads
+            heads.add(log.head_digest)
+
+    def test_event_filter(self):
+        log = AuditLog()
+        log.append(0.0, "attestation", {})
+        log.append(1.0, "response", {})
+        log.append(2.0, "attestation", {})
+        assert len(log.events("attestation")) == 2
+        assert len(log.events()) == 3
+
+
+class TestTamperDetection:
+    def test_payload_rewrite_detected(self):
+        """Flipping 'healthy' on a past record breaks the chain link of
+        the successor — the classic audit-washing attack fails."""
+        log = sample_log(5)
+        log._tamper_replace(2, {"vid": "vm-2", "healthy": False})  # was True
+        findings = log.verify()
+        assert findings
+        assert any(f.index == 3 for f in findings)
+
+    def test_rewrite_of_last_record_detected_by_head(self):
+        """Tampering the final record evades internal verification (no
+        successor) but changes the head digest an external anchor holds."""
+        log = sample_log(3)
+        head_before = log.head_digest
+        log._tamper_replace(2, {"vid": "vm-2", "healthy": False})  # was True
+        assert log.head_digest != head_before
+
+    def test_deletion_detected(self):
+        log = sample_log(5)
+        log._tamper_delete(1)
+        findings = log.verify()
+        assert findings
+        assert any("sequence" in f.reason or "link" in f.reason for f in findings)
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_any_interior_rewrite_detected(self, index):
+        log = sample_log(5)
+        log._tamper_replace(index, {"forged": True})
+        assert log.verify(), f"rewrite at {index} went undetected"
+
+
+class TestAttestationServerAudit:
+    def test_attestations_are_audited(self):
+        cloud = CloudMonatt(num_servers=1, seed=53)
+        alice = cloud.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+        )
+        alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        audit = cloud.attestation_server.audit
+        assert len(audit) >= 2  # startup attestation + runtime attestation
+        assert audit.verify() == []
+        records = audit.events("attestation")
+        assert any(r.payload["property"] == "runtime_integrity" for r in records)
+
+    def test_audit_records_failures_too(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=54)
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        alice.launch_vm(
+            "medium", "ubuntu",
+            workload={"name": "cpu_availability_attack"}, pins=[0, 0],
+        )
+        alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        audit = cloud.attestation_server.audit
+        assert any(
+            r.payload["healthy"] is False for r in audit.events("attestation")
+        )
+        assert audit.verify() == []

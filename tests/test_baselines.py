@@ -1,0 +1,170 @@
+"""Tests for the baseline attestation schemes — including the concrete
+demonstrations of their blind spots, which are the paper's §2.2 claims."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.baselines import BinaryAttestationVerifier, VTpmAttestor
+from repro.baselines.vtpm_attestation import verify_vtpm_quote
+from repro.common.errors import SignatureError, StateError
+from repro.common.identifiers import VmId
+from repro.crypto.drbg import HmacDrbg
+from repro.guest import GuestOS, Rootkit
+from repro.monitors.integrity_unit import IntegrityMeasurementUnit, SoftwareInventory
+from repro.tpm import TpmEmulator
+from repro.tpm.pcr import PcrBank
+
+VID = VmId("vm-0001")
+NONCE = b"\x07" * 16
+
+
+class TestVTpmBaselineMechanics:
+    @pytest.fixture()
+    def provisioned(self):
+        attestor = VTpmAttestor(HmacDrbg(1))
+        guest = GuestOS.with_standard_services("ubuntu")
+        attestor.provision(VID, guest)
+        return attestor, guest
+
+    def test_quote_verifies(self, provisioned):
+        attestor, _ = provisioned
+        quote = attestor.attest(VID, NONCE)
+        measurements = verify_vtpm_quote(attestor.aik_for(VID), quote, NONCE)
+        assert any(t["name"] == "sshd" for t in measurements["task_list"])
+
+    def test_forged_quote_rejected(self, provisioned):
+        import dataclasses
+
+        attestor, _ = provisioned
+        quote = attestor.attest(VID, NONCE)
+        forged = dataclasses.replace(
+            quote, measurements={"task_list": [], "kernel_modules": [],
+                                 "os_name_digest": "00"}
+        )
+        with pytest.raises(SignatureError):
+            verify_vtpm_quote(attestor.aik_for(VID), forged, NONCE)
+
+    def test_stale_nonce_rejected(self, provisioned):
+        attestor, _ = provisioned
+        quote = attestor.attest(VID, NONCE)
+        with pytest.raises(SignatureError):
+            verify_vtpm_quote(attestor.aik_for(VID), quote, b"\x08" * 16)
+
+    def test_unprovisioned_vm_rejected(self, provisioned):
+        attestor, _ = provisioned
+        with pytest.raises(StateError):
+            attestor.attest(VmId("ghost"), NONCE)
+        with pytest.raises(StateError):
+            attestor.aik_for(VmId("ghost"))
+
+    def test_per_vm_aiks_distinct(self):
+        attestor = VTpmAttestor(HmacDrbg(1))
+        attestor.provision(VmId("a"), GuestOS("a"))
+        attestor.provision(VmId("b"), GuestOS("b"))
+        assert attestor.aik_for(VmId("a")) != attestor.aik_for(VmId("b"))
+
+
+class TestVTpmBlindSpots:
+    """The paper's critique, demonstrated."""
+
+    def test_rootkit_fools_the_in_guest_agent(self):
+        """The agent reports the inside view: the hidden malware is
+        absent from a perfectly valid, perfectly signed quote."""
+        attestor = VTpmAttestor(HmacDrbg(2))
+        guest = GuestOS.with_standard_services("ubuntu")
+        attestor.provision(VID, guest)
+        Rootkit().infect(guest)
+        quote = attestor.attest(VID, NONCE)
+        measurements = verify_vtpm_quote(attestor.aik_for(VID), quote, NONCE)
+        names = {t["name"] for t in measurements["task_list"]}
+        assert "cryptominer" not in names  # the lie is signed and verified
+
+    def test_cloudmonatt_catches_what_vtpm_misses(self):
+        """Same infection, both schemes: CloudMonatt's VMI sees through."""
+        cloud = CloudMonatt(num_servers=1, seed=51)
+        alice = cloud.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+        )
+        server = cloud.server_of(vm.vid)
+        guest = server.hosted[vm.vid].guest
+        # baseline provisioned on the same guest
+        attestor = VTpmAttestor(HmacDrbg(3))
+        attestor.provision(vm.vid, guest)
+        Rootkit().infect(guest)
+        # vTPM baseline: clean bill of health
+        quote = attestor.attest(vm.vid, NONCE)
+        baseline_view = verify_vtpm_quote(attestor.aik_for(vm.vid), quote, NONCE)
+        assert "cryptominer" not in {t["name"] for t in baseline_view["task_list"]}
+        # CloudMonatt: detection
+        verdict = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert not verdict.report.healthy
+        assert "cryptominer" in verdict.report.details["unknown_tasks"]
+
+    def test_no_environment_visibility(self):
+        attestor = VTpmAttestor(HmacDrbg(4))
+        attestor.provision(VID, GuestOS("g"))
+        with pytest.raises(StateError):
+            attestor.attest_environment(VID)
+
+
+class TestBinaryAttestationBaseline:
+    @pytest.fixture()
+    def rig(self):
+        tpm = TpmEmulator(HmacDrbg(5), key_bits=512)
+        unit = IntegrityMeasurementUnit(tpm)
+        inventory = SoftwareInventory.pristine_platform()
+        unit.measure_platform(inventory)
+        verifier = BinaryAttestationVerifier()
+        verifier.add_reference(
+            IntegrityMeasurementUnit.expected_platform_value(inventory)
+        )
+        return tpm, verifier
+
+    def test_pristine_platform_matches(self, rig):
+        tpm, verifier = rig
+        quote = verifier.challenge(tpm, PcrBank.PLATFORM_PCR, NONCE)
+        verdict = verifier.appraise(
+            quote, tpm.aik_public, PcrBank.PLATFORM_PCR, NONCE
+        )
+        assert verdict.matches_reference
+
+    def test_tampered_platform_mismatches(self):
+        tpm = TpmEmulator(HmacDrbg(6), key_bits=512)
+        unit = IntegrityMeasurementUnit(tpm)
+        tampered = SoftwareInventory.pristine_platform().tampered(
+            "xen-hypervisor-4.2", b"backdoored"
+        )
+        unit.measure_platform(tampered)
+        verifier = BinaryAttestationVerifier()
+        verifier.add_reference(
+            IntegrityMeasurementUnit.expected_platform_value(
+                SoftwareInventory.pristine_platform()
+            )
+        )
+        quote = verifier.challenge(tpm, PcrBank.PLATFORM_PCR, NONCE)
+        verdict = verifier.appraise(
+            quote, tpm.aik_public, PcrBank.PLATFORM_PCR, NONCE
+        )
+        assert not verdict.matches_reference
+
+    def test_wrong_nonce_rejected(self, rig):
+        tpm, verifier = rig
+        quote = verifier.challenge(tpm, PcrBank.PLATFORM_PCR, NONCE)
+        with pytest.raises(SignatureError):
+            verifier.appraise(
+                quote, tpm.aik_public, PcrBank.PLATFORM_PCR, b"\x01" * 16
+            )
+
+    def test_runtime_properties_out_of_scope(self, rig):
+        _, verifier = rig
+        for prop in BinaryAttestationVerifier.RUNTIME_PROPERTIES:
+            with pytest.raises(StateError):
+                verifier.appraise_runtime_property(prop)
+
+    def test_unknown_property_rejected(self, rig):
+        _, verifier = rig
+        with pytest.raises(StateError):
+            verifier.appraise_runtime_property("quantum_safety")

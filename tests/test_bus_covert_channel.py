@@ -1,0 +1,201 @@
+"""Tests for the memory-bus covert channel and its monitoring.
+
+The bus channel is the second covert-channel source (§4.4.3): it works
+cross-core and keeps CPU usage uniform, so the scheduler-interval
+monitor alone misses it — the bus-lock monitor is what catches it.
+"""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.attacks import BusCovertChannelSender
+from repro.attacks.covert_channel import bit_accuracy
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.monitors import BusLatencyProbe, BusLockHistogram, RunIntervalHistogram
+from repro.monitors.monitor_module import (
+    MEAS_BUS_LOCK_HISTOGRAM,
+    MEAS_CPU_INTERVAL_HISTOGRAM,
+)
+from repro.properties import CovertChannelInterpreter
+from repro.properties.covert_channel import RandomSourceSelector
+from repro.xen import CpuBoundWorkload, Hypervisor, MemoryStreamingWorkload
+
+BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def run_sender(workload, duration_ms=5000.0, corunner=None):
+    """Sender on pCPU 1, optional co-runner on pCPU 0; both monitors on."""
+    hv = Hypervisor(num_pcpus=2)
+    intervals = RunIntervalHistogram()
+    bus = BusLockHistogram()
+    hv.add_monitor(intervals)
+    hv.add_monitor(bus)
+    hv.create_domain(VmId("sender"), workload, pcpus=[1])
+    if corunner is not None:
+        hv.create_domain(VmId("other"), corunner, pcpus=[0])
+    hv.run_for(duration_ms)
+    return hv, intervals, bus
+
+
+class TestBusChannelTransmission:
+    def test_cross_core_reception(self):
+        """A receiver on another core decodes the sender's bits."""
+        hv = Hypervisor(num_pcpus=2)
+        sender = BusCovertChannelSender(BITS, symbol_ms=10.0, high_rate=20.0)
+        hv.create_domain(VmId("sender"), sender, pcpus=[1])
+        hv.create_domain(VmId("receiver"), CpuBoundWorkload(), pcpus=[0])
+        probe = BusLatencyProbe(hv, VmId("receiver"), sample_ms=1.0)
+        probe.arm(2000.0)
+        hv.run_for(2100.0)
+        decoded = probe.decode(threshold_factor=1.3, symbol_ms=10.0)
+        assert len(decoded) >= 10 * len(BITS)
+        best = 0.0
+        for phase in range(len(BITS)):
+            pattern = BITS[phase:] + BITS[:phase]
+            sent = (pattern * (len(decoded) // len(pattern) + 1))[: len(decoded)]
+            best = max(best, bit_accuracy(sent, decoded))
+        assert best > 0.9
+
+    def test_sender_bandwidth(self):
+        sender = BusCovertChannelSender(BITS, symbol_ms=10.0)
+        assert sender.bandwidth_bps == pytest.approx(100.0, rel=0.01)
+
+    def test_sender_validation(self):
+        with pytest.raises(ValueError):
+            BusCovertChannelSender([])
+        with pytest.raises(ValueError):
+            BusCovertChannelSender([1], symbol_ms=0.0)
+
+    def test_non_repeating_sender_terminates(self):
+        hv = Hypervisor(num_pcpus=1)
+        sender = BusCovertChannelSender([1, 0], repeat=False)
+        dom = hv.create_domain(VmId("sender"), sender)
+        hv.run_for(500.0)
+        assert not dom.live
+        assert sender.bits_sent == 2
+
+
+class TestBusMonitoring:
+    def test_bus_sender_evades_cpu_interval_monitor(self):
+        """The point of the channel: uniform CPU usage, unimodal intervals."""
+        _, intervals, bus = run_sender(BusCovertChannelSender(BITS))
+        interpreter = CovertChannelInterpreter()
+        cpu_only = interpreter.interpret(
+            VmId("sender"),
+            {MEAS_CPU_INTERVAL_HISTOGRAM: intervals.histogram(VmId("sender"))},
+        )
+        assert cpu_only.healthy, "CPU-interval monitoring alone must miss it"
+
+    def test_bus_monitor_catches_the_sender(self):
+        _, intervals, bus = run_sender(BusCovertChannelSender(BITS))
+        interpreter = CovertChannelInterpreter()
+        both = interpreter.interpret(
+            VmId("sender"),
+            {
+                MEAS_CPU_INTERVAL_HISTOGRAM: intervals.histogram(VmId("sender")),
+                MEAS_BUS_LOCK_HISTOGRAM: bus.histogram(VmId("sender")),
+            },
+        )
+        assert not both.healthy
+        assert both.details["bus_covert"]
+        assert "memory-bus" in both.explanation
+
+    def test_benign_streaming_not_flagged(self):
+        """A steady-rate memory-heavy service is unimodal: benign."""
+        _, intervals, bus = run_sender(MemoryStreamingWorkload(lock_rate_per_ms=8.0))
+        interpreter = CovertChannelInterpreter()
+        report = interpreter.interpret(
+            VmId("sender"),
+            {
+                MEAS_CPU_INTERVAL_HISTOGRAM: intervals.histogram(VmId("sender")),
+                MEAS_BUS_LOCK_HISTOGRAM: bus.histogram(VmId("sender")),
+            },
+        )
+        assert report.healthy
+
+    def test_cpu_bound_vm_not_flagged_by_bus_monitor(self):
+        _, intervals, bus = run_sender(CpuBoundWorkload())
+        report = CovertChannelInterpreter().interpret(
+            VmId("sender"),
+            {
+                MEAS_CPU_INTERVAL_HISTOGRAM: intervals.histogram(VmId("sender")),
+                MEAS_BUS_LOCK_HISTOGRAM: bus.histogram(VmId("sender")),
+            },
+        )
+        assert report.healthy
+
+    def test_histogram_weights_are_durations(self):
+        _, _, bus = run_sender(MemoryStreamingWorkload(lock_rate_per_ms=8.0),
+                               duration_ms=1000.0)
+        histogram = bus.histogram(VmId("sender"))
+        # nearly all run time sits in the rate-8 bin
+        assert histogram[8] > 0.9 * sum(histogram)
+
+    def test_reset(self):
+        _, _, bus = run_sender(MemoryStreamingWorkload())
+        bus.reset(VmId("sender"))
+        assert sum(bus.histogram(VmId("sender"))) == 0.0
+
+    def test_bad_bin_count_rejected(self):
+        with pytest.raises(ValueError):
+            BusLockHistogram(num_bins=1)
+
+
+class TestRandomSourceSwitching:
+    def test_selector_uses_both_sources(self):
+        selector = RandomSourceSelector(DeterministicRng(5))
+        chosen = {selector.next_measurements() for _ in range(30)}
+        assert chosen == set(RandomSourceSelector.SOURCES)
+        assert len(selector.history) == 30
+
+    def test_randomized_monitoring_eventually_catches_bus_sender(self):
+        """Per-round random source selection (§4.4.3): the bus sender is
+        missed on CPU-interval rounds but caught on bus rounds."""
+        selector = RandomSourceSelector(DeterministicRng(7))
+        interpreter = CovertChannelInterpreter()
+        verdicts = []
+        for round_index in range(6):
+            _, intervals, bus = run_sender(
+                BusCovertChannelSender(BITS), duration_ms=3000.0
+            )
+            sources = selector.next_measurements()
+            measurements = {}
+            if MEAS_CPU_INTERVAL_HISTOGRAM in sources:
+                measurements[MEAS_CPU_INTERVAL_HISTOGRAM] = intervals.histogram(
+                    VmId("sender")
+                )
+            if MEAS_BUS_LOCK_HISTOGRAM in sources:
+                measurements[MEAS_BUS_LOCK_HISTOGRAM] = bus.histogram(VmId("sender"))
+            verdicts.append(interpreter.interpret(VmId("sender"), measurements))
+        assert any(not v.healthy for v in verdicts)
+
+
+class TestFullStackBusChannel:
+    def test_end_to_end_detection(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=2, seed=44)
+        alice = cloud.register_customer("alice")
+        sender = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "bus_covert_channel_sender"},
+            pins=[1],
+        )
+        alice.launch_vm(
+            "small", "ubuntu", workload={"name": "cpu_bound"}, pins=[0]
+        )
+        result = alice.attest(sender.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM)
+        assert not result.report.healthy
+        assert result.report.details["bus_covert"]
+
+    def test_end_to_end_benign_streaming(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=2, seed=45)
+        alice = cloud.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM],
+            workload={"name": "memory_streaming"},
+        )
+        result = alice.attest(vm.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM)
+        assert result.report.healthy

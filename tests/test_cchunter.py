@@ -1,0 +1,147 @@
+"""Tests for CC-Hunter-style event-train analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.bus_covert_channel import (
+    BusCovertChannelSender,
+    RandomizedRateBusSender,
+)
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.monitors.bus_monitor import BusActivityTrace, BusLockHistogram
+from repro.monitors.monitor_module import MEAS_BUS_LOCK_HISTOGRAM
+from repro.properties import CovertChannelInterpreter
+from repro.properties.cchunter import (
+    CcHunterDetector,
+    autocorrelation,
+    correlation_width,
+    periodicity_score,
+)
+from repro.xen import Hypervisor, MemoryStreamingWorkload
+
+BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def trace_for(workload, duration_ms=4000.0):
+    hv = Hypervisor(num_pcpus=2)
+    trace = BusActivityTrace(VmId("sender"))
+    histogram = BusLockHistogram()
+    hv.add_monitor(trace)
+    hv.add_monitor(histogram)
+    hv.create_domain(VmId("sender"), workload, pcpus=[1])
+    hv.run_for(duration_ms)
+    return trace, histogram
+
+
+class TestSignalPrimitives:
+    def test_autocorrelation_of_constant_is_zero(self):
+        corr = autocorrelation([5.0] * 100, max_lag=20)
+        assert all(value == 0.0 for value in corr)
+
+    def test_autocorrelation_of_periodic_signal_peaks_at_period(self):
+        signal = ([1.0] * 10 + [0.0] * 10) * 10
+        corr = autocorrelation(signal, max_lag=50)
+        score, lag = periodicity_score(corr, min_lag=5)
+        assert lag == 20
+        assert score > 0.8
+
+    def test_autocorrelation_r0_is_one(self):
+        corr = autocorrelation([1.0, 2.0, 3.0, 1.0, 2.0, 3.0] * 10, max_lag=10)
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_empty_signal(self):
+        assert autocorrelation([], max_lag=5).tolist() == [0.0] * 6
+
+    def test_correlation_width_of_block_signal(self):
+        # 10-sample blocks of iid noise: plateau ~10 samples wide
+        rng = DeterministicRng(3)
+        signal = []
+        for _ in range(80):
+            value = rng.uniform(0.0, 10.0)
+            signal.extend([value] * 10)
+        corr = autocorrelation(signal, max_lag=60)
+        width = correlation_width(corr)
+        assert 6 <= width <= 14
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=30, max_size=100))
+    @settings(max_examples=25)
+    def test_autocorrelation_bounded(self, signal):
+        corr = autocorrelation(signal, max_lag=20)
+        assert all(-1.0001 <= value <= 1.0001 for value in corr)
+
+
+class TestDetectorOnSyntheticSignals:
+    def test_on_off_keying_detected(self):
+        detector = CcHunterDetector()
+        signal = ([20.0] * 10 + [0.0] * 10) * 20
+        verdict = detector.analyze(signal)
+        assert verdict.covert
+        assert "periodic" in verdict.reason or "symbol" in verdict.reason
+
+    def test_constant_rate_benign(self):
+        verdict = CcHunterDetector().analyze([8.0] * 400)
+        assert not verdict.covert
+        assert "steady" in verdict.reason
+
+    def test_silence_benign(self):
+        assert not CcHunterDetector().analyze([0.0] * 400).covert
+
+    def test_short_bursts_benign(self):
+        # 1-sample bursts every ~7 samples, jittered: I/O-like traffic
+        rng = DeterministicRng(9)
+        signal = [0.0] * 600
+        position = 0
+        while position < 590:
+            signal[position] = rng.uniform(3.0, 8.0)
+            position += rng.randint(5, 9)
+        verdict = CcHunterDetector().analyze(signal)
+        assert not verdict.covert
+
+
+class TestDetectorOnSimulatedTraffic:
+    def test_fixed_rate_sender_detected(self):
+        trace, _ = trace_for(BusCovertChannelSender(BITS))
+        verdict = CcHunterDetector().analyze(trace.rate_series())
+        assert verdict.covert
+
+    def test_streaming_workload_benign(self):
+        trace, _ = trace_for(MemoryStreamingWorkload(lock_rate_per_ms=8.0))
+        verdict = CcHunterDetector().analyze(trace.rate_series())
+        assert not verdict.covert
+
+    def test_randomized_sender_evades_histogram(self):
+        """The adaptive sender's rate distribution is too smeared for
+        the peak detector..."""
+        sender = RandomizedRateBusSender(BITS, DeterministicRng(4))
+        trace, histogram = trace_for(sender)
+        report = CovertChannelInterpreter().interpret(
+            VmId("sender"),
+            {MEAS_BUS_LOCK_HISTOGRAM: histogram.histogram(VmId("sender"))},
+        )
+        assert report.healthy, "histogram analysis alone must be evaded"
+
+    def test_cchunter_catches_the_randomized_sender(self):
+        """...but its symbol cells light up the autocorrelation."""
+        sender = RandomizedRateBusSender(BITS, DeterministicRng(4))
+        trace, _ = trace_for(sender)
+        verdict = CcHunterDetector().analyze(trace.rate_series())
+        assert verdict.covert
+        assert verdict.variance_ratio > 0.05
+
+    def test_trace_reset(self):
+        trace, _ = trace_for(MemoryStreamingWorkload())
+        assert trace.segments
+        trace.reset()
+        assert trace.rate_series() == []
+
+    def test_randomized_sender_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedRateBusSender([], DeterministicRng(0))
+        with pytest.raises(ValueError):
+            RandomizedRateBusSender(
+                [1], DeterministicRng(0),
+                low_band=(0.0, 15.0), high_band=(10.0, 20.0),
+            )

@@ -1,0 +1,140 @@
+"""Tests for the Property Certification Module."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.attest_server.certification import (
+    PropertyCertificate,
+    PropertyCertificationModule,
+    verify_property_certificate,
+)
+from repro.common.errors import SignatureError, StateError
+from repro.common.identifiers import VmId
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign
+from repro.properties import PropertyReport, SecurityProperty as SP
+
+VID = VmId("vm-0001")
+
+
+def healthy_report() -> PropertyReport:
+    return PropertyReport(
+        prop=SP.CPU_AVAILABILITY, healthy=True, explanation="fine"
+    )
+
+
+@pytest.fixture()
+def module_and_key():
+    keys = generate_keypair(HmacDrbg(5), bits=512)
+    module = PropertyCertificationModule(
+        issuer="as-1",
+        signer=lambda payload: sign(keys.private, payload),
+        validity_ms=1000.0,
+    )
+    return module, keys.public
+
+
+class TestCertificationModule:
+    def test_issue_and_verify(self, module_and_key):
+        module, key = module_and_key
+        certificate = module.issue(VID, healthy_report(), now_ms=100.0)
+        verify_property_certificate(key, certificate, now_ms=500.0)
+        assert certificate.healthy
+        assert certificate.valid_until_ms == 1100.0
+
+    def test_expired_certificate_rejected(self, module_and_key):
+        module, key = module_and_key
+        certificate = module.issue(VID, healthy_report(), now_ms=100.0)
+        with pytest.raises(SignatureError):
+            verify_property_certificate(key, certificate, now_ms=2000.0)
+
+    def test_forged_certificate_rejected(self, module_and_key):
+        import dataclasses
+
+        module, key = module_and_key
+        certificate = module.issue(
+            VID,
+            PropertyReport(prop=SP.CPU_AVAILABILITY, healthy=False,
+                           explanation="starved"),
+            now_ms=100.0,
+        )
+        forged = dataclasses.replace(certificate, healthy=True)
+        with pytest.raises(SignatureError):
+            verify_property_certificate(key, forged, now_ms=500.0)
+
+    def test_revocation(self, module_and_key):
+        module, key = module_and_key
+        certificate = module.issue(VID, healthy_report(), now_ms=0.0)
+        module.revoke(certificate.serial)
+        with pytest.raises(SignatureError):
+            verify_property_certificate(
+                key, certificate, now_ms=500.0,
+                revocation_check=module.is_revoked,
+            )
+
+    def test_serials_increment(self, module_and_key):
+        module, _ = module_and_key
+        a = module.issue(VID, healthy_report(), now_ms=0.0)
+        b = module.issue(VID, healthy_report(), now_ms=0.0)
+        assert b.serial == a.serial + 1
+
+    def test_dict_roundtrip(self, module_and_key):
+        module, _ = module_and_key
+        certificate = module.issue(VID, healthy_report(), now_ms=0.0)
+        assert PropertyCertificate.from_dict(certificate.to_dict()) == certificate
+
+    def test_validity_must_be_positive(self):
+        with pytest.raises(StateError):
+            PropertyCertificationModule("x", lambda p: b"", validity_ms=0.0)
+
+
+class TestCertificationEndToEnd:
+    def test_customer_receives_verifiable_certificate(self):
+        cloud = CloudMonatt(num_servers=1, seed=88)
+        alice = cloud.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+        )
+        result = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert result.certificate is not None
+        certificate = PropertyCertificate.from_dict(result.certificate)
+        # a third party verifies with the AS public key
+        verify_property_certificate(
+            cloud.attestation_server.endpoint.public_key,
+            certificate,
+            now_ms=cloud.now,
+            revocation_check=cloud.attestation_server.certification.is_revoked,
+        )
+        assert certificate.healthy
+        assert certificate.vid == str(vm.vid)
+
+    def test_degradation_revokes_stale_healthy_certificates(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=89)
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        healthy = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        healthy_cert = PropertyCertificate.from_dict(healthy.certificate)
+        assert healthy_cert.healthy
+        # attack lands; the next attestation is unhealthy
+        alice.launch_vm(
+            "medium", "ubuntu", workload={"name": "cpu_availability_attack"},
+            pins=[0, 0],
+        )
+        degraded = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert not degraded.report.healthy
+        # the stale healthy certificate no longer verifies
+        with pytest.raises(SignatureError):
+            verify_property_certificate(
+                cloud.attestation_server.endpoint.public_key,
+                healthy_cert,
+                now_ms=cloud.now,
+                revocation_check=cloud.attestation_server.certification.is_revoked,
+            )

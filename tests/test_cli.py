@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for argv in (["demo"], ["attack", "rootkit"],
+                     ["verify-protocol"], ["leak-analysis"],
+                     ["export-proverif"], ["launch-matrix"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "quantum"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "launch accepted" in output
+        assert "runtime attestations" in output
+
+    def test_attack_rootkit(self, capsys):
+        assert main(["attack", "rootkit"]) == 0
+        output = capsys.readouterr().out
+        assert "COMPROMISED" in output
+        assert "cryptominer" in output
+
+    def test_attack_availability(self, capsys):
+        assert main(["attack", "availability"]) == 0
+        output = capsys.readouterr().out
+        assert "COMPROMISED" in output
+        assert "migrate" in output
+
+    def test_attack_tampered_image(self, capsys):
+        assert main(["attack", "tampered-image"]) == 0
+        output = capsys.readouterr().out
+        assert "launch accepted: False" in output
+
+    def test_verify_protocol_standard(self, capsys):
+        assert main(["verify-protocol"]) == 0
+        output = capsys.readouterr().out
+        assert "0 attack(s) found" in output
+
+    def test_verify_protocol_weakened_finds_attacks(self, capsys):
+        assert main(["verify-protocol", "--variant", "plaintext"]) == 0
+        output = capsys.readouterr().out
+        assert "ATTACK FOUND" in output
+
+    def test_leak_analysis(self, capsys):
+        assert main(["leak-analysis"]) == 0
+        output = capsys.readouterr().out
+        assert "leak SKc:" in output
+
+    def test_export_proverif_stdout(self, capsys):
+        assert main(["export-proverif"]) == 0
+        assert "process" in capsys.readouterr().out
+
+    def test_export_proverif_file(self, tmp_path, capsys):
+        path = str(tmp_path / "model.pv")
+        assert main(["export-proverif", path]) == 0
+        with open(path, encoding="utf-8") as handle:
+            assert "CloudMonatt" in handle.read()
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "attack", "rootkit"]) == 0

@@ -1,0 +1,100 @@
+"""Tests for the shared foundations package."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import (
+    DeterministicRng,
+    IdFactory,
+    ServerId,
+    VmId,
+    derive_seed,
+    ms_to_s,
+    s_to_ms,
+)
+
+
+class TestIdFactory:
+    def test_ids_are_sequential_per_prefix(self):
+        factory = IdFactory()
+        assert factory.vm_id() == "vm-0001"
+        assert factory.vm_id() == "vm-0002"
+        assert factory.server_id() == "server-0001"
+
+    def test_independent_factories_restart(self):
+        assert IdFactory().vm_id() == IdFactory().vm_id()
+
+    def test_typed_ids_are_strings(self):
+        factory = IdFactory()
+        vid = factory.vm_id()
+        assert isinstance(vid, VmId)
+        assert isinstance(vid, str)
+
+    def test_vm_and_server_ids_distinct_types(self):
+        assert not isinstance(VmId("x"), ServerId)
+
+    def test_all_id_kinds_mint(self):
+        factory = IdFactory()
+        assert factory.customer_id().startswith("customer-")
+        assert factory.request_id().startswith("request-")
+        assert factory.session_id().startswith("session-")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_seed_is_nonnegative(self):
+        assert derive_seed(0, "") >= 0
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(7), DeterministicRng(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_child_streams_independent(self):
+        rng = DeterministicRng(7)
+        assert rng.child("x").random() != rng.child("y").random()
+
+    def test_jitter_stays_in_band(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            value = rng.jitter(100.0, fraction=0.05)
+            assert 95.0 <= value <= 105.0
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            assert 2.0 <= rng.uniform(2.0, 5.0) < 5.0
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRng(1)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_bytes_length(self):
+        assert len(DeterministicRng(0).bytes(33)) == 33
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_randint_within_bounds(self, seed):
+        rng = DeterministicRng(seed)
+        assert 0 <= rng.randint(0, 9) <= 9
+
+
+class TestUnits:
+    def test_roundtrip(self):
+        assert ms_to_s(s_to_ms(1.5)) == pytest.approx(1.5)
+
+    def test_s_to_ms(self):
+        assert s_to_ms(2.0) == 2000.0

@@ -1,0 +1,111 @@
+"""Tests for canonical encoding: determinism, injectivity, round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError
+from repro.crypto.encoding import decode, encode
+
+# Strategy for the protocol data model (JSON-ish values).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**256), max_value=2**256)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestRoundTrip:
+    @given(json_values)
+    def test_decode_inverts_encode(self, value):
+        decoded = decode(encode(value))
+        # tuples normalize to lists; our strategy only produces lists
+        assert decoded == value
+
+    def test_tuple_normalizes_to_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_bytearray_normalizes_to_bytes(self):
+        assert decode(encode(bytearray(b"ab"))) == b"ab"
+
+
+class TestCanonicity:
+    def test_dict_order_does_not_matter(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_equal_values_equal_bytes(self):
+        assert encode([1, "x", b"y"]) == encode([1, "x", b"y"])
+
+
+class TestInjectivity:
+    """Distinct values must encode distinctly (anti-ambiguity)."""
+
+    def test_str_vs_bytes(self):
+        assert encode("ab") != encode(b"ab")
+
+    def test_int_vs_float(self):
+        assert encode(1) != encode(1.0)
+
+    def test_bool_vs_int(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_concatenation_ambiguity_ruled_out(self):
+        # the classic "a"+"bc" == "ab"+"c" attack on || hashing
+        assert encode(["a", "bc"]) != encode(["ab", "c"])
+
+    def test_nesting_matters(self):
+        assert encode([[1], 2]) != encode([1, [2]])
+
+    @given(json_values, json_values)
+    def test_distinct_values_distinct_encodings(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CryptoError):
+            encode(object())
+
+    def test_non_str_dict_key_rejected(self):
+        with pytest.raises(CryptoError):
+            encode({1: "x"})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CryptoError):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_blob_rejected(self):
+        blob = encode("hello world")
+        with pytest.raises(CryptoError):
+            decode(blob[:-1])
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(CryptoError):
+            decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CryptoError):
+            decode(b"Z")
+
+    def test_invalid_utf8_string_rejected(self):
+        import struct
+
+        blob = b"S" + struct.pack(">I", 1) + b"\x80"
+        with pytest.raises(CryptoError):
+            decode(blob)
+
+    def test_hostile_deep_nesting_rejected(self):
+        value = "x"
+        for _ in range(200):
+            value = [value]
+        blob = encode(value)
+        with pytest.raises(CryptoError):
+            decode(blob)

@@ -1,0 +1,69 @@
+"""Tests for hashing helpers and TPM-style hash chains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import DIGEST_SIZE, HashChain, sha256, sha256_hex
+
+
+class TestSha256:
+    def test_digest_size(self):
+        assert len(sha256("x")) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert sha256({"a": 1}) == sha256({"a": 1})
+
+    def test_multi_arg_differs_from_concat(self):
+        assert sha256("a", "bc") != sha256("ab", "c")
+
+    def test_multi_arg_equals_list(self):
+        assert sha256("a", "b") == sha256(["a", "b"])
+
+    def test_hex_matches_bytes(self):
+        assert bytes.fromhex(sha256_hex("x")) == sha256("x")
+
+
+class TestHashChain:
+    def test_initial_value_is_zero(self):
+        assert HashChain().value == b"\x00" * DIGEST_SIZE
+
+    def test_extend_changes_value(self):
+        chain = HashChain()
+        before = chain.value
+        chain.extend(b"m1")
+        assert chain.value != before
+
+    def test_order_matters(self):
+        a, b = HashChain(), HashChain()
+        a.extend(b"x")
+        a.extend(b"y")
+        b.extend(b"y")
+        b.extend(b"x")
+        assert a.value != b.value
+
+    def test_replay_matches_live_chain(self):
+        chain = HashChain()
+        measurements = [b"hypervisor", b"host-os", b"vm-image"]
+        for m in measurements:
+            chain.extend(m)
+        assert HashChain.replay(measurements) == chain.value
+
+    def test_history_records_order(self):
+        chain = HashChain()
+        chain.extend(b"a")
+        chain.extend(b"b")
+        assert chain.history == (b"a", b"b")
+
+    def test_bad_initial_size_rejected(self):
+        with pytest.raises(ValueError):
+            HashChain(b"short")
+
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=8))
+    def test_any_extension_changes_value(self, measurements):
+        chain = HashChain()
+        seen = {chain.value}
+        for m in measurements:
+            chain.extend(m)
+            assert chain.value not in seen
+            seen.add(chain.value)

@@ -1,0 +1,173 @@
+"""Tests for authenticated symmetric encryption, KDF, nonces, certificates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError, ReplayError, SignatureError
+from repro.crypto.certificates import CertificateAuthority, verify_certificate
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import hkdf
+from repro.crypto.nonces import NONCE_SIZE, Nonce, NonceCache, NonceGenerator
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign
+from repro.crypto.symmetric import SymmetricKey, open_sealed, seal
+
+KEY = SymmetricKey(b"\x11" * 32)
+NONCE = b"\x22" * 16
+
+
+class TestSymmetric:
+    def test_roundtrip(self):
+        assert open_sealed(KEY, seal(KEY, b"attestation report", NONCE)) == b"attestation report"
+
+    def test_empty_plaintext(self):
+        assert open_sealed(KEY, seal(KEY, b"", NONCE)) == b""
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sealed = seal(KEY, b"secret measurement", NONCE)
+        assert b"secret measurement" not in sealed
+
+    def test_tamper_ciphertext_rejected(self):
+        sealed = bytearray(seal(KEY, b"payload", NONCE))
+        sealed[20] ^= 0x01
+        with pytest.raises(CryptoError):
+            open_sealed(KEY, bytes(sealed))
+
+    def test_tamper_tag_rejected(self):
+        sealed = bytearray(seal(KEY, b"payload", NONCE))
+        sealed[-1] ^= 0x01
+        with pytest.raises(CryptoError):
+            open_sealed(KEY, bytes(sealed))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CryptoError):
+            open_sealed(KEY, b"short")
+
+    def test_wrong_key_rejected(self):
+        other = SymmetricKey(b"\x33" * 32)
+        with pytest.raises(CryptoError):
+            open_sealed(other, seal(KEY, b"payload", NONCE))
+
+    def test_nonce_varies_ciphertext(self):
+        a = seal(KEY, b"payload", b"\x01" * 16)
+        b = seal(KEY, b"payload", b"\x02" * 16)
+        assert a != b
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey(b"short")
+
+    def test_bad_nonce_size_rejected(self):
+        with pytest.raises(CryptoError):
+            seal(KEY, b"x", b"short")
+
+    @given(st.binary(max_size=300))
+    def test_roundtrip_arbitrary(self, plaintext):
+        assert open_sealed(KEY, seal(KEY, plaintext, NONCE)) == plaintext
+
+
+class TestKdf:
+    def test_deterministic(self):
+        assert hkdf(b"m", b"info", 32) == hkdf(b"m", b"info", 32)
+
+    def test_info_separates_keys(self):
+        assert hkdf(b"m", b"enc", 32) != hkdf(b"m", b"mac", 32)
+
+    def test_length_honored(self):
+        assert len(hkdf(b"m", b"i", 100)) == 100
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf(b"m", b"i", 0)
+
+
+class TestNonces:
+    def test_fresh_nonces_unique(self):
+        gen = NonceGenerator(HmacDrbg(5))
+        nonces = {gen.fresh() for _ in range(100)}
+        assert len(nonces) == 100
+
+    def test_nonce_size(self):
+        assert len(NonceGenerator(HmacDrbg(5)).fresh()) == NONCE_SIZE
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Nonce(b"short")
+
+    def test_cache_accepts_then_rejects(self):
+        cache = NonceCache()
+        cache.check_and_store(b"\x01" * 16)
+        with pytest.raises(ReplayError):
+            cache.check_and_store(b"\x01" * 16)
+
+    def test_cache_eviction_is_fifo(self):
+        cache = NonceCache(capacity=2)
+        for i in range(3):
+            cache.check_and_store(bytes([i]) * 16)
+        assert bytes([0]) * 16 not in cache
+        assert bytes([2]) * 16 in cache
+
+    def test_cache_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            NonceCache(capacity=0)
+
+
+class TestCertificates:
+    @pytest.fixture(scope="class")
+    def ca(self):
+        return CertificateAuthority("pCA", HmacDrbg(99), key_bits=512)
+
+    @pytest.fixture(scope="class")
+    def server_keys(self):
+        return generate_keypair(HmacDrbg(42), bits=512)
+
+    def test_issue_and_check(self, ca, server_keys):
+        cert = ca.issue("server-0001", server_keys.public)
+        ca.check(cert)
+        verify_certificate(ca.public_key, cert)
+
+    def test_tampered_subject_rejected(self, ca, server_keys):
+        import dataclasses
+
+        cert = ca.issue("server-0001", server_keys.public)
+        forged = dataclasses.replace(cert, subject="server-evil")
+        with pytest.raises(SignatureError):
+            ca.check(forged)
+
+    def test_wrong_issuer_rejected(self, ca, server_keys):
+        other_ca = CertificateAuthority("otherCA", HmacDrbg(7), key_bits=512)
+        cert = other_ca.issue("server-0001", server_keys.public)
+        with pytest.raises(SignatureError):
+            ca.check(cert)
+
+    def test_attestation_key_certification(self, ca, server_keys):
+        session_keys = generate_keypair(HmacDrbg(1000), bits=512)
+        ca.enroll("server-0001", server_keys.public)
+        endorsement = sign(server_keys.private, session_keys.public.to_dict())
+        cert = ca.certify_attestation_key("server-0001", session_keys.public, endorsement)
+        ca.check(cert)
+        # anonymity: the certificate subject must not name the server
+        assert "server-0001" not in cert.subject
+
+    def test_unenrolled_server_rejected(self, ca, server_keys):
+        session_keys = generate_keypair(HmacDrbg(1001), bits=512)
+        endorsement = sign(server_keys.private, session_keys.public.to_dict())
+        with pytest.raises(SignatureError):
+            ca.certify_attestation_key("server-ghost", session_keys.public, endorsement)
+
+    def test_bad_endorsement_rejected(self, ca, server_keys):
+        session_keys = generate_keypair(HmacDrbg(1002), bits=512)
+        ca.enroll("server-0002", server_keys.public)
+        with pytest.raises(SignatureError):
+            ca.certify_attestation_key("server-0002", session_keys.public, b"\x00" * 64)
+
+    def test_serials_increment(self, ca, server_keys):
+        a = ca.issue("s", server_keys.public)
+        b = ca.issue("s", server_keys.public)
+        assert b.serial == a.serial + 1
+
+    def test_is_enrolled(self, ca, server_keys):
+        ca.enroll("server-x", server_keys.public)
+        assert ca.is_enrolled("server-x")
+        assert not ca.is_enrolled("server-y")

@@ -1,0 +1,138 @@
+"""Tests for the customer's own verification logic — the end-verifier
+role (§3.2.1). Forged or replayed pushes must never enter the
+customer's result store, even when sent over an authenticated channel."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import ProtocolError, ReplayError, SignatureError
+from repro.protocol import messages as msg
+from repro.protocol.quotes import (
+    attestation_quote,
+    report_quote_q1,
+    report_quote_q2,
+)
+
+
+class TestQuotes:
+    def test_quotes_are_deterministic(self):
+        assert attestation_quote("vm", ["m"], {"m": 1}, b"n") == attestation_quote(
+            "vm", ["m"], {"m": 1}, b"n"
+        )
+
+    def test_q3_binds_every_field(self):
+        base = attestation_quote("vm", ["m"], {"m": 1}, b"n")
+        assert attestation_quote("vm2", ["m"], {"m": 1}, b"n") != base
+        assert attestation_quote("vm", ["m2"], {"m": 1}, b"n") != base
+        assert attestation_quote("vm", ["m"], {"m": 2}, b"n") != base
+        assert attestation_quote("vm", ["m"], {"m": 1}, b"x") != base
+
+    def test_q2_includes_server_but_q1_does_not(self):
+        """Q1 deliberately omits the server identity: the customer must
+        not learn where the VM runs (§3.4.2)."""
+        q2a = report_quote_q2("vm", "server-1", "p", {"r": 1}, b"n")
+        q2b = report_quote_q2("vm", "server-2", "p", {"r": 1}, b"n")
+        assert q2a != q2b
+        q1 = report_quote_q1("vm", "p", {"r": 1}, b"n")
+        assert q1 not in (q2a, q2b)
+
+    def test_cross_quote_domains_disjoint(self):
+        """The same logical fields can never make Q1 collide with Q3."""
+        assert report_quote_q1("vm", "p", {"x": 1}, b"n") != attestation_quote(
+            "vm", ["p"], {"x": 1}, b"n"
+        )
+
+
+@pytest.fixture()
+def subscribed():
+    cloud = CloudMonatt(num_servers=1, seed=62)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small", "ubuntu",
+        properties=[SecurityProperty.CPU_AVAILABILITY,
+                    SecurityProperty.STARTUP_INTEGRITY],
+        workload={"name": "cpu_bound"},
+    )
+    alice.start_periodic_attestation(
+        vm.vid, SecurityProperty.CPU_AVAILABILITY, frequency_ms=30_000.0
+    )
+    cloud.run_for(40_000.0)  # one genuine push delivered
+    results = alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+    assert len(results) == 1
+    return cloud, alice, vm
+
+
+def forged_push(cloud, vm, seq, report_healthy=True, sign_with_controller=True,
+                nonce=None):
+    """Build a periodic push, optionally correctly signed."""
+    sub_nonce = nonce if nonce is not None else _subscription_nonce(cloud, vm)
+    report = {
+        "prop": "cpu_availability",
+        "healthy": report_healthy,
+        "explanation": "forged",
+        "details": {},
+    }
+    signed = {
+        msg.KEY_VID: str(vm.vid),
+        msg.KEY_PROPERTY: "cpu_availability",
+        msg.KEY_REPORT: report,
+        "seq": seq,
+        msg.KEY_NONCE: sub_nonce,
+    }
+    signature = (
+        cloud.controller.endpoint.sign(signed)
+        if sign_with_controller
+        else b"\x00" * 64
+    )
+    return {
+        msg.KEY_TYPE: msg.MSG_PERIODIC_RESULT,
+        **signed,
+        msg.KEY_SIGNATURE: signature,
+        "response": None,
+    }
+
+
+def _subscription_nonce(cloud, vm):
+    subscription = cloud.controller._subscriptions[
+        (vm.vid, "cpu_availability")
+    ]
+    return subscription.nonce
+
+
+class TestPushVerification:
+    def test_unsigned_push_rejected(self, subscribed):
+        cloud, alice, vm = subscribed
+        push = forged_push(cloud, vm, seq=2, sign_with_controller=False)
+        with pytest.raises(SignatureError):
+            cloud.controller.endpoint.call("alice", push)
+        assert len(
+            alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        ) == 1
+
+    def test_replayed_seq_rejected(self, subscribed):
+        cloud, alice, vm = subscribed
+        push = forged_push(cloud, vm, seq=1)  # seq 1 already consumed
+        with pytest.raises(ReplayError):
+            cloud.controller.endpoint.call("alice", push)
+
+    def test_wrong_subscription_nonce_rejected(self, subscribed):
+        cloud, alice, vm = subscribed
+        push = forged_push(cloud, vm, seq=2, nonce=b"\x99" * 16)
+        with pytest.raises(ReplayError):
+            cloud.controller.endpoint.call("alice", push)
+
+    def test_push_for_unknown_subscription_rejected(self, subscribed):
+        cloud, alice, vm = subscribed
+        push = forged_push(cloud, vm, seq=2)
+        push[msg.KEY_PROPERTY] = "runtime_integrity"  # no such subscription
+        with pytest.raises((ProtocolError, SignatureError)):
+            cloud.controller.endpoint.call("alice", push)
+
+    def test_properly_signed_fresh_push_accepted(self, subscribed):
+        """Sanity: the verification gauntlet passes honest pushes."""
+        cloud, alice, vm = subscribed
+        push = forged_push(cloud, vm, seq=2, report_healthy=False)
+        cloud.controller.endpoint.call("alice", push)
+        results = alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert len(results) == 2
+        assert results[-1].report.healthy is False

@@ -1,0 +1,78 @@
+"""Tests for anti-co-location (dedicated-host) placement."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import PlacementError
+
+
+@pytest.fixture()
+def cloud():
+    return CloudMonatt(num_servers=2, seed=75)
+
+
+class TestDedicatedPlacement:
+    def test_other_customers_cannot_join_a_dedicated_server(self, cloud):
+        alice = cloud.register_customer("alice")
+        mallory = cloud.register_customer("mallory")
+        dedicated = alice.launch_vm("small", "ubuntu", dedicated=True)
+        dedicated_server = cloud.controller.database.vm(dedicated.vid).server
+        # mallory's VMs are steered to the other server every time
+        for _ in range(3):
+            vm = mallory.launch_vm("small", "cirros")
+            assert cloud.controller.database.vm(vm.vid).server != dedicated_server
+
+    def test_dedicated_vm_avoids_occupied_servers(self, cloud):
+        mallory = cloud.register_customer("mallory")
+        alice = cloud.register_customer("alice")
+        occupied = {
+            cloud.controller.database.vm(mallory.launch_vm("small", "cirros").vid).server
+            for _ in range(2)
+        }
+        assert len(occupied) == 2  # both servers host mallory now
+        with pytest.raises(PlacementError):
+            alice.launch_vm("small", "ubuntu", dedicated=True)
+
+    def test_same_customer_may_share_their_dedicated_server(self, cloud):
+        alice = cloud.register_customer("alice")
+        first = alice.launch_vm("small", "ubuntu", dedicated=True)
+        server = cloud.controller.database.vm(first.vid).server
+        # fill the other server so alice's next VM must co-locate
+        bob = cloud.register_customer("bob")
+        other = [s for s in cloud.servers if s != server][0]
+        for _ in range(4):
+            bob.launch_vm("large", "cirros", force_server=str(other))
+        second = alice.launch_vm("small", "cirros")
+        assert cloud.controller.database.vm(second.vid).server == server
+
+    def test_dedicated_defeats_the_covert_channel_setup(self):
+        """The co-residence precondition of the §4.4 attack is removed:
+        the attacker's receiver cannot land on the victim's server."""
+        cloud = CloudMonatt(num_servers=2, num_pcpus=1, seed=76)
+        alice = cloud.register_customer("alice")
+        mallory = cloud.register_customer("mallory")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            dedicated=True,
+        )
+        victim_server = cloud.controller.database.vm(victim.vid).server
+        receiver = mallory.launch_vm(
+            "small", "cirros", workload={"name": "cpu_bound"}
+        )
+        assert cloud.controller.database.vm(receiver.vid).server != victim_server
+
+    def test_dedicated_migration_respects_anti_colocation(self, cloud):
+        """A dedicated VM can only migrate to an unshared server."""
+        from repro.controller.response import ResponseAction
+
+        alice = cloud.register_customer("alice")
+        mallory = cloud.register_customer("mallory")
+        dedicated = alice.launch_vm("small", "ubuntu", dedicated=True)
+        source = cloud.controller.database.vm(dedicated.vid).server
+        other = [s for s in cloud.servers if s != source][0]
+        mallory.launch_vm("small", "cirros", force_server=str(other))
+        # no eligible destination: migration terminates the VM (§5.3)
+        with pytest.raises(PlacementError):
+            cloud.controller.response.migrate(dedicated.vid)

@@ -1,0 +1,37 @@
+"""End-to-end sanity at production key sizes (1024-bit RSA).
+
+The suite defaults to 512-bit keys for sweep speed; this battery proves
+the whole stack is key-size independent by running a representative
+end-to-end flow at 1024 bits.
+"""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import sign, verify
+
+
+@pytest.fixture(scope="module")
+def cloud_1024():
+    return CloudMonatt(num_servers=1, seed=99, key_bits=1024)
+
+
+class TestFullKeySize:
+    def test_1024_bit_signature_roundtrip(self):
+        keys = generate_keypair(HmacDrbg(123), bits=1024)
+        assert keys.public.bits == 1024
+        verify(keys.public, {"m": 1}, sign(keys.private, {"m": 1}))
+
+    def test_launch_and_attest_at_1024_bits(self, cloud_1024):
+        alice = cloud_1024.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "cirros",
+            properties=[SecurityProperty.STARTUP_INTEGRITY,
+                        SecurityProperty.RUNTIME_INTEGRITY],
+        )
+        assert vm.accepted
+        assert vm.report.healthy
+        result = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert result.report.healthy

@@ -1,0 +1,96 @@
+"""Tests for the IMA-style per-component appraiser."""
+
+import hashlib
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.attacks.image_tampering import tamper_platform
+from repro.monitors.integrity_unit import SoftwareInventory
+from repro.properties.ima import ImaAppraiser
+
+
+def digests_of(inventory: SoftwareInventory):
+    names = [name for name, _ in inventory.components]
+    log = [hashlib.sha256(content).digest() for _, content in inventory.components]
+    return names, log
+
+
+class TestImaAppraiser:
+    @pytest.fixture()
+    def appraiser(self):
+        appraiser = ImaAppraiser()
+        appraiser.trust_inventory(SoftwareInventory.pristine_platform())
+        return appraiser
+
+    def test_pristine_log_all_ok(self, appraiser):
+        names, log = digests_of(SoftwareInventory.pristine_platform())
+        verdicts = appraiser.appraise(names, log)
+        assert all(v.status == "ok" for v in verdicts)
+        assert appraiser.violations(names, log) == []
+
+    def test_modified_component_named(self, appraiser):
+        tampered = tamper_platform(
+            SoftwareInventory.pristine_platform(), component="dom0-linux-3.10"
+        )
+        names, log = digests_of(tampered)
+        assert appraiser.violations(names, log) == ["dom0-linux-3.10"]
+
+    def test_multiple_modifications_all_named(self, appraiser):
+        tampered = tamper_platform(
+            tamper_platform(SoftwareInventory.pristine_platform(),
+                            component="xen-hypervisor-4.2"),
+            component="oat-client",
+        )
+        names, log = digests_of(tampered)
+        assert set(appraiser.violations(names, log)) == {
+            "xen-hypervisor-4.2", "oat-client",
+        }
+
+    def test_unknown_component_flagged(self, appraiser):
+        names = ["mystery-daemon"]
+        log = [hashlib.sha256(b"whatever").digest()]
+        verdicts = appraiser.appraise(names, log)
+        assert verdicts[0].status == "unknown-component"
+
+    def test_multiple_acceptable_versions(self, appraiser):
+        patched = SoftwareInventory.pristine_platform().tampered(
+            "oat-client", b"openattestation client v2 (patched)"
+        )
+        appraiser.trust_inventory(patched)  # second good version
+        names, log = digests_of(patched)
+        assert appraiser.violations(names, log) == []
+        names, log = digests_of(SoftwareInventory.pristine_platform())
+        assert appraiser.violations(names, log) == []
+
+    def test_knows_component(self, appraiser):
+        assert appraiser.knows_component("oat-client")
+        assert not appraiser.knows_component("mystery-daemon")
+
+
+class TestImaEndToEnd:
+    def test_launch_rejection_names_the_component(self):
+        """With IMA diagnostics, a failed startup attestation says which
+        platform component was backdoored."""
+        cloud = CloudMonatt(num_servers=1, seed=52)
+        cloud.servers.clear()
+        cloud.controller.database._servers.clear()
+        tampered = tamper_platform(
+            SoftwareInventory.pristine_platform(), component="xen-hypervisor-4.2"
+        )
+        cloud.add_server(platform_inventory=tampered, trust_platform=False)
+        # the AS trusts the pristine inventory for IMA diagnostics
+        cloud.attestation_server.interpreter.trust_platform(
+            SoftwareInventory.pristine_platform()
+        )
+        alice = cloud.register_customer("alice")
+        with pytest.raises(Exception):  # retried, then placement exhausted
+            alice.launch_vm(
+                "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
+            )
+        # the provenance trail names the backdoored component
+        failed = next(
+            r for r in cloud.controller.provenance
+            if r.event == "platform_failed_retrying"
+        )
+        assert "xen-hypervisor-4.2" in failed.payload["reason"]

@@ -1,0 +1,341 @@
+"""End-to-end integration tests: the full CloudMonatt stack.
+
+Each test drives the public API the way a customer would — launch,
+attest, receive remediation — against real attacks running in the
+simulated cloud.
+"""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.attacks.image_tampering import tamper_platform
+from repro.common.errors import PlacementError, ProtocolError
+from repro.controller.response import ResponseAction
+from repro.guest import Rootkit
+from repro.lifecycle.flavors import VmImage
+from repro.lifecycle.states import VmState
+from repro.monitors.integrity_unit import SoftwareInventory
+from repro.network import Eavesdropper
+
+
+@pytest.fixture()
+def cloud():
+    return CloudMonatt(num_servers=3, seed=42)
+
+
+@pytest.fixture()
+def alice(cloud):
+    return cloud.register_customer("alice")
+
+
+class TestLaunch:
+    def test_healthy_launch_accepted(self, cloud, alice):
+        result = alice.launch_vm(
+            "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        assert result.accepted
+        assert result.report.healthy
+        assert set(result.stage_times_ms) == {
+            "scheduling", "networking", "block_device_mapping",
+            "spawning", "attestation",
+        }
+
+    def test_launch_without_properties_skips_attestation(self, cloud, alice):
+        result = alice.launch_vm("small", "cirros")
+        assert result.accepted
+        assert result.report is None
+        assert "attestation" not in result.stage_times_ms
+
+    def test_attestation_overhead_fraction(self, cloud, alice):
+        """Paper §7.1.1: attestation ≈ 20% of launch time."""
+        result = alice.launch_vm(
+            "medium", "fedora", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        fraction = result.stage_times_ms["attestation"] / result.total_ms
+        assert 0.10 <= fraction <= 0.35
+
+    def test_tampered_image_rejected_at_launch(self, cloud, alice):
+        cloud.controller.images["evil"] = VmImage(
+            name="evil", size_mb=25, content=b"trojaned image"
+        )
+        # the AS trusts an image named "evil" but with different content
+        cloud.attestation_server.interpreter.trust_image(
+            VmImage(name="evil", size_mb=25, content=b"the pristine version")
+        )
+        result = alice.launch_vm(
+            "small", "evil", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        assert not result.accepted
+        assert not result.report.healthy
+        record = cloud.controller.database.vm(result.vid)
+        assert record.state is VmState.REJECTED
+
+    def test_tampered_platform_rejected(self, cloud, alice):
+        """A server with a backdoored hypervisor fails startup attestation.
+
+        §5.1 behaviour: the controller retries on another qualified
+        server; with no other server in the fleet, placement fails.
+        """
+        small_cloud = CloudMonatt(num_servers=1, seed=7)
+        bad_inventory = tamper_platform(SoftwareInventory.pristine_platform())
+        # replace the fleet with a single tampered server
+        small_cloud.servers.clear()
+        small_cloud.controller.database._servers.clear()
+        small_cloud.add_server(platform_inventory=bad_inventory, trust_platform=False)
+        customer = small_cloud.register_customer("bob")
+        with pytest.raises(PlacementError):
+            customer.launch_vm(
+                "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
+            )
+        events = [r.event for r in small_cloud.controller.provenance]
+        assert "platform_failed_retrying" in events
+
+    def test_insecure_servers_filtered_for_monitored_vms(self):
+        cloud = CloudMonatt(num_servers=2, seed=3, insecure_servers=2)
+        customer = cloud.register_customer("carol")
+        # no security properties: an insecure server is acceptable
+        plain = customer.launch_vm("small", "cirros")
+        assert plain.accepted
+        # with properties: no server qualifies (the property filter
+        # excludes the whole insecure fleet)
+        with pytest.raises(PlacementError):
+            customer.launch_vm(
+                "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
+            )
+
+    def test_placement_balances_load(self, cloud, alice):
+        placements = {
+            alice.launch_vm("small", "cirros").vid: None for _ in range(3)
+        }
+        servers = {
+            cloud.controller.database.vm(vid).server for vid in placements
+        }
+        assert len(servers) == 3  # spread across the whole fleet
+
+
+class TestRuntimeIntegrityEndToEnd:
+    def test_rootkit_detected(self, cloud, alice):
+        vm = alice.launch_vm(
+            "small", "ubuntu", properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                                           SecurityProperty.STARTUP_INTEGRITY]
+        )
+        healthy = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert healthy.report.healthy
+        # infect the guest in place
+        server = cloud.server_of(vm.vid)
+        Rootkit().infect(server.hosted[vm.vid].guest)
+        infected = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert not infected.report.healthy
+        assert "cryptominer" in infected.report.details["unknown_tasks"]
+
+
+class TestCovertChannelEndToEnd:
+    def test_covert_sender_detected(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=11)
+        customer = cloud.register_customer("alice")
+        sender = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "covert_channel_sender"},
+            pins=[0],
+        )
+        customer.launch_vm(
+            "small", "ubuntu", workload={"name": "cpu_bound"}, pins=[0]
+        )
+        result = customer.attest(
+            sender.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM
+        )
+        assert not result.report.healthy
+        assert len(result.report.details["peaks"]) >= 2
+
+    def test_benign_vm_not_flagged(self):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=11)
+        customer = cloud.register_customer("alice")
+        benign = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.COVERT_CHANNEL_FREEDOM],
+            workload={"name": "cpu_bound"},
+            pins=[0],
+        )
+        customer.launch_vm(
+            "small", "ubuntu", workload={"name": "cpu_bound"}, pins=[0]
+        )
+        result = customer.attest(
+            benign.vid, SecurityProperty.COVERT_CHANNEL_FREEDOM
+        )
+        assert result.report.healthy
+
+
+class TestAvailabilityEndToEnd:
+    def _cloud_with_victim_and(self, attacker_workload):
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=13)
+        customer = cloud.register_customer("alice")
+        victim = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+            pins=[0],
+        )
+        if attacker_workload:
+            customer.launch_vm(
+                "medium", "ubuntu", workload={"name": attacker_workload},
+                pins=[0, 0],
+            )
+        return cloud, customer, victim
+
+    def test_attack_compromises_availability(self):
+        _, customer, victim = self._cloud_with_victim_and(
+            "cpu_availability_attack"
+        )
+        result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert not result.report.healthy
+        assert result.report.details["relative_usage"] < 0.15
+
+    def test_fair_corunner_is_healthy(self):
+        _, customer, victim = self._cloud_with_victim_and("database")
+        result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert result.report.healthy
+        assert result.report.details["relative_usage"] == pytest.approx(0.5, abs=0.1)
+
+
+class TestResponses:
+    def _attacked_cloud(self, policy):
+        cloud = CloudMonatt(num_servers=2, num_pcpus=1, seed=17)
+        cloud.controller.response.set_policy(
+            SecurityProperty.CPU_AVAILABILITY, policy
+        )
+        customer = cloud.register_customer("alice")
+        victim = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+            pins=[0],
+        )
+        # co-locate the attacker explicitly on the victim's server
+        victim_server = cloud.controller.database.vm(victim.vid).server
+        customer.launch_vm(
+            "medium", "ubuntu",
+            workload={"name": "cpu_availability_attack"}, pins=[0, 0],
+            force_server=str(victim_server),
+        )
+        return cloud, customer, victim
+
+    def test_termination_response(self):
+        cloud, customer, victim = self._attacked_cloud(ResponseAction.TERMINATE)
+        result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert not result.report.healthy
+        assert result.response["action"] == "terminate"
+        assert cloud.controller.database.vm(victim.vid).state is VmState.TERMINATED
+
+    def test_suspension_and_resume(self):
+        cloud, customer, victim = self._attacked_cloud(ResponseAction.SUSPEND)
+        result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert result.response["action"] == "suspend"
+        assert cloud.controller.database.vm(victim.vid).state is VmState.SUSPENDED
+        customer.resume_vm(victim.vid)
+        assert cloud.controller.database.vm(victim.vid).state is VmState.ACTIVE
+
+    def test_migration_response_moves_vm(self):
+        cloud, customer, victim = self._attacked_cloud(ResponseAction.MIGRATE)
+        before = cloud.controller.database.vm(victim.vid).server
+        result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert result.response["action"] == "migrate"
+        after = cloud.controller.database.vm(victim.vid).server
+        assert after != before
+        # the VM recovers its availability on the new server
+        healthy = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert healthy.report.healthy
+
+    def test_migration_ordering_is_slowest(self):
+        """Fig. 11: Termination < Suspension < Migration in reaction time."""
+        times = {}
+        for policy in (ResponseAction.TERMINATE, ResponseAction.SUSPEND,
+                       ResponseAction.MIGRATE):
+            cloud, customer, victim = self._attacked_cloud(policy)
+            result = customer.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+            times[policy] = result.response["reaction_ms"]
+        assert times[ResponseAction.TERMINATE] < times[ResponseAction.SUSPEND]
+        assert times[ResponseAction.SUSPEND] < times[ResponseAction.MIGRATE]
+
+
+class TestPeriodicAttestation:
+    def test_periodic_results_accumulate(self, cloud, alice):
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+        )
+        alice.start_periodic_attestation(
+            vm.vid, SecurityProperty.CPU_AVAILABILITY, frequency_ms=10_000.0
+        )
+        cloud.run_for(65_000.0)
+        results = alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert len(results) >= 3
+        assert all(r.report.healthy for r in results)
+        assert [r.seq for r in results] == sorted(r.seq for r in results)
+
+    def test_stop_periodic(self, cloud, alice):
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+        )
+        alice.start_periodic_attestation(
+            vm.vid, SecurityProperty.CPU_AVAILABILITY, frequency_ms=10_000.0
+        )
+        cloud.run_for(25_000.0)
+        alice.stop_periodic_attestation(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        count = len(alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY))
+        cloud.run_for(40_000.0)
+        assert len(
+            alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        ) == count
+
+    def test_random_interval_mode(self, cloud, alice):
+        vm = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+        )
+        alice.start_periodic_attestation(
+            vm.vid, SecurityProperty.CPU_AVAILABILITY,
+            random_range_ms=(5_000.0, 15_000.0),
+        )
+        cloud.run_for(60_000.0)
+        assert len(
+            alice.periodic_results(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        ) >= 3
+
+
+class TestProtocolSecurityEndToEnd:
+    def test_eavesdropper_learns_no_report_contents(self, cloud, alice):
+        eavesdropper = Eavesdropper()
+        cloud.network.install_attacker(eavesdropper)
+        vm = alice.launch_vm(
+            "small", "ubuntu", properties=[SecurityProperty.RUNTIME_INTEGRITY,
+                                           SecurityProperty.STARTUP_INTEGRITY]
+        )
+        alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        # nothing report-like crosses in plaintext
+        assert not eavesdropper.saw_plaintext(b"whitelisted")
+        assert not eavesdropper.saw_plaintext(b"sshd")
+        assert eavesdropper.captured
+
+    def test_wrong_customer_cannot_attest(self, cloud, alice):
+        mallory = cloud.register_customer("mallory")
+        vm = alice.launch_vm(
+            "small", "ubuntu", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        with pytest.raises(ProtocolError):
+            mallory.attest(vm.vid, SecurityProperty.STARTUP_INTEGRITY)
+
+    def test_terminated_vm_cannot_be_attested(self, cloud, alice):
+        vm = alice.launch_vm(
+            "small", "ubuntu", properties=[SecurityProperty.CPU_AVAILABILITY],
+            workload={"name": "cpu_bound"},
+        )
+        alice.terminate_vm(vm.vid)
+        result = alice.attest(vm.vid, SecurityProperty.CPU_AVAILABILITY)
+        # collection fails on the server; surfaced as unhealthy, not forged
+        assert not result.report.healthy

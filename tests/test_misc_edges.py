@@ -1,0 +1,116 @@
+"""Edge-path battery for the facade and smaller helpers."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import ConfigurationError, StateError
+from repro.lifecycle.flavors import default_flavors
+from repro.properties.catalog import PropertyCatalog
+from repro.sim.engine import Engine
+
+
+class TestFacadeEdges:
+    def test_empty_cloud_rejected(self):
+        with pytest.raises(StateError):
+            CloudMonatt(num_servers=0)
+
+    def test_duplicate_customer_rejected(self):
+        cloud = CloudMonatt(num_servers=1, seed=5)
+        cloud.register_customer("alice")
+        with pytest.raises(StateError):
+            cloud.register_customer("alice")
+
+    def test_server_of_unplaced_vm_rejected(self):
+        cloud = CloudMonatt(num_servers=1, seed=5)
+        with pytest.raises(StateError):
+            cloud.server_of("vm-ghost")
+
+    def test_now_and_run_for(self):
+        cloud = CloudMonatt(num_servers=1, seed=5)
+        before = cloud.now
+        cloud.run_for(123.0)
+        assert cloud.now == pytest.approx(before + 123.0)
+
+    def test_seed_reproducibility_end_to_end(self):
+        """Two identical clouds produce identical launch timings."""
+
+        def run() -> dict:
+            cloud = CloudMonatt(num_servers=2, seed=2024)
+            alice = cloud.register_customer("alice")
+            result = alice.launch_vm(
+                "medium", "fedora",
+                properties=[SecurityProperty.STARTUP_INTEGRITY],
+            )
+            return result.stage_times_ms
+
+        assert run() == run()
+
+    def test_distinct_seeds_differ(self):
+        def total(seed: int) -> float:
+            cloud = CloudMonatt(num_servers=2, seed=seed)
+            alice = cloud.register_customer("alice")
+            return alice.launch_vm(
+                "small", "cirros",
+                properties=[SecurityProperty.STARTUP_INTEGRITY],
+            ).total_ms
+
+        assert total(1) != total(2)
+
+    def test_servers_racked_in_topology(self):
+        cloud = CloudMonatt(num_servers=5, seed=5, rack_size=2)
+        assert len(cloud.topology.racks()) == 3
+        for sid in cloud.servers:
+            assert cloud.topology.rack_of(sid)
+
+
+class TestEngineEdges:
+    def test_step_executes_single_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        assert engine.step()
+        assert fired == ["a"]
+        assert engine.step()
+        assert not engine.step()
+
+    def test_reentrant_run_until_keeps_time_monotone(self):
+        engine = Engine()
+        observed = []
+
+        def outer():
+            observed.append(engine.now)
+            engine.run_until(engine.now + 50.0)  # inner advance
+            observed.append(engine.now)
+
+        engine.schedule(10.0, outer)
+        engine.schedule(20.0, lambda: observed.append(engine.now))
+        engine.run_until(30.0)
+        # times never go backwards even though the inner run overshot
+        assert observed == sorted(observed)
+        assert engine.now >= 60.0
+
+
+class TestCatalogEdges:
+    def test_properties_listing(self):
+        catalog = PropertyCatalog()
+        assert len(catalog.properties()) == 4
+
+    def test_unknown_property_spec_rejected(self):
+        catalog = PropertyCatalog()
+
+        class Fake:
+            pass
+
+        with pytest.raises((ConfigurationError, KeyError, TypeError)):
+            catalog.spec(Fake())
+
+
+class TestFlavorConsistency:
+    def test_flavors_monotone_in_every_dimension(self):
+        flavors = default_flavors()
+        ordering = ["small", "medium", "large"]
+        for attribute in ("vcpus", "memory_mb", "disk_gb"):
+            values = [getattr(flavors[name], attribute) for name in ordering]
+            assert values == sorted(values)
+            assert len(set(values)) == 3

@@ -1,0 +1,76 @@
+"""Unit tests for forced vCPU pausing (intercepting-scan support)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.identifiers import VmId
+from repro.xen import CpuBoundWorkload, FiniteCpuBoundWorkload, Hypervisor, VCpuState
+
+
+class TestPause:
+    def test_paused_domain_consumes_no_cpu(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("a"), CpuBoundWorkload())
+        hv.run_for(100.0)
+        before = sum(v.runtime_until(hv.now) for v in dom.vcpus)
+        hv.pause_domain(VmId("a"), 50.0)
+        hv.run_for(40.0)  # still inside the pause window
+        during = sum(v.runtime_until(hv.now) for v in dom.vcpus)
+        assert during == pytest.approx(before, abs=0.01)
+
+    def test_domain_resumes_after_pause(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("a"), CpuBoundWorkload())
+        hv.run_for(100.0)
+        hv.pause_domain(VmId("a"), 50.0)
+        hv.run_for(200.0)
+        usage = dom.relative_cpu_usage(hv.now)
+        # lost exactly the pause window: 250/300 of wall time
+        assert usage == pytest.approx(250.0 / 300.0, abs=0.02)
+
+    def test_finite_burst_resumes_where_it_stopped(self):
+        """The interrupted burst's remaining demand is preserved."""
+        hv = Hypervisor()
+        hv.create_domain(VmId("prog"), FiniteCpuBoundWorkload(200.0))
+        hv.run_for(100.0)
+        hv.pause_domain(VmId("prog"), 70.0)
+        finish = hv.run_until_domain_finishes(VmId("prog"))
+        # 200 ms of CPU + 70 ms paused = 270 ms wall
+        assert finish == pytest.approx(270.0, abs=1.0)
+
+    def test_pause_releases_cpu_to_corunner(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("a"), CpuBoundWorkload())
+        other = hv.create_domain(VmId("b"), CpuBoundWorkload())
+        hv.run_for(300.0)
+        before = sum(v.runtime_until(hv.now) for v in other.vcpus)
+        hv.pause_domain(VmId("a"), 100.0)
+        hv.run_for(100.0)
+        after = sum(v.runtime_until(hv.now) for v in other.vcpus)
+        # the co-runner got the whole pause window
+        assert after - before == pytest.approx(100.0, abs=1.0)
+
+    def test_pause_runnable_vcpu(self):
+        hv = Hypervisor()
+        dom_a = hv.create_domain(VmId("a"), CpuBoundWorkload())
+        dom_b = hv.create_domain(VmId("b"), CpuBoundWorkload())
+        hv.run_for(35.0)
+        # one of the two is runnable (queued), the other running
+        queued = next(
+            d for d in (dom_a, dom_b)
+            if d.vcpus[0].state is VCpuState.RUNNABLE
+        )
+        hv.pause_domain(queued.vid, 50.0)
+        assert queued.vcpus[0].state is VCpuState.BLOCKED
+        hv.run_for(100.0)
+        assert queued.vcpus[0].runtime_until(hv.now) > 0
+
+    def test_pause_unknown_domain_rejected(self):
+        with pytest.raises(SchedulingError):
+            Hypervisor().pause_domain(VmId("ghost"), 10.0)
+
+    def test_nonpositive_pause_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("a"), CpuBoundWorkload())
+        with pytest.raises(SchedulingError):
+            hv.pause_domain(VmId("a"), 0.0)

@@ -1,0 +1,379 @@
+"""Tests for property interpretation — the semantic-gap bridge."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import VmId
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashing import HashChain
+from repro.monitors import IntegrityMeasurementUnit, SoftwareInventory
+from repro.monitors.monitor_module import (
+    MEAS_CPU_INTERVAL_HISTOGRAM,
+    MEAS_CPU_USAGE,
+    MEAS_KERNEL_MODULES,
+    MEAS_PLATFORM_INTEGRITY,
+    MEAS_TASK_LIST,
+    MEAS_VM_IMAGE_INTEGRITY,
+)
+from repro.properties import (
+    AvailabilityInterpreter,
+    CovertChannelInterpreter,
+    InterpreterRegistry,
+    PropertyCatalog,
+    PropertyReport,
+    RuntimeIntegrityInterpreter,
+    SecurityProperty,
+    StartupIntegrityInterpreter,
+    kmeans_two_cluster,
+    significant_peaks,
+)
+from repro.properties.catalog import PropertySpec
+from repro.properties.runtime_integrity import detect_hidden_tasks
+from repro.tpm import TpmEmulator
+
+VM = VmId("vm-0001")
+
+
+class TestCatalog:
+    def test_builtin_properties_supported(self):
+        catalog = PropertyCatalog()
+        for prop in SecurityProperty:
+            assert catalog.supports(prop)
+
+    def test_measurements_for_integrity(self):
+        catalog = PropertyCatalog()
+        assert MEAS_PLATFORM_INTEGRITY in catalog.measurements_for(
+            SecurityProperty.STARTUP_INTEGRITY
+        )
+
+    def test_windowed_properties_have_windows(self):
+        catalog = PropertyCatalog()
+        assert catalog.spec(SecurityProperty.CPU_AVAILABILITY).default_window_ms > 0
+        assert catalog.spec(SecurityProperty.STARTUP_INTEGRITY).default_window_ms == 0
+
+    def test_register_custom_property(self):
+        catalog = PropertyCatalog()
+        catalog.register(
+            SecurityProperty.CPU_AVAILABILITY,
+            PropertySpec(measurements=(MEAS_CPU_USAGE,), default_window_ms=99.0),
+        )
+        assert catalog.spec(SecurityProperty.CPU_AVAILABILITY).default_window_ms == 99.0
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PropertyCatalog().register(
+                SecurityProperty.CPU_AVAILABILITY, PropertySpec(measurements=())
+            )
+
+
+class TestStartupIntegrity:
+    @pytest.fixture()
+    def setup(self):
+        tpm = TpmEmulator(HmacDrbg(1), key_bits=512)
+        unit = IntegrityMeasurementUnit(tpm)
+        inventory = SoftwareInventory.pristine_platform()
+        unit.measure_platform(inventory)
+        image = b"pristine ubuntu image"
+        unit.measure_vm_image(VM, image)
+        interpreter = StartupIntegrityInterpreter()
+        interpreter.add_good_platform(
+            IntegrityMeasurementUnit.expected_platform_value(inventory)
+        )
+        interpreter.add_good_image(
+            "ubuntu", IntegrityMeasurementUnit.expected_image_value(image)
+        )
+        interpreter.expect_image(VM, "ubuntu")
+        return unit, interpreter
+
+    def _measurements(self, unit):
+        return {
+            MEAS_PLATFORM_INTEGRITY: unit.platform_measurement(),
+            MEAS_VM_IMAGE_INTEGRITY: unit.vm_image_measurement(VM),
+        }
+
+    def test_pristine_system_healthy(self, setup):
+        unit, interpreter = setup
+        report = interpreter.interpret(VM, self._measurements(unit))
+        assert report.healthy
+        assert report.details["platform_known_good"]
+
+    def test_tampered_image_detected(self, setup):
+        unit, interpreter = setup
+        unit.measure_vm_image(VM, b"pristine ubuntu image<malware>")
+        report = interpreter.interpret(VM, self._measurements(unit))
+        assert not report.healthy
+        assert not report.details["image_known_good"]
+        assert report.details["platform_known_good"]
+
+    def test_tampered_platform_detected(self, setup):
+        _, interpreter = setup
+        tpm = TpmEmulator(HmacDrbg(9), key_bits=512)
+        unit = IntegrityMeasurementUnit(tpm)
+        tampered = SoftwareInventory.pristine_platform().tampered(
+            "xen-hypervisor-4.2", b"evil hypervisor"
+        )
+        unit.measure_platform(tampered)
+        unit.measure_vm_image(VM, b"pristine ubuntu image")
+        report = interpreter.interpret(VM, self._measurements(unit))
+        assert not report.healthy
+        assert not report.details["platform_known_good"]
+
+    def test_inconsistent_log_detected(self, setup):
+        unit, interpreter = setup
+        measurements = self._measurements(unit)
+        # forge: alter the log so it no longer replays to the PCR value
+        measurements[MEAS_PLATFORM_INTEGRITY]["log"][0] = b"\x00" * 32
+        report = interpreter.interpret(VM, measurements)
+        assert not report.healthy
+        assert not report.details["platform_log_consistent"]
+
+    def test_unknown_vm_image_expectation(self, setup):
+        unit, interpreter = setup
+        other = VmId("vm-0099")
+        unit.measure_vm_image(other, b"pristine ubuntu image")
+        measurements = {
+            MEAS_PLATFORM_INTEGRITY: unit.platform_measurement(),
+            MEAS_VM_IMAGE_INTEGRITY: unit.vm_image_measurement(other),
+        }
+        report = interpreter.interpret(other, measurements)
+        assert not report.healthy
+
+    def test_report_roundtrip(self, setup):
+        unit, interpreter = setup
+        report = interpreter.interpret(VM, self._measurements(unit))
+        assert PropertyReport.from_dict(report.to_dict()) == report
+
+
+class TestRuntimeIntegrity:
+    WHITELIST = ["init", "sshd", "cron", "rsyslogd", "app-server"]
+
+    def _measure(self, names, modules=("ext4",)):
+        return {
+            MEAS_TASK_LIST: [{"pid": i, "name": n} for i, n in enumerate(names)],
+            MEAS_KERNEL_MODULES: list(modules),
+        }
+
+    def test_whitelisted_tasks_healthy(self):
+        interpreter = RuntimeIntegrityInterpreter()
+        interpreter.set_whitelist(VM, self.WHITELIST, ["ext4"])
+        report = interpreter.interpret(VM, self._measure(self.WHITELIST))
+        assert report.healthy
+
+    def test_malware_task_detected(self):
+        interpreter = RuntimeIntegrityInterpreter()
+        interpreter.set_whitelist(VM, self.WHITELIST, ["ext4"])
+        report = interpreter.interpret(VM, self._measure(self.WHITELIST + ["cryptominer"]))
+        assert not report.healthy
+        assert report.details["unknown_tasks"] == ["cryptominer"]
+
+    def test_rogue_module_detected(self):
+        interpreter = RuntimeIntegrityInterpreter()
+        interpreter.set_whitelist(VM, self.WHITELIST, ["ext4"])
+        report = interpreter.interpret(
+            VM, self._measure(self.WHITELIST, modules=("ext4", "rootkit.ko"))
+        )
+        assert not report.healthy
+        assert report.details["unknown_modules"] == ["rootkit.ko"]
+
+    def test_no_whitelist_is_unhealthy(self):
+        interpreter = RuntimeIntegrityInterpreter()
+        report = interpreter.interpret(VM, self._measure(["init"]))
+        assert not report.healthy
+
+    def test_modules_ignored_without_module_whitelist(self):
+        interpreter = RuntimeIntegrityInterpreter()
+        interpreter.set_whitelist(VM, self.WHITELIST)  # no module whitelist
+        report = interpreter.interpret(
+            VM, self._measure(self.WHITELIST, modules=("anything",))
+        )
+        assert report.healthy
+
+    def test_detect_hidden_tasks(self):
+        attested = [{"pid": 1, "name": "init"}, {"pid": 66, "name": "keylogger"}]
+        reported = [{"pid": 1, "name": "init"}]
+        hidden = detect_hidden_tasks(attested, reported)
+        assert hidden == [{"pid": 66, "name": "keylogger"}]
+
+
+class TestCovertChannelDetection:
+    def _histogram(self, spec: dict[int, int], bins=30) -> list[int]:
+        counts = [0] * bins
+        for bin_index, count in spec.items():
+            counts[bin_index] = count
+        return counts
+
+    def test_bimodal_detected(self):
+        interpreter = CovertChannelInterpreter()
+        counts = self._histogram({4: 120, 24: 110, 5: 10, 23: 8})
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert not report.healthy
+        assert len(report.details["peaks"]) == 2
+
+    def test_benign_timeslice_peak_healthy(self):
+        interpreter = CovertChannelInterpreter()
+        counts = self._histogram({29: 200, 28: 5})
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert report.healthy
+
+    def test_benign_io_peak_healthy(self):
+        interpreter = CovertChannelInterpreter()
+        counts = self._histogram({0: 150, 1: 90, 2: 20})
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert report.healthy
+
+    def test_idle_vm_healthy(self):
+        interpreter = CovertChannelInterpreter()
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: [0] * 30})
+        assert report.healthy
+        assert report.details["total_intervals"] == 0
+
+    def test_tiny_second_peak_not_flagged(self):
+        """A trace second mode below the mass threshold stays benign."""
+        interpreter = CovertChannelInterpreter()
+        counts = self._histogram({29: 300, 4: 6})
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert report.healthy
+
+    def test_significant_peaks_merging(self):
+        distribution = [0.0] * 30
+        distribution[10] = 0.3
+        distribution[11] = 0.3  # adjacent: one peak
+        distribution[20] = 0.4
+        assert len(significant_peaks(distribution)) == 2
+
+    def test_kmeans_separates_two_modes(self):
+        distribution = [0.0] * 30
+        distribution[4] = 0.5
+        distribution[24] = 0.5
+        result = kmeans_two_cluster(distribution)
+        assert result["separation"] == pytest.approx(20.0)
+        assert result["mass_low"] == pytest.approx(0.5)
+
+    def test_kmeans_degenerate_single_bin(self):
+        distribution = [0.0] * 30
+        distribution[7] = 1.0
+        assert kmeans_two_cluster(distribution)["separation"] == 0.0
+
+    def test_kmeans_empty(self):
+        assert kmeans_two_cluster([0.0] * 30)["separation"] == 0.0
+
+    @given(st.integers(min_value=2, max_value=27))
+    def test_two_well_separated_spikes_always_detected(self, low_bin):
+        high_bin = 29 if low_bin < 25 else 0
+        interpreter = CovertChannelInterpreter()
+        counts = [0] * 30
+        counts[low_bin] = 100
+        counts[high_bin] = 100
+        report = interpreter.interpret(VM, {MEAS_CPU_INTERVAL_HISTOGRAM: counts})
+        assert not report.healthy
+
+
+class TestAvailability:
+    def _measure(self, cpu_ms, wall_ms=1000.0):
+        return {MEAS_CPU_USAGE: {"cpu_ms": cpu_ms, "wall_ms": wall_ms}}
+
+    def test_full_usage_healthy(self):
+        interpreter = AvailabilityInterpreter()
+        assert interpreter.interpret(VM, self._measure(990.0)).healthy
+
+    def test_fair_share_healthy(self):
+        interpreter = AvailabilityInterpreter(default_entitled_share=0.5)
+        assert interpreter.interpret(VM, self._measure(480.0)).healthy
+
+    def test_starved_vm_unhealthy(self):
+        interpreter = AvailabilityInterpreter(default_entitled_share=0.5)
+        report = interpreter.interpret(VM, self._measure(50.0))
+        assert not report.healthy
+        assert report.details["relative_usage"] == pytest.approx(0.05)
+
+    def test_custom_entitled_share(self):
+        interpreter = AvailabilityInterpreter()
+        interpreter.set_entitled_share(VM, 1.0)
+        # 50% usage is fine at 0.5 entitlement but not at 1.0
+        assert not interpreter.interpret(VM, self._measure(500.0)).healthy
+
+    def test_zero_wall_time(self):
+        interpreter = AvailabilityInterpreter()
+        report = interpreter.interpret(VM, self._measure(0.0, wall_ms=0.0))
+        assert not report.healthy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityInterpreter(default_entitled_share=0.0)
+        with pytest.raises(ValueError):
+            AvailabilityInterpreter(tolerance=1.5)
+        with pytest.raises(ValueError):
+            AvailabilityInterpreter(steal_threshold=1.0)
+        with pytest.raises(ValueError):
+            AvailabilityInterpreter().set_entitled_share(VM, 2.0)
+
+
+class TestDemandAwareAvailability:
+    """With steal-time data, starvation requires denied demand."""
+
+    def _measure(self, cpu_ms, wait_ms, wall_ms=1000.0):
+        return {MEAS_CPU_USAGE: {"cpu_ms": cpu_ms, "wall_ms": wall_ms,
+                                 "wait_ms": wait_ms}}
+
+    def test_idle_by_choice_is_healthy(self):
+        """Low usage with no waiting: the VM never asked (the false
+        positive the legacy raw-usage rule had on I/O-bound VMs)."""
+        interpreter = AvailabilityInterpreter()
+        report = interpreter.interpret(VM, self._measure(60.0, 5.0))
+        assert report.healthy
+        assert "idle by choice" in report.explanation
+
+    def test_starved_demand_is_unhealthy(self):
+        interpreter = AvailabilityInterpreter()
+        report = interpreter.interpret(VM, self._measure(50.0, 900.0))
+        assert not report.healthy
+        assert report.details["steal_ratio"] > 0.9
+
+    def test_fair_halving_is_healthy(self):
+        """Two CPU-bound VMs: usage 0.5, steal exactly 0.5 — fair, not
+        starved (the threshold sits above the fair-share point)."""
+        interpreter = AvailabilityInterpreter()
+        report = interpreter.interpret(VM, self._measure(500.0, 500.0))
+        assert report.healthy
+
+    def test_starved_io_bound_vm_detected(self):
+        """A low-demand VM whose little demand is mostly denied: starved
+        even though its absolute usage was always going to be small."""
+        interpreter = AvailabilityInterpreter()
+        report = interpreter.interpret(VM, self._measure(8.0, 95.0))
+        assert not report.healthy
+
+    def test_zero_demand_healthy(self):
+        interpreter = AvailabilityInterpreter()
+        assert interpreter.interpret(VM, self._measure(0.0, 0.0)).healthy
+
+    def test_legacy_measurement_uses_raw_threshold(self):
+        interpreter = AvailabilityInterpreter()
+        legacy = {MEAS_CPU_USAGE: {"cpu_ms": 50.0, "wall_ms": 1000.0}}
+        assert not interpreter.interpret(VM, legacy).healthy
+
+
+class TestRegistry:
+    def test_dispatch(self):
+        registry = InterpreterRegistry()
+        registry.register(AvailabilityInterpreter())
+        report = registry.interpret(
+            SecurityProperty.CPU_AVAILABILITY,
+            VM,
+            {MEAS_CPU_USAGE: {"cpu_ms": 900.0, "wall_ms": 1000.0}},
+        )
+        assert report.healthy
+
+    def test_supports(self):
+        registry = InterpreterRegistry()
+        assert not registry.supports(SecurityProperty.CPU_AVAILABILITY)
+        registry.register(AvailabilityInterpreter())
+        assert registry.supports(SecurityProperty.CPU_AVAILABILITY)
+
+    def test_missing_interpreter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterpreterRegistry().interpret(SecurityProperty.RUNTIME_INTEGRITY, VM, {})

@@ -1,0 +1,105 @@
+"""Tests for VM lifecycle provenance (the controller's audit trail)."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.controller.response import ResponseAction
+from repro.lifecycle.flavors import VmImage
+
+
+@pytest.fixture()
+def cloud():
+    return CloudMonatt(num_servers=2, num_pcpus=1, seed=73)
+
+
+class TestProvenance:
+    def test_launch_leaves_a_trail(self, cloud):
+        alice = cloud.register_customer("alice")
+        vm = alice.launch_vm(
+            "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        events = [r.event for r in cloud.controller.vm_provenance(vm.vid)]
+        assert events == ["scheduled", "launched"]
+        assert cloud.controller.provenance.verify() == []
+
+    def test_rejected_launch_recorded_with_reason(self, cloud):
+        cloud.controller.images["evil"] = VmImage(
+            name="evil", size_mb=25, content=b"trojaned"
+        )
+        cloud.attestation_server.interpreter.trust_image(
+            VmImage(name="evil", size_mb=25, content=b"pristine")
+        )
+        alice = cloud.register_customer("alice")
+        result = alice.launch_vm(
+            "small", "evil", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        assert not result.accepted
+        trail = cloud.controller.vm_provenance(result.vid)
+        events = [r.event for r in trail]
+        assert events == ["scheduled", "launched", "terminated", "rejected"]
+        rejected = trail[-1]
+        assert "does not match" in rejected.payload["reason"]
+
+    def test_full_lifecycle_trail(self, cloud):
+        cloud.controller.response.set_policy(
+            SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
+        )
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        source = cloud.controller.database.vm(victim.vid).server
+        alice.launch_vm(
+            "medium", "ubuntu", workload={"name": "cpu_availability_attack"},
+            pins=[0, 0], force_server=str(source),
+        )
+        alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        alice.terminate_vm(victim.vid)
+        events = [r.event for r in cloud.controller.vm_provenance(victim.vid)]
+        assert events == ["scheduled", "launched", "migrated", "terminated"]
+        migrated = cloud.controller.vm_provenance(victim.vid)[2]
+        assert migrated.payload["source"] == str(source)
+        assert migrated.payload["destination"] != str(source)
+
+    def test_suspend_resume_trail(self, cloud):
+        cloud.controller.response.set_policy(
+            SecurityProperty.CPU_AVAILABILITY, ResponseAction.SUSPEND
+        )
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        source = cloud.controller.database.vm(victim.vid).server
+        alice.launch_vm(
+            "medium", "ubuntu", workload={"name": "cpu_availability_attack"},
+            pins=[0, 0], force_server=str(source),
+        )
+        alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        alice.resume_vm(victim.vid)
+        events = [r.event for r in cloud.controller.vm_provenance(victim.vid)]
+        assert events == ["scheduled", "launched", "suspended", "resumed"]
+
+    def test_provenance_chain_is_tamper_evident(self, cloud):
+        alice = cloud.register_customer("alice")
+        alice.launch_vm("small", "cirros")
+        alice.launch_vm("small", "fedora")
+        log = cloud.controller.provenance
+        assert log.verify() == []
+        log._tamper_delete(0)
+        assert log.verify() != []
+
+    def test_trails_are_per_vm(self, cloud):
+        alice = cloud.register_customer("alice")
+        a = alice.launch_vm("small", "cirros")
+        b = alice.launch_vm("small", "fedora")
+        assert all(
+            r.payload["vid"] == str(a.vid)
+            for r in cloud.controller.vm_provenance(a.vid)
+        )
+        assert len(cloud.controller.vm_provenance(b.vid)) == 2

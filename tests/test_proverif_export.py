@@ -1,0 +1,57 @@
+"""Tests for the ProVerif model exporter."""
+
+import pytest
+
+from repro.verification import ProtocolVariant
+from repro.verification.proverif_export import export_proverif, write_proverif
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return export_proverif()
+
+    def test_contains_equational_theory(self, source):
+        for primitive in ("adec(aenc(m, pk(k)), k) = m",
+                          "sdec(senc(m, k), k) = m",
+                          "checksign(sign(m, k), pk(k)) = m"):
+            assert primitive in source
+
+    def test_declares_every_longterm_secret(self, source):
+        for secret in ("SKcust", "SKc", "SKa", "SKs", "SKpca"):
+            assert f"free {secret}: skey [private]." in source
+
+    def test_queries_cover_the_six_properties(self, source):
+        # secrecy queries (1 and 2)
+        for target in ("SKcust", "SKc", "SKa", "SKs", "P", "M", "R"):
+            assert f"query attacker({target})." in source
+        # authentication correspondences (4-6) and report integrity (3)
+        assert source.count("inj-event") >= 8
+
+    def test_four_entities_present(self, source):
+        for process in ("let Customer", "let Controller",
+                        "let AttestationServer", "let CloudServer"):
+            assert process in source
+
+    def test_session_attestation_key_is_fresh(self, source):
+        assert "new ASKs: skey" in source
+        assert "sign((pseudo, pk(ASKs)), SKpca)" in source
+
+    def test_three_nonces(self, source):
+        for nonce in ("new N1", "new N2", "new N3"):
+            assert nonce in source
+
+    def test_public_keys_published_to_attacker(self, source):
+        assert "out(net, pk(SKcust))" in source
+
+    def test_balanced_parentheses(self, source):
+        assert source.count("(") == source.count(")")
+
+    def test_only_standard_variant_exported(self):
+        with pytest.raises(ValueError):
+            export_proverif(ProtocolVariant.PLAINTEXT)
+
+    def test_write_to_file(self, tmp_path):
+        path = write_proverif(str(tmp_path / "cloudmonatt.pv"))
+        with open(path, encoding="utf-8") as handle:
+            assert "process" in handle.read()

@@ -1,0 +1,147 @@
+"""Tests for the Resource-Freeing Attack and the scheduler defenses."""
+
+import pytest
+
+from repro.attacks import (
+    AvailabilityAttackWorkload,
+    RfaPressureCampaign,
+    RfaTargetWorkload,
+)
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.monitors import VmmProfileTool
+from repro.monitors.monitor_module import MEAS_CPU_USAGE
+from repro.properties import AvailabilityInterpreter
+from repro.xen import CpuBoundWorkload, FiniteCpuBoundWorkload, Hypervisor
+
+
+class TestRfaMechanics:
+    def test_duty_cycle_collapses_under_pressure(self):
+        target = RfaTargetWorkload(DeterministicRng(1))
+        assert target.nominal_duty_cycle == pytest.approx(0.5)
+        target.apply_pressure(1.0)
+        assert target.nominal_duty_cycle < 0.1
+
+    def test_pressure_bounds(self):
+        target = RfaTargetWorkload(DeterministicRng(1))
+        with pytest.raises(ValueError):
+            target.apply_pressure(1.5)
+        with pytest.raises(ValueError):
+            target.apply_pressure(-0.1)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            RfaTargetWorkload(DeterministicRng(1), cpu_ms=0.0)
+        with pytest.raises(ValueError):
+            RfaTargetWorkload(DeterministicRng(1), max_io_stretch=0.5)
+
+    def test_campaign_schedules_pressure(self):
+        hv = Hypervisor()
+        target = RfaTargetWorkload(DeterministicRng(1))
+        hv.create_domain(VmId("victim"), target)
+        campaign = RfaPressureCampaign(hv.engine, target)
+        campaign.pulse(start_ms=100.0, duration_ms=200.0, level=0.8)
+        hv.run_for(150.0)
+        assert target.pressure == 0.8
+        hv.run_for(200.0)
+        assert target.pressure == 0.0
+        assert len(campaign.schedule) == 2
+
+
+class TestRfaEffect:
+    def _run(self, pressure_level):
+        hv = Hypervisor(num_pcpus=1)
+        target = RfaTargetWorkload(DeterministicRng(2))
+        victim = hv.create_domain(VmId("victim"), target)
+        beneficiary = hv.create_domain(VmId("beneficiary"), CpuBoundWorkload())
+        if pressure_level:
+            RfaPressureCampaign(hv.engine, target).ramp(500.0, pressure_level)
+        tool = VmmProfileTool(hv)
+        hv.run_for(1000.0)  # past the ramp
+        tool.start_window(VmId("victim"))
+        tool.start_window(VmId("beneficiary"))
+        hv.run_for(4000.0)
+        return (
+            tool.stop_window(VmId("victim")).relative_usage,
+            tool.stop_window(VmId("beneficiary")).relative_usage,
+        )
+
+    def test_without_attack_fair_contention(self):
+        victim_usage, beneficiary_usage = self._run(0.0)
+        # victim demands ~50%; on a contended core it gets close to that
+        assert victim_usage > 0.35
+        assert beneficiary_usage < 0.65
+
+    def test_rfa_frees_the_cpu_for_the_beneficiary(self):
+        victim_usage, beneficiary_usage = self._run(1.0)
+        assert victim_usage < 0.12          # the victim drowned in I/O
+        assert beneficiary_usage > 0.85     # the beneficiary absorbed it
+
+    def test_availability_monitoring_flags_the_rfa(self):
+        """CloudMonatt's availability property sees the usage collapse."""
+        victim_usage, _ = self._run(1.0)
+        interpreter = AvailabilityInterpreter(default_entitled_share=0.5)
+        report = interpreter.interpret(
+            VmId("victim"),
+            {MEAS_CPU_USAGE: {"cpu_ms": victim_usage * 1000.0, "wall_ms": 1000.0}},
+        )
+        assert not report.healthy
+
+
+class TestSchedulerDefenses:
+    VICTIM_MS = 800.0
+
+    def _slowdown(self, precise=False, boost=True):
+        hv = Hypervisor(num_pcpus=1, precise_accounting=precise,
+                        boost_enabled=boost)
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(self.VICTIM_MS))
+        hv.create_domain(
+            VmId("attacker"), AvailabilityAttackWorkload(),
+            num_vcpus=2, pcpus=[0, 0],
+        )
+        finish = hv.run_until_domain_finishes(VmId("victim"), max_ms=60_000.0)
+        return finish / self.VICTIM_MS
+
+    def test_baseline_scheduler_is_vulnerable(self):
+        assert self._slowdown() > 10.0
+
+    def test_precise_accounting_defeats_the_attack(self):
+        """With per-interval charging, tick evasion buys nothing: the
+        attacker pays for its CPU, goes OVER, and loses the boost."""
+        assert self._slowdown(precise=True) < 3.0
+
+    def test_disabling_boost_alone_does_not_defeat_the_attack(self):
+        """The root cause is the *sampled accounting*, not the boost:
+        a tick-evading attacker never pays credits, stays UNDER while
+        the victim sinks to OVER, and preempts on wake even without
+        BOOST priority. (This matches the literature: the real fix the
+        scheduler adopted was exact accounting, not removing boost.)"""
+        assert self._slowdown(boost=False) > 5.0
+
+    def test_both_defenses_together_defeat_the_attack(self):
+        assert self._slowdown(precise=True, boost=False) < 3.0
+
+    def test_precise_accounting_keeps_fairness(self):
+        hv = Hypervisor(num_pcpus=1, precise_accounting=True)
+        a = hv.create_domain(VmId("a"), CpuBoundWorkload())
+        b = hv.create_domain(VmId("b"), CpuBoundWorkload())
+        hv.run_for(6000.0)
+        assert a.relative_cpu_usage(hv.now) == pytest.approx(0.5, abs=0.06)
+        assert b.relative_cpu_usage(hv.now) == pytest.approx(0.5, abs=0.06)
+
+    def test_no_boost_hurts_io_latency(self):
+        """The trade-off that justifies boost's existence: without it,
+        I/O-bound work waits behind full CPU-bound timeslices."""
+        from repro.xen import IoBoundWorkload
+
+        def io_share(boost: bool) -> float:
+            hv = Hypervisor(num_pcpus=1, boost_enabled=boost)
+            io = hv.create_domain(
+                VmId("io"),
+                IoBoundWorkload(DeterministicRng(5), burst_ms=1.0, wait_ms=4.0),
+            )
+            hv.create_domain(VmId("hog"), CpuBoundWorkload())
+            hv.run_for(5000.0)
+            return io.relative_cpu_usage(hv.now)
+
+        assert io_share(boost=True) > io_share(boost=False)

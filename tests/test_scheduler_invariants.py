@@ -1,0 +1,153 @@
+"""Property-based invariants of the credit-scheduler simulation.
+
+Whatever workload mix runs, physics must hold: one vCPU per pCPU at a
+time, no CPU time created from nothing, run intervals well-formed and
+non-overlapping, credits bounded by the cap.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.xen import (
+    CREDIT_CAP,
+    CpuBoundWorkload,
+    FiniteCpuBoundWorkload,
+    Hypervisor,
+    IdleWorkload,
+    IoBoundWorkload,
+    PhasedWorkload,
+)
+
+WORKLOAD_KINDS = ["cpu", "io", "phased", "idle", "finite"]
+
+
+def build_workload(kind: str, rng: DeterministicRng):
+    if kind == "cpu":
+        return CpuBoundWorkload()
+    if kind == "io":
+        return IoBoundWorkload(rng, burst_ms=1.5, wait_ms=7.0)
+    if kind == "phased":
+        return PhasedWorkload(rng, cpu_fraction=0.4)
+    if kind == "idle":
+        return IdleWorkload()
+    return FiniteCpuBoundWorkload(300.0)
+
+
+class _IntervalCollector:
+    def __init__(self):
+        self.by_pcpu: dict[int, list[tuple[float, float]]] = {}
+
+    def on_switch(self, time, pcpu, prev, nxt):
+        pass
+
+    def on_run_interval(self, vcpu, start, end):
+        self.by_pcpu.setdefault(vcpu.pcpu, []).append((start, end))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kinds=st.lists(st.sampled_from(WORKLOAD_KINDS), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_no_cpu_time_invented(kinds, seed):
+    """Total CPU consumed <= wall time x pCPUs, and per-domain <= wall."""
+    hv = Hypervisor(num_pcpus=2)
+    rng = DeterministicRng(seed)
+    for index, kind in enumerate(kinds):
+        hv.create_domain(
+            VmId(f"vm-{index}"),
+            build_workload(kind, rng.child(str(index))),
+            pcpus=[index % 2],
+        )
+    duration = 2000.0
+    hv.run_for(duration)
+    total = sum(
+        vcpu.runtime_until(hv.now)
+        for dom in hv.domains.values()
+        for vcpu in dom.vcpus
+    )
+    assert total <= duration * hv.num_pcpus + 1e-6
+    for dom in hv.domains.values():
+        for vcpu in dom.vcpus:
+            assert 0.0 <= vcpu.runtime_until(hv.now) <= duration + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kinds=st.lists(st.sampled_from(WORKLOAD_KINDS), min_size=2, max_size=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_run_intervals_well_formed_and_disjoint(kinds, seed):
+    """Per pCPU, recorded run intervals never overlap and have end>start."""
+    hv = Hypervisor(num_pcpus=1)
+    collector = _IntervalCollector()
+    hv.add_monitor(collector)
+    rng = DeterministicRng(seed)
+    for index, kind in enumerate(kinds):
+        hv.create_domain(
+            VmId(f"vm-{index}"), build_workload(kind, rng.child(str(index)))
+        )
+    hv.run_for(1500.0)
+    for intervals in collector.by_pcpu.values():
+        ordered = sorted(intervals)
+        for start, end in ordered:
+            assert end > start
+        for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+            assert e1 <= s2 + 1e-9, "run intervals overlap on one pCPU"
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_credits_bounded_by_cap(seed):
+    hv = Hypervisor()
+    rng = DeterministicRng(seed)
+    hv.create_domain(VmId("a"), CpuBoundWorkload())
+    hv.create_domain(VmId("b"), IoBoundWorkload(rng, burst_ms=1.0, wait_ms=5.0))
+    for _ in range(20):
+        hv.run_for(100.0)
+        for dom in hv.domains.values():
+            for vcpu in dom.vcpus:
+                assert -CREDIT_CAP - 1e-9 <= vcpu.credits <= CREDIT_CAP + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    demand=st.floats(min_value=50.0, max_value=800.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_finite_workload_consumes_exactly_its_demand(demand, seed):
+    hv = Hypervisor()
+    rng = DeterministicRng(seed)
+    dom = hv.create_domain(VmId("prog"), FiniteCpuBoundWorkload(demand))
+    hv.create_domain(VmId("noise"), IoBoundWorkload(rng, burst_ms=1.0, wait_ms=6.0))
+    hv.run_until_domain_finishes(VmId("prog"), max_ms=100_000.0)
+    assert dom.cumulative_runtime == pytest.approx(demand, abs=0.5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_determinism_same_seed_same_outcome(seed):
+    """Two identical runs produce identical CPU accounting."""
+
+    def run() -> list[float]:
+        hv = Hypervisor(num_pcpus=2)
+        rng = DeterministicRng(seed)
+        hv.create_domain(VmId("a"), CpuBoundWorkload(), pcpus=[0])
+        hv.create_domain(
+            VmId("b"), IoBoundWorkload(rng.child("io"), burst_ms=1.0, wait_ms=4.0),
+            pcpus=[0],
+        )
+        hv.create_domain(
+            VmId("c"), PhasedWorkload(rng.child("ph"), cpu_fraction=0.5), pcpus=[1]
+        )
+        hv.run_for(3000.0)
+        return [
+            vcpu.runtime_until(hv.now)
+            for dom in sorted(hv.domains.values(), key=lambda d: d.vid)
+            for vcpu in dom.vcpus
+        ]
+
+    assert run() == run()

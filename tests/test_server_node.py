@@ -1,0 +1,256 @@
+"""Unit tests for the cloud server node (management + attestation client)."""
+
+import pytest
+
+from repro.common.errors import PlacementError, ProtocolError, StateError
+from repro.common.identifiers import ServerId, VmId
+from repro.common.rng import DeterministicRng
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.guest import Rootkit
+from repro.lifecycle.timing import CostModel
+from repro.network.network import Network
+from repro.network.secure_channel import SecureEndpoint
+from repro.protocol import messages as msg
+from repro.server import CloudServer
+from repro.sim.engine import Engine
+
+KEY_BITS = 512
+
+
+@pytest.fixture()
+def rig():
+    """A server plus a management endpoint speaking to it directly."""
+    engine = Engine()
+    network = Network(engine, DeterministicRng(1), latency_ms=0.1)
+    ca = CertificateAuthority("pCA", HmacDrbg(7), key_bits=KEY_BITS)
+    cost = CostModel(engine=engine, rng=DeterministicRng(2))
+    server = CloudServer(
+        server_id=ServerId("server-0001"),
+        network=network,
+        engine=engine,
+        drbg=HmacDrbg(10),
+        rng=DeterministicRng(3),
+        ca=ca,
+        cost_model=cost,
+        num_pcpus=2,
+        key_bits=KEY_BITS,
+    )
+    manager = SecureEndpoint("manager", network, HmacDrbg(11), ca, KEY_BITS)
+    manager.handler = lambda peer, body: {}
+    return server, manager, engine
+
+
+def launch_body(vid="vm-0001", flavor_vcpus=1, workload="cpu_bound", pins=None):
+    return {
+        msg.KEY_TYPE: msg.MSG_LAUNCH,
+        msg.KEY_VID: vid,
+        "image": {"name": "cirros", "size_mb": 25, "content": b"cirros image"},
+        "flavor": {"name": "small", "vcpus": flavor_vcpus,
+                   "memory_mb": 2048, "disk_gb": 20},
+        "workload": {"name": workload},
+        "pins": pins,
+    }
+
+
+class TestLaunchAndTerminate:
+    def test_launch_creates_domain_and_guest(self, rig):
+        server, manager, _ = rig
+        response = manager.call("server-0001", launch_body())
+        assert response[msg.KEY_STATUS] == "active"
+        vid = VmId("vm-0001")
+        assert vid in server.hypervisor.domains
+        assert server.hosted[vid].guest is not None
+        # the image was measured before boot
+        assert server.integrity_unit.vm_image_measurement(vid)["pcr"]
+
+    def test_duplicate_launch_rejected(self, rig):
+        server, manager, _ = rig
+        manager.call("server-0001", launch_body())
+        with pytest.raises(StateError):
+            manager.call("server-0001", launch_body())
+
+    def test_capacity_enforced(self, rig):
+        server, manager, _ = rig
+        # capacity: 2 pcpus x 4 overcommit = 8 vcpus
+        manager.call("server-0001", launch_body("vm-1", flavor_vcpus=4))
+        manager.call("server-0001", launch_body("vm-2", flavor_vcpus=4))
+        with pytest.raises(PlacementError):
+            manager.call("server-0001", launch_body("vm-3", flavor_vcpus=1))
+
+    def test_terminate_frees_everything(self, rig):
+        server, manager, _ = rig
+        manager.call("server-0001", launch_body())
+        manager.call(
+            "server-0001",
+            {msg.KEY_TYPE: msg.MSG_TERMINATE, msg.KEY_VID: "vm-0001"},
+        )
+        vid = VmId("vm-0001")
+        assert vid not in server.hosted
+        assert vid not in server.hypervisor.domains
+        with pytest.raises(StateError):
+            server.integrity_unit.vm_image_measurement(vid)
+
+    def test_terminate_unknown_rejected(self, rig):
+        server, manager, _ = rig
+        with pytest.raises(StateError):
+            manager.call(
+                "server-0001",
+                {msg.KEY_TYPE: msg.MSG_TERMINATE, msg.KEY_VID: "ghost"},
+            )
+
+    def test_unknown_message_type_rejected(self, rig):
+        server, manager, _ = rig
+        with pytest.raises(ProtocolError):
+            manager.call("server-0001", {msg.KEY_TYPE: "format_disks"})
+
+    def test_bad_pin_count_rejected(self, rig):
+        server, manager, _ = rig
+        with pytest.raises(PlacementError):
+            manager.call(
+                "server-0001", launch_body(flavor_vcpus=2, pins=[0])
+            )
+
+
+class TestSuspendResume:
+    def test_suspend_stops_execution(self, rig):
+        server, manager, engine = rig
+        manager.call("server-0001", launch_body())
+        vid = VmId("vm-0001")
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_SUSPEND, msg.KEY_VID: "vm-0001"}
+        )
+        assert vid not in server.hypervisor.domains
+        assert server.hosted[vid].suspended
+
+    def test_double_suspend_rejected(self, rig):
+        server, manager, _ = rig
+        manager.call("server-0001", launch_body())
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_SUSPEND, msg.KEY_VID: "vm-0001"}
+        )
+        with pytest.raises(StateError):
+            manager.call(
+                "server-0001",
+                {msg.KEY_TYPE: msg.MSG_SUSPEND, msg.KEY_VID: "vm-0001"},
+            )
+
+    def test_resume_restores_execution(self, rig):
+        server, manager, engine = rig
+        manager.call("server-0001", launch_body())
+        vid = VmId("vm-0001")
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_SUSPEND, msg.KEY_VID: "vm-0001"}
+        )
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_RESUME, msg.KEY_VID: "vm-0001"}
+        )
+        assert vid in server.hypervisor.domains
+        before = server.hypervisor.domains[vid].cumulative_runtime
+        engine.run_until(engine.now + 500.0)
+        assert server.hypervisor.domains[vid].cumulative_runtime >= before
+
+    def test_resume_without_suspend_rejected(self, rig):
+        server, manager, _ = rig
+        manager.call("server-0001", launch_body())
+        with pytest.raises(StateError):
+            manager.call(
+                "server-0001",
+                {msg.KEY_TYPE: msg.MSG_RESUME, msg.KEY_VID: "vm-0001"},
+            )
+
+    def test_suspend_preserves_guest_state(self, rig):
+        server, manager, _ = rig
+        manager.call("server-0001", launch_body())
+        vid = VmId("vm-0001")
+        Rootkit().infect(server.hosted[vid].guest)
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_SUSPEND, msg.KEY_VID: "vm-0001"}
+        )
+        manager.call(
+            "server-0001", {msg.KEY_TYPE: msg.MSG_RESUME, msg.KEY_VID: "vm-0001"}
+        )
+        names = {p.name for p in server.hosted[vid].guest.memory_process_table()}
+        assert "cryptominer" in names  # infection survives suspend/resume
+
+
+class TestMigrationSnapshot:
+    def test_roundtrip_preserves_malware(self, rig):
+        """Live migration moves the guest memory image verbatim — the
+        rootkit travels with the VM (why the destination re-attests)."""
+        server, manager, engine = rig
+        network = manager._network
+        # a second server on the same network; rebuilding the CA from the
+        # same seed yields identical key material, so its certificates
+        # verify against the rig's trust root
+        destination = CloudServer(
+            server_id=ServerId("server-0002"),
+            network=network,
+            engine=engine,
+            drbg=HmacDrbg(20),
+            rng=DeterministicRng(4),
+            ca=_shared_ca(),
+            cost_model=server.cost,
+            num_pcpus=2,
+            key_bits=KEY_BITS,
+        )
+        manager.call("server-0001", launch_body())
+        vid = VmId("vm-0001")
+        Rootkit().infect(server.hosted[vid].guest)
+        out = manager.call(
+            "server-0001",
+            {msg.KEY_TYPE: msg.MSG_MIGRATE_OUT, msg.KEY_VID: "vm-0001"},
+        )
+        assert vid not in server.hosted
+        manager.call(
+            "server-0002",
+            {
+                msg.KEY_TYPE: msg.MSG_MIGRATE_IN,
+                msg.KEY_VID: "vm-0001",
+                "snapshot": out["snapshot"],
+            },
+        )
+        assert vid in destination.hosted
+        names = {
+            p.name for p in destination.hosted[vid].guest.memory_process_table()
+        }
+        assert "cryptominer" in names
+
+
+def _shared_ca() -> CertificateAuthority:
+    """A CA with the same deterministic key material as the rig's CA."""
+    return CertificateAuthority("pCA", HmacDrbg(7), key_bits=KEY_BITS)
+
+
+class TestInsecureServer:
+    def test_insecure_server_hosts_but_cannot_attest(self):
+        engine = Engine()
+        network = Network(engine, DeterministicRng(1), latency_ms=0.1)
+        ca = CertificateAuthority("pCA", HmacDrbg(7), key_bits=KEY_BITS)
+        cost = CostModel(engine=engine, rng=DeterministicRng(2))
+        server = CloudServer(
+            server_id=ServerId("legacy-1"),
+            network=network,
+            engine=engine,
+            drbg=HmacDrbg(10),
+            rng=DeterministicRng(3),
+            ca=ca,
+            cost_model=cost,
+            secure=False,
+            key_bits=KEY_BITS,
+        )
+        manager = SecureEndpoint("manager", network, HmacDrbg(11), ca, KEY_BITS)
+        manager.handler = lambda peer, body: {}
+        manager.call("legacy-1", launch_body())
+        assert server.supported_measurements() == []
+        with pytest.raises(StateError):
+            manager.call(
+                "legacy-1",
+                {
+                    msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
+                    msg.KEY_VID: "vm-0001",
+                    msg.KEY_REQUESTED: ["vmi.task_list"],
+                    msg.KEY_NONCE: b"\x00" * 16,
+                    msg.KEY_WINDOW: 0.0,
+                },
+            )

@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import StateError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(20.0, fired.append, "b")
+        engine.schedule(10.0, fired.append, "a")
+        engine.schedule(30.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = Engine()
+        fired = []
+        for tag in range(5):
+            engine.schedule(10.0, fired.append, tag)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(15.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(StateError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        seen = []
+        engine.schedule_at(12.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [12.0]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule(5.0, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule(10.0, outer)
+        engine.run()
+        assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(10.0, fired.append, "x")
+        engine.cancel(handle)
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_double_cancel_is_noop(self):
+        engine = Engine()
+        handle = engine.schedule(10.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        keep = engine.schedule(10.0, lambda: None)
+        drop = engine.schedule(20.0, lambda: None)
+        engine.cancel(drop)
+        assert engine.pending() == 1
+        assert keep.time == 10.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, fired.append, "in")
+        engine.schedule(50.0, fired.append, "out")
+        engine.run_until(30.0)
+        assert fired == ["in"]
+        assert engine.now == 30.0
+
+    def test_horizon_event_inclusive(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(30.0, fired.append, "edge")
+        engine.run_until(30.0)
+        assert fired == ["edge"]
+
+    def test_now_set_even_when_queue_empty(self):
+        engine = Engine()
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_past_horizon_rejected(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        with pytest.raises(StateError):
+            engine.run_until(5.0)
+
+    def test_runaway_loop_detected(self):
+        engine = Engine()
+
+        def respawn():
+            engine.schedule(0.0, respawn)
+
+        engine.schedule(0.0, respawn)
+        with pytest.raises(StateError):
+            engine.run(max_events=100)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    def test_arbitrary_delays_fire_sorted(self, delays):
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: fired.append(d))
+        engine.run()
+        assert fired == sorted(fired)

@@ -1,0 +1,194 @@
+"""Tests for the data-center topology and availability trend analysis."""
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import ServerId
+from repro.controller.response import ResponseAction
+from repro.controller.topology import DataCenterTopology
+from repro.properties.trends import AvailabilityTrendAnalyzer
+
+
+class TestTopology:
+    @pytest.fixture()
+    def topo(self):
+        topology = DataCenterTopology(rack_size=2)
+        for index in range(1, 6):
+            topology.add_server(ServerId(f"s{index}"))
+        return topology
+
+    def test_rack_fill_order(self, topo):
+        assert topo.rack_of(ServerId("s1")) == "rack-1"
+        assert topo.rack_of(ServerId("s2")) == "rack-1"
+        assert topo.rack_of(ServerId("s3")) == "rack-2"
+        assert topo.racks() == ["rack-1", "rack-2", "rack-3"]
+
+    def test_distances(self, topo):
+        assert topo.distance(ServerId("s1"), ServerId("s1")) == 0
+        assert topo.distance(ServerId("s1"), ServerId("s2")) == 2   # same rack
+        assert topo.distance(ServerId("s1"), ServerId("s3")) == 4   # via core
+
+    def test_same_rack(self, topo):
+        assert topo.same_rack(ServerId("s1"), ServerId("s2"))
+        assert not topo.same_rack(ServerId("s1"), ServerId("s3"))
+
+    def test_migration_distance_factor(self, topo):
+        assert topo.migration_distance_factor(ServerId("s1"), ServerId("s2")) == 1.0
+        assert topo.migration_distance_factor(ServerId("s1"), ServerId("s3")) == 1.5
+
+    def test_nearest(self, topo):
+        nearest = topo.nearest(
+            ServerId("s1"), [ServerId("s3"), ServerId("s2"), ServerId("s5")]
+        )
+        assert nearest == ServerId("s2")
+        assert topo.nearest(ServerId("s1"), []) is None
+
+    def test_duplicate_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.add_server(ServerId("s1"))
+
+    def test_unracked_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            topo.rack_of(ServerId("ghost"))
+
+    def test_bad_rack_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterTopology(rack_size=0)
+
+
+class TestTopologyAwareMigration:
+    def test_migration_prefers_same_rack(self):
+        """With a same-rack and a cross-rack candidate, the nearest wins."""
+        cloud = CloudMonatt(num_servers=3, num_pcpus=1, seed=78, rack_size=2)
+        cloud.controller.response.set_policy(
+            SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
+        )
+        sids = list(cloud.servers)
+        # racks: [s1, s2], [s3] — put the victim on s1
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+            force_server=str(sids[0]),
+        )
+        alice.launch_vm(
+            "medium", "ubuntu", workload={"name": "cpu_availability_attack"},
+            pins=[0, 0], force_server=str(sids[0]),
+        )
+        result = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+        assert result.response["action"] == "migrate"
+        destination = cloud.controller.database.vm(victim.vid).server
+        assert destination == sids[1]  # the same-rack neighbour, not s3
+
+    def test_cross_rack_migration_costs_more(self):
+        """Same scenario, but the same-rack neighbour is full: the VM
+        crosses racks and the memory copy takes measurably longer."""
+
+        def migration_time(cross_rack: bool) -> float:
+            cloud = CloudMonatt(num_servers=3, num_pcpus=2, seed=79, rack_size=2)
+            cloud.controller.response.set_policy(
+                SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
+            )
+            sids = list(cloud.servers)
+            alice = cloud.register_customer("alice")
+            victim = alice.launch_vm(
+                "large", "ubuntu",
+                properties=[SecurityProperty.CPU_AVAILABILITY,
+                            SecurityProperty.STARTUP_INTEGRITY],
+                workload={"name": "cpu_bound"},
+                pins=[0, 0, 0, 0],
+                force_server=str(sids[0]),
+            )
+            if cross_rack:
+                # fill the same-rack neighbour (s2) so only s3 qualifies
+                bob = cloud.register_customer("bob")
+                for _ in range(2):
+                    bob.launch_vm("large", "cirros", force_server=str(sids[1]))
+            alice.launch_vm(
+                "medium", "ubuntu",
+                workload={"name": "cpu_availability_attack"}, pins=[0, 0],
+                force_server=str(sids[0]),
+            )
+            result = alice.attest(victim.vid, SecurityProperty.CPU_AVAILABILITY)
+            assert result.response["action"] == "migrate"
+            return result.response["reaction_ms"]
+
+        near = migration_time(cross_rack=False)
+        far = migration_time(cross_rack=True)
+        assert far > near * 1.2
+
+
+class TestAvailabilityTrends:
+    def test_healthy_series(self):
+        analyzer = AvailabilityTrendAnalyzer()
+        verdict = analyzer.analyze(
+            [0, 10_000, 20_000, 30_000], [0.9, 0.95, 0.92, 0.93]
+        )
+        assert verdict.classification == "healthy"
+
+    def test_transient_dip(self):
+        analyzer = AvailabilityTrendAnalyzer()
+        verdict = analyzer.analyze(
+            [0, 10_000, 20_000, 30_000, 40_000], [0.9, 0.92, 0.9, 0.91, 0.1]
+        )
+        assert verdict.classification == "transient_dip"
+        assert verdict.bad_run_length == 1
+
+    def test_sustained_bad_run(self):
+        analyzer = AvailabilityTrendAnalyzer(min_bad_run=3)
+        verdict = analyzer.analyze(
+            [0, 10_000, 20_000, 30_000, 40_000, 50_000],
+            [0.9, 0.9, 0.9, 0.05, 0.06, 0.05],
+        )
+        assert verdict.classification == "sustained_degradation"
+        assert verdict.bad_run_length == 3
+
+    def test_significant_negative_slope(self):
+        analyzer = AvailabilityTrendAnalyzer(min_bad_run=10)  # force slope path
+        times = [i * 10_000 for i in range(8)]
+        usages = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.15]
+        verdict = analyzer.analyze(times, usages)
+        assert verdict.classification == "sustained_degradation"
+        assert verdict.slope_per_second < 0
+        assert verdict.p_value < 0.05
+
+    def test_short_series_uses_run_rule(self):
+        analyzer = AvailabilityTrendAnalyzer(min_bad_run=2, min_points=4)
+        verdict = analyzer.analyze([0, 10_000], [0.1, 0.1])
+        assert verdict.classification == "sustained_degradation"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrendAnalyzer(floor=1.5)
+        with pytest.raises(ValueError):
+            AvailabilityTrendAnalyzer(min_points=2)
+        with pytest.raises(ValueError):
+            AvailabilityTrendAnalyzer().analyze([0], [0.5, 0.5])
+
+    def test_end_to_end_trend_from_as_history(self):
+        """Periodic attestation feeds the AS history; the trend analyzer
+        distinguishes the sustained starvation from noise."""
+        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=80)
+        alice = cloud.register_customer("alice")
+        victim = alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.CPU_AVAILABILITY,
+                        SecurityProperty.STARTUP_INTEGRITY],
+            workload={"name": "cpu_bound"}, pins=[0],
+        )
+        alice.start_periodic_attestation(
+            victim.vid, SecurityProperty.CPU_AVAILABILITY, frequency_ms=15_000.0
+        )
+        cloud.run_for(50_000.0)  # healthy rounds
+        healthy_trend = cloud.attestation_server.availability_trend(victim.vid)
+        assert healthy_trend.classification == "healthy"
+        alice.launch_vm(
+            "medium", "ubuntu",
+            workload={"name": "cpu_availability_attack"}, pins=[0, 0],
+        )
+        cloud.run_for(80_000.0)  # starved rounds accumulate
+        attacked_trend = cloud.attestation_server.availability_trend(victim.vid)
+        assert attacked_trend.classification == "sustained_degradation"

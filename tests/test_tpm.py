@@ -1,0 +1,144 @@
+"""Tests for the TPM emulator and Trust Module."""
+
+import pytest
+
+from repro.common.errors import SignatureError, StateError
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.signatures import verify
+from repro.tpm import PcrBank, TpmEmulator, TrustModule
+from repro.tpm.tpm_emulator import verify_quote
+from repro.tpm.trust_module import NUM_EVIDENCE_REGISTERS
+
+KEY_BITS = 512
+
+
+@pytest.fixture()
+def tpm():
+    return TpmEmulator(HmacDrbg(11), key_bits=KEY_BITS)
+
+
+@pytest.fixture()
+def trust_module():
+    return TrustModule(HmacDrbg(22), key_bits=KEY_BITS)
+
+
+class TestPcrBank:
+    def test_initial_values_zero(self):
+        bank = PcrBank()
+        assert bank.read(0) == PcrBank.zero()
+
+    def test_extend_changes_value(self):
+        bank = PcrBank()
+        bank.extend(0, b"m")
+        assert bank.read(0) != PcrBank.zero()
+
+    def test_registers_independent(self):
+        bank = PcrBank()
+        bank.extend(0, b"m")
+        assert bank.read(1) == PcrBank.zero()
+
+    def test_snapshot_keys_are_strings(self):
+        bank = PcrBank()
+        snap = bank.snapshot([0, 8])
+        assert set(snap) == {"0", "8"}
+
+    def test_log_records_extensions(self):
+        bank = PcrBank()
+        bank.extend(3, b"a")
+        bank.extend(3, b"b")
+        assert bank.log(3) == (b"a", b"b")
+
+    def test_reset(self):
+        bank = PcrBank()
+        bank.extend(5, b"x")
+        bank.reset(5)
+        assert bank.read(5) == PcrBank.zero()
+
+    def test_out_of_range_rejected(self):
+        bank = PcrBank(count=4)
+        with pytest.raises(StateError):
+            bank.read(4)
+        with pytest.raises(StateError):
+            bank.extend(-1, b"x")
+
+
+class TestTpmEmulator:
+    def test_quote_verifies(self, tpm):
+        tpm.extend(0, b"hypervisor")
+        quote = tpm.quote([0], nonce=b"n" * 16)
+        verify_quote(tpm.aik_public, quote, expected_nonce=b"n" * 16)
+
+    def test_quote_wrong_nonce_rejected(self, tpm):
+        quote = tpm.quote([0], nonce=b"n" * 16)
+        with pytest.raises(SignatureError):
+            verify_quote(tpm.aik_public, quote, expected_nonce=b"m" * 16)
+
+    def test_quote_tampered_pcr_rejected(self, tpm):
+        import dataclasses
+
+        quote = tpm.quote([0], nonce=b"n" * 16)
+        forged = dataclasses.replace(
+            quote, pcr_values={"0": b"\xff" * 32}
+        )
+        with pytest.raises(SignatureError):
+            verify_quote(tpm.aik_public, forged, expected_nonce=b"n" * 16)
+
+    def test_quote_reflects_extensions(self, tpm):
+        before = tpm.quote([0], nonce=b"n" * 16)
+        tpm.extend(0, b"new software")
+        after = tpm.quote([0], nonce=b"n" * 16)
+        assert before.pcr_values != after.pcr_values
+
+
+class TestTrustModule:
+    def test_session_keys_fresh_per_request(self, trust_module):
+        a = trust_module.new_attestation_session()
+        b = trust_module.new_attestation_session()
+        assert a.public != b.public
+
+    def test_endorsement_verifies_with_identity_key(self, trust_module):
+        session = trust_module.new_attestation_session()
+        verify(
+            trust_module.identity_public,
+            session.public.to_dict(),
+            session.endorsement,
+        )
+
+    def test_session_signature_verifies(self, trust_module):
+        session = trust_module.new_attestation_session()
+        payload = {"measurement": 42}
+        signature = trust_module.sign_with_session(session, payload)
+        verify(session.public, payload, signature)
+
+    def test_registers_read_write(self, trust_module):
+        trust_module.write_register(3, 7.5)
+        assert trust_module.read_registers()[3] == 7.5
+
+    def test_register_increment(self, trust_module):
+        trust_module.increment_register(0)
+        trust_module.increment_register(0, 2.0)
+        assert trust_module.read_registers(1) == [3.0]
+
+    def test_register_bounds(self, trust_module):
+        with pytest.raises(StateError):
+            trust_module.write_register(NUM_EVIDENCE_REGISTERS, 1.0)
+        with pytest.raises(StateError):
+            trust_module.increment_register(-1)
+        with pytest.raises(StateError):
+            trust_module.read_registers(0)
+
+    def test_clear_registers(self, trust_module):
+        trust_module.write_register(1, 9.0)
+        trust_module.clear_registers()
+        assert all(v == 0.0 for v in trust_module.read_registers())
+
+    def test_evidence_storage(self, trust_module):
+        trust_module.store_evidence("task_list", [{"pid": 1}])
+        assert trust_module.load_evidence("task_list") == [{"pid": 1}]
+
+    def test_missing_evidence_rejected(self, trust_module):
+        with pytest.raises(StateError):
+            trust_module.load_evidence("absent")
+
+    def test_nonce_generator_available(self, trust_module):
+        assert trust_module.nonce_generator.fresh() != trust_module.nonce_generator.fresh()

@@ -1,0 +1,72 @@
+"""Tests for the key-leak trust-dependency analysis."""
+
+import pytest
+
+from repro.verification import ProtocolVariant, ProtocolVerifier
+from repro.verification.verifier import trust_dependency_matrix
+
+
+def broken_ids(failures):
+    return {f.property_id for f in failures}
+
+
+class TestLeakAnalysis:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return trust_dependency_matrix()
+
+    def test_no_leak_all_hold(self):
+        assert ProtocolVerifier(ProtocolVariant.STANDARD).all_hold()
+
+    def test_customer_key_leak_is_contained(self, matrix):
+        """Leaking the customer's key lets the attacker impersonate the
+        customer — but the customer's data (P, M, R) stays secret, since
+        session seeds are encrypted to the *responders*."""
+        failures = matrix["SKcust"]
+        assert "④" in broken_ids(failures)
+        assert "②" not in broken_ids(failures)
+        assert "③" not in broken_ids(failures)
+
+    def test_controller_key_leak_is_catastrophic_for_the_customer(self, matrix):
+        """The controller is the customer's trust anchor (threat model
+        §3.3 assumes it trusted): its key leaking breaks report
+        integrity, payload secrecy on the customer channel, and replay
+        resistance."""
+        ids = broken_ids(matrix["SKc"])
+        assert {"②", "③", "replay"} <= ids
+        descriptions = {f.description for f in matrix["SKc"]}
+        assert "secrecy of Kx" in descriptions
+
+    def test_controller_leak_does_not_expose_measurements(self, matrix):
+        """M travels only on the AS-server channel (Kz): the controller
+        key cannot reach it."""
+        descriptions = {f.description for f in matrix["SKc"]}
+        assert not any("M#" in d for d in descriptions)
+
+    def test_attestation_server_key_leak(self, matrix):
+        descriptions = {f.description for f in matrix["SKa"]}
+        assert "secrecy of Ky" in descriptions
+        assert "secrecy of Kz" not in descriptions
+
+    def test_cloud_server_key_leak_exposes_measurements(self, matrix):
+        descriptions = {f.description for f in matrix["SKs"]}
+        assert "secrecy of Kz" in descriptions
+        assert any("M#" in d for d in descriptions)
+        # and enables impersonating an enrolled server toward the pCA
+        assert "cloud-server endorsement of attestation keys" in descriptions
+        # but NOT forging measurement signatures (those need ASKs)
+        assert not any("integrity of measurements" in d for d in descriptions)
+
+    def test_pca_key_leak_breaks_only_certification(self, matrix):
+        ids = broken_ids(matrix["SKpca"])
+        assert ids == {"⑥"}
+
+    def test_unknown_leak_name_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolVerifier(leaked=("SKunknown",))
+
+    def test_multiple_leaks_compose(self):
+        verifier = ProtocolVerifier(leaked=("SKc", "SKs"))
+        descriptions = {f.description for f in verifier.attacks_found()}
+        assert "secrecy of Kx" in descriptions
+        assert "secrecy of Kz" in descriptions

@@ -1,0 +1,91 @@
+"""Tests for the workload catalog."""
+
+import pytest
+
+from repro.attacks import AvailabilityAttackWorkload, CovertChannelSender
+from repro.common.errors import ConfigurationError
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.workloads import CLOUD_BENCHMARKS, SPEC_PROGRAMS, make_workload, workload_names
+from repro.xen import (
+    CpuBoundWorkload,
+    FiniteCpuBoundWorkload,
+    Hypervisor,
+    IdleWorkload,
+    IoBoundWorkload,
+    PhasedWorkload,
+)
+
+RNG = DeterministicRng(1)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in workload_names():
+            assert make_workload(name, RNG) is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("quantum-miner", RNG)
+
+    def test_cpu_benchmarks_are_phased(self):
+        for name in ("database", "web", "app"):
+            assert isinstance(make_workload(name, RNG), PhasedWorkload)
+
+    def test_io_benchmarks_are_io_bound(self):
+        for name in ("file", "stream", "mail"):
+            assert isinstance(make_workload(name, RNG), IoBoundWorkload)
+
+    def test_spec_programs_are_finite(self):
+        for name in SPEC_PROGRAMS:
+            workload = make_workload(name, RNG)
+            assert isinstance(workload, FiniteCpuBoundWorkload)
+            assert workload.total_cpu_ms == SPEC_PROGRAMS[name]
+
+    def test_spec_demand_override(self):
+        workload = make_workload("bzip2", RNG, total_cpu_ms=50.0)
+        assert workload.total_cpu_ms == 50.0
+
+    def test_utility_workloads(self):
+        assert isinstance(make_workload("idle", RNG), IdleWorkload)
+        assert isinstance(make_workload("cpu_bound", RNG), CpuBoundWorkload)
+
+    def test_attack_workloads(self):
+        attack = make_workload("cpu_availability_attack", RNG)
+        assert isinstance(attack, AvailabilityAttackWorkload)
+        sender = make_workload("covert_channel_sender", RNG, bits=[1, 1, 0])
+        assert isinstance(sender, CovertChannelSender)
+        assert sender.bits == [1, 1, 0]
+
+    def test_attack_params_forwarded(self):
+        attack = make_workload(
+            "cpu_availability_attack", RNG, margin_before_ms=0.6
+        )
+        assert attack.margin_before_ms == 0.6
+
+    def test_instances_are_fresh(self):
+        assert make_workload("database", RNG) is not make_workload("database", RNG)
+
+
+class TestBenchmarkBehaviours:
+    """The characterizations that Figs. 6/7 depend on must hold."""
+
+    @pytest.mark.parametrize("name", ["database", "web", "app"])
+    def test_cpu_benchmarks_saturate(self, name):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("b"), make_workload(name, DeterministicRng(3)))
+        hv.run_for(5000.0)
+        profile = CLOUD_BENCHMARKS[name]
+        assert dom.relative_cpu_usage(hv.now) == pytest.approx(
+            profile.cpu_fraction, abs=0.08
+        )
+
+    @pytest.mark.parametrize("name", ["file", "stream", "mail"])
+    def test_io_benchmarks_stay_light(self, name):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("b"), make_workload(name, DeterministicRng(3)))
+        hv.run_for(5000.0)
+        assert dom.relative_cpu_usage(hv.now) < 0.25
+
+    def test_spec_relative_magnitudes(self):
+        assert SPEC_PROGRAMS["hmmer"] > SPEC_PROGRAMS["bzip2"] > SPEC_PROGRAMS["astar"]

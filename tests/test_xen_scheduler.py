@@ -1,0 +1,266 @@
+"""Tests for the Xen credit-scheduler model.
+
+These tests pin down the semantics the paper's attacks rely on: fair
+sharing between equal-weight CPU-bound domains, wake-up boost preemption,
+tick-sampled credit debiting, and 30 ms timeslice rotation.
+"""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.identifiers import VmId
+from repro.common.rng import DeterministicRng
+from repro.xen import (
+    CREDITS_PER_TICK,
+    TICK_MS,
+    TIMESLICE_MS,
+    CpuBoundWorkload,
+    FiniteCpuBoundWorkload,
+    Hypervisor,
+    IdleWorkload,
+    IoBoundWorkload,
+    PhasedWorkload,
+    Priority,
+    VCpuState,
+)
+from repro.xen.scheduler import vcpu_priority
+from repro.xen.workload import BlockSpec, Burst, Workload
+
+
+class _IntervalRecorder:
+    """Collects continuous run intervals per domain."""
+
+    def __init__(self):
+        self.intervals = []
+
+    def on_run_interval(self, vcpu, start, end):
+        self.intervals.append((vcpu.domain.vid, start, end))
+
+    def durations_for(self, vid):
+        return [end - start for v, start, end in self.intervals if v == vid]
+
+
+class TestSoloExecution:
+    def test_solo_cpu_bound_uses_whole_cpu(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        hv.run_for(1000.0)
+        assert dom.relative_cpu_usage(hv.now) == pytest.approx(1.0, abs=0.01)
+
+    def test_solo_finite_program_finishes_in_own_cpu_time(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("vm-a"), FiniteCpuBoundWorkload(500.0))
+        finish = hv.run_until_domain_finishes(VmId("vm-a"))
+        assert finish == pytest.approx(500.0, abs=1.0)
+
+    def test_solo_run_intervals_are_timeslices(self):
+        recorder = _IntervalRecorder()
+        hv = Hypervisor()
+        hv.add_monitor(recorder)
+        hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        hv.run_for(600.0)
+        durations = recorder.durations_for(VmId("vm-a"))
+        assert durations, "expected run intervals"
+        # a solo CPU-bound VM shows the Xen default 30 ms interval
+        assert all(d == pytest.approx(TIMESLICE_MS) for d in durations)
+
+    def test_idle_domain_uses_almost_nothing(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("vm-idle"), IdleWorkload())
+        hv.run_for(5000.0)
+        assert dom.relative_cpu_usage(hv.now) < 0.001
+
+
+class TestFairSharing:
+    def test_two_cpu_bound_domains_split_evenly(self):
+        hv = Hypervisor()
+        a = hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        b = hv.create_domain(VmId("vm-b"), CpuBoundWorkload())
+        hv.run_for(6000.0)
+        assert a.relative_cpu_usage(hv.now) == pytest.approx(0.5, abs=0.05)
+        assert b.relative_cpu_usage(hv.now) == pytest.approx(0.5, abs=0.05)
+
+    def test_weights_bias_the_split(self):
+        hv = Hypervisor()
+        heavy = hv.create_domain(VmId("vm-h"), CpuBoundWorkload(), weight=512)
+        light = hv.create_domain(VmId("vm-l"), CpuBoundWorkload(), weight=256)
+        hv.run_for(12000.0)
+        ratio = heavy.cumulative_runtime / light.cumulative_runtime
+        assert ratio > 1.3  # heavier domain gets materially more CPU
+
+    def test_finite_program_doubles_with_cpu_bound_corunner(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(1000.0))
+        hv.create_domain(VmId("other"), CpuBoundWorkload())
+        finish = hv.run_until_domain_finishes(VmId("victim"))
+        slowdown = finish / 1000.0
+        assert 1.7 <= slowdown <= 2.4
+
+    def test_io_bound_corunner_barely_slows_victim(self):
+        hv = Hypervisor()
+        rng = DeterministicRng(7)
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(1000.0))
+        hv.create_domain(VmId("io"), IoBoundWorkload(rng, burst_ms=1.0, wait_ms=9.0))
+        finish = hv.run_until_domain_finishes(VmId("victim"))
+        assert finish / 1000.0 < 1.35
+
+    def test_two_domains_on_distinct_pcpus_do_not_interfere(self):
+        hv = Hypervisor(num_pcpus=2)
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(500.0), pcpus=[0])
+        hv.create_domain(VmId("other"), CpuBoundWorkload(), pcpus=[1])
+        finish = hv.run_until_domain_finishes(VmId("victim"))
+        assert finish == pytest.approx(500.0, abs=1.0)
+
+
+class TestBoost:
+    def test_waking_vcpu_with_credits_gets_boost(self):
+        hv = Hypervisor()
+        events = []
+
+        class WakeWatcher:
+            def on_wake(self, time, vcpu, boosted):
+                events.append((vcpu.domain.vid, boosted))
+
+        hv.add_monitor(WakeWatcher())
+        rng = DeterministicRng(3)
+        hv.create_domain(VmId("io"), IoBoundWorkload(rng))
+        hv.run_for(200.0)
+        io_wakes = [boosted for vid, boosted in events if vid == VmId("io")]
+        assert io_wakes and all(io_wakes)
+
+    def test_boost_preempts_running_cpu_bound(self):
+        """An IO vCPU waking mid-timeslice should get the CPU immediately."""
+        recorder = _IntervalRecorder()
+        hv = Hypervisor()
+        hv.add_monitor(recorder)
+        rng = DeterministicRng(3)
+        hv.create_domain(VmId("cpu"), CpuBoundWorkload())
+        hv.create_domain(VmId("io"), IoBoundWorkload(rng, burst_ms=1.0, wait_ms=7.0))
+        hv.run_for(500.0)
+        cpu_durations = recorder.durations_for(VmId("cpu"))
+        # the CPU hog gets chopped into sub-timeslice intervals by boosts
+        assert any(d < TIMESLICE_MS - 1.0 for d in cpu_durations)
+
+    def test_boost_cleared_by_tick(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        vcpu = dom.vcpus[0]
+        vcpu.boosted = True
+        hv.run_for(TICK_MS + 1.0)
+        assert not vcpu.boosted
+
+    def test_tick_debits_running_vcpu(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        vcpu = dom.vcpus[0]
+        before = vcpu.credits
+        hv.run_for(TICK_MS + 0.5)
+        assert vcpu.credits <= before - CREDITS_PER_TICK + 0.01
+
+
+class TestIpi:
+    def test_ipi_wakes_waiting_vcpu(self):
+        class PingPong(Workload):
+            """vCPU 0 runs then IPIs vCPU 1 and waits, and vice versa."""
+
+            def next_burst(self, vcpu):
+                other = 1 - vcpu.index
+                return Burst(cpu_ms=2.0, block=BlockSpec.wait_ipi(),
+                             ipi_targets=(other,))
+
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("pp"), PingPong(), num_vcpus=2, pcpus=[0, 0])
+        hv.run_for(100.0)
+        # both vCPUs executed: the IPI chain kept the ping-pong alive
+        assert dom.vcpus[0].cumulative_runtime > 0
+        assert dom.vcpus[1].cumulative_runtime > 0
+
+    def test_ipi_to_unknown_domain_rejected(self):
+        hv = Hypervisor()
+        with pytest.raises(SchedulingError):
+            hv.send_ipi(VmId("ghost"), 0)
+
+    def test_ipi_to_bad_vcpu_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        with pytest.raises(SchedulingError):
+            hv.send_ipi(VmId("vm-a"), 5)
+
+    def test_ipi_to_running_vcpu_is_absorbed(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        hv.run_for(5.0)
+        hv.send_ipi(VmId("vm-a"), 0)  # must not crash or double-schedule
+        hv.run_for(5.0)
+
+
+class TestDomainLifecycle:
+    def test_destroy_running_domain(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        hv.run_for(50.0)
+        dom = hv.destroy_domain(VmId("vm-a"))
+        assert all(v.state is VCpuState.DONE for v in dom.vcpus)
+        hv.run_for(50.0)  # engine keeps running without the domain
+
+    def test_destroy_frees_cpu_for_others(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("hog"), CpuBoundWorkload())
+        hv.create_domain(VmId("victim"), FiniteCpuBoundWorkload(300.0))
+        hv.run_for(100.0)
+        hv.destroy_domain(VmId("hog"))
+        finish = hv.run_until_domain_finishes(VmId("victim"))
+        assert finish < 650.0  # far better than the 2x share would give
+
+    def test_duplicate_vid_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        with pytest.raises(SchedulingError):
+            hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+
+    def test_destroy_unknown_rejected(self):
+        with pytest.raises(SchedulingError):
+            Hypervisor().destroy_domain(VmId("ghost"))
+
+    def test_bad_pcpu_pin_rejected(self):
+        hv = Hypervisor(num_pcpus=1)
+        with pytest.raises(SchedulingError):
+            hv.create_domain(VmId("vm-a"), CpuBoundWorkload(), pcpus=[3])
+
+
+class TestWorkloadValidation:
+    def test_finite_requires_positive_demand(self):
+        with pytest.raises(ValueError):
+            FiniteCpuBoundWorkload(0.0)
+
+    def test_phased_fraction_bounds(self):
+        rng = DeterministicRng(0)
+        with pytest.raises(ValueError):
+            PhasedWorkload(rng, cpu_fraction=0.0)
+        with pytest.raises(ValueError):
+            PhasedWorkload(rng, cpu_fraction=1.5)
+
+    def test_phased_duty_cycle_near_target(self):
+        hv = Hypervisor()
+        rng = DeterministicRng(11)
+        dom = hv.create_domain(VmId("ph"), PhasedWorkload(rng, cpu_fraction=0.3))
+        hv.run_for(10000.0)
+        assert dom.relative_cpu_usage(hv.now) == pytest.approx(0.3, abs=0.08)
+
+    def test_io_bound_validation(self):
+        with pytest.raises(ValueError):
+            IoBoundWorkload(DeterministicRng(0), burst_ms=0.0)
+
+    def test_priority_ordering(self):
+        assert Priority.BOOST < Priority.UNDER < Priority.OVER
+
+    def test_vcpu_priority_reflects_credits(self):
+        hv = Hypervisor()
+        dom = hv.create_domain(VmId("vm-a"), CpuBoundWorkload())
+        vcpu = dom.vcpus[0]
+        vcpu.credits = 10
+        assert vcpu_priority(vcpu) == Priority.UNDER
+        vcpu.credits = -10
+        assert vcpu_priority(vcpu) == Priority.OVER
+        vcpu.boosted = True
+        assert vcpu_priority(vcpu) == Priority.BOOST
