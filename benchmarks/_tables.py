@@ -21,3 +21,20 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     print("-" * len(header_line))
     for row in rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def print_telemetry_table(title: str, telemetry) -> None:
+    """Render a traced run's per-leg latency breakdown (simulated ms).
+
+    Consumes any :class:`repro.telemetry.Telemetry` hub and prints one
+    row per span name from the tracer's aggregate summary — the
+    protocol-leg view (Q1/Q2/Q3, appraisal, interpretation) that
+    complements the wall-clock numbers of the overhead bench.
+    """
+    from repro.telemetry import SUMMARY_HEADERS, summary_rows
+
+    rows = summary_rows(telemetry)
+    if not rows:
+        print(f"\n=== {title} ===\n(no spans recorded)")
+        return
+    print_table(title, SUMMARY_HEADERS, rows)

@@ -31,6 +31,7 @@ from repro.lifecycle.timing import CostModel
 from repro.network.secure_channel import SecureEndpoint
 from repro.protocol import messages as msg
 from repro.protocol.quotes import attestation_quote
+from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q3, Telemetry
 
 
 class OatAppraiser:
@@ -44,12 +45,14 @@ class OatAppraiser:
         cost_model: CostModel,
         check_signatures: bool = True,
         check_nonces: bool = True,
+        telemetry: "Telemetry | None" = None,
     ):
         self._endpoint = endpoint
         self._ca_key = ca_public_key
         self._nonces = NonceGenerator(drbg.fork("n3"))
         self._seen_nonces = NonceCache()
         self.cost = cost_model
+        self.telemetry = telemetry or NULL_TELEMETRY
         # ablation switches (security evaluation: what breaks without them)
         self.check_signatures = check_signatures
         self.check_nonces = check_nonces
@@ -64,17 +67,21 @@ class OatAppraiser:
     ) -> dict[str, Any]:
         """One full measurement round; returns validated measurements M."""
         nonce = self._nonces.fresh()
-        response = self._endpoint.call(
-            str(server),
-            {
-                msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
-                msg.KEY_VID: str(vid),
-                msg.KEY_REQUESTED: list(measurements),
-                msg.KEY_NONCE: bytes(nonce),
-                msg.KEY_WINDOW: window_ms,
-                "params": params or {},
-            },
-        )
+        request = {
+            msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
+            msg.KEY_VID: str(vid),
+            msg.KEY_REQUESTED: list(measurements),
+            msg.KEY_NONCE: bytes(nonce),
+            msg.KEY_WINDOW: window_ms,
+            "params": params or {},
+        }
+        with self.telemetry.span(
+            SPAN_Q3, server=str(server), vid=str(vid)
+        ):
+            context = self.telemetry.context()
+            if context is not None:
+                request[KEY_TRACE] = context
+            response = self._endpoint.call(str(server), request)
         msg.require_fields(
             response,
             msg.KEY_VID,
@@ -112,7 +119,11 @@ class OatAppraiser:
 
         # quote binding
         expected_quote = attestation_quote(
-            str(vid), list(measurements), returned_measurements, returned_nonce
+            str(vid),
+            list(measurements),
+            returned_measurements,
+            returned_nonce,
+            telemetry=self.telemetry,
         )
         if bytes(response[msg.KEY_QUOTE]) != expected_quote:
             raise SignatureError("quote Q3 does not bind the returned measurements")

@@ -22,6 +22,7 @@ from repro.crypto.keys import RsaPublicKey
 from repro.crypto.signatures import verify
 from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 DEFAULT_VALIDITY_MS = 300_000.0
 """Default certificate lifetime: five minutes of simulated time."""
@@ -74,13 +75,20 @@ class PropertyCertificate:
 class PropertyCertificationModule:
     """Issues and verifies property certificates for one AS identity."""
 
-    def __init__(self, issuer: str, signer, validity_ms: float = DEFAULT_VALIDITY_MS):
+    def __init__(
+        self,
+        issuer: str,
+        signer,
+        validity_ms: float = DEFAULT_VALIDITY_MS,
+        telemetry: Telemetry | None = None,
+    ):
         """``signer`` is a callable ``payload -> signature`` bound to the
         issuing entity's identity key (e.g. ``endpoint.sign``)."""
         if validity_ms <= 0:
             raise StateError("certificate validity must be positive")
         self.issuer = issuer
         self._signer = signer
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.validity_ms = validity_ms
         self._serial = 0
         #: serials revoked before expiry (e.g. a later failed attestation)
@@ -91,6 +99,10 @@ class PropertyCertificationModule:
     ) -> PropertyCertificate:
         """Certify one attestation outcome at time ``now_ms``."""
         self._serial += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("as.certificates_issued").inc(
+                healthy=str(report.healthy).lower()
+            )
         tbs = {
             "vid": str(vid),
             "prop": report.prop.value,
@@ -117,6 +129,8 @@ class PropertyCertificationModule:
         Used when a later attestation of the same (vid, property) turns
         unhealthy: the stale healthy statement must stop being usable.
         """
+        if serial not in self._revoked and self.telemetry.enabled:
+            self.telemetry.counter("as.certificates_revoked").inc()
         self._revoked.add(serial)
 
     def is_revoked(self, serial: int) -> bool:

@@ -26,12 +26,14 @@ from repro.properties import (
     SecurityProperty,
     StartupIntegrityInterpreter,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class OatInterpreter:
     """Interpretation + the reference data that powers it."""
 
-    def __init__(self):
+    def __init__(self, telemetry: Telemetry | None = None):
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.startup = StartupIntegrityInterpreter()
         self.runtime = RuntimeIntegrityInterpreter()
         self.covert = CovertChannelInterpreter()
@@ -89,4 +91,9 @@ class OatInterpreter:
         self, prop: SecurityProperty, vid: VmId, measurements: dict[str, Any]
     ) -> PropertyReport:
         """Turn measurements M into the attestation report R."""
-        return self.registry.interpret(prop, vid, measurements)
+        report = self.registry.interpret(prop, vid, measurements)
+        if self.telemetry.enabled:
+            self.telemetry.counter("as.interpretations").inc(
+                property=prop.value, healthy=str(report.healthy).lower()
+            )
+        return report

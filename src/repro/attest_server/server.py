@@ -28,6 +28,15 @@ from repro.properties.report import PropertyReport
 from repro.properties.trends import AvailabilityTrendAnalyzer
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q2
+from repro.telemetry import (
+    KEY_TRACE,
+    NULL_TELEMETRY,
+    SPAN_APPRAISAL,
+    SPAN_ATTEST_ROUND,
+    SPAN_CERTIFICATION,
+    SPAN_INTERPRETATION,
+    Telemetry,
+)
 
 ATTESTATION_SERVER_ENDPOINT = "attestation-server"
 
@@ -43,27 +52,38 @@ class AttestationServer:
         cost_model: CostModel,
         name: str = ATTESTATION_SERVER_ENDPOINT,
         key_bits: int = 1024,
+        telemetry: Telemetry | None = None,
     ):
         self.name = name
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.endpoint = SecureEndpoint(
-            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+            name,
+            network,
+            drbg.fork("endpoint"),
+            ca,
+            key_bits=key_bits,
+            telemetry=self.telemetry,
         )
         self.endpoint.handler = self._handle
         self.catalog = PropertyCatalog()
         self.database = OatDatabase()
-        self.interpreter = OatInterpreter()
+        self.interpreter = OatInterpreter(telemetry=self.telemetry)
         #: tamper-evident audit trail of every attestation outcome
         self.audit = AuditLog()
         #: Property Certification Module (§3.2.3): issues signed,
         #: expiring attestation certificates for monitored properties
         self.certification = PropertyCertificationModule(
-            issuer=name, signer=self.endpoint.sign
+            issuer=name, signer=self.endpoint.sign, telemetry=self.telemetry
         )
         self._healthy_serials: dict[tuple[VmId, str], list[int]] = {}
         #: periodic-mode measurement accumulation (§3.2.1)
         self.accumulator = MeasurementAccumulator()
         self.appraiser = OatAppraiser(
-            self.endpoint, ca.public_key, drbg.fork("appraiser"), cost_model
+            self.endpoint,
+            ca.public_key,
+            drbg.fork("appraiser"),
+            cost_model,
+            telemetry=self.telemetry,
         )
         self.cost = cost_model
         self._seen_n2 = NonceCache()
@@ -90,29 +110,46 @@ class AttestationServer:
         nonce_n2 = bytes(body[msg.KEY_NONCE])
         self._seen_n2.check_and_store(nonce_n2)
 
-        report = self.attest(
-            vid, server, prop,
-            window_ms=body.get(msg.KEY_WINDOW),
-            accumulate=bool(body.get("accumulate", False)),
-        )
+        with self.telemetry.span(
+            SPAN_ATTEST_ROUND,
+            remote_parent=body.get(KEY_TRACE),
+            vid=str(vid),
+            server=str(server),
+            property=prop.value,
+        ):
+            report = self.attest(
+                vid, server, prop,
+                window_ms=body.get(msg.KEY_WINDOW),
+                accumulate=bool(body.get("accumulate", False)),
+            )
 
-        report_dict = report.to_dict()
-        quote = report_quote_q2(str(vid), str(server), prop.value, report_dict, nonce_n2)
-        signed = {
-            msg.KEY_VID: str(vid),
-            msg.KEY_SERVER: str(server),
-            msg.KEY_PROPERTY: prop.value,
-            msg.KEY_REPORT: report_dict,
-            msg.KEY_NONCE: nonce_n2,
-            msg.KEY_QUOTE: quote,
-        }
-        self.cost.charge("report_sign")
-        certificate = self._certify(vid, prop, report)
-        return {
-            **signed,
-            msg.KEY_SIGNATURE: self.endpoint.sign(signed),
-            "certificate": certificate.to_dict(),
-        }
+            report_dict = report.to_dict()
+            quote = report_quote_q2(
+                str(vid),
+                str(server),
+                prop.value,
+                report_dict,
+                nonce_n2,
+                telemetry=self.telemetry,
+            )
+            signed = {
+                msg.KEY_VID: str(vid),
+                msg.KEY_SERVER: str(server),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_REPORT: report_dict,
+                msg.KEY_NONCE: nonce_n2,
+                msg.KEY_QUOTE: quote,
+            }
+            self.cost.charge("report_sign")
+            with self.telemetry.span(
+                SPAN_CERTIFICATION, vid=str(vid), property=prop.value
+            ):
+                certificate = self._certify(vid, prop, report)
+            return {
+                **signed,
+                msg.KEY_SIGNATURE: self.endpoint.sign(signed),
+                "certificate": certificate.to_dict(),
+            }
 
     def _certify(self, vid: VmId, prop: SecurityProperty, report):
         """Issue a property certificate; revoke stale healthy ones when
@@ -148,7 +185,12 @@ class AttestationServer:
             spec.default_window_ms if window is None else float(window),
         )
         quote = report_quote_q2(
-            str(vid), str(server), prop.value, measurements, nonce_n2
+            str(vid),
+            str(server),
+            prop.value,
+            measurements,
+            nonce_n2,
+            telemetry=self.telemetry,
         )
         signed = {
             msg.KEY_VID: str(vid),
@@ -236,9 +278,15 @@ class AttestationServer:
         else:
             window = spec.default_window_ms if window_ms is None else float(window_ms)
             try:
-                measurements = self.appraiser.collect(
-                    server, vid, spec.measurements, window
-                )
+                with self.telemetry.span(
+                    SPAN_APPRAISAL,
+                    vid=str(vid),
+                    server=str(server),
+                    property=prop.value,
+                ):
+                    measurements = self.appraiser.collect(
+                        server, vid, spec.measurements, window
+                    )
             except CloudMonattError as exc:
                 report = PropertyReport(
                     prop=prop,
@@ -251,7 +299,10 @@ class AttestationServer:
                     self.accumulator.add(vid, prop, measurements)
                     measurements = self.accumulator.accumulated(vid, prop)
                 self.cost.charge("interpret_measurements")
-                report = self.interpreter.interpret(prop, vid, measurements)
+                with self.telemetry.span(
+                    SPAN_INTERPRETATION, vid=str(vid), property=prop.value
+                ):
+                    report = self.interpreter.interpret(prop, vid, measurements)
                 if accumulate:
                     report = PropertyReport(
                         prop=report.prop,
@@ -262,6 +313,10 @@ class AttestationServer:
                             "accumulated_rounds": self.accumulator.rounds(vid, prop),
                         },
                     )
+        if self.telemetry.enabled:
+            self.telemetry.counter("as.attestations").inc(
+                property=prop.value, healthy=str(report.healthy).lower()
+            )
         self.database.record(
             AttestationLogRecord(
                 time_ms=self.cost.engine.now,

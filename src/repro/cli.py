@@ -9,7 +9,13 @@ Commands:
 - ``verify-protocol [--variant V]`` — run the symbolic verifier;
 - ``leak-analysis`` — the key-leak trust-dependency matrix;
 - ``export-proverif [PATH]`` — write the ProVerif cross-check model;
-- ``launch-matrix`` — the Fig. 9 launch-stage breakdown.
+- ``launch-matrix`` — the Fig. 9 launch-stage breakdown;
+- ``telemetry`` — run the demo workload with tracing on and print the
+  per-span latency summary.
+
+Every command accepts ``--telemetry-out PATH``: the run executes with
+the observability hub enabled and exports a JSONL trace (spans +
+metrics, stamped with the run's seed) when it finishes.
 """
 
 from __future__ import annotations
@@ -19,6 +25,33 @@ import sys
 
 from repro import CloudMonatt, SecurityProperty
 from repro.controller.response import ResponseAction
+
+
+def _make_cloud(args: argparse.Namespace, **kwargs) -> CloudMonatt:
+    """Build a cloud honoring the global --seed / --telemetry-out flags."""
+    kwargs.setdefault("seed", args.seed)
+    if getattr(args, "telemetry_out", None) or getattr(args, "_telemetry", False):
+        kwargs.setdefault("telemetry_enabled", True)
+    return CloudMonatt(**kwargs)
+
+
+def _export_telemetry(
+    args: argparse.Namespace, cloud: CloudMonatt, append: bool = False
+) -> None:
+    """Write the run's JSONL trace if --telemetry-out was given."""
+    path = getattr(args, "telemetry_out", None)
+    if not path or not cloud.telemetry.enabled:
+        return
+    from repro.telemetry import write_jsonl
+
+    try:
+        write_jsonl(cloud.telemetry, path, seed=args.seed, append=append)
+    except OSError as exc:
+        print(f"error: cannot write telemetry trace to {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not append:
+        print(f"telemetry trace written to {path}")
 
 
 def _print_report(label: str, result) -> None:
@@ -31,7 +64,7 @@ def _print_report(label: str, result) -> None:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    cloud = CloudMonatt(num_servers=3, seed=args.seed)
+    cloud = _make_cloud(args, num_servers=3)
     alice = cloud.register_customer("alice")
     vm = alice.launch_vm(
         "small", "ubuntu",
@@ -50,13 +83,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
                  SecurityProperty.COVERT_CHANNEL_FREEDOM,
                  SecurityProperty.CPU_AVAILABILITY):
         _print_report(prop.value, alice.attest(vm.vid, prop))
+    _export_telemetry(args, cloud)
     return 0
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
     scenario = args.scenario
     if scenario == "covert":
-        cloud = CloudMonatt(num_servers=1, num_pcpus=1, seed=args.seed)
+        cloud = _make_cloud(args, num_servers=1, num_pcpus=1)
         cloud.controller.response.set_policy(
             SecurityProperty.COVERT_CHANNEL_FREEDOM, ResponseAction.MIGRATE
         )
@@ -71,7 +105,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
                         pins=[0])
         prop = SecurityProperty.COVERT_CHANNEL_FREEDOM
     elif scenario == "bus-covert":
-        cloud = CloudMonatt(num_servers=1, num_pcpus=2, seed=args.seed)
+        cloud = _make_cloud(args, num_servers=1, num_pcpus=2)
         alice = cloud.register_customer("alice")
         target = alice.launch_vm(
             "small", "ubuntu",
@@ -83,7 +117,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
                         pins=[0])
         prop = SecurityProperty.COVERT_CHANNEL_FREEDOM
     elif scenario == "availability":
-        cloud = CloudMonatt(num_servers=2, num_pcpus=1, seed=args.seed)
+        cloud = _make_cloud(args, num_servers=2, num_pcpus=1)
         cloud.controller.response.set_policy(
             SecurityProperty.CPU_AVAILABILITY, ResponseAction.MIGRATE
         )
@@ -103,7 +137,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     elif scenario == "rootkit":
         from repro.guest import Rootkit
 
-        cloud = CloudMonatt(num_servers=1, seed=args.seed)
+        cloud = _make_cloud(args, num_servers=1)
         alice = cloud.register_customer("alice")
         target = alice.launch_vm(
             "small", "ubuntu",
@@ -116,7 +150,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         from repro.attacks.image_tampering import tamper_image
         from repro.lifecycle.flavors import VmImage
 
-        cloud = CloudMonatt(num_servers=1, seed=args.seed)
+        cloud = _make_cloud(args, num_servers=1)
         pristine = cloud.images["fedora"]
         cloud.controller.images["fedora"] = VmImage(
             name="fedora", size_mb=pristine.size_mb,
@@ -128,11 +162,13 @@ def cmd_attack(args: argparse.Namespace) -> int:
         )
         print(f"launch accepted: {result.accepted}")
         print(f"  -> {result.report.explanation}")
+        _export_telemetry(args, cloud)
         return 0
     else:  # pragma: no cover - argparse restricts choices
         print(f"unknown scenario {scenario}", file=sys.stderr)
         return 2
     _print_report(scenario, alice.attest(target.vid, prop))
+    _export_telemetry(args, cloud)
     return 0
 
 
@@ -174,9 +210,10 @@ def cmd_export_proverif(args: argparse.Namespace) -> int:
 
 
 def cmd_launch_matrix(args: argparse.Namespace) -> int:
+    first = True
     for image in ("cirros", "fedora", "ubuntu"):
         for flavor in ("small", "medium", "large"):
-            cloud = CloudMonatt(num_servers=3, seed=args.seed)
+            cloud = _make_cloud(args, num_servers=3)
             alice = cloud.register_customer("alice")
             result = alice.launch_vm(
                 flavor, image, properties=[SecurityProperty.STARTUP_INTEGRITY]
@@ -184,6 +221,31 @@ def cmd_launch_matrix(args: argparse.Namespace) -> int:
             attest_pct = result.stage_times_ms["attestation"] / result.total_ms
             print(f"{image:8s} {flavor:8s} total {result.total_ms / 1000.0:5.2f} s "
                   f"(attestation {attest_pct:4.0%})")
+            _export_telemetry(args, cloud, append=not first)
+            first = False
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run the demo workload with tracing on; print the span summary."""
+    from repro.telemetry import console_summary
+
+    args._telemetry = True
+    cloud = _make_cloud(args, num_servers=3)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small", "ubuntu",
+        properties=[SecurityProperty.STARTUP_INTEGRITY,
+                    SecurityProperty.RUNTIME_INTEGRITY,
+                    SecurityProperty.CPU_AVAILABILITY],
+        workload={"name": "app"},
+    )
+    for prop in (SecurityProperty.RUNTIME_INTEGRITY,
+                 SecurityProperty.CPU_AVAILABILITY):
+        alice.attest(vm.vid, prop)
+    print(console_summary(cloud.telemetry,
+                          title=f"span latency summary (seed {args.seed})"))
+    _export_telemetry(args, cloud)
     return 0
 
 
@@ -194,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42,
                         help="simulation seed (default 42)")
+    parser.add_argument("--telemetry-out", default=None, metavar="PATH",
+                        help="enable the telemetry hub and write a JSONL "
+                             "trace (spans + metrics) to PATH")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="launch and attest a monitored VM"
@@ -226,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("launch-matrix",
                         help="Fig. 9 launch-stage breakdown"
                         ).set_defaults(func=cmd_launch_matrix)
+
+    commands.add_parser("telemetry",
+                        help="traced demo run with a span latency summary"
+                        ).set_defaults(func=cmd_telemetry)
     return parser
 
 

@@ -31,6 +31,7 @@ from repro.monitors.integrity_unit import SoftwareInventory
 from repro.network.network import Network
 from repro.server.node import CloudServer
 from repro.sim.engine import Engine
+from repro.telemetry import Telemetry
 
 DEFAULT_KEY_BITS = 512
 """Default modulus size for the simulation. Small keys keep large
@@ -51,6 +52,8 @@ class CloudMonatt:
         insecure_servers: int = 0,
         num_attestation_servers: int = 1,
         rack_size: int = 4,
+        telemetry_enabled: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         if num_servers < 1:
             raise StateError("a cloud needs at least one server")
@@ -60,6 +63,15 @@ class CloudMonatt:
         self.ids = IdFactory()
         self.key_bits = key_bits
         self.num_pcpus = num_pcpus
+        #: one shared observability hub; every entity reports into it, and
+        #: all of its timestamps come from the simulation clock (so two
+        #: same-seed runs export byte-identical snapshots)
+        if telemetry is None:
+            telemetry = Telemetry(
+                clock=lambda: self.engine.now, enabled=telemetry_enabled, seed=seed
+            )
+        self.telemetry = telemetry
+        self.telemetry.attach_engine(self.engine)
 
         self.network = Network(
             self.engine, self.rng.child("network"), latency_ms=network_latency_ms
@@ -87,6 +99,7 @@ class CloudMonatt:
                     else f"attestation-server-{index + 1}"
                 ),
                 key_bits=key_bits,
+                telemetry=self.telemetry,
             )
             for index in range(num_attestation_servers)
         ]
@@ -104,6 +117,7 @@ class CloudMonatt:
             images=self.images,
             id_factory=self.ids,
             key_bits=key_bits,
+            telemetry=self.telemetry,
         )
         self.topology = DataCenterTopology(rack_size=rack_size)
         self.controller.response.topology = self.topology
@@ -160,6 +174,7 @@ class CloudMonatt:
             secure=secure,
             key_bits=self.key_bits,
             intercepting_vmi_scan_ms=intercepting_vmi_scan_ms,
+            telemetry=self.telemetry,
         )
         self.servers[server_id] = server
 
@@ -203,6 +218,7 @@ class CloudMonatt:
             ca=self.ca,
             controller_key=self.controller.endpoint.public_key,
             key_bits=self.key_bits,
+            telemetry=self.telemetry,
         )
         self.customers[name] = customer
         return customer

@@ -25,6 +25,7 @@ from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q1
+from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q1, Telemetry
 
 
 @dataclass(frozen=True)
@@ -83,10 +84,17 @@ class Customer:
         controller_key: RsaPublicKey,
         key_bits: int = 1024,
         controller_name: str = "controller",
+        telemetry: Optional[Telemetry] = None,
     ):
         self.name = name
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.endpoint = SecureEndpoint(
-            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+            name,
+            network,
+            drbg.fork("endpoint"),
+            ca,
+            key_bits=key_bits,
+            telemetry=self.telemetry,
         )
         self.endpoint.handler = self._handle_push
         self._controller = controller_name
@@ -180,8 +188,14 @@ class Customer:
         }
         if window_ms is not None:
             request[msg.KEY_WINDOW] = float(window_ms)
-        response = self.endpoint.call(self._controller, request)
-        report = self._verify_report(vid, prop, bytes(nonce), response)
+        with self.telemetry.span(
+            SPAN_Q1, customer=self.name, vid=str(vid), property=prop.value
+        ):
+            context = self.telemetry.context()
+            if context is not None:
+                request[KEY_TRACE] = context
+            response = self.endpoint.call(self._controller, request)
+            report = self._verify_report(vid, prop, bytes(nonce), response)
         return VerifiedAttestation(
             report=report,
             attest_ms=float(response.get("attest_ms", 0.0)),
@@ -217,7 +231,8 @@ class Customer:
         }
         verify(self._controller_key, signed, bytes(response[msg.KEY_SIGNATURE]))
         expected = report_quote_q1(
-            str(vid), prop.value, response[msg.KEY_MEASUREMENTS], bytes(nonce)
+            str(vid), prop.value, response[msg.KEY_MEASUREMENTS], bytes(nonce),
+            telemetry=self.telemetry,
         )
         if bytes(response[msg.KEY_QUOTE]) != expected:
             raise ProtocolError("quote does not bind the raw measurements")
@@ -297,7 +312,8 @@ class Customer:
         }
         verify(self._controller_key, signed, bytes(response[msg.KEY_SIGNATURE]))
         expected = report_quote_q1(
-            str(vid), prop.value, response[msg.KEY_REPORT], nonce
+            str(vid), prop.value, response[msg.KEY_REPORT], nonce,
+            telemetry=self.telemetry,
         )
         if bytes(response[msg.KEY_QUOTE]) != expected:
             raise ProtocolError("quote Q1 does not bind the report")

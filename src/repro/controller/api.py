@@ -43,6 +43,14 @@ from repro.properties.catalog import PropertyCatalog, SecurityProperty
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q1
 from repro.sim.engine import Engine, EventHandle
+from repro.telemetry import (
+    KEY_TRACE,
+    NULL_TELEMETRY,
+    SPAN_CONTROLLER_ATTEST,
+    SPAN_LAUNCH,
+    SPAN_LAUNCH_STAGE_PREFIX,
+    Telemetry,
+)
 
 CONTROLLER_ENDPOINT = "controller"
 
@@ -94,6 +102,7 @@ class CloudController:
         id_factory: IdFactory,
         key_bits: int = 1024,
         name: str = CONTROLLER_ENDPOINT,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.engine = engine
         self.rng = rng
@@ -101,18 +110,34 @@ class CloudController:
         self.flavors = flavors
         self.images = images
         self.ids = id_factory
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.catalog = PropertyCatalog()
         self.database = NovaDatabase(flavors=flavors)
-        self.scheduler = NovaScheduler(self.database, self.catalog)
+        self.scheduler = NovaScheduler(
+            self.database, self.catalog, telemetry=self.telemetry
+        )
         self.endpoint = SecureEndpoint(
-            name, network, drbg.fork("endpoint"), ca, key_bits=key_bits
+            name,
+            network,
+            drbg.fork("endpoint"),
+            ca,
+            key_bits=key_bits,
+            telemetry=self.telemetry,
         )
         self.endpoint.handler = self._handle
         self.attest_service = AttestService(
-            self.endpoint, self.database, drbg.fork("attest"), cost_model
+            self.endpoint,
+            self.database,
+            drbg.fork("attest"),
+            cost_model,
+            telemetry=self.telemetry,
         )
         self.response = ResponseModule(
-            self.endpoint, self.database, self.scheduler, cost_model
+            self.endpoint,
+            self.database,
+            self.scheduler,
+            cost_model,
+            telemetry=self.telemetry,
         )
         self._seen_n1 = NonceCache()
         self._subscriptions: dict[tuple[VmId, str], _Subscription] = {}
@@ -204,6 +229,45 @@ class CloudController:
         dedicated: bool = False,
     ) -> LaunchOutcome:
         """Run the launch pipeline; returns placement and stage timings."""
+        with self.telemetry.span(
+            SPAN_LAUNCH, customer=str(customer), flavor=flavor.name, image=image.name
+        ):
+            outcome = self._launch_pipeline(
+                customer=customer,
+                flavor=flavor,
+                image=image,
+                properties=properties,
+                workload=workload,
+                pins=pins,
+                entitled_share=entitled_share,
+                exclude_servers=exclude_servers,
+                force_server=force_server,
+                dedicated=dedicated,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.histogram("controller.launch_total_ms").observe(
+                outcome.total_ms,
+                accepted=str(outcome.accepted).lower(),
+            )
+            for stage, duration in outcome.stage_times_ms.items():
+                self.telemetry.histogram("controller.launch_stage_ms").observe(
+                    duration, stage=stage
+                )
+        return outcome
+
+    def _launch_pipeline(
+        self,
+        customer: CustomerId,
+        flavor: Flavor,
+        image: VmImage,
+        properties: list[SecurityProperty],
+        workload: dict,
+        pins: Optional[list[int]] = None,
+        entitled_share: Optional[float] = None,
+        exclude_servers: Optional[set[ServerId]] = None,
+        force_server: Optional[ServerId] = None,
+        dedicated: bool = False,
+    ) -> LaunchOutcome:
         vid = self.ids.vm_id()
         record = VmRecord(
             vid=vid,
@@ -219,72 +283,80 @@ class CloudController:
 
         # stage 1: scheduling (property filter included)
         stage_start = self.engine.now
-        self.cost.charge("db_access")
-        self.cost.charge("scheduling_base")
-        if properties:
-            self.cost.charge("scheduling_property_filter")
-        try:
-            if force_server is not None:
-                # operator placement hint (nova's force_hosts): bypass the
-                # filters but still respect physical capacity
-                if not self.database.fits(force_server, flavor):
-                    raise PlacementError(
-                        f"forced server {force_server} cannot fit the VM"
+        with self.telemetry.span(SPAN_LAUNCH_STAGE_PREFIX + "scheduling", vid=str(vid)):
+            self.cost.charge("db_access")
+            self.cost.charge("scheduling_base")
+            if properties:
+                self.cost.charge("scheduling_property_filter")
+            try:
+                if force_server is not None:
+                    # operator placement hint (nova's force_hosts): bypass the
+                    # filters but still respect physical capacity
+                    if not self.database.fits(force_server, flavor):
+                        raise PlacementError(
+                            f"forced server {force_server} cannot fit the VM"
+                        )
+                    server = force_server
+                else:
+                    server = self.scheduler.select_server(
+                        flavor, properties, exclude=exclude_servers,
+                        customer=str(customer), dedicated=dedicated,
                     )
-                server = force_server
-            else:
-                server = self.scheduler.select_server(
-                    flavor, properties, exclude=exclude_servers,
-                    customer=str(customer), dedicated=dedicated,
+            except PlacementError:
+                record.transition(VmState.REJECTED)
+                self._record_provenance(
+                    vid, "placement_failed", customer=str(customer)
                 )
-        except PlacementError:
-            record.transition(VmState.REJECTED)
-            self._record_provenance(vid, "placement_failed", customer=str(customer))
-            raise
-        record.server = server
-        record.transition(VmState.SCHEDULED)
-        self._record_provenance(
-            vid, "scheduled", server=str(server), flavor=flavor.name,
-            image=image.name, customer=str(customer),
-        )
+                raise
+            record.server = server
+            record.transition(VmState.SCHEDULED)
+            self._record_provenance(
+                vid, "scheduled", server=str(server), flavor=flavor.name,
+                image=image.name, customer=str(customer),
+            )
         stage_times["scheduling"] = self.engine.now - stage_start
 
         # stage 2: networking
         stage_start = self.engine.now
-        self.cost.charge("networking")
+        with self.telemetry.span(SPAN_LAUNCH_STAGE_PREFIX + "networking", vid=str(vid)):
+            self.cost.charge("networking")
         stage_times["networking"] = self.engine.now - stage_start
 
         # stage 3: block device mapping
         stage_start = self.engine.now
-        self.cost.charge("block_device_mapping")
+        with self.telemetry.span(
+            SPAN_LAUNCH_STAGE_PREFIX + "block_device_mapping", vid=str(vid)
+        ):
+            self.cost.charge("block_device_mapping")
         stage_times["block_device_mapping"] = self.engine.now - stage_start
 
         # stage 4: spawning (the cloud server fetches, measures, boots)
         stage_start = self.engine.now
-        self.endpoint.call(
-            str(server),
-            {
-                msg.KEY_TYPE: msg.MSG_LAUNCH,
-                msg.KEY_VID: str(vid),
-                "image": {
-                    "name": image.name,
-                    "size_mb": image.size_mb,
-                    "content": image.content,
-                    "tasks": list(image.standard_tasks),
-                    "modules": list(image.standard_modules),
+        with self.telemetry.span(SPAN_LAUNCH_STAGE_PREFIX + "spawning", vid=str(vid)):
+            self.endpoint.call(
+                str(server),
+                {
+                    msg.KEY_TYPE: msg.MSG_LAUNCH,
+                    msg.KEY_VID: str(vid),
+                    "image": {
+                        "name": image.name,
+                        "size_mb": image.size_mb,
+                        "content": image.content,
+                        "tasks": list(image.standard_tasks),
+                        "modules": list(image.standard_modules),
+                    },
+                    "flavor": {
+                        "name": flavor.name,
+                        "vcpus": flavor.vcpus,
+                        "memory_mb": flavor.memory_mb,
+                        "disk_gb": flavor.disk_gb,
+                    },
+                    "workload": workload,
+                    "pins": pins,
                 },
-                "flavor": {
-                    "name": flavor.name,
-                    "vcpus": flavor.vcpus,
-                    "memory_mb": flavor.memory_mb,
-                    "disk_gb": flavor.disk_gb,
-                },
-                "workload": workload,
-                "pins": pins,
-            },
-        )
-        record.transition(VmState.ACTIVE)
-        self._record_provenance(vid, "launched", server=str(server))
+            )
+            record.transition(VmState.ACTIVE)
+            self._record_provenance(vid, "launched", server=str(server))
         stage_times["spawning"] = self.engine.now - stage_start
 
         # stage 5: attestation — check the VM launched securely
@@ -292,18 +364,21 @@ class CloudController:
         accepted = True
         if properties:
             stage_start = self.engine.now
-            self.endpoint.call(
-                self.database.server(server).attestation_server,
-                {
-                    msg.KEY_TYPE: "register_vm",
-                    msg.KEY_VID: str(vid),
-                    "image_name": image.name,
-                    "entitled_share": entitled_share,
-                },
-            )
-            outcome = self.attest_service.attest(
-                vid, SecurityProperty.STARTUP_INTEGRITY
-            )
+            with self.telemetry.span(
+                SPAN_LAUNCH_STAGE_PREFIX + "attestation", vid=str(vid)
+            ):
+                self.endpoint.call(
+                    self.database.server(server).attestation_server,
+                    {
+                        msg.KEY_TYPE: "register_vm",
+                        msg.KEY_VID: str(vid),
+                        "image_name": image.name,
+                        "entitled_share": entitled_share,
+                    },
+                )
+                outcome = self.attest_service.attest(
+                    vid, SecurityProperty.STARTUP_INTEGRITY
+                )
             report_dict = outcome.report.to_dict()
             stage_times["attestation"] = self.engine.now - stage_start
             if not outcome.report.healthy:
@@ -323,7 +398,7 @@ class CloudController:
                         reason=outcome.report.explanation,
                     )
                     retry_exclude = set(exclude_servers or set()) | {server}
-                    return self.launch_vm(
+                    return self._launch_pipeline(
                         customer=customer,
                         flavor=flavor,
                         image=image,
@@ -360,22 +435,29 @@ class CloudController:
         record = self.database.vm(vid)
         if record.customer != peer:
             raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
-        outcome = self.attest_service.attest(
-            vid, prop, window_ms=body.get(msg.KEY_WINDOW)
-        )
-        response_info = None
-        if not outcome.report.healthy and self.auto_respond:
-            response_outcome = self.response.respond(vid, prop)
-            response_info = {
-                "action": response_outcome.action.value,
-                "reaction_ms": response_outcome.reaction_ms,
-                "new_server": str(response_outcome.new_server or ""),
-            }
-        return self._sign_report(vid, prop, outcome.report.to_dict(), nonce, {
-            "attest_ms": outcome.attest_ms,
-            "response": response_info,
-            "certificate": outcome.certificate,
-        })
+        with self.telemetry.span(
+            SPAN_CONTROLLER_ATTEST,
+            remote_parent=body.get(KEY_TRACE),
+            vid=str(vid),
+            property=prop.value,
+            mode=str(body.get(msg.KEY_TYPE, "runtime_attest_current")),
+        ):
+            outcome = self.attest_service.attest(
+                vid, prop, window_ms=body.get(msg.KEY_WINDOW)
+            )
+            response_info = None
+            if not outcome.report.healthy and self.auto_respond:
+                response_outcome = self.response.respond(vid, prop)
+                response_info = {
+                    "action": response_outcome.action.value,
+                    "reaction_ms": response_outcome.reaction_ms,
+                    "new_server": str(response_outcome.new_server or ""),
+                }
+            return self._sign_report(vid, prop, outcome.report.to_dict(), nonce, {
+                "attest_ms": outcome.attest_ms,
+                "response": response_info,
+                "certificate": outcome.certificate,
+            })
 
     def _handle_collect_raw(self, peer: str, body: dict) -> dict:
         """Pass-through mode: return validated raw measurements (§4.1)."""
@@ -390,7 +472,9 @@ class CloudController:
         measurements = self.attest_service.collect_raw(
             vid, prop, window_ms=body.get(msg.KEY_WINDOW)
         )
-        quote = report_quote_q1(str(vid), prop.value, measurements, nonce)
+        quote = report_quote_q1(
+            str(vid), prop.value, measurements, nonce, telemetry=self.telemetry
+        )
         signed = {
             msg.KEY_VID: str(vid),
             msg.KEY_PROPERTY: prop.value,
@@ -405,7 +489,9 @@ class CloudController:
         self, vid: VmId, prop: SecurityProperty, report: dict, nonce: bytes,
         extras: dict,
     ) -> dict:
-        quote = report_quote_q1(str(vid), prop.value, report, nonce)
+        quote = report_quote_q1(
+            str(vid), prop.value, report, nonce, telemetry=self.telemetry
+        )
         signed = {
             msg.KEY_VID: str(vid),
             msg.KEY_PROPERTY: prop.value,
@@ -474,6 +560,10 @@ class CloudController:
         if not record.live:
             subscription.active = False
             return
+        if self.telemetry.enabled:
+            self.telemetry.counter("controller.periodic_fires").inc(
+                property=subscription.prop.value
+            )
         try:
             # periodic mode: the AS accumulates measurements across
             # rounds and interprets the merged view (§3.2.1)

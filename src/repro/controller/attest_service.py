@@ -28,6 +28,7 @@ from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q2
+from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q2, Telemetry
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class AttestService:
         drbg: HmacDrbg,
         cost_model: CostModel,
         attestation_server_name: str = "attestation-server",
+        telemetry: Telemetry | None = None,
     ):
         self._endpoint = endpoint
         self._db = database
@@ -57,6 +59,7 @@ class AttestService:
         self._default_as = attestation_server_name
         self._as_keys: dict[str, RsaPublicKey] = {}
         self.cost = cost_model
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def set_attestation_server_key(
         self, key: RsaPublicKey, name: str | None = None
@@ -102,11 +105,22 @@ class AttestService:
             request[msg.KEY_WINDOW] = float(window_ms)
         if accumulate:
             request["accumulate"] = True
-        response = self._endpoint.call(as_name, request)
-        report = self._validate(vid, prop, bytes(nonce), response, as_name)
+        with self.telemetry.span(
+            SPAN_Q2, vid=str(vid), property=prop.value, attestation_server=as_name
+        ):
+            context = self.telemetry.context()
+            if context is not None:
+                request[KEY_TRACE] = context
+            response = self._endpoint.call(as_name, request)
+            report = self._validate(vid, prop, bytes(nonce), response, as_name)
+        attest_ms = self.cost.engine.now - started
+        if self.telemetry.enabled:
+            self.telemetry.histogram("controller.attest_ms").observe(
+                attest_ms, property=prop.value
+            )
         return AttestationOutcome(
             report=report,
-            attest_ms=self.cost.engine.now - started,
+            attest_ms=attest_ms,
             certificate=response.get("certificate"),
         )
 
@@ -149,6 +163,7 @@ class AttestService:
         expected = report_quote_q2(
             str(vid), str(response[msg.KEY_SERVER]), prop.value,
             response[msg.KEY_MEASUREMENTS], bytes(nonce),
+            telemetry=self.telemetry,
         )
         if bytes(response[msg.KEY_QUOTE]) != expected:
             raise ProtocolError("quote does not bind the raw measurements")
@@ -194,6 +209,7 @@ class AttestService:
             prop.value,
             response[msg.KEY_REPORT],
             bytes(response[msg.KEY_NONCE]),
+            telemetry=self.telemetry,
         )
         if bytes(response[msg.KEY_QUOTE]) != expected_quote:
             raise ProtocolError("quote Q2 does not bind the attestation report")

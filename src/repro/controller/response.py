@@ -24,6 +24,7 @@ from repro.lifecycle.timing import CostModel
 from repro.network.secure_channel import SecureEndpoint
 from repro.properties.catalog import SecurityProperty
 from repro.protocol import messages as msg
+from repro.telemetry import NULL_TELEMETRY, SPAN_RESPONSE_PREFIX, Telemetry
 
 
 class ResponseAction(enum.Enum):
@@ -54,11 +55,13 @@ class ResponseModule:
         database: NovaDatabase,
         scheduler: NovaScheduler,
         cost_model: CostModel,
+        telemetry: Telemetry | None = None,
     ):
         self._endpoint = endpoint
         self._db = database
         self._scheduler = scheduler
         self.cost = cost_model
+        self.telemetry = telemetry or NULL_TELEMETRY
         #: per-property remediation policy; NONE = report only
         self.policies: dict[SecurityProperty, ResponseAction] = {}
         #: set by the controller: the lifecycle provenance log
@@ -97,15 +100,18 @@ class ResponseModule:
         started = self.cost.engine.now
         if action is ResponseAction.NONE:
             return ResponseOutcome(action=action, reaction_ms=0.0)
-        if action is ResponseAction.TERMINATE:
-            self.terminate(vid)
-        elif action is ResponseAction.SUSPEND:
-            self.suspend(vid)
-            if self.auto_resume_after_suspend:
-                self._schedule_resume_check(vid)
-        elif action is ResponseAction.MIGRATE:
-            return self._finish(vid, action, started, self.migrate(vid))
-        return self._finish(vid, action, started, None)
+        with self.telemetry.span(
+            SPAN_RESPONSE_PREFIX + action.value, vid=str(vid), property=prop.value
+        ):
+            if action is ResponseAction.TERMINATE:
+                self.terminate(vid)
+            elif action is ResponseAction.SUSPEND:
+                self.suspend(vid)
+                if self.auto_resume_after_suspend:
+                    self._schedule_resume_check(vid)
+            elif action is ResponseAction.MIGRATE:
+                return self._finish(vid, action, started, self.migrate(vid))
+            return self._finish(vid, action, started, None)
 
     def _finish(
         self,
@@ -114,9 +120,14 @@ class ResponseModule:
         started: float,
         new_server: ServerId | None,
     ) -> ResponseOutcome:
+        reaction_ms = self.cost.engine.now - started
+        if self.telemetry.enabled:
+            self.telemetry.histogram("controller.reaction_ms").observe(
+                reaction_ms, action=action.value
+            )
         return ResponseOutcome(
             action=action,
-            reaction_ms=self.cost.engine.now - started,
+            reaction_ms=reaction_ms,
             new_server=new_server,
         )
 

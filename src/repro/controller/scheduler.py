@@ -16,14 +16,21 @@ from repro.common.identifiers import ServerId
 from repro.controller.database import NovaDatabase
 from repro.lifecycle.flavors import Flavor
 from repro.properties.catalog import PropertyCatalog, SecurityProperty
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class NovaScheduler:
     """Filter-and-weigh placement."""
 
-    def __init__(self, database: NovaDatabase, catalog: PropertyCatalog):
+    def __init__(
+        self,
+        database: NovaDatabase,
+        catalog: PropertyCatalog,
+        telemetry: Telemetry | None = None,
+    ):
         self._db = database
         self._catalog = catalog
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def required_measurements(
         self, properties: Iterable[SecurityProperty]
@@ -56,11 +63,16 @@ class NovaScheduler:
             dedicated=dedicated,
         )
         if not candidates:
+            if self.telemetry.enabled:
+                self.telemetry.counter("scheduler.placements").inc(outcome="failed")
             needed = self.required_measurements(properties)
             raise PlacementError(
                 "no cloud server satisfies the resource and property "
                 f"requirements (needed measurements: {sorted(needed)})"
             )
+        if self.telemetry.enabled:
+            self.telemetry.counter("scheduler.placements").inc(outcome="placed")
+            self.telemetry.gauge("scheduler.last_candidates").set(len(candidates))
         return candidates[0]
 
     def qualified_servers(

@@ -43,6 +43,7 @@ from repro.crypto.rsa import generate_keypair
 from repro.crypto.signatures import sign, verify
 from repro.crypto.symmetric import SymmetricKey, open_sealed, seal
 from repro.network.network import Network
+from repro.telemetry import NULL_TELEMETRY, SPAN_HANDSHAKE, Telemetry
 
 
 _cert_to_dict = certificate_to_dict
@@ -82,10 +83,12 @@ class SecureEndpoint:
         drbg: HmacDrbg,
         ca: CertificateAuthority,
         key_bits: int = 1024,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.name = name
         self._network = network
         self._drbg = drbg
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._keypair: KeyPair = generate_keypair(drbg.fork("identity"), key_bits)
         self.certificate: Certificate = ca.issue(name, self._keypair.public)
         self._ca_key: RsaPublicKey = ca.public_key
@@ -157,6 +160,11 @@ class SecureEndpoint:
             channel.key, encode(body), _record_nonce(channel.channel_id, "i2r", seq)
         )
         wire = encode({"t": "data", "from": self.name, "seq": seq, "sealed": sealed})
+        if self.telemetry.enabled:
+            self.telemetry.counter("channel.records_sent").inc(endpoint=self.name)
+            self.telemetry.histogram(
+                "channel.record_bytes", buckets=(256, 1024, 4096, 16384, 65536)
+            ).observe(len(wire), endpoint=self.name)
         raw_response = self._network.rpc(self.name, peer, wire)
         response = self._expect(decode(raw_response), "data")
         response_seq, response_sealed = self._record_fields(response)
@@ -170,6 +178,11 @@ class SecureEndpoint:
 
     def _handshake(self, peer: str) -> None:
         """Establish a session key with ``peer`` (initiator side)."""
+        with self.telemetry.span(SPAN_HANDSHAKE, initiator=self.name, peer=peer):
+            self._handshake_rounds(peer)
+        self.telemetry.counter("channel.handshakes").inc(endpoint=self.name)
+
+    def _handshake_rounds(self, peer: str) -> None:
         seed = self._drbg.fork(f"seed-{peer}-{len(self._channels)}").generate(32)
         # fetch the peer's certificate out of band via a hello round;
         # in TLS terms this is ServerHello+Certificate before key exchange
@@ -255,6 +268,10 @@ class SecureEndpoint:
             raise ReplayError(f"record sequence {seq} != expected {channel.recv_seq}")
         plaintext = open_sealed(channel.key, sealed)
         channel.recv_seq += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("channel.records_received").inc(
+                endpoint=self.name
+            )
         body = decode(plaintext)
         if self.handler is None:
             raise ProtocolError(f"endpoint {self.name!r} has no application handler")

@@ -13,26 +13,45 @@ not exist: each quote is a hash of a well-typed tuple.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from repro.crypto.hashing import sha256
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 def attestation_quote(
-    vid: str, requested: list[str], measurements: dict[str, Any], nonce: bytes
+    vid: str,
+    requested: list[str],
+    measurements: dict[str, Any],
+    nonce: bytes,
+    telemetry: Optional[Telemetry] = None,
 ) -> bytes:
     """Q3: binds measurements to the VM, the request and the nonce."""
+    (telemetry or NULL_TELEMETRY).counter("protocol.quotes").inc(kind="q3")
     return sha256([vid, list(requested), measurements, nonce])
 
 
 def report_quote_q2(
-    vid: str, server: str, prop: str, report: dict, nonce: bytes
+    vid: str,
+    server: str,
+    prop: str,
+    report: dict,
+    nonce: bytes,
+    telemetry: Optional[Telemetry] = None,
 ) -> bytes:
     """Q2: binds the interpreted report to VM, server, property, nonce."""
+    (telemetry or NULL_TELEMETRY).counter("protocol.quotes").inc(kind="q2")
     return sha256([vid, server, prop, report, nonce])
 
 
-def report_quote_q1(vid: str, prop: str, report: dict, nonce: bytes) -> bytes:
+def report_quote_q1(
+    vid: str,
+    prop: str,
+    report: dict,
+    nonce: bytes,
+    telemetry: Optional[Telemetry] = None,
+) -> bytes:
     """Q1: the customer-facing binding (the server identity is omitted —
     the customer must not learn which server hosts the VM)."""
+    (telemetry or NULL_TELEMETRY).counter("protocol.quotes").inc(kind="q1")
     return sha256([vid, prop, report, nonce])

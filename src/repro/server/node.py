@@ -48,6 +48,7 @@ from repro.network.secure_channel import SecureEndpoint
 from repro.protocol import messages as msg
 from repro.protocol.quotes import attestation_quote
 from repro.sim.engine import Engine
+from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_MEASURE, Telemetry
 from repro.tpm.trust_module import TrustModule
 from repro.workloads import make_workload
 from repro.xen.hypervisor import Hypervisor
@@ -93,6 +94,7 @@ class CloudServer:
         key_bits: int = 1024,
         pca_endpoint: str = "pca",
         intercepting_vmi_scan_ms: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.server_id = server_id
         self.engine = engine
@@ -103,8 +105,11 @@ class CloudServer:
         self.num_pcpus = num_pcpus
         self._pca_endpoint = pca_endpoint
         self._next_pin = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
 
-        self.hypervisor = Hypervisor(engine, num_pcpus=num_pcpus)
+        self.hypervisor = Hypervisor(
+            engine, num_pcpus=num_pcpus, telemetry=self.telemetry
+        )
         self.hosted: dict[VmId, _HostedVm] = {}
         #: ablation knob — reuse one attestation session (key + pCA cert)
         #: across requests instead of minting one per attestation. Saves
@@ -116,13 +121,14 @@ class CloudServer:
         self._cached_session_cert = None
 
         self.endpoint = SecureEndpoint(
-            str(server_id), network, drbg.fork("endpoint"), ca, key_bits=key_bits
+            str(server_id), network, drbg.fork("endpoint"), ca, key_bits=key_bits,
+            telemetry=self.telemetry,
         )
         self.endpoint.handler = self._dispatch
 
         if secure:
             self.trust_module: Optional[TrustModule] = TrustModule(
-                drbg.fork("trust"), key_bits=key_bits
+                drbg.fork("trust"), key_bits=key_bits, telemetry=self.telemetry
             )
             self.integrity_unit = IntegrityMeasurementUnit(self.trust_module.tpm)
             inventory = platform_inventory or SoftwareInventory.pristine_platform()
@@ -210,6 +216,15 @@ class CloudServer:
     # ------------------------------------------------------------------
 
     def _handle_measure(self, peer: str, body: dict) -> dict:
+        with self.telemetry.span(
+            SPAN_MEASURE,
+            remote_parent=body.get(KEY_TRACE),
+            server=str(self.server_id),
+            vid=str(body.get(msg.KEY_VID, "")),
+        ):
+            return self._measure(peer, body)
+
+    def _measure(self, peer: str, body: dict) -> dict:
         if not self.secure or self.trust_module is None:
             raise StateError(f"server {self.server_id} has no Trust Module")
         msg.require_fields(
@@ -259,7 +274,10 @@ class CloudServer:
 
         # ⑤ evidence into the Trust Module, ⑥ sign with the session key
         self.trust_module.store_evidence(f"attest:{vid}", measurements)
-        quote = attestation_quote(str(vid), list(requested), measurements, nonce)
+        quote = attestation_quote(
+            str(vid), list(requested), measurements, nonce,
+            telemetry=self.telemetry,
+        )
         payload = {
             msg.KEY_VID: str(vid),
             msg.KEY_REQUESTED: list(requested),

@@ -6,7 +6,11 @@ Design notes:
 - Events at the same timestamp fire in scheduling order (a monotonically
   increasing sequence number breaks ties), so runs are deterministic.
 - Cancellation is lazy: a cancelled event stays in the heap but is skipped
-  when popped. This keeps :meth:`Engine.cancel` O(1).
+  when popped. This keeps :meth:`Engine.cancel` O(1). To stop cancelled
+  entries accumulating forever under cancel-heavy workloads (periodic
+  attestation re-arming, scheduler timeslice churn), the heap is
+  compacted whenever cancelled entries outnumber live ones — an O(n)
+  rebuild amortised against the ≥ n/2 dead entries it removes.
 """
 
 from __future__ import annotations
@@ -26,6 +30,9 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: set once the event leaves the heap (fired or skipped), so a late
+    #: cancel of an already-popped event cannot skew the cancelled count
+    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -62,11 +69,19 @@ class Engine:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._running = False
+        self._cancelled = 0
+        #: total events executed over the engine's lifetime (telemetry)
+        self.events_fired = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in milliseconds."""
         return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Live (non-cancelled) events still queued — O(1)."""
+        return len(self._queue) - self._cancelled
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -91,15 +106,31 @@ class Engine:
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event. Cancelling twice is a no-op."""
-        handle._event.cancelled = True
+        event = handle._event
+        if event.cancelled or event.popped:
+            event.cancelled = True
+            return
+        event.cancelled = True
+        self._cancelled += 1
+        if self._cancelled > len(self._queue) // 2 and len(self._queue) >= 64:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the remainder."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
+            self.events_fired += 1
             event.callback(*event.args)
             return True
         return False
@@ -122,9 +153,12 @@ class Engine:
             if event.time > end_time:
                 break
             heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = max(self._now, event.time)
+            self.events_fired += 1
             event.callback(*event.args)
         self._now = max(self._now, end_time)
 
@@ -141,5 +175,5 @@ class Engine:
         return executed
 
     def pending(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live events still queued (see :attr:`pending_count`)."""
+        return self.pending_count

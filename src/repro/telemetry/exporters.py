@@ -1,0 +1,124 @@
+"""Telemetry exporters: JSONL event log and console summary table.
+
+The JSONL format is line-delimited JSON with a ``type`` discriminator:
+
+- ``{"type": "meta", "seed": ..., "sim_now_ms": ...}`` — one header
+  line naming the run;
+- ``{"type": "span", ...}`` — one line per finished span, in
+  completion order, with simulated start/end times and attributes;
+- ``{"type": "metrics", "snapshot": {...}}`` — the final metric
+  snapshot.
+
+Nothing wall-clock-derived is written, so two same-seed runs produce
+byte-identical files — :func:`read_jsonl` round-trips them for the
+regression tests and offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional
+
+from repro.telemetry.hub import Telemetry
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def export_jsonl_lines(
+    telemetry: Telemetry, seed: Optional[int] = None
+) -> Iterable[str]:
+    """The run's telemetry as JSONL lines (no trailing newlines)."""
+    yield _dumps(
+        {
+            "type": "meta",
+            "seed": telemetry.seed if seed is None else seed,
+            "sim_now_ms": telemetry.clock(),
+        }
+    )
+    for span in telemetry.tracer.finished:
+        yield _dumps({"type": "span", **span.to_dict()})
+    yield _dumps({"type": "metrics", "snapshot": telemetry.snapshot()})
+
+
+def write_jsonl(
+    telemetry: Telemetry,
+    destination: "str | IO[str]",
+    seed: Optional[int] = None,
+    append: bool = False,
+) -> int:
+    """Write the JSONL trace to a path or open text stream.
+
+    Returns the number of lines written. ``append=True`` lets several
+    clouds in one CLI invocation share a single trace file.
+    """
+    lines = 0
+    if hasattr(destination, "write"):
+        for line in export_jsonl_lines(telemetry, seed=seed):
+            destination.write(line + "\n")
+            lines += 1
+        return lines
+    mode = "a" if append else "w"
+    with open(destination, mode, encoding="utf-8") as handle:
+        for line in export_jsonl_lines(telemetry, seed=seed):
+            handle.write(line + "\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(source: "str | IO[str]") -> list[dict]:
+    """Parse a JSONL trace back into records (inverse of the writer)."""
+    if hasattr(source, "read"):
+        return [json.loads(line) for line in source.read().splitlines() if line]
+    with open(source, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle.read().splitlines() if line]
+
+
+def spans_from_records(records: list[dict]) -> list[dict]:
+    """The span records of a parsed trace, in completion order."""
+    return [record for record in records if record.get("type") == "span"]
+
+
+def metrics_from_records(records: list[dict]) -> dict:
+    """The final metric snapshot of a parsed trace."""
+    for record in reversed(records):
+        if record.get("type") == "metrics":
+            return record["snapshot"]
+    return {}
+
+
+def summary_rows(telemetry: Telemetry) -> list[list[str]]:
+    """Per-span-name latency rows: [name, count, total, mean, p50, p95]."""
+    return [
+        [
+            name,
+            str(stats["count"]),
+            f"{stats['total_ms']:.1f}",
+            f"{stats['mean_ms']:.1f}",
+            f"{stats['p50_ms']:.1f}",
+            f"{stats['p95_ms']:.1f}",
+        ]
+        for name, stats in telemetry.tracer.summary().items()
+    ]
+
+
+SUMMARY_HEADERS = ["span", "count", "total ms", "mean ms", "p50 ms", "p95 ms"]
+
+
+def console_summary(telemetry: Telemetry, title: str = "Telemetry summary") -> str:
+    """A monospace per-leg latency table (the console exporter)."""
+    rows = summary_rows(telemetry)
+    if not rows:
+        return f"=== {title} ===\n(no spans recorded)"
+    widths = [
+        max(len(SUMMARY_HEADERS[i]), *(len(row[i]) for row in rows))
+        for i in range(len(SUMMARY_HEADERS))
+    ]
+    lines = [f"=== {title} ==="]
+    header = "  ".join(h.ljust(w) for h, w in zip(SUMMARY_HEADERS, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The Telemetry hub: one object wiring metrics + tracing into a cloud.
+
+Every entity takes an optional ``telemetry`` parameter defaulting to
+:data:`NULL_TELEMETRY`, a shared disabled hub whose instruments are
+no-ops — so an un-instrumented deployment pays one attribute check per
+hook and allocates nothing. :class:`~repro.cloud.cloudmonatt.
+CloudMonatt` creates one enabled hub per cloud (``telemetry_enabled=
+True``) and threads it through the controller, attestation servers,
+cloud servers, customers, and the Xen scheduler.
+
+The hub reads time exclusively from the discrete-event engine, so
+enabling telemetry never changes simulated results and same-seed runs
+export byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import Tracer
+
+
+class _NullInstrument:
+    """Accepts any instrument write and discards it."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Telemetry:
+    """Metrics registry + tracer sharing one clock.
+
+    ``clock`` defaults to frozen time for the disabled singleton; an
+    enabled hub must be given the engine's clock so span timings and
+    sampled gauges live on the simulated timeline.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        seed: Optional[int] = None,
+    ):
+        self.enabled = enabled
+        self.clock = clock or (lambda: 0.0)
+        self.seed = seed
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.clock, enabled=enabled)
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # instrument access (null instruments when disabled)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> "Counter | _NullInstrument":
+        """The named counter, or a discard sink when disabled."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> "Gauge | _NullInstrument":
+        """The named gauge, or a discard sink when disabled."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.gauge(name)
+
+    def histogram(
+        self, name: str, buckets=DEFAULT_LATENCY_BUCKETS_MS
+    ) -> "Histogram | _NullInstrument":
+        """The named histogram, or a discard sink when disabled."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.histogram(name, buckets)
+
+    def span(self, name: str, remote_parent: Optional[dict] = None, **attrs):
+        """Open a span (see :meth:`Tracer.span`)."""
+        return self.tracer.span(name, remote_parent=remote_parent, **attrs)
+
+    def context(self) -> Optional[dict]:
+        """Current span context for protocol-message propagation."""
+        return self.tracer.context()
+
+    # ------------------------------------------------------------------
+    # engine sampling
+    # ------------------------------------------------------------------
+
+    def attach_engine(self, engine) -> None:
+        """Bind the engine whose queue stats :meth:`sample_engine` reads."""
+        self._engine = engine
+
+    def sample_engine(self) -> None:
+        """Record the event queue's depth and throughput gauges."""
+        if not self.enabled or self._engine is None:
+            return
+        gauge = self.metrics.gauge
+        gauge("sim.pending_events").set(self._engine.pending_count)
+        gauge("sim.events_fired").set(self._engine.events_fired)
+        gauge("sim.now_ms").set(self._engine.now)
+
+    def snapshot(self) -> dict:
+        """Deterministic metric snapshot (engine gauges refreshed)."""
+        self.sample_engine()
+        return self.metrics.snapshot()
+
+    def snapshot_json(self) -> str:
+        """Canonical JSON snapshot — byte-identical across same-seed runs."""
+        self.sample_engine()
+        return self.metrics.snapshot_json()
+
+
+#: Shared disabled hub: the default for every instrumented entity.
+NULL_TELEMETRY = Telemetry(enabled=False)

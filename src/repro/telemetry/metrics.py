@@ -1,0 +1,245 @@
+"""Deterministic, sim-clock-aware metric instruments.
+
+Three instrument kinds, mirroring the conventional metrics vocabulary
+but tuned for a discrete-event simulation:
+
+- :class:`Counter` — monotonically increasing totals (quotes computed,
+  handshakes performed, BOOST promotions);
+- :class:`Gauge` — last-written values (run-queue depth, pending event
+  count);
+- :class:`Histogram` — fixed-bucket distributions that *also* retain
+  every observation, so quantiles are exact rather than interpolated
+  (the sample counts of a simulation are small enough to afford it).
+
+Every instrument supports labels (``counter.inc(1, leg="q2")``), stored
+as sorted key/value tuples so snapshot ordering never depends on call
+order. Nothing in this module reads the wall clock: values come from
+the caller, which reads the discrete-event :class:`~repro.sim.engine.
+Engine`. Two runs with the same seed therefore produce byte-identical
+snapshots — the property the regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+
+#: Default latency buckets in simulated milliseconds. The upper edge is
+#: inclusive (``value <= edge`` lands in the bucket), with an implicit
+#: +inf overflow bucket at the end.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    """Canonical, hashable, order-independent form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total, per label set."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be non-negative) to the labeled series."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current total for one label set (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "counter",
+            "series": {_series_name(k): v for k, v in sorted(self._values.items())},
+        }
+
+
+class Gauge:
+    """A last-written value, per label set."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Record the current value of the labeled series."""
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        """Last written value (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "gauge",
+            "series": {_series_name(k): v for k, v in sorted(self._values.items())},
+        }
+
+
+class _HistogramSeries:
+    """One label set's distribution state."""
+
+    __slots__ = ("bucket_counts", "values", "sum")
+
+    def __init__(self, num_buckets: int):
+        # one slot per finite edge plus the +inf overflow bucket
+        self.bucket_counts = [0] * (num_buckets + 1)
+        self.values: list[float] = []
+        self.sum = 0.0
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact quantiles.
+
+    Bucket edges are *inclusive* upper bounds: an observation equal to
+    an edge is counted in that edge's bucket, and anything above the
+    last edge falls into the implicit +inf bucket.
+    """
+
+    __slots__ = ("name", "buckets", "_series")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ):
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ConfigurationError(
+                f"histogram {name!r} needs strictly increasing bucket edges"
+            )
+        self.name = name
+        self.buckets = edges
+        self._series: dict[_LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labeled series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        bisect.insort(series.values, value)
+        series.sum += value
+
+    def count(self, **labels: object) -> int:
+        """Number of observations in one label set."""
+        series = self._series.get(_label_key(labels))
+        return len(series.values) if series else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations in one label set."""
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def bucket_counts(self, **labels: object) -> list[int]:
+        """Per-bucket counts (finite edges, then the +inf bucket)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return [0] * (len(self.buckets) + 1)
+        return list(series.bucket_counts)
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Exact q-quantile (nearest-rank) of the retained observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if series is None or not series.values:
+            raise ConfigurationError(
+                f"histogram {self.name!r} has no observations for {labels!r}"
+            )
+        rank = min(int(q * len(series.values)), len(series.values) - 1)
+        return series.values[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "series": {
+                _series_name(key): {
+                    "count": len(series.values),
+                    "sum": series.sum,
+                    "bucket_counts": list(series.bucket_counts),
+                }
+                for key, series in sorted(self._series.items())
+            },
+        }
+
+
+def _series_name(key: _LabelKey) -> str:
+    """Render a label key as a stable series name (empty labels → '')."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class MetricsRegistry:
+    """Owns every instrument; the single source of metric snapshots.
+
+    Instruments are created lazily on first access and cached by name,
+    so call sites can write ``registry.counter("x").inc()`` on a hot
+    path without holding references. Requesting an existing name with a
+    different instrument kind raises.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ) -> Histogram:
+        """The named histogram, created on first use with ``buckets``."""
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self) -> Iterable[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """All metrics as a deterministic, JSON-encodable dict."""
+        return {
+            name: self._instruments[name].snapshot() for name in self.names()
+        }
+
+    def snapshot_json(self) -> str:
+        """Canonical JSON form — byte-identical across same-seed runs."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))

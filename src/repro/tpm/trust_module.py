@@ -19,9 +19,10 @@ Responsibilities, per §3.2.4 and §3.4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.common.errors import StateError
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.keys import KeyPair, RsaPublicKey
 from repro.crypto.nonces import NonceGenerator
@@ -53,9 +54,15 @@ class AttestationSession:
 class TrustModule:
     """One server's hardware trust anchor."""
 
-    def __init__(self, drbg: HmacDrbg, key_bits: int = 1024):
+    def __init__(
+        self,
+        drbg: HmacDrbg,
+        key_bits: int = 1024,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self._drbg = drbg
         self._key_bits = key_bits
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._identity: KeyPair = generate_keypair(drbg.fork("identity"), key_bits)
         self.nonce_generator = NonceGenerator(drbg.fork("nonces"))
         self.tpm = TpmEmulator(drbg.fork("tpm"), key_bits=key_bits)
@@ -80,6 +87,7 @@ class TrustModule:
         co-location attacks, the risk the paper cites from [31]).
         """
         self._session_counter += 1
+        self.telemetry.counter("tpm.attestation_sessions").inc()
         keypair = generate_keypair(
             self._drbg.fork(f"attest-session-{self._session_counter}"),
             self._key_bits,
@@ -100,12 +108,14 @@ class TrustModule:
         if not 0 <= index < NUM_EVIDENCE_REGISTERS:
             raise StateError(f"trust evidence register {index} out of range")
         self._registers[index] = value
+        self.telemetry.counter("tpm.register_writes").inc()
 
     def increment_register(self, index: int, amount: float = 1.0) -> None:
         """Counter-style update (the interval histogram uses this)."""
         if not 0 <= index < NUM_EVIDENCE_REGISTERS:
             raise StateError(f"trust evidence register {index} out of range")
         self._registers[index] += amount
+        self.telemetry.counter("tpm.register_writes").inc()
 
     def read_registers(self, count: int = NUM_EVIDENCE_REGISTERS) -> list[float]:
         """Read the first ``count`` registers."""

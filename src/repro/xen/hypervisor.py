@@ -33,6 +33,7 @@ class Hypervisor:
         num_pcpus: int = 1,
         precise_accounting: bool = False,
         boost_enabled: bool = True,
+        telemetry=None,
     ):
         self.engine = engine if engine is not None else Engine()
         self.scheduler = CreditScheduler(
@@ -40,6 +41,7 @@ class Hypervisor:
             num_pcpus=num_pcpus,
             precise_accounting=precise_accounting,
             boost_enabled=boost_enabled,
+            telemetry=telemetry,
         )
         self.domains: dict[VmId, Domain] = {}
 

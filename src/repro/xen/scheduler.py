@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.common.errors import SchedulingError
 from repro.sim.engine import Engine, EventHandle
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.xen.domain import Domain
 from repro.xen.vcpu import VCpu, VCpuState
 from repro.xen.workload import RUN_FOREVER, BlockKind, Burst
@@ -92,10 +93,12 @@ class CreditScheduler:
         num_pcpus: int = 1,
         precise_accounting: bool = False,
         boost_enabled: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         if num_pcpus < 1:
             raise SchedulingError("need at least one physical CPU")
         self.engine = engine
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.pcpus = [_PCpu(i) for i in range(num_pcpus)]
         self.domains: list[Domain] = []
         self.listeners: list[object] = []
@@ -244,6 +247,8 @@ class CreditScheduler:
         vcpu.waiting_for_ipi = False
         boosted = self.boost_enabled and vcpu.credits >= 0
         vcpu.boosted = boosted
+        if boosted and self.telemetry.enabled:
+            self.telemetry.counter("xen.boost_promotions").inc()
         self._emit("on_wake", self.engine.now, vcpu, boosted)
         if vcpu.paused:
             # resuming a forcibly paused vCPU: continue the interrupted
@@ -343,6 +348,10 @@ class CreditScheduler:
         """Insert into the run queue: before lower priorities, after equals."""
         vcpu.wait_start = self.engine.now
         priority = vcpu_priority(vcpu)
+        if self.telemetry.enabled:
+            self.telemetry.gauge("xen.runqueue_depth").set(
+                len(pcpu.runqueue) + 1, pcpu=pcpu.index
+            )
         for position, queued in enumerate(pcpu.runqueue):
             if vcpu_priority(queued) > priority:
                 pcpu.runqueue.insert(position, vcpu)
@@ -384,6 +393,8 @@ class CreditScheduler:
         pcpu.timeslice_handle = self.engine.schedule(
             TIMESLICE_MS, self._on_timeslice, pcpu, vcpu
         )
+        if self.telemetry.enabled:
+            self.telemetry.counter("xen.context_switches").inc(pcpu=pcpu.index)
         self._emit("on_switch", self.engine.now, pcpu.index, prev, vcpu)
 
     def _deschedule(self, pcpu: _PCpu) -> VCpu:

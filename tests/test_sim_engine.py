@@ -134,3 +134,81 @@ class TestRunUntil:
             engine.schedule(delay, lambda d=delay: fired.append(d))
         engine.run()
         assert fired == sorted(fired)
+
+
+class TestQueueAccounting:
+    def test_pending_count_excludes_cancelled(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert engine.pending_count == 10
+        for handle in handles[:4]:
+            engine.cancel(handle)
+        assert engine.pending_count == 6
+        assert engine.pending() == 6
+
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending_count == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run_until(1.0)
+        engine.cancel(handle)  # late cancel of an already-fired event
+        assert engine.pending_count == 1
+        engine.run()
+        assert engine.pending_count == 0
+
+    def test_events_fired_counts_only_executed(self):
+        engine = Engine()
+        keep = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+        victim = engine.schedule(6.0, lambda: None)
+        engine.cancel(victim)
+        engine.run()
+        assert engine.events_fired == 5
+        assert keep[0].time == 1.0
+
+    def test_heap_compaction_under_cancel_heavy_load(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles[:60]:
+            engine.cancel(handle)
+        # once cancelled entries outnumbered live ones the heap was
+        # physically compacted, so most dead entries are gone (cancels
+        # arriving after the rebuild stay lazy until the next trigger)
+        assert len(engine._queue) < 60
+        assert engine.pending_count == 40
+        fired = engine.run()
+        assert fired == 40
+
+    def test_small_queues_skip_compaction(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[:8]:
+            engine.cancel(handle)
+        # below the compaction floor the dead entries stay (lazy skip)
+        assert len(engine._queue) == 10
+        assert engine.pending_count == 2
+        assert engine.run() == 2
+
+    def test_cancelled_events_never_fire_after_compaction(self):
+        engine = Engine()
+        fired = []
+        victims = [
+            engine.schedule(float(i + 1), fired.append, i) for i in range(80)
+        ]
+        survivors = [
+            engine.schedule(float(100 + i), fired.append, 100 + i)
+            for i in range(20)
+        ]
+        for handle in victims:
+            engine.cancel(handle)
+        engine.run()
+        assert fired == [100 + i for i in range(20)]
+        assert all(handle.cancelled for handle in victims)
+        assert not any(handle.cancelled for handle in survivors)

@@ -1,0 +1,306 @@
+"""Tests for the telemetry subsystem: metrics, tracer, exporters, and
+the end-to-end instrumentation of the attestation protocol."""
+
+import io
+import json
+
+import pytest
+
+from repro.cloud.cloudmonatt import CloudMonatt
+from repro.common.errors import ConfigurationError
+from repro.properties.catalog import SecurityProperty
+from repro.telemetry import (
+    KEY_TRACE,
+    NULL_TELEMETRY,
+    PROTOCOL_LEG_SPANS,
+    SPAN_APPRAISAL,
+    SPAN_ATTEST_ROUND,
+    SPAN_INTERPRETATION,
+    SPAN_Q1,
+    SPAN_Q2,
+    SPAN_Q3,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    console_summary,
+    export_jsonl_lines,
+    metrics_from_records,
+    read_jsonl,
+    spans_from_records,
+    write_jsonl,
+)
+
+
+class FakeClock:
+    """A manually advanced clock standing in for the engine."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCounter:
+    def test_labeled_series_accumulate_independently(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("protocol.quotes")
+        counter.inc(kind="q1")
+        counter.inc(kind="q2")
+        counter.inc(2.0, kind="q2")
+        assert counter.value(kind="q1") == 1.0
+        assert counter.value(kind="q2") == 3.0
+        assert counter.total() == 4.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_decrement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1.0)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0, 50.0))
+        # exactly on an edge lands in that edge's bucket
+        histogram.observe(10.0)
+        histogram.observe(10.1)
+        histogram.observe(20.0)
+        histogram.observe(50.0)
+        histogram.observe(50.1)  # overflow -> +inf bucket
+        assert histogram.bucket_counts() == [1, 2, 1, 1]
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(140.2)
+
+    def test_exact_quantiles(self):
+        histogram = Histogram("h", buckets=(100.0,))
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 3.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(10.0, 5.0))
+
+    def test_quantile_without_observations_raises(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(1.0,)).quantile(0.5)
+
+
+class TestTracer:
+    def test_spans_nest_through_the_stack(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            clock.now = 10.0
+            with tracer.span("inner"):
+                clock.now = 15.0
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+        inner, outer_finished = tracer.finished
+        assert inner.parent_id == outer.span_id
+        assert outer_finished.parent_id is None
+        assert inner.duration_ms == 5.0
+        assert outer_finished.duration_ms == 15.0
+
+    def test_completion_order_is_inner_first(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert [s.name for s in tracer.finished] == ["c", "b", "a"]
+
+    def test_remote_parent_overrides_stack(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("sender"):
+            context = tracer.context()
+        with tracer.span("receiver", remote_parent=context) as received:
+            pass
+        sender = tracer.spans_named("sender")[0]
+        assert received.parent_id == sender.span_id
+
+    def test_context_is_none_outside_any_span(self):
+        tracer = Tracer(FakeClock())
+        assert tracer.context() is None
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        span = tracer.spans_named("failing")[0]
+        assert span.end_ms is not None
+        assert span.attrs["error"] == "ValueError"
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(FakeClock(), enabled=False)
+        with tracer.span("x"):
+            pass
+        assert tracer.finished == []
+        assert tracer.context() is None
+
+
+class TestNullTelemetry:
+    def test_null_hub_discards_everything(self):
+        NULL_TELEMETRY.counter("c").inc()
+        NULL_TELEMETRY.gauge("g").set(1.0)
+        NULL_TELEMETRY.histogram("h").observe(1.0)
+        with NULL_TELEMETRY.span("s"):
+            pass
+        assert NULL_TELEMETRY.snapshot() == {}
+        assert NULL_TELEMETRY.tracer.finished == []
+
+
+class TestJsonlRoundTrip:
+    def _traced_hub(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock, seed=9)
+        with telemetry.span("outer", vid="vm-1"):
+            clock.now = 12.0
+            telemetry.counter("events").inc(kind="test")
+            telemetry.histogram("latency", buckets=(10.0, 100.0)).observe(12.0)
+        return telemetry
+
+    def test_round_trip_preserves_spans_and_metrics(self):
+        telemetry = self._traced_hub()
+        stream = io.StringIO()
+        lines = write_jsonl(telemetry, stream, seed=9)
+        records = read_jsonl(io.StringIO(stream.getvalue()))
+        assert lines == len(records)
+        assert records[0]["type"] == "meta"
+        assert records[0]["seed"] == 9
+        spans = spans_from_records(records)
+        assert [s["name"] for s in spans] == ["outer"]
+        assert spans[0]["attrs"] == {"vid": "vm-1"}
+        assert spans[0]["end_ms"] == 12.0
+        metrics = metrics_from_records(records)
+        assert metrics["events"]["series"]["kind=test"] == 1.0
+        assert metrics["latency"]["series"][""]["count"] == 1
+
+    def test_jsonl_lines_are_canonical_json(self):
+        telemetry = self._traced_hub()
+        for line in export_jsonl_lines(telemetry):
+            parsed = json.loads(line)
+            assert line == json.dumps(
+                parsed, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_console_summary_renders_rows(self):
+        telemetry = self._traced_hub()
+        rendered = console_summary(telemetry, title="t")
+        assert "outer" in rendered
+        assert rendered.startswith("=== t ===")
+
+
+def _attested_cloud(seed: int) -> CloudMonatt:
+    cloud = CloudMonatt(num_servers=2, seed=seed, telemetry_enabled=True)
+    customer = cloud.register_customer("alice")
+    vm = customer.launch_vm(
+        "small", "ubuntu", properties=[SecurityProperty.STARTUP_INTEGRITY]
+    )
+    customer.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+    return cloud
+
+
+class TestEndToEnd:
+    def test_quickstart_trace_contains_every_protocol_leg(self):
+        cloud = _attested_cloud(seed=11)
+        names = {span.name for span in cloud.telemetry.tracer.finished}
+        for leg in PROTOCOL_LEG_SPANS:
+            assert leg in names, f"missing protocol leg span {leg}"
+
+    def test_span_tree_follows_the_protocol_nesting(self):
+        cloud = _attested_cloud(seed=11)
+        tracer = cloud.telemetry.tracer
+        by_id = {span.span_id: span for span in tracer.finished}
+
+        def parent_name(span):
+            return by_id[span.parent_id].name if span.parent_id else None
+
+        # Q3 runs inside the appraisal, which runs inside the attest round
+        for q3 in tracer.spans_named(SPAN_Q3):
+            assert parent_name(q3) == SPAN_APPRAISAL
+        for phase in (SPAN_APPRAISAL, SPAN_INTERPRETATION):
+            for span in tracer.spans_named(phase):
+                assert parent_name(span) == SPAN_ATTEST_ROUND
+        # the attest round is the AS-side continuation of leg Q2
+        for attest_round in tracer.spans_named(SPAN_ATTEST_ROUND):
+            assert parent_name(attest_round) == SPAN_Q2
+        # the runtime attestation's Q2 descends from the customer's Q1
+        q1 = tracer.spans_named(SPAN_Q1)[0]
+        descendants = set()
+        frontier = [q1.span_id]
+        while frontier:
+            parent = frontier.pop()
+            for span in tracer.finished:
+                if span.parent_id == parent:
+                    descendants.add(span.name)
+                    frontier.append(span.span_id)
+        assert SPAN_Q2 in descendants
+
+    def test_same_seed_runs_export_identical_snapshots(self):
+        first = _attested_cloud(seed=13)
+        second = _attested_cloud(seed=13)
+        assert first.telemetry.snapshot_json() == second.telemetry.snapshot_json()
+        first_lines = list(export_jsonl_lines(first.telemetry, seed=13))
+        second_lines = list(export_jsonl_lines(second.telemetry, seed=13))
+        assert first_lines == second_lines
+
+    def test_different_seeds_differ(self):
+        first = _attested_cloud(seed=13)
+        second = _attested_cloud(seed=14)
+        assert first.telemetry.snapshot_json() != second.telemetry.snapshot_json()
+
+    def test_quote_counters_cover_all_three_legs(self):
+        cloud = _attested_cloud(seed=11)
+        quotes = cloud.telemetry.metrics.counter("protocol.quotes")
+        assert quotes.value(kind="q1") > 0
+        assert quotes.value(kind="q2") > 0
+        assert quotes.value(kind="q3") > 0
+
+    def test_trace_key_never_enters_signed_payloads(self):
+        # the reserved context key rides outside every signature: an
+        # attested run with telemetry on passes all signature, nonce and
+        # quote checks (they raise on any mismatch), so embedding
+        # KEY_TRACE into the protocol messages cannot have reached the
+        # signed payloads
+        assert KEY_TRACE == "_trace"
+        cloud = _attested_cloud(seed=11)
+        audit = list(cloud.attestation_server.audit)
+        assert any(entry.payload.get("healthy") for entry in audit)
+
+    def test_disabled_cloud_records_nothing(self):
+        cloud = CloudMonatt(num_servers=1, seed=11)
+        customer = cloud.register_customer("alice")
+        customer.launch_vm(
+            "small", "ubuntu", properties=[SecurityProperty.STARTUP_INTEGRITY]
+        )
+        assert cloud.telemetry.enabled is False
+        assert cloud.telemetry.tracer.finished == []
+        assert cloud.telemetry.snapshot() == {}
+
+    def test_telemetry_does_not_change_simulated_results(self):
+        plain = CloudMonatt(num_servers=2, seed=17)
+        traced = CloudMonatt(num_servers=2, seed=17, telemetry_enabled=True)
+        results = []
+        for cloud in (plain, traced):
+            customer = cloud.register_customer("alice")
+            vm = customer.launch_vm(
+                "small", "ubuntu",
+                properties=[SecurityProperty.STARTUP_INTEGRITY],
+            )
+            results.append((vm.accepted, vm.stage_times_ms, cloud.now))
+        assert results[0] == results[1]
