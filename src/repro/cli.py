@@ -10,21 +10,51 @@ Commands:
 - ``leak-analysis`` — the key-leak trust-dependency matrix;
 - ``export-proverif [PATH]`` — write the ProVerif cross-check model;
 - ``launch-matrix`` — the Fig. 9 launch-stage breakdown;
-- ``telemetry`` — run the demo workload with tracing on and print the
-  per-span latency summary.
+- ``telemetry [TRACE]`` — run the demo workload with tracing on (or
+  summarize an existing JSONL trace) and print the per-span latency
+  summary;
+- ``health TRACE`` — the fleet health scoreboard of a recorded run;
+- ``alerts TRACE`` — the alert log of a recorded run;
+- ``trace TRACE`` — query the span store of a recorded run (filters,
+  per-leg percentiles, waterfall rendering).
 
-Every command accepts ``--telemetry-out PATH``: the run executes with
-the observability hub enabled and exports a JSONL trace (spans +
-metrics, stamped with the run's seed) when it finishes.
+Every simulating command accepts ``--telemetry-out PATH``: the run
+executes with the observability hub (and its observatory consumer
+layer) enabled and exports a JSONL trace — spans, metrics, events,
+alerts, scoreboard, SLO report, stamped with the run's seed — when it
+finishes. ``--telemetry-format prometheus`` writes the final metrics
+in the Prometheus text exposition format instead. The ``--slo-*``
+flags set the per-leg latency targets the alert engine enforces.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import CloudMonatt, SecurityProperty
 from repro.controller.response import ResponseAction
+
+
+def _slo_targets(args: argparse.Namespace):
+    """The per-leg SLO override dict from the --slo-* flags, if any."""
+    from repro.telemetry import DEFAULT_SLO_TARGETS
+    from repro.telemetry.tracer import SPAN_APPRAISAL, SPAN_Q1, SPAN_Q2, SPAN_Q3
+
+    overrides = {
+        SPAN_Q1: getattr(args, "slo_q1", None),
+        SPAN_Q2: getattr(args, "slo_q2", None),
+        SPAN_Q3: getattr(args, "slo_q3", None),
+        SPAN_APPRAISAL: getattr(args, "slo_appraisal", None),
+    }
+    if all(value is None for value in overrides.values()):
+        return None
+    targets = dict(DEFAULT_SLO_TARGETS)
+    for leg, value in overrides.items():
+        if value is not None:
+            targets[leg] = float(value)
+    return targets
 
 
 def _make_cloud(args: argparse.Namespace, **kwargs) -> CloudMonatt:
@@ -32,26 +62,46 @@ def _make_cloud(args: argparse.Namespace, **kwargs) -> CloudMonatt:
     kwargs.setdefault("seed", args.seed)
     if getattr(args, "telemetry_out", None) or getattr(args, "_telemetry", False):
         kwargs.setdefault("telemetry_enabled", True)
+        kwargs.setdefault("slo_targets", _slo_targets(args))
     return CloudMonatt(**kwargs)
 
 
 def _export_telemetry(
     args: argparse.Namespace, cloud: CloudMonatt, append: bool = False
 ) -> None:
-    """Write the run's JSONL trace if --telemetry-out was given."""
+    """Write the run's trace if --telemetry-out was given."""
     path = getattr(args, "telemetry_out", None)
     if not path or not cloud.telemetry.enabled:
         return
-    from repro.telemetry import write_jsonl
+    from repro.telemetry import write_jsonl, write_prometheus
 
+    fmt = getattr(args, "telemetry_format", "jsonl")
     try:
-        write_jsonl(cloud.telemetry, path, seed=args.seed, append=append)
+        if fmt == "prometheus":
+            # snapshot semantics: the last run's final metrics win
+            write_prometheus(cloud.telemetry, path)
+        else:
+            write_jsonl(cloud.telemetry, path, seed=args.seed, append=append)
     except OSError as exc:
         print(f"error: cannot write telemetry trace to {path}: {exc}",
               file=sys.stderr)
         raise SystemExit(2)
     if not append:
         print(f"telemetry trace written to {path}")
+
+
+def _load_trace(path: str) -> list[dict]:
+    """Read a JSONL trace, exiting cleanly on unreadable/malformed input."""
+    from repro.telemetry import TraceFormatError, read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _print_report(label: str, result) -> None:
@@ -227,9 +277,20 @@ def cmd_launch_matrix(args: argparse.Namespace) -> int:
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
-    """Run the demo workload with tracing on; print the span summary."""
+    """Run the demo workload with tracing on; print the span summary.
+
+    With a TRACE argument, summarize that recorded artifact instead of
+    running a fresh simulation.
+    """
     from repro.telemetry import console_summary
 
+    if args.trace:
+        from repro.telemetry.observatory import TraceStore
+
+        records = _load_trace(args.trace)
+        store = TraceStore.from_records(records)
+        print(store.render_leg_table(title=f"trace summary ({args.trace})"))
+        return 0
     args._telemetry = True
     cloud = _make_cloud(args, num_servers=3)
     alice = cloud.register_customer("alice")
@@ -249,6 +310,94 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Render the fleet health scoreboard of a recorded run."""
+    from repro.telemetry import (
+        render_scoreboard,
+        scoreboard_from_records,
+        slo_report_from_records,
+    )
+
+    records = _load_trace(args.trace)
+    snapshot = scoreboard_from_records(records)
+    if snapshot is None:
+        print(f"error: {args.trace} holds no scoreboard snapshot "
+              "(was the run recorded with the observatory enabled?)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+        return 0
+    print(render_scoreboard(snapshot))
+    report = slo_report_from_records(records)
+    if report:
+        print("\nSLO compliance (per protocol leg):")
+        for leg, stats in sorted(report.items()):
+            if stats["compliance"] is None:
+                line = "no observations"
+            else:
+                line = (f"{stats['compliance']:6.1%} within "
+                        f"{stats['target_ms']:.0f} ms "
+                        f"({stats['breached']}/{stats['observed']} breached)")
+            print(f"  {leg:24s} {line}")
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Print the alert log of a recorded run."""
+    from repro.telemetry import alerts_from_records
+
+    records = _load_trace(args.trace)
+    alerts = alerts_from_records(records)
+    if args.json:
+        for alert in alerts:
+            print(json.dumps(alert, sort_keys=True))
+    else:
+        for alert in alerts:
+            line = (f"[{alert['severity']:8s}] t={alert['time_ms']:10.1f} ms "
+                    f"{alert['rule']} ({alert['scope']}): {alert['message']}")
+            print(line)
+            action = alert.get("details", {}).get("response_action")
+            if action:
+                print(f"           -> response: {action}")
+        print(f"{len(alerts)} alert(s)")
+    if args.fail_on_alert and alerts:
+        return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Query the span store of a recorded run."""
+    from repro.telemetry.observatory import TraceStore, span_duration_ms
+
+    records = _load_trace(args.trace)
+    store = TraceStore.from_records(records)
+    if args.waterfall is not None:
+        rounds = store.rounds()
+        if not rounds:
+            print(f"error: {args.trace} holds no attestation rounds",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= args.waterfall < len(rounds):
+            print(f"error: round {args.waterfall} out of range "
+                  f"(trace holds {len(rounds)} round(s))", file=sys.stderr)
+            return 2
+        print(store.waterfall(rounds[args.waterfall]))
+        return 0
+    if args.vid or args.leg or args.min_ms is not None:
+        spans = store.spans(
+            name=args.leg, vid=args.vid, min_duration_ms=args.min_ms
+        )
+        for span in spans:
+            vid = span.get("attrs", {}).get("vid", "-")
+            print(f"{span['name']:32s} start {span['start_ms']:10.1f} ms  "
+                  f"{span_duration_ms(span):8.1f} ms  vid={vid}")
+        print(f"{len(spans)} span(s)")
+        return 0
+    print(store.render_leg_table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -257,8 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42,
                         help="simulation seed (default 42)")
     parser.add_argument("--telemetry-out", default=None, metavar="PATH",
-                        help="enable the telemetry hub and write a JSONL "
-                             "trace (spans + metrics) to PATH")
+                        help="enable the telemetry hub and write the run's "
+                             "trace (spans, metrics, events, alerts, "
+                             "scoreboard) to PATH")
+    parser.add_argument("--telemetry-format", default="jsonl",
+                        choices=["jsonl", "prometheus"],
+                        help="trace output format: jsonl (full trace) or "
+                             "prometheus (text exposition of final metrics)")
+    parser.add_argument("--slo-q1", type=float, default=None, metavar="MS",
+                        help="latency SLO target for protocol leg Q1 (ms)")
+    parser.add_argument("--slo-q2", type=float, default=None, metavar="MS",
+                        help="latency SLO target for protocol leg Q2 (ms)")
+    parser.add_argument("--slo-q3", type=float, default=None, metavar="MS",
+                        help="latency SLO target for protocol leg Q3 (ms)")
+    parser.add_argument("--slo-appraisal", type=float, default=None,
+                        metavar="MS",
+                        help="latency SLO target for report appraisal (ms)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="launch and attest a monitored VM"
@@ -292,9 +455,45 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Fig. 9 launch-stage breakdown"
                         ).set_defaults(func=cmd_launch_matrix)
 
-    commands.add_parser("telemetry",
-                        help="traced demo run with a span latency summary"
-                        ).set_defaults(func=cmd_telemetry)
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="traced demo run (or summary of a recorded trace)")
+    telemetry.add_argument("trace", nargs="?", default=None, metavar="TRACE",
+                           help="summarize this JSONL trace instead of "
+                                "running the demo")
+    telemetry.set_defaults(func=cmd_telemetry)
+
+    health = commands.add_parser(
+        "health", help="fleet health scoreboard of a recorded run")
+    health.add_argument("trace", metavar="TRACE",
+                        help="JSONL trace written with --telemetry-out")
+    health.add_argument("--json", action="store_true",
+                        help="print the raw snapshot as JSON")
+    health.set_defaults(func=cmd_health)
+
+    alerts = commands.add_parser(
+        "alerts", help="alert log of a recorded run")
+    alerts.add_argument("trace", metavar="TRACE",
+                        help="JSONL trace written with --telemetry-out")
+    alerts.add_argument("--json", action="store_true",
+                        help="print one JSON object per alert")
+    alerts.add_argument("--fail-on-alert", action="store_true",
+                        help="exit 1 if the trace holds any alerts")
+    alerts.set_defaults(func=cmd_alerts)
+
+    trace = commands.add_parser(
+        "trace", help="query the span store of a recorded run")
+    trace.add_argument("trace", metavar="TRACE",
+                       help="JSONL trace written with --telemetry-out")
+    trace.add_argument("--vid", default=None,
+                       help="only spans attributed to this VM")
+    trace.add_argument("--leg", default=None, metavar="NAME",
+                       help="only spans with this name (e.g. protocol.q2)")
+    trace.add_argument("--min-ms", type=float, default=None, metavar="MS",
+                       help="only spans at least this long")
+    trace.add_argument("--waterfall", type=int, default=None, metavar="N",
+                       help="render attestation round N as a text waterfall")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -31,7 +31,7 @@ from repro.monitors.integrity_unit import SoftwareInventory
 from repro.network.network import Network
 from repro.server.node import CloudServer
 from repro.sim.engine import Engine
-from repro.telemetry import Telemetry
+from repro.telemetry import Observatory, Telemetry
 
 DEFAULT_KEY_BITS = 512
 """Default modulus size for the simulation. Small keys keep large
@@ -54,6 +54,9 @@ class CloudMonatt:
         rack_size: int = 4,
         telemetry_enabled: bool = False,
         telemetry: Optional[Telemetry] = None,
+        observatory_enabled: Optional[bool] = None,
+        slo_targets: Optional[dict[str, float]] = None,
+        alert_streak_threshold: int = 3,
     ):
         if num_servers < 1:
             raise StateError("a cloud needs at least one server")
@@ -72,6 +75,22 @@ class CloudMonatt:
             )
         self.telemetry = telemetry
         self.telemetry.attach_engine(self.engine)
+        #: consumer layer over the hub (alert engine, fleet scoreboard,
+        #: trace store); on by default whenever telemetry is enabled,
+        #: and attached before any entity exists so setup spans land in
+        #: the trace store too
+        if observatory_enabled is None:
+            observatory_enabled = self.telemetry.enabled
+        self.observatory: Optional[Observatory] = None
+        if observatory_enabled and self.telemetry.observatory is None:
+            self.observatory = Observatory(
+                clock=lambda: self.engine.now,
+                slo_targets=slo_targets,
+                streak_threshold=alert_streak_threshold,
+            )
+            self.telemetry.attach_observatory(self.observatory)
+        else:
+            self.observatory = self.telemetry.observatory
 
         self.network = Network(
             self.engine, self.rng.child("network"), latency_ms=network_latency_ms
@@ -121,6 +140,12 @@ class CloudMonatt:
         )
         self.topology = DataCenterTopology(rack_size=rack_size)
         self.controller.response.topology = self.topology
+        if self.observatory is not None:
+            # alert-driven remediation is wired but dormant: enable it
+            # with cloud.observatory.alerts.auto_respond = True (or
+            # bind_responder(..., auto_respond=True)) so it never races
+            # the controller's per-attestation auto-response silently
+            self.observatory.bind_responder(self.controller.response)
         for attestation_server in self.attestation_servers:
             self.controller.attest_service.set_attestation_server_key(
                 attestation_server.endpoint.public_key,

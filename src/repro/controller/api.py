@@ -574,6 +574,12 @@ class CloudController:
             # collection failed outright — surface as an unhealthy push
             from repro.properties.report import PropertyReport
 
+            self.telemetry.observe_event(
+                "collection_failure",
+                vid=str(subscription.vid),
+                property=subscription.prop.value,
+                error=str(exc),
+            )
             outcome_report = PropertyReport(
                 prop=subscription.prop,
                 healthy=False,
@@ -622,10 +628,12 @@ class CloudController:
         }
         try:
             self.endpoint.call(subscription.customer, push)
-        except CloudMonattError:
+        except CloudMonattError as exc:
             # the customer endpoint being unreachable must not kill the
             # periodic loop; results keep accumulating in the AS log
-            pass
+            self.telemetry.observe_event(
+                "unreachable", endpoint=subscription.customer, detail=str(exc)
+            )
 
     def _handle_stop_periodic(self, peer: str, body: dict) -> dict:
         msg.require_fields(body, msg.KEY_VID, msg.KEY_PROPERTY)

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import ProtocolError, ReplayError
+from repro.common.errors import (
+    NetworkError,
+    ProtocolError,
+    ReplayError,
+    SignatureError,
+)
 from repro.common.identifiers import VmId
 from repro.controller.database import NovaDatabase
 from repro.crypto.drbg import HmacDrbg
@@ -29,6 +34,15 @@ from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q2
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q2, Telemetry
+
+
+def _verification_failure_kind(exc: Exception) -> str:
+    """Classify a report-validation failure for the observatory."""
+    if isinstance(exc, ReplayError):
+        return "nonce"
+    if isinstance(exc, SignatureError):
+        return "signature"
+    return "quote"
 
 
 @dataclass(frozen=True)
@@ -111,13 +125,38 @@ class AttestService:
             context = self.telemetry.context()
             if context is not None:
                 request[KEY_TRACE] = context
-            response = self._endpoint.call(as_name, request)
-            report = self._validate(vid, prop, bytes(nonce), response, as_name)
+            try:
+                response = self._endpoint.call(as_name, request)
+            except NetworkError as exc:
+                self.telemetry.observe_event(
+                    "unreachable", endpoint=as_name, detail=str(exc)
+                )
+                raise
+            try:
+                report = self._validate(vid, prop, bytes(nonce), response, as_name)
+            except (ProtocolError, ReplayError, SignatureError) as exc:
+                self.telemetry.observe_event(
+                    "verification_failure",
+                    kind=_verification_failure_kind(exc),
+                    vid=str(vid),
+                    property=prop.value,
+                    detail=str(exc),
+                )
+                raise
         attest_ms = self.cost.engine.now - started
         if self.telemetry.enabled:
             self.telemetry.histogram("controller.attest_ms").observe(
                 attest_ms, property=prop.value
             )
+        self.telemetry.observe_event(
+            "attestation",
+            vid=str(vid),
+            server=str(record.server),
+            property=prop.value,
+            healthy=report.healthy,
+            attest_ms=attest_ms,
+            explanation=report.explanation,
+        )
         return AttestationOutcome(
             report=report,
             attest_ms=attest_ms,

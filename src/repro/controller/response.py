@@ -125,6 +125,13 @@ class ResponseModule:
             self.telemetry.histogram("controller.reaction_ms").observe(
                 reaction_ms, action=action.value
             )
+        self.telemetry.observe_event(
+            "response",
+            vid=str(vid),
+            action=action.value,
+            reaction_ms=reaction_ms,
+            new_server=str(new_server or ""),
+        )
         return ResponseOutcome(
             action=action,
             reaction_ms=reaction_ms,

@@ -51,13 +51,29 @@ from repro.telemetry.tracer import (
 )
 from repro.telemetry.exporters import (
     SUMMARY_HEADERS,
+    TraceFormatError,
+    alerts_from_records,
     console_summary,
+    events_from_records,
     export_jsonl_lines,
     metrics_from_records,
     read_jsonl,
+    scoreboard_from_records,
+    slo_report_from_records,
     spans_from_records,
     summary_rows,
+    to_prometheus_text,
     write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.observatory import (
+    DEFAULT_SLO_TARGETS,
+    Alert,
+    AlertEngine,
+    HealthScoreboard,
+    Observatory,
+    TraceStore,
+    render_scoreboard,
 )
 
 __all__ = [
@@ -93,4 +109,18 @@ __all__ = [
     "summary_rows",
     "write_jsonl",
     "SUMMARY_HEADERS",
+    "TraceFormatError",
+    "alerts_from_records",
+    "events_from_records",
+    "scoreboard_from_records",
+    "slo_report_from_records",
+    "to_prometheus_text",
+    "write_prometheus",
+    "Alert",
+    "AlertEngine",
+    "DEFAULT_SLO_TARGETS",
+    "HealthScoreboard",
+    "Observatory",
+    "TraceStore",
+    "render_scoreboard",
 ]

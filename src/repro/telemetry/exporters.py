@@ -1,4 +1,4 @@
-"""Telemetry exporters: JSONL event log and console summary table.
+"""Telemetry exporters: JSONL event log, console summary, Prometheus.
 
 The JSONL format is line-delimited JSON with a ``type`` discriminator:
 
@@ -7,11 +7,26 @@ The JSONL format is line-delimited JSON with a ``type`` discriminator:
 - ``{"type": "span", ...}`` — one line per finished span, in
   completion order, with simulated start/end times and attributes;
 - ``{"type": "metrics", "snapshot": {...}}`` — the final metric
-  snapshot.
+  snapshot;
+
+and, when the run had an observatory attached (the default for
+telemetry-enabled clouds):
+
+- ``{"type": "event", ...}`` — one line per producer event
+  (attestations, verification failures, responses, unreachability);
+- ``{"type": "alert", ...}`` — one line per emitted alert, in
+  emission order;
+- ``{"type": "scoreboard", "snapshot": {...}}`` — the final fleet
+  health snapshot;
+- ``{"type": "slo", "report": {...}}`` — the per-leg SLO compliance
+  report.
 
 Nothing wall-clock-derived is written, so two same-seed runs produce
 byte-identical files — :func:`read_jsonl` round-trips them for the
-regression tests and offline analysis.
+regression tests, the ``health`` / ``alerts`` / ``trace`` CLI
+subcommands, and offline analysis. :func:`to_prometheus_text` renders
+a metrics registry in the Prometheus text exposition format for
+scrape-style integration.
 """
 
 from __future__ import annotations
@@ -19,7 +34,13 @@ from __future__ import annotations
 import json
 from typing import IO, Iterable, Optional
 
+from repro.common.errors import CloudMonattError
 from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TraceFormatError(CloudMonattError):
+    """A JSONL trace file contained a malformed line."""
 
 
 def _dumps(record: dict) -> str:
@@ -40,6 +61,16 @@ def export_jsonl_lines(
     for span in telemetry.tracer.finished:
         yield _dumps({"type": "span", **span.to_dict()})
     yield _dumps({"type": "metrics", "snapshot": telemetry.snapshot()})
+    observatory = telemetry.observatory
+    if observatory is not None:
+        for event in observatory.event_records():
+            yield _dumps({"type": "event", **event})
+        for alert in observatory.alert_records():
+            yield _dumps({"type": "alert", **alert})
+        yield _dumps(
+            {"type": "scoreboard", "snapshot": observatory.health_snapshot()}
+        )
+        yield _dumps({"type": "slo", "report": observatory.slo_report()})
 
 
 def write_jsonl(
@@ -68,11 +99,36 @@ def write_jsonl(
 
 
 def read_jsonl(source: "str | IO[str]") -> list[dict]:
-    """Parse a JSONL trace back into records (inverse of the writer)."""
+    """Parse a JSONL trace back into records (inverse of the writer).
+
+    Raises :class:`TraceFormatError` naming the offending line when a
+    line is not valid JSON or is not a JSON object — the CLI turns that
+    into a clean non-zero exit instead of a traceback.
+    """
     if hasattr(source, "read"):
-        return [json.loads(line) for line in source.read().splitlines() if line]
-    with open(source, encoding="utf-8") as handle:
-        return [json.loads(line) for line in handle.read().splitlines() if line]
+        text = source.read()
+        origin = "<stream>"
+    else:
+        origin = str(source)
+        with open(source, encoding="utf-8") as handle:
+            text = handle.read()
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{origin}:{lineno}: malformed JSONL line: {exc.msg}"
+            )
+        if not isinstance(record, dict):
+            raise TraceFormatError(
+                f"{origin}:{lineno}: expected a JSON object, "
+                f"got {type(record).__name__}"
+            )
+        records.append(record)
+    return records
 
 
 def spans_from_records(records: list[dict]) -> list[dict]:
@@ -86,6 +142,32 @@ def metrics_from_records(records: list[dict]) -> dict:
         if record.get("type") == "metrics":
             return record["snapshot"]
     return {}
+
+
+def alerts_from_records(records: list[dict]) -> list[dict]:
+    """The alert records of a parsed trace, in emission order."""
+    return [record for record in records if record.get("type") == "alert"]
+
+
+def events_from_records(records: list[dict]) -> list[dict]:
+    """The observatory event records of a parsed trace."""
+    return [record for record in records if record.get("type") == "event"]
+
+
+def scoreboard_from_records(records: list[dict]) -> Optional[dict]:
+    """The final fleet scoreboard snapshot, or None if absent."""
+    for record in reversed(records):
+        if record.get("type") == "scoreboard":
+            return record["snapshot"]
+    return None
+
+
+def slo_report_from_records(records: list[dict]) -> Optional[dict]:
+    """The per-leg SLO compliance report, or None if absent."""
+    for record in reversed(records):
+        if record.get("type") == "slo":
+            return record["report"]
+    return None
 
 
 def summary_rows(telemetry: Telemetry) -> list[list[str]]:
@@ -122,3 +204,110 @@ def console_summary(telemetry: Telemetry, title: str = "Telemetry summary") -> s
     for row in rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+
+def _prom_metric_name(name: str) -> str:
+    """Map a dotted metric name to the Prometheus name charset."""
+    sanitized = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+        for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: tuple, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    """Render a label key (+ extras like ``le``) as ``{k="v",...}``."""
+    pairs = [
+        f'{_prom_metric_name(key)}="{_prom_escape_label(str(value))}"'
+        for key, value in (*labels, *extra)
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _prom_value(value: float) -> str:
+    """Canonical number rendering (integers without a trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket`` lines (inclusive upper bounds, closing with
+    ``le="+Inf"``) plus ``_sum`` and ``_count``. Output ordering is the
+    registry's sorted-name, sorted-label ordering, so same-seed runs
+    render byte-identical text.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry.instrument(name)
+        prom_name = _prom_metric_name(name)
+        if isinstance(instrument, Counter):
+            prom_name += "_total"
+            lines.append(f"# TYPE {prom_name} counter")
+            for labels, value in instrument.series():
+                lines.append(
+                    f"{prom_name}{_prom_labels(labels)} {_prom_value(value)}"
+                )
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {prom_name} gauge")
+            for labels, value in instrument.series():
+                lines.append(
+                    f"{prom_name}{_prom_labels(labels)} {_prom_value(value)}"
+                )
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {prom_name} histogram")
+            for labels, series in instrument.series():
+                cumulative = 0
+                for edge, count in zip(
+                    instrument.buckets, series.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f"{prom_name}_bucket"
+                        f"{_prom_labels(labels, (('le', _prom_value(edge)),))}"
+                        f" {cumulative}"
+                    )
+                cumulative += series.bucket_counts[-1]
+                lines.append(
+                    f"{prom_name}_bucket"
+                    f"{_prom_labels(labels, (('le', '+Inf'),))} {cumulative}"
+                )
+                lines.append(
+                    f"{prom_name}_sum{_prom_labels(labels)} "
+                    f"{_prom_value(series.sum)}"
+                )
+                lines.append(
+                    f"{prom_name}_count{_prom_labels(labels)} "
+                    f"{len(series.values)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    telemetry: Telemetry, destination: "str | IO[str]"
+) -> None:
+    """Write the hub's final metrics in Prometheus text format."""
+    telemetry.sample_engine()
+    text = to_prometheus_text(telemetry.metrics)
+    if hasattr(destination, "write"):
+        destination.write(text)
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -65,6 +65,9 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock, enabled=enabled)
         self._engine = None
+        #: consumer layer (alerting, scoreboard, trace store); attached
+        #: via :meth:`attach_observatory`, ``None`` on bare hubs
+        self.observatory = None
 
     # ------------------------------------------------------------------
     # instrument access (null instruments when disabled)
@@ -97,6 +100,26 @@ class Telemetry:
     def context(self) -> Optional[dict]:
         """Current span context for protocol-message propagation."""
         return self.tracer.context()
+
+    # ------------------------------------------------------------------
+    # observatory (consumer layer)
+    # ------------------------------------------------------------------
+
+    def attach_observatory(self, observatory) -> None:
+        """Bind the consumer layer: events route to it, spans feed it."""
+        self.observatory = observatory
+        self.tracer.add_listener(observatory.ingest_span)
+
+    def observe_event(self, kind: str, **fields: object) -> None:
+        """Publish one producer event to the observatory, if attached.
+
+        This is the producers' single consumer-facing hook: a plain
+        ``None`` check when nothing consumes the stream, so publishing
+        never perturbs an un-observed run.
+        """
+        observatory = self.observatory
+        if observatory is not None:
+            observatory.record(kind, self.clock(), fields)
 
     # ------------------------------------------------------------------
     # engine sampling

@@ -69,6 +69,10 @@ class Counter:
         """Sum across all label sets."""
         return sum(self._values.values())
 
+    def series(self) -> list[tuple[_LabelKey, float]]:
+        """Sorted (label key, value) pairs — exporter iteration."""
+        return sorted(self._values.items())
+
     def snapshot(self) -> dict:
         return {
             "type": "counter",
@@ -92,6 +96,10 @@ class Gauge:
     def value(self, **labels: object) -> float:
         """Last written value (0 if never set)."""
         return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[tuple[_LabelKey, float]]:
+        """Sorted (label key, value) pairs — exporter iteration."""
+        return sorted(self._values.items())
 
     def snapshot(self) -> dict:
         return {
@@ -173,6 +181,10 @@ class Histogram:
         rank = min(int(q * len(series.values)), len(series.values) - 1)
         return series.values[rank]
 
+    def series(self) -> list[tuple[_LabelKey, _HistogramSeries]]:
+        """Sorted (label key, series state) pairs — exporter iteration."""
+        return sorted(self._series.items())
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -233,6 +245,10 @@ class MetricsRegistry:
     def names(self) -> Iterable[str]:
         """Registered metric names, sorted."""
         return sorted(self._instruments)
+
+    def instrument(self, name: str) -> "Counter | Gauge | Histogram":
+        """The registered instrument with this name (KeyError if none)."""
+        return self._instruments[name]
 
     def snapshot(self) -> dict:
         """All metrics as a deterministic, JSON-encodable dict."""

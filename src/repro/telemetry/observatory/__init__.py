@@ -1,0 +1,59 @@
+"""Security Health Observatory: the telemetry hub's consumer layer.
+
+See :mod:`repro.telemetry.observatory.core` for the architecture
+overview (alert engine, fleet scoreboard, trace store) and
+DESIGN.md §3 for the producer/consumer split.
+"""
+
+from repro.telemetry.observatory.alerts import (
+    DEFAULT_SLO_TARGETS,
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    FailureStreakRule,
+    LatencySloRule,
+    UnreachableRule,
+    VerificationSpikeRule,
+    default_rules,
+)
+from repro.telemetry.observatory.core import (
+    EVENT_ATTESTATION,
+    EVENT_COLLECTION_FAILURE,
+    EVENT_RESPONSE,
+    EVENT_UNREACHABLE,
+    EVENT_VERIFICATION_FAILURE,
+    Observatory,
+    ObservatoryEvent,
+)
+from repro.telemetry.observatory.scoreboard import (
+    HealthScoreboard,
+    render_scoreboard,
+)
+from repro.telemetry.observatory.tracestore import TraceStore, span_duration_ms
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "DEFAULT_SLO_TARGETS",
+    "EVENT_ATTESTATION",
+    "EVENT_COLLECTION_FAILURE",
+    "EVENT_RESPONSE",
+    "EVENT_UNREACHABLE",
+    "EVENT_VERIFICATION_FAILURE",
+    "FailureStreakRule",
+    "HealthScoreboard",
+    "LatencySloRule",
+    "Observatory",
+    "ObservatoryEvent",
+    "SEVERITY_CRITICAL",
+    "SEVERITY_WARNING",
+    "TraceStore",
+    "UnreachableRule",
+    "VerificationSpikeRule",
+    "default_rules",
+    "render_scoreboard",
+    "span_duration_ms",
+]

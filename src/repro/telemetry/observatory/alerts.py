@@ -1,0 +1,387 @@
+"""Declarative alerting over the observatory event stream.
+
+The :class:`AlertEngine` evaluates a fixed rule set against the events
+and finished spans the producers publish (see
+:mod:`repro.telemetry.observatory.core`). Every timestamp is the
+discrete-event engine's clock and every alert carries a monotonically
+increasing sequence number, so two same-seed runs emit byte-identical
+alert logs.
+
+Rules mirror the paper's operational concerns:
+
+- :class:`FailureStreakRule` — N consecutive failed attestations of one
+  (VM, property) pair. This is the rule that can close the loop into
+  ``nova response`` (Fig. 11): with a responder bound and
+  ``auto_respond`` on, the streak alert invokes the configured
+  :class:`~repro.controller.response.ResponseAction`.
+- :class:`LatencySloRule` — a protocol leg (Q1/Q2/Q3, appraisal)
+  exceeded its simulated-latency SLO target.
+- :class:`VerificationSpikeRule` — nonce/quote/signature verification
+  failures clustered inside a sliding window (an active attacker or a
+  desynchronized component, not a one-off glitch).
+- :class:`UnreachableRule` — an endpoint could not be reached.
+
+Duplicate suppression is engine-level: one alert per (rule, scope)
+while the condition stays active; rules call :meth:`AlertEngine.clear`
+when their condition resets (e.g. a healthy attestation ends a streak),
+re-arming the scope.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.telemetry.tracer import (
+    SPAN_APPRAISAL,
+    SPAN_Q1,
+    SPAN_Q2,
+    SPAN_Q3,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.observatory.core import ObservatoryEvent
+
+#: Default per-leg latency SLO targets in simulated ms — generous
+#: enough that a healthy default-cost run stays green; override via
+#: CloudMonatt(slo_targets=...) or the CLI ``--slo-*`` flags.
+DEFAULT_SLO_TARGETS: dict[str, float] = {
+    SPAN_Q1: 3000.0,
+    SPAN_Q2: 2500.0,
+    SPAN_Q3: 2000.0,
+    SPAN_APPRAISAL: 2500.0,
+}
+
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured alert record."""
+
+    seq: int
+    time_ms: float
+    rule: str
+    severity: str
+    scope: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-encodable form with deterministic key order."""
+        return {
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "rule": self.rule,
+            "severity": self.severity,
+            "scope": self.scope,
+            "message": self.message,
+            "details": {k: self.details[k] for k in sorted(self.details)},
+        }
+
+
+class AlertRule:
+    """Base rule: subscribes to events and/or finished spans."""
+
+    name = "rule"
+    severity = SEVERITY_WARNING
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        pass
+
+    def on_span(self, engine: "AlertEngine", span: dict) -> None:
+        pass
+
+
+class FailureStreakRule(AlertRule):
+    """N consecutive failed attestations of one (VM, property)."""
+
+    name = "attestation_failure_streak"
+    severity = SEVERITY_CRITICAL
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("streak threshold must be >= 1")
+        self.threshold = threshold
+        self._streaks: dict[tuple[str, str], int] = {}
+
+    def streak(self, vid: str, prop: str) -> int:
+        """Current consecutive-failure count for one (VM, property)."""
+        return self._streaks.get((vid, prop), 0)
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "attestation":
+            return
+        vid = str(event.fields.get("vid", ""))
+        prop = str(event.fields.get("property", ""))
+        key = (vid, prop)
+        scope = f"{vid}/{prop}"
+        if event.fields.get("healthy"):
+            # a healthy round ends the streak and re-arms the scope
+            self._streaks[key] = 0
+            engine.clear(self, scope)
+            return
+        self._streaks[key] = self._streaks.get(key, 0) + 1
+        if self._streaks[key] >= self.threshold:
+            engine.fire(
+                self,
+                scope=scope,
+                message=(
+                    f"{self._streaks[key]} consecutive failed attestations "
+                    f"of {prop} for {vid}"
+                ),
+                vid=vid,
+                property=prop,
+                server=str(event.fields.get("server", "")),
+                streak=self._streaks[key],
+                explanation=str(event.fields.get("explanation", "")),
+            )
+
+
+class LatencySloRule(AlertRule):
+    """A protocol leg exceeded its simulated-latency SLO target."""
+
+    name = "latency_slo_breach"
+    severity = SEVERITY_WARNING
+
+    def __init__(self, targets: Optional[dict[str, float]] = None):
+        self.targets = dict(DEFAULT_SLO_TARGETS if targets is None else targets)
+        #: per-leg observation/breach counts (zero-observation legs stay
+        #: at (0, 0) and never fire)
+        self._observed: dict[str, int] = {leg: 0 for leg in self.targets}
+        self._breached: dict[str, int] = {leg: 0 for leg in self.targets}
+
+    def on_span(self, engine: "AlertEngine", span: dict) -> None:
+        target = self.targets.get(span["name"])
+        if target is None or span.get("end_ms") is None:
+            return
+        leg = span["name"]
+        duration = span["end_ms"] - span["start_ms"]
+        self._observed[leg] += 1
+        if duration <= target:
+            return
+        self._breached[leg] += 1
+        vid = str(span.get("attrs", {}).get("vid", ""))
+        engine.fire(
+            self,
+            scope=f"{leg}/{vid}" if vid else leg,
+            message=(
+                f"{leg} took {duration:.1f} ms against a "
+                f"{target:.1f} ms SLO target"
+            ),
+            leg=leg,
+            vid=vid,
+            duration_ms=duration,
+            target_ms=target,
+        )
+
+    def report(self) -> dict[str, dict]:
+        """Per-leg SLO compliance: observations, breaches, target.
+
+        Legs with zero observations report ``compliance: None`` rather
+        than dividing by zero.
+        """
+        result: dict[str, dict] = {}
+        for leg in sorted(self.targets):
+            observed = self._observed[leg]
+            breached = self._breached[leg]
+            result[leg] = {
+                "target_ms": self.targets[leg],
+                "observed": observed,
+                "breached": breached,
+                "compliance": (
+                    None if observed == 0 else (observed - breached) / observed
+                ),
+            }
+        return result
+
+
+class VerificationSpikeRule(AlertRule):
+    """Nonce/quote/signature failures clustered in a sliding window."""
+
+    name = "verification_failure_spike"
+    severity = SEVERITY_CRITICAL
+
+    def __init__(self, threshold: int = 3, window_ms: float = 60_000.0):
+        self.threshold = threshold
+        self.window_ms = window_ms
+        self._recent: deque[float] = deque()
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "verification_failure":
+            return
+        self._recent.append(event.time_ms)
+        while self._recent and event.time_ms - self._recent[0] > self.window_ms:
+            self._recent.popleft()
+        if len(self._recent) >= self.threshold:
+            fired = engine.fire(
+                self,
+                scope="protocol",
+                message=(
+                    f"{len(self._recent)} verification failures within "
+                    f"{self.window_ms:.0f} ms"
+                ),
+                count=len(self._recent),
+                window_ms=self.window_ms,
+                last_kind=str(event.fields.get("kind", "")),
+                last_detail=str(event.fields.get("detail", "")),
+            )
+            if fired is not None:
+                # one alert per spike: restart the window so the scope
+                # re-arms only after a fresh cluster accumulates
+                self._recent.clear()
+                engine.clear(self, "protocol")
+
+
+class UnreachableRule(AlertRule):
+    """An endpoint (cloud server, AS, customer) could not be reached."""
+
+    name = "endpoint_unreachable"
+    severity = SEVERITY_CRITICAL
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "unreachable":
+            return
+        endpoint = str(event.fields.get("endpoint", ""))
+        engine.fire(
+            self,
+            scope=endpoint,
+            message=f"endpoint {endpoint} unreachable",
+            endpoint=endpoint,
+            detail=str(event.fields.get("detail", "")),
+        )
+
+
+def default_rules(
+    slo_targets: Optional[dict[str, float]] = None,
+    streak_threshold: int = 3,
+) -> list[AlertRule]:
+    """The standard rule set, with optional SLO target overrides."""
+    return [
+        FailureStreakRule(threshold=streak_threshold),
+        LatencySloRule(targets=slo_targets),
+        VerificationSpikeRule(),
+        UnreachableRule(),
+    ]
+
+
+class AlertEngine:
+    """Evaluates rules and owns the deterministic alert log.
+
+    ``responder`` is a :class:`~repro.controller.response.ResponseModule`
+    (or anything with its ``respond(vid, prop)`` signature). It stays
+    dormant until ``auto_respond`` is set, so alert-driven remediation
+    never races the controller's own per-attestation auto-response
+    unless an operator opted in.
+    """
+
+    #: rules whose alerts may trigger the responder
+    RESPONDING_RULES = frozenset({FailureStreakRule.name})
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        rules: Optional[Iterable[AlertRule]] = None,
+    ):
+        self.clock = clock
+        self.rules: list[AlertRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+        self.alerts: list[Alert] = []
+        self.responder = None
+        self.auto_respond = False
+        self._active: set[tuple[str, str]] = set()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def ingest_event(self, event: "ObservatoryEvent") -> None:
+        """Offer one observatory event to every rule."""
+        for rule in self.rules:
+            rule.on_event(self, event)
+
+    def ingest_span(self, span: dict) -> None:
+        """Offer one finished span (dict form) to every rule."""
+        for rule in self.rules:
+            rule.on_span(self, span)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+
+    def fire(
+        self, rule: AlertRule, scope: str, message: str, **details: object
+    ) -> Optional[Alert]:
+        """Emit an alert unless (rule, scope) is already active.
+
+        Returns the alert, or ``None`` when suppressed as a duplicate.
+        """
+        key = (rule.name, scope)
+        if key in self._active:
+            return None
+        self._active.add(key)
+        detail_dict = {k: v for k, v in details.items() if v != ""}
+        if (
+            self.auto_respond
+            and self.responder is not None
+            and rule.name in self.RESPONDING_RULES
+        ):
+            detail_dict.update(self._respond(detail_dict))
+        alert = Alert(
+            seq=self._seq,
+            time_ms=self.clock(),
+            rule=rule.name,
+            severity=rule.severity,
+            scope=scope,
+            message=message,
+            details=detail_dict,
+        )
+        self._seq += 1
+        self.alerts.append(alert)
+        return alert
+
+    def clear(self, rule: AlertRule, scope: str) -> None:
+        """Re-arm a (rule, scope): the alerting condition has reset."""
+        self._active.discard((rule.name, scope))
+
+    def _respond(self, details: dict) -> dict:
+        """Close the loop: run the configured remediation (Fig. 11)."""
+        from repro.common.errors import CloudMonattError
+        from repro.common.identifiers import VmId
+        from repro.properties.catalog import SecurityProperty
+
+        vid = details.get("vid")
+        prop = details.get("property")
+        if not vid or not prop:
+            return {}
+        try:
+            outcome = self.responder.respond(
+                VmId(str(vid)), SecurityProperty(str(prop))
+            )
+        except CloudMonattError as exc:
+            # e.g. migration found no target and fell back to terminate
+            return {"response_action": "failed", "response_error": str(exc)}
+        return {
+            "response_action": outcome.action.value,
+            "response_ms": outcome.reaction_ms,
+            "response_new_server": str(outcome.new_server or ""),
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def slo_report(self) -> dict[str, dict]:
+        """The latency-SLO compliance report, if an SLO rule is loaded."""
+        for rule in self.rules:
+            if isinstance(rule, LatencySloRule):
+                return rule.report()
+        return {}
+
+    def to_records(self) -> list[dict]:
+        """Alerts as JSON-encodable dicts, in emission order."""
+        return [alert.to_dict() for alert in self.alerts]

@@ -1,0 +1,158 @@
+"""The Observatory: the consumer side of the telemetry hub.
+
+PR 1's hub made every entity a *producer* (spans, counters,
+histograms); nothing consumed the stream, so an operator could not ask
+"which VMs are unhealthy, which protocol leg is slow, which alerts
+fired this run". The Observatory answers those questions:
+
+- :class:`~repro.telemetry.observatory.alerts.AlertEngine` —
+  declarative rules over the event stream, with optional loop-closure
+  into ``nova response``;
+- :class:`~repro.telemetry.observatory.scoreboard.HealthScoreboard` —
+  rolling per-VM / per-server health with trend direction;
+- :class:`~repro.telemetry.observatory.tracestore.TraceStore` —
+  span filtering, per-leg percentiles, waterfall rendering.
+
+Producers publish through :meth:`repro.telemetry.hub.Telemetry.
+observe_event` (a no-op unless an observatory is attached) and the
+tracer's finished-span listener, so the producer side never imports
+this package and an un-observed deployment pays one ``None`` check per
+event. All timestamps come from the discrete-event engine: same-seed
+runs yield byte-identical alert logs and scoreboard snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.telemetry.observatory.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_rules,
+)
+from repro.telemetry.observatory.scoreboard import HealthScoreboard
+from repro.telemetry.observatory.tracestore import TraceStore
+from repro.telemetry.tracer import SPAN_MEASURE
+
+#: event kinds the producers publish
+EVENT_ATTESTATION = "attestation"
+EVENT_VERIFICATION_FAILURE = "verification_failure"
+EVENT_UNREACHABLE = "unreachable"
+EVENT_RESPONSE = "response"
+EVENT_COLLECTION_FAILURE = "collection_failure"
+
+
+@dataclass(frozen=True)
+class ObservatoryEvent:
+    """One producer-published event on the simulated timeline."""
+
+    kind: str
+    time_ms: float
+    fields: dict
+
+    def to_dict(self) -> dict:
+        """JSON-encodable form with deterministic field order."""
+        return {
+            "kind": self.kind,
+            "time_ms": self.time_ms,
+            "fields": {k: self.fields[k] for k in sorted(self.fields)},
+        }
+
+
+class Observatory:
+    """Alerting + scoreboard + trace store over one telemetry hub."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        slo_targets: Optional[dict[str, float]] = None,
+        rules: Optional[Iterable[AlertRule]] = None,
+        streak_threshold: int = 3,
+    ):
+        self.clock = clock
+        self.alerts = AlertEngine(
+            clock,
+            rules=(
+                list(rules)
+                if rules is not None
+                else default_rules(slo_targets, streak_threshold=streak_threshold)
+            ),
+        )
+        self.scoreboard = HealthScoreboard()
+        self.traces = TraceStore()
+        #: every published event, in publication order
+        self.events: list[ObservatoryEvent] = []
+
+    # ------------------------------------------------------------------
+    # remediation loop-closure
+    # ------------------------------------------------------------------
+
+    def bind_responder(self, responder, auto_respond: bool = False) -> None:
+        """Attach ``nova response`` so streak alerts can remediate.
+
+        ``auto_respond`` stays off by default: the controller already
+        responds per failed attestation when its own ``auto_respond``
+        is set, and double remediation (e.g. terminating an already
+        terminated VM) must be an explicit operator choice.
+        """
+        self.alerts.responder = responder
+        self.alerts.auto_respond = auto_respond
+
+    # ------------------------------------------------------------------
+    # ingestion (hub-facing)
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, time_ms: float, fields: dict) -> None:
+        """Publish one event: log it, score it, evaluate alert rules."""
+        event = ObservatoryEvent(kind=kind, time_ms=time_ms, fields=dict(fields))
+        self.events.append(event)
+        if kind == EVENT_ATTESTATION:
+            self.scoreboard.record_attestation(
+                time_ms,
+                vid=str(fields.get("vid", "")),
+                server=str(fields.get("server", "")),
+                prop=str(fields.get("property", "")),
+                healthy=bool(fields.get("healthy")),
+            )
+        elif kind == EVENT_RESPONSE:
+            self.scoreboard.record_response(
+                time_ms,
+                vid=str(fields.get("vid", "")),
+                action=str(fields.get("action", "")),
+            )
+        elif kind == EVENT_UNREACHABLE:
+            self.scoreboard.record_unreachable(
+                time_ms, endpoint=str(fields.get("endpoint", ""))
+            )
+        self.alerts.ingest_event(event)
+
+    def ingest_span(self, span) -> None:
+        """Tracer listener: store the span and evaluate SLO rules."""
+        record = span.to_dict()
+        self.traces.add_record(record)
+        if span.name == SPAN_MEASURE:
+            self.scoreboard.record_monitor(
+                record["start_ms"], server=str(record["attrs"].get("server", ""))
+            )
+        self.alerts.ingest_span(record)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        """The fleet scoreboard snapshot (deterministic)."""
+        return self.scoreboard.snapshot()
+
+    def alert_records(self) -> list[dict]:
+        """The alert log as dicts, in emission order."""
+        return self.alerts.to_records()
+
+    def event_records(self) -> list[dict]:
+        """Every published event as dicts, in publication order."""
+        return [event.to_dict() for event in self.events]
+
+    def slo_report(self) -> dict[str, dict]:
+        """Per-leg SLO compliance from the loaded latency rule."""
+        return self.alerts.slo_report()

@@ -1,0 +1,197 @@
+"""Fleet health scoreboard: rolling per-VM / per-server health scores.
+
+Scores are exponentially decayed averages of attestation outcomes
+(healthy = 1, failed = 0), so one failure dents the score and a run of
+failures drives it toward zero; monitor activity and unreachability
+feed the per-server view. A short outcome history yields a trend
+direction (improving / degrading / steady), which is the "is it getting
+worse?" signal an operator reads before the score itself.
+
+Everything is driven by simulated-clock events, so the snapshot — and
+its canonical JSON form — is byte-identical across same-seed runs.
+Scores are rounded to 4 decimals at snapshot time purely for stable,
+readable output; internal state keeps full precision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: weight kept from the previous score on each new outcome
+DECAY = 0.7
+#: outcomes retained for the trend window
+TREND_WINDOW = 8
+#: score movement below this is reported as "steady"
+TREND_EPSILON = 0.05
+
+TREND_NO_DATA = "no-data"
+TREND_STEADY = "steady"
+TREND_IMPROVING = "improving"
+TREND_DEGRADING = "degrading"
+
+
+@dataclass
+class _EntityHealth:
+    """Rolling health state of one VM or server."""
+
+    score: float = 1.0
+    attestations: int = 0
+    failures: int = 0
+    responses: int = 0
+    unreachable: int = 0
+    monitor_readings: int = 0
+    last_event_ms: float = 0.0
+    last_property: str = ""
+    history: deque = field(default_factory=lambda: deque(maxlen=TREND_WINDOW))
+
+    def absorb(self, healthy: bool, time_ms: float) -> None:
+        outcome = 1.0 if healthy else 0.0
+        self.score = DECAY * self.score + (1.0 - DECAY) * outcome
+        self.attestations += 1
+        if not healthy:
+            self.failures += 1
+        self.history.append(outcome)
+        self.last_event_ms = time_ms
+
+    def trend(self) -> str:
+        """Direction of the recent outcome history."""
+        if len(self.history) < 2:
+            return TREND_NO_DATA
+        outcomes = list(self.history)
+        half = len(outcomes) // 2
+        older = sum(outcomes[:half]) / half
+        recent = sum(outcomes[half:]) / (len(outcomes) - half)
+        if recent - older > TREND_EPSILON:
+            return TREND_IMPROVING
+        if older - recent > TREND_EPSILON:
+            return TREND_DEGRADING
+        return TREND_STEADY
+
+    def to_dict(self) -> dict:
+        return {
+            "score": round(self.score, 4),
+            "trend": self.trend(),
+            "attestations": self.attestations,
+            "failures": self.failures,
+            "responses": self.responses,
+            "unreachable": self.unreachable,
+            "monitor_readings": self.monitor_readings,
+            "last_event_ms": self.last_event_ms,
+            "last_property": self.last_property,
+        }
+
+
+class HealthScoreboard:
+    """Per-VM and per-server rolling health, queryable as a snapshot."""
+
+    def __init__(self):
+        self._vms: dict[str, _EntityHealth] = {}
+        self._servers: dict[str, _EntityHealth] = {}
+
+    def _vm(self, vid: str) -> _EntityHealth:
+        entry = self._vms.get(vid)
+        if entry is None:
+            entry = self._vms[vid] = _EntityHealth()
+        return entry
+
+    def _server(self, server: str) -> _EntityHealth:
+        entry = self._servers.get(server)
+        if entry is None:
+            entry = self._servers[server] = _EntityHealth()
+        return entry
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def record_attestation(
+        self, time_ms: float, vid: str, server: str, prop: str, healthy: bool
+    ) -> None:
+        """Fold one attestation outcome into the VM and its host."""
+        entry = self._vm(vid)
+        entry.absorb(healthy, time_ms)
+        entry.last_property = prop
+        if server:
+            host = self._server(server)
+            host.absorb(healthy, time_ms)
+            host.last_property = prop
+
+    def record_response(self, time_ms: float, vid: str, action: str) -> None:
+        """Count an executed remediation against the VM."""
+        if action == "none":
+            return
+        entry = self._vm(vid)
+        entry.responses += 1
+        entry.last_event_ms = time_ms
+
+    def record_unreachable(self, time_ms: float, endpoint: str) -> None:
+        """An endpoint failed to answer: score it as a failed outcome."""
+        entry = self._server(endpoint)
+        entry.unreachable += 1
+        entry.absorb(False, time_ms)
+
+    def record_monitor(self, time_ms: float, server: str) -> None:
+        """Count one monitor measurement round against a server."""
+        entry = self._server(server)
+        entry.monitor_readings += 1
+        entry.last_event_ms = time_ms
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def vm_score(self, vid: str) -> float:
+        """Current rolling score of one VM (1.0 if never attested)."""
+        entry = self._vms.get(str(vid))
+        return entry.score if entry else 1.0
+
+    def server_score(self, server: str) -> float:
+        """Current rolling score of one server (1.0 if no history)."""
+        entry = self._servers.get(str(server))
+        return entry.score if entry else 1.0
+
+    def snapshot(self) -> dict:
+        """Deterministic fleet snapshot: every VM and server entry."""
+        return {
+            "vms": {vid: self._vms[vid].to_dict() for vid in sorted(self._vms)},
+            "servers": {
+                name: self._servers[name].to_dict()
+                for name in sorted(self._servers)
+            },
+        }
+
+
+def render_scoreboard(snapshot: dict, title: str = "Fleet health") -> str:
+    """Monospace scoreboard table from a snapshot dict."""
+    lines = [f"=== {title} ==="]
+    for section, label in (("vms", "VM"), ("servers", "server")):
+        entries = snapshot.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"{label}s:")
+        headers = [label, "score", "trend", "attest", "fail", "resp", "unreach"]
+        rows = [
+            [
+                name,
+                f"{entry['score']:.4f}",
+                entry["trend"],
+                str(entry["attestations"]),
+                str(entry["failures"]),
+                str(entry["responses"]),
+                str(entry["unreachable"]),
+            ]
+            for name, entry in entries.items()
+        ]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append(
+                "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+    if len(lines) == 1:
+        lines.append("(no health data recorded)")
+    return "\n".join(lines)

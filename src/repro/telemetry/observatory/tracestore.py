@@ -1,0 +1,216 @@
+"""Queryable store of finished spans, live or from a JSONL artifact.
+
+The store holds spans in the same dict form the JSONL exporter writes
+(:meth:`repro.telemetry.tracer.Span.to_dict`), so one query/render
+surface serves both a live :class:`~repro.telemetry.hub.Telemetry` hub
+(via the tracer's finished-span listener) and a trace file loaded back
+with :func:`repro.telemetry.exporters.read_jsonl`.
+
+Queries: attribute filtering (Vid, span name/leg, minimum duration),
+exact per-leg latency percentiles, and a text waterfall rendering of
+one attestation round — the protocol tree of Fig. 3 with proportional
+timing bars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.telemetry.tracer import SPAN_Q1
+
+#: span names treated as attestation-round roots for waterfall selection
+ROUND_ROOT_SPANS = (SPAN_Q1,)
+
+
+def span_duration_ms(span: dict) -> float:
+    """Duration of one span record (0 when still open)."""
+    if span.get("end_ms") is None:
+        return 0.0
+    return span["end_ms"] - span["start_ms"]
+
+
+class TraceStore:
+    """Finished spans with filtering, percentiles, and waterfalls."""
+
+    def __init__(self):
+        self._spans: list[dict] = []
+        self._by_id: dict[int, dict] = {}
+        self._children: dict[Optional[int], list[dict]] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, span) -> None:
+        """Tracer listener entry point (takes a live ``Span``)."""
+        self.add_record(span.to_dict())
+
+    def add_record(self, record: dict) -> None:
+        """Add one span record (exporter dict form)."""
+        self._spans.append(record)
+        self._by_id[record["span_id"]] = record
+        self._children.setdefault(record.get("parent_id"), []).append(record)
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "TraceStore":
+        """Build a store from parsed JSONL records (span lines only)."""
+        store = cls()
+        for record in records:
+            if record.get("type") == "span":
+                store.add_record(record)
+        return store
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+
+    def spans(
+        self,
+        name: Optional[str] = None,
+        name_prefix: Optional[str] = None,
+        vid: Optional[str] = None,
+        min_duration_ms: Optional[float] = None,
+    ) -> list[dict]:
+        """Span records matching every given filter, completion order."""
+        result = []
+        for span in self._spans:
+            if name is not None and span["name"] != name:
+                continue
+            if name_prefix is not None and not span["name"].startswith(name_prefix):
+                continue
+            if vid is not None and str(span.get("attrs", {}).get("vid")) != vid:
+                continue
+            if (
+                min_duration_ms is not None
+                and span_duration_ms(span) < min_duration_ms
+            ):
+                continue
+            result.append(span)
+        return result
+
+    def leg_names(self) -> list[str]:
+        """Distinct span names present, sorted."""
+        return sorted({span["name"] for span in self._spans})
+
+    # ------------------------------------------------------------------
+    # percentiles
+    # ------------------------------------------------------------------
+
+    def percentiles(
+        self, name: str, qs: tuple[float, ...] = (0.5, 0.9, 0.99)
+    ) -> dict[str, float]:
+        """Exact (nearest-rank) duration percentiles for one span name.
+
+        Returns an empty dict when the leg has no finished spans.
+        """
+        durations = sorted(
+            span_duration_ms(span)
+            for span in self._spans
+            if span["name"] == name and span.get("end_ms") is not None
+        )
+        if not durations:
+            return {}
+        result = {}
+        for q in qs:
+            rank = min(int(q * len(durations)), len(durations) - 1)
+            result[f"p{int(q * 100)}"] = durations[rank]
+        result["max"] = durations[-1]
+        result["count"] = len(durations)
+        return result
+
+    def leg_table(self) -> list[list[str]]:
+        """Per-leg rows [name, count, p50, p90, p99, max] in ms."""
+        rows = []
+        for name in self.leg_names():
+            stats = self.percentiles(name)
+            rows.append(
+                [
+                    name,
+                    str(stats["count"]),
+                    f"{stats['p50']:.1f}",
+                    f"{stats['p90']:.1f}",
+                    f"{stats['p99']:.1f}",
+                    f"{stats['max']:.1f}",
+                ]
+            )
+        return rows
+
+    def render_leg_table(self, title: str = "per-leg latency (ms)") -> str:
+        """Monospace table of :meth:`leg_table`."""
+        headers = ["leg", "count", "p50", "p90", "p99", "max"]
+        rows = self.leg_table()
+        widths = [
+            max(len(headers[col]), *(len(row[col]) for row in rows))
+            if rows else len(headers[col])
+            for col in range(len(headers))
+        ]
+        lines = [f"=== {title} ==="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # waterfall rendering
+    # ------------------------------------------------------------------
+
+    def roots(self, name: Optional[str] = None) -> list[dict]:
+        """Root spans (no parent), optionally filtered by name."""
+        result = [span for span in self._spans if span.get("parent_id") is None]
+        if name is not None:
+            result = [span for span in result if span["name"] == name]
+        return sorted(result, key=lambda span: (span["start_ms"], span["span_id"]))
+
+    def rounds(self) -> list[dict]:
+        """Attestation-round roots (customer Q1 legs), in start order."""
+        rounds = []
+        for root_name in ROUND_ROOT_SPANS:
+            rounds.extend(
+                span for span in self._spans if span["name"] == root_name
+            )
+        return sorted(rounds, key=lambda span: (span["start_ms"], span["span_id"]))
+
+    def subtree(self, root: dict) -> list[tuple[int, dict]]:
+        """(depth, span) pairs under ``root``, depth-first by start time."""
+        result: list[tuple[int, dict]] = []
+
+        def visit(span: dict, depth: int) -> None:
+            result.append((depth, span))
+            children = sorted(
+                self._children.get(span["span_id"], []),
+                key=lambda child: (child["start_ms"], child["span_id"]),
+            )
+            for child in children:
+                visit(child, depth + 1)
+
+        visit(root, 0)
+        return result
+
+    def waterfall(self, root: dict, width: int = 32) -> str:
+        """Text waterfall of one span tree: offset + duration bars."""
+        tree = self.subtree(root)
+        total = max(span_duration_ms(root), 1e-9)
+        origin = root["start_ms"]
+        name_width = max(
+            len("  " * depth + span["name"]) for depth, span in tree
+        )
+        lines = [
+            f"waterfall: {root['name']} "
+            f"[{root['start_ms']:.1f} .. {root['end_ms']:.1f} ms, "
+            f"{span_duration_ms(root):.1f} ms]"
+        ]
+        for depth, span in tree:
+            duration = span_duration_ms(span)
+            offset = int(round((span["start_ms"] - origin) / total * width))
+            bar_len = max(1, int(round(duration / total * width)))
+            offset = min(offset, width - 1)
+            bar_len = min(bar_len, width - offset)
+            bar = " " * offset + "#" * bar_len
+            label = ("  " * depth + span["name"]).ljust(name_width)
+            lines.append(f"  {label}  |{bar.ljust(width)}|{duration:9.1f} ms")
+        return "\n".join(lines)

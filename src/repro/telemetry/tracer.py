@@ -135,6 +135,13 @@ class Tracer:
         self._stack: list[Span] = []
         #: finished spans, in completion order
         self.finished: list[Span] = []
+        #: called with each span as it finishes (the observatory's
+        #: trace-store and SLO rules subscribe here)
+        self._listeners: list[Callable[[Span], None]] = []
+
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Subscribe to finished spans (called in completion order)."""
+        self._listeners.append(listener)
 
     def span(
         self, name: str, remote_parent: Optional[dict] = None, **attrs: object
@@ -173,6 +180,8 @@ class Tracer:
             if popped is span:
                 break
         self.finished.append(span)
+        for listener in self._listeners:
+            listener(span)
 
     def context(self) -> Optional[dict]:
         """Span context to embed into an outgoing protocol message."""

@@ -5,6 +5,14 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """One recorded demo run shared by the artifact-reading tests."""
+    path = str(tmp_path_factory.mktemp("trace") / "trace.jsonl")
+    assert main(["--seed", "7", "--telemetry-out", path, "demo"]) == 0
+    return path
+
+
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
@@ -74,3 +82,92 @@ class TestCommands:
 
     def test_seed_flag(self, capsys):
         assert main(["--seed", "7", "attack", "rootkit"]) == 0
+
+
+class TestObservatoryCommands:
+    def test_health_renders_the_scoreboard(self, trace_path, capsys):
+        assert main(["health", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "Fleet health" in output
+        assert "vm-0001" in output
+        assert "SLO compliance" in output
+
+    def test_health_json_is_parseable(self, trace_path, capsys):
+        import json
+
+        assert main(["health", trace_path, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "vms" in snapshot
+
+    def test_alerts_lists_and_counts(self, trace_path, capsys):
+        assert main(["alerts", trace_path]) == 0
+        assert "alert(s)" in capsys.readouterr().out
+
+    def test_trace_leg_table(self, trace_path, capsys):
+        assert main(["trace", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "per-leg latency" in output
+        assert "protocol.q1.customer_controller" in output
+
+    def test_trace_filters(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--vid", "vm-0001",
+                     "--leg", "protocol.q2.controller_as"]) == 0
+        output = capsys.readouterr().out
+        assert "protocol.q2.controller_as" in output
+        assert "span(s)" in output
+
+    def test_trace_waterfall(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--waterfall", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "waterfall: protocol.q1.customer_controller" in output
+        assert "#" in output
+
+    def test_trace_waterfall_out_of_range(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--waterfall", "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_telemetry_summarizes_an_artifact(self, trace_path, capsys):
+        assert main(["telemetry", trace_path]) == 0
+        assert "trace summary" in capsys.readouterr().out
+
+    def test_malformed_trace_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"meta"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["health", str(bad)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "malformed JSONL line" in err
+        assert ":2:" in err
+
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["alerts", str(tmp_path / "missing.jsonl")])
+        assert excinfo.value.code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_health_without_scoreboard_exits_two(self, tmp_path, capsys):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text('{"type":"meta","seed":1}\n', encoding="utf-8")
+        assert main(["health", str(bare)]) == 2
+        assert "no scoreboard snapshot" in capsys.readouterr().err
+
+    def test_prometheus_format(self, tmp_path, capsys):
+        path = str(tmp_path / "metrics.prom")
+        assert main(["--seed", "7", "--telemetry-out", path,
+                     "--telemetry-format", "prometheus", "demo"]) == 0
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "# TYPE" in text
+        assert "_total" in text
+        assert "_bucket{" in text
+
+    def test_slo_flags_silence_alerts(self, tmp_path, capsys):
+        path = str(tmp_path / "quiet.jsonl")
+        assert main(["--seed", "7", "--telemetry-out", path,
+                     "--slo-q1", "99999", "--slo-q2", "99999",
+                     "--slo-q3", "99999", "--slo-appraisal", "99999",
+                     "demo"]) == 0
+        capsys.readouterr()
+        assert main(["alerts", path, "--fail-on-alert"]) == 0
+        assert "0 alert(s)" in capsys.readouterr().out
