@@ -1,0 +1,311 @@
+"""Wall-clock throughput harness for the crypto/wire/engine fast paths.
+
+Unlike the figure benchmarks (which measure *simulated* milliseconds),
+this harness measures real wall-clock throughput of the hot paths the
+fast-path PR optimises, in ops/sec:
+
+- attestation rounds/sec, pooled (key pool prefilled, caches on) vs
+  unpooled (every fast path disabled — the pre-optimisation baseline);
+- secure-channel handshakes/sec;
+- sign and verify ops/sec (verify with the memo cold and hot);
+- RSA keypair generation/sec, direct vs served from a prefilled pool;
+- record seal/open ops/sec;
+- discrete-event engine events/sec.
+
+Outputs ``BENCH_wallclock.json`` (machine-readable, at the repo root by
+default) and appends a human-readable table to ``bench_tables.txt``.
+Exits non-zero if pooled attestation throughput fails to beat the
+unpooled baseline by ``--min-speedup`` (default 5x, the PR's acceptance
+bar) — the CI smoke job relies on that.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _tables import print_table  # noqa: E402
+
+from repro import CloudMonatt, SecurityProperty  # noqa: E402
+from repro.common.rng import DeterministicRng  # noqa: E402
+from repro.crypto import fastpath  # noqa: E402
+from repro.crypto.certificates import CertificateAuthority  # noqa: E402
+from repro.crypto.drbg import HmacDrbg  # noqa: E402
+from repro.crypto.keypool import KeyPool  # noqa: E402
+from repro.crypto.rsa import generate_keypair  # noqa: E402
+from repro.crypto.signatures import clear_verify_memo, sign, verify  # noqa: E402
+from repro.crypto.symmetric import SymmetricKey, open_sealed, seal  # noqa: E402
+from repro.network.network import Network  # noqa: E402
+from repro.network.secure_channel import SecureEndpoint  # noqa: E402
+from repro.sim.engine import Engine  # noqa: E402
+
+SEED = 7
+
+
+def _timed(fn, n: int) -> dict:
+    """Run ``fn()`` ``n`` times; return ops/sec and totals."""
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    seconds = time.perf_counter() - start
+    return {
+        "n": n,
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(n / seconds, 3) if seconds > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# primitive layers
+# ----------------------------------------------------------------------
+
+
+def bench_keygen(key_bits: int, n: int) -> dict:
+    drbg = HmacDrbg(SEED, "bench-keygen")
+    counter = iter(range(10 ** 9))
+    return _timed(
+        lambda: generate_keypair(drbg.fork(f"k-{next(counter)}"), key_bits), n
+    )
+
+
+def bench_keypool_take(key_bits: int, n: int) -> dict:
+    """take() throughput from a prefilled pool, with the prefill cost
+    reported alongside (that is the amortised work, not hidden)."""
+    pool = KeyPool(HmacDrbg(SEED, "bench-pool"), key_bits)
+    start = time.perf_counter()
+    pool.prefill(n)
+    prefill_seconds = time.perf_counter() - start
+    result = _timed(pool.take, n)
+    result["prefill_seconds"] = round(prefill_seconds, 6)
+    return result
+
+
+def bench_sign_verify(key_bits: int, n: int) -> dict:
+    keypair = generate_keypair(HmacDrbg(SEED, "bench-sig").fork("k"), key_bits)
+    message = {"vid": "vm-1", "measurements": {"m": 1.0}, "nonce": b"x" * 16}
+    signature = sign(keypair.private, message)
+    results = {"sign": _timed(lambda: sign(keypair.private, message), n)}
+    with fastpath.overridden(verify_memo=False):
+        results["verify"] = _timed(
+            lambda: verify(keypair.public, message, signature), n
+        )
+    clear_verify_memo()
+    verify(keypair.public, message, signature)  # warm the memo
+    results["verify_memo_hit"] = _timed(
+        lambda: verify(keypair.public, message, signature), n
+    )
+    return results
+
+
+def bench_seal_open(n: int) -> dict:
+    key = SymmetricKey(b"k" * 32)
+    nonce = b"n" * 16
+    plaintext = b"p" * 512
+    sealed = seal(key, plaintext, nonce)
+    return {
+        "seal": _timed(lambda: seal(key, plaintext, nonce), n),
+        "open": _timed(lambda: open_sealed(key, sealed), n),
+    }
+
+
+def bench_engine_events(n: int) -> dict:
+    engine = Engine()
+    sink = []
+
+    def burst() -> None:
+        for i in range(1000):
+            engine.schedule(float(i % 97), sink.append, i)
+        engine.run()
+        sink.clear()
+
+    result = _timed(burst, max(1, n // 1000))
+    fired = engine.events_fired
+    result["n"] = fired
+    result["ops_per_sec"] = round(fired / result["seconds"], 3)
+    return result
+
+
+def bench_handshakes(key_bits: int, n: int) -> dict:
+    engine = Engine()
+    network = Network(engine, DeterministicRng(SEED).child("net"), latency_ms=0.0)
+    drbg = HmacDrbg(SEED, "bench-hs")
+    ca = CertificateAuthority("pCA", drbg.fork("ca"), key_bits=key_bits)
+    initiator = SecureEndpoint("alice", network, drbg.fork("a"), ca, key_bits)
+    responder = SecureEndpoint("bob", network, drbg.fork("b"), ca, key_bits)
+    responder.handler = lambda peer, body: {"ok": True}
+
+    def handshake_and_call() -> None:
+        initiator._channels.clear()  # force a fresh handshake
+        initiator.call("bob", {"ping": 1})
+
+    return _timed(handshake_and_call, n)
+
+
+# ----------------------------------------------------------------------
+# full attestation rounds
+# ----------------------------------------------------------------------
+
+
+def bench_attestation(key_bits: int, rounds: int, pooled: bool) -> dict:
+    if pooled:
+        context = fastpath.overridden(key_pool=True, verify_memo=True,
+                                      cache_symmetric_subkeys=True,
+                                      cache_wire_encodings=True)
+    else:
+        context = fastpath.all_disabled()
+    with context:
+        clear_verify_memo()
+        cloud = CloudMonatt(num_servers=1, seed=SEED, key_bits=key_bits)
+        prefill_seconds = 0.0
+        if pooled:
+            server = next(iter(cloud.servers.values()))
+            start = time.perf_counter()
+            # launch + warm-up + timed rounds, one session key each
+            server.trust_module.key_pool.prefill(rounds + 4)
+            prefill_seconds = time.perf_counter() - start
+        customer = cloud.register_customer("alice")
+        vm = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY],
+        )
+        customer.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)  # warm up
+        result = _timed(
+            lambda: customer.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY),
+            rounds,
+        )
+        if pooled:
+            result["prefill_seconds"] = round(prefill_seconds, 6)
+        return result
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def run(args: argparse.Namespace) -> dict:
+    n_fast = 200 if args.quick else 2000
+    n_keys = 4 if args.quick else 16
+    rounds = 5 if args.quick else 20
+
+    fastpath.reset_stats()
+    results: dict = {}
+    results["attest_rounds_unpooled"] = bench_attestation(
+        args.key_bits, rounds, pooled=False
+    )
+    results["attest_rounds_pooled"] = bench_attestation(
+        args.key_bits, rounds, pooled=True
+    )
+    results["attest_speedup"] = round(
+        results["attest_rounds_pooled"]["ops_per_sec"]
+        / results["attest_rounds_unpooled"]["ops_per_sec"],
+        2,
+    )
+    results["handshakes"] = bench_handshakes(args.key_bits, max(4, rounds))
+    results["keypair_gen"] = bench_keygen(args.key_bits, n_keys)
+    results["keypool_take_prefilled"] = bench_keypool_take(args.key_bits, n_keys)
+    results.update(bench_sign_verify(args.key_bits, n_fast))
+    results.update(bench_seal_open(n_fast))
+    results["engine_events"] = bench_engine_events(50_000 if args.quick else 500_000)
+    return results
+
+
+ROW_ORDER = [
+    ("attest_rounds_unpooled", "attestation rounds (unpooled, uncached)"),
+    ("attest_rounds_pooled", "attestation rounds (pooled + caches)"),
+    ("handshakes", "channel handshakes"),
+    ("keypair_gen", "RSA keypair generation"),
+    ("keypool_take_prefilled", "key pool take (prefilled)"),
+    ("sign", "RSA sign"),
+    ("verify", "RSA verify (memo off)"),
+    ("verify_memo_hit", "RSA verify (memo hit)"),
+    ("seal", "record seal (512 B)"),
+    ("open", "record open (512 B)"),
+    ("engine_events", "engine events"),
+]
+
+
+def render_rows(results: dict) -> list[list]:
+    rows = []
+    for key, label in ROW_ORDER:
+        entry = results[key]
+        rows.append([label, f"{entry['ops_per_sec']:,.1f}", entry["n"],
+                     f"{entry['seconds']:.3f}"])
+    rows.append(["pooled / unpooled attestation speedup",
+                 f"{results['attest_speedup']:.2f}x", "", ""])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small iteration counts (CI smoke)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        help="RSA modulus size (default 1024, the paper's "
+                             "key size, where Fig. 9's keygen-dominates "
+                             "observation holds; the sim default is 512)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_wallclock.json"),
+                        help="machine-readable output path")
+    parser.add_argument("--tables", default=str(REPO_ROOT / "bench_tables.txt"),
+                        help="append the human table here ('' to skip)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail if pooled/unpooled attestation speedup "
+                             "drops below this (0 disables)")
+    args = parser.parse_args(argv)
+
+    results = run(args)
+    title = (
+        f"Wall-clock throughput (ops/sec, {args.key_bits}-bit keys"
+        f"{', quick' if args.quick else ''})"
+    )
+    headers = ["hot path", "ops/sec", "n", "seconds"]
+    rows = render_rows(results)
+    print_table(title, headers, rows)
+
+    payload = {
+        "benchmark": "wallclock",
+        "seed": SEED,
+        "key_bits": args.key_bits,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "fastpath_stats": fastpath.stats(),
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.tables:
+        with open(args.tables, "a") as fh:
+            fh.write(f"\n=== {title} ===\n")
+            widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+                      for i in range(len(headers))]
+            fh.write("  ".join(str(h).ljust(w)
+                               for h, w in zip(headers, widths)) + "\n")
+            for row in rows:
+                fh.write("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)) + "\n")
+        print(f"appended table to {args.tables}")
+
+    if args.min_speedup and results["attest_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: pooled attestation speedup {results['attest_speedup']:.2f}x "
+            f"< required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

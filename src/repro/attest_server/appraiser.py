@@ -25,7 +25,7 @@ from repro.crypto.certificates import certificate_from_dict
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.keys import RsaPublicKey
 from repro.crypto.nonces import NonceCache, NonceGenerator
-from repro.crypto.signatures import verify, verify as _verify
+from repro.crypto.signatures import verify
 from repro.crypto.certificates import verify_certificate
 from repro.lifecycle.timing import CostModel
 from repro.network.secure_channel import SecureEndpoint

@@ -306,8 +306,31 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         alice.attest(vm.vid, prop)
     print(console_summary(cloud.telemetry,
                           title=f"span latency summary (seed {args.seed})"))
+    print()
+    print(_fastpath_summary(cloud))
     _export_telemetry(args, cloud)
     return 0
+
+
+def _fastpath_summary(cloud: CloudMonatt) -> str:
+    """Crypto fast-path cache counters for the telemetry summary.
+
+    Key-pool hits/misses/prefills come from the cloud's own hub (one
+    series per Trust Module, summed); the verification-memo counters are
+    process-global (the memo is shared across endpoints) and read from
+    :mod:`repro.crypto.fastpath`.
+    """
+    from repro.crypto import fastpath
+
+    metrics = cloud.telemetry.metrics
+    lines = ["=== crypto fast-path caches ==="]
+    for name in ("crypto.keypool.hit", "crypto.keypool.miss",
+                 "crypto.keypool.prefill"):
+        lines.append(f"{name:<28} {metrics.counter(name).total():.0f}")
+    stats = fastpath.stats()
+    for name in ("verify_memo.hit", "verify_memo.miss"):
+        lines.append(f"crypto.{name:<21} {stats.get(name, 0)}")
+    return "\n".join(lines)
 
 
 def cmd_health(args: argparse.Namespace) -> int:

@@ -26,8 +26,10 @@ protocol-security evaluation needs. They are not hardened against
 side channels and must not be used outside this reproduction.
 """
 
+from repro.crypto import fastpath
 from repro.crypto.certificates import Certificate, CertificateAuthority
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keypool import KeyPool
 from repro.crypto.encoding import decode, encode
 from repro.crypto.hashing import HashChain, sha256, sha256_hex
 from repro.crypto.kdf import hkdf
@@ -43,6 +45,8 @@ __all__ = [
     "HashChain",
     "HmacDrbg",
     "KeyPair",
+    "KeyPool",
+    "fastpath",
     "Nonce",
     "NonceCache",
     "NonceGenerator",

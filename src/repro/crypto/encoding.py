@@ -40,11 +40,16 @@ def _len_prefix(payload: bytes) -> bytes:
     return struct.pack(">I", len(payload)) + payload
 
 
-def encode(value: Any) -> bytes:
-    """Encode ``value`` into canonical bytes.
+_PACK_LEN = struct.Struct(">I").pack
+_PACK_FLOAT = struct.Struct(">d").pack
 
-    Raises :class:`~repro.common.errors.CryptoError` for unsupported types
-    rather than guessing at a representation.
+
+def _encode_scalar(value: Any) -> bytes | None:
+    """Encode a leaf value, or ``None`` if it is a container/unsupported.
+
+    This is the hot inner loop: protocol wire traffic is dominated by
+    flat string-keyed dicts of scalars, which :func:`encode` serializes
+    without a recursive call per field by trying this first.
     """
     if value is None:
         return _TAG_NONE
@@ -52,25 +57,56 @@ def encode(value: Any) -> bytes:
         return _TAG_TRUE
     if value is False:
         return _TAG_FALSE
-    if isinstance(value, int):
+    cls = type(value)
+    if cls is str:
+        raw = value.encode("utf-8")
+        return _TAG_STR + _PACK_LEN(len(raw)) + raw
+    if cls is bytes:
+        return _TAG_BYTES + _PACK_LEN(len(value)) + value
+    if cls is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return _TAG_INT + _PACK_LEN(len(raw)) + raw
+    if cls is float:
+        return _TAG_FLOAT + _PACK_FLOAT(value)
+    return None
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into canonical bytes.
+
+    Raises :class:`~repro.common.errors.CryptoError` for unsupported types
+    rather than guessing at a representation.
+    """
+    scalar = _encode_scalar(value)
+    if scalar is not None:
+        return scalar
+    if isinstance(value, int) and not isinstance(value, bool):
+        # int subclasses (IntEnum etc.) miss the exact-type fast path
         raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
         return _TAG_INT + _len_prefix(raw)
     if isinstance(value, float):
-        return _TAG_FLOAT + struct.pack(">d", value)
+        return _TAG_FLOAT + _PACK_FLOAT(value)
     if isinstance(value, str):
         return _TAG_STR + _len_prefix(value.encode("utf-8"))
     if isinstance(value, (bytes, bytearray)):
         return _TAG_BYTES + _len_prefix(bytes(value))
     if isinstance(value, (list, tuple)):
-        body = b"".join(encode(item) for item in value)
+        parts = []
+        for item in value:
+            encoded = _encode_scalar(item)
+            parts.append(encoded if encoded is not None else encode(item))
+        body = b"".join(parts)
         return _TAG_LIST + _len_prefix(body)
     if isinstance(value, dict):
         parts = []
         for key in sorted(value):
             if not isinstance(key, str):
                 raise CryptoError(f"dict keys must be str, got {type(key).__name__}")
-            parts.append(encode(key))
-            parts.append(encode(value[key]))
+            raw_key = key.encode("utf-8")
+            parts.append(_TAG_STR + _PACK_LEN(len(raw_key)) + raw_key)
+            item = value[key]
+            encoded = _encode_scalar(item)
+            parts.append(encoded if encoded is not None else encode(item))
         return _TAG_DICT + _len_prefix(b"".join(parts))
     raise CryptoError(f"cannot canonically encode {type(value).__name__}")
 

@@ -9,6 +9,8 @@ per attestation session so the cloud server stays anonymous to observers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
 
 from repro.crypto.hashing import sha256_hex
 
@@ -56,6 +58,23 @@ class RsaPrivateKey:
     def bits(self) -> int:
         """Modulus size in bits."""
         return self.n.bit_length()
+
+    @cached_property
+    def crt(self) -> Optional[tuple[int, int, int]]:
+        """CRT constants ``(dp, dq, q_inv)``, computed once per key.
+
+        ``None`` when the prime factors are absent (imported keys); the
+        raw op then falls back to a full-width exponentiation. Cached
+        because every ``private_op`` call needs them and the two modular
+        reductions plus the inverse are a measurable slice of each sign.
+        """
+        if not (self.p and self.q):
+            return None
+        return (
+            self.d % (self.p - 1),
+            self.d % (self.q - 1),
+            pow(self.q, -1, self.p),
+        )
 
 
 @dataclass(frozen=True)

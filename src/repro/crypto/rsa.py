@@ -49,11 +49,11 @@ def private_op(key: RsaPrivateKey, value: int) -> int:
     """Raw private-key operation ``value^d mod n`` (CRT accelerated)."""
     if not 0 <= value < key.n:
         raise CryptoError("value out of range for RSA modulus")
-    if key.p and key.q:
-        # Chinese Remainder Theorem: ~4x faster than a full pow
-        dp = key.d % (key.p - 1)
-        dq = key.d % (key.q - 1)
-        q_inv = pow(key.q, -1, key.p)
+    crt = key.crt
+    if crt is not None:
+        # Chinese Remainder Theorem: ~4x faster than a full pow; the
+        # constants are computed once per key (RsaPrivateKey.crt)
+        dp, dq, q_inv = crt
         m1 = pow(value % key.p, dp, key.p)
         m2 = pow(value % key.q, dq, key.q)
         h = (q_inv * (m1 - m2)) % key.p

@@ -21,6 +21,7 @@ import hmac
 from dataclasses import dataclass
 
 from repro.common.errors import CryptoError
+from repro.crypto import fastpath
 from repro.crypto.kdf import hkdf
 
 _MAC_SIZE = 32
@@ -30,7 +31,14 @@ _BLOCK = 32
 
 @dataclass(frozen=True)
 class SymmetricKey:
-    """A 32-byte symmetric session key with derived enc/MAC subkeys."""
+    """A 32-byte symmetric session key with derived enc/MAC subkeys.
+
+    The HKDF derivations are pure functions of ``material``, so they are
+    cached per instance (every record seal/open needs both; re-deriving
+    them dominated the record layer before the cache). The cache lives
+    in the instance ``__dict__`` — a frozen dataclass only blocks
+    ``__setattr__``, not direct dict writes.
+    """
 
     material: bytes
 
@@ -38,15 +46,24 @@ class SymmetricKey:
         if len(self.material) != 32:
             raise CryptoError("session keys must be 32 bytes")
 
+    def _derived(self, attr: str, info: bytes) -> bytes:
+        cached = self.__dict__.get(attr)
+        if cached is not None:
+            return cached
+        subkey = hkdf(self.material, info, 32)
+        if fastpath.config().cache_symmetric_subkeys:
+            self.__dict__[attr] = subkey
+        return subkey
+
     @property
     def enc_key(self) -> bytes:
         """Subkey for the keystream."""
-        return hkdf(self.material, b"enc", 32)
+        return self._derived("_enc_key", b"enc")
 
     @property
     def mac_key(self) -> bytes:
         """Subkey for the authentication tag."""
-        return hkdf(self.material, b"mac", 32)
+        return self._derived("_mac_key", b"mac")
 
 
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:

@@ -33,6 +33,7 @@ from repro.crypto.certificates import (
     certificate_from_dict,
     certificate_to_dict,
 )
+from repro.crypto import fastpath
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.encoding import decode, encode
 from repro.crypto.encryption import private_decrypt, public_encrypt
@@ -93,6 +94,21 @@ class SecureEndpoint:
         self.certificate: Certificate = ca.issue(name, self._keypair.public)
         self._ca_key: RsaPublicKey = ca.public_key
         self._channels: dict[str, _Channel] = {}
+        #: monotonically increasing handshake count per peer — the seed
+        #: fork label must never repeat, even after a channel teardown
+        #: shrinks ``self._channels`` back to a previous size
+        self._handshake_counts: dict[str, int] = {}
+        # the endpoint's own certificate never changes: encode it (and
+        # the hello-ack frame that carries it) once instead of per
+        # handshake — certificate serialization was a measurable slice
+        # of channel establishment
+        self._cert_dict: Optional[dict] = None
+        self._hello_ack_wire: Optional[bytes] = None
+        if fastpath.config().cache_wire_encodings:
+            self._cert_dict = _cert_to_dict(self.certificate)
+            self._hello_ack_wire = encode(
+                {"t": "hello-ack", "cert": self._cert_dict}
+            )
         self.handler: Optional[Callable[[str, dict], dict]] = None
         network.register(name, self._on_wire)
 
@@ -183,7 +199,12 @@ class SecureEndpoint:
         self.telemetry.counter("channel.handshakes").inc(endpoint=self.name)
 
     def _handshake_rounds(self, peer: str) -> None:
-        seed = self._drbg.fork(f"seed-{peer}-{len(self._channels)}").generate(32)
+        # per-peer handshake counter, NOT len(self._channels): the
+        # channel count shrinks back after a teardown, so a count-based
+        # label could repeat and re-derive a previous session seed
+        attempt = self._handshake_counts.get(peer, 0) + 1
+        self._handshake_counts[peer] = attempt
+        seed = self._drbg.fork(f"seed-{peer}-{attempt}").generate(32)
         # fetch the peer's certificate out of band via a hello round;
         # in TLS terms this is ServerHello+Certificate before key exchange
         hello_wire = self._network.rpc(
@@ -199,7 +220,7 @@ class SecureEndpoint:
             "from": self.name,
             "to": peer,
             "enc_seed": enc_seed,
-            "initiator_cert": _cert_to_dict(self.certificate),
+            "initiator_cert": self._cert_dict or _cert_to_dict(self.certificate),
         }
         hs1 = {
             "t": "hs1",
@@ -225,6 +246,8 @@ class SecureEndpoint:
             raise ProtocolError("malformed wire message")
         msg_type = message["t"]
         if msg_type == "hello":
+            if self._hello_ack_wire is not None:
+                return self._hello_ack_wire
             return encode(
                 {"t": "hello-ack", "cert": _cert_to_dict(self.certificate)}
             )

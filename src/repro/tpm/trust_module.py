@@ -23,7 +23,9 @@ from typing import Any, Optional
 
 from repro.common.errors import StateError
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.crypto import fastpath
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keypool import KeyPool
 from repro.crypto.keys import KeyPair, RsaPublicKey
 from repro.crypto.nonces import NonceGenerator
 from repro.crypto.rsa import generate_keypair
@@ -69,6 +71,15 @@ class TrustModule:
         self._registers: list[float] = [0.0] * NUM_EVIDENCE_REGISTERS
         self._evidence: dict[str, Any] = {}
         self._session_counter = 0
+        #: pre-generates the ``attest-session-{i}`` keypairs from the
+        #: same DRBG fork streams the lazy path uses; ``None`` when the
+        #: fast path is disabled. Nothing else may fork ``self._drbg``
+        #: after construction — the pool owns its fork order.
+        self.key_pool: Optional[KeyPool] = None
+        if fastpath.config().key_pool:
+            self.key_pool = KeyPool(
+                drbg, key_bits, telemetry=self.telemetry
+            )
 
     # ------------------------------------------------------------------
     # identity and attestation keys
@@ -88,10 +99,13 @@ class TrustModule:
         """
         self._session_counter += 1
         self.telemetry.counter("tpm.attestation_sessions").inc()
-        keypair = generate_keypair(
-            self._drbg.fork(f"attest-session-{self._session_counter}"),
-            self._key_bits,
-        )
+        if self.key_pool is not None:
+            keypair = self.key_pool.take()
+        else:
+            keypair = generate_keypair(
+                self._drbg.fork(f"attest-session-{self._session_counter}"),
+                self._key_bits,
+            )
         endorsement = sign(self._identity.private, keypair.public.to_dict())
         return AttestationSession(keypair=keypair, endorsement=endorsement)
 

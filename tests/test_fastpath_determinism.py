@@ -1,0 +1,247 @@
+"""The crypto fast paths must never change a protocol byte.
+
+The key pool, verification memo, subkey cache and wire-encoding cache
+all promise to be *transparent*: same seed, same transcripts, whether
+they are on or off. These tests pin that promise down by running the
+same scenario under both configurations and comparing everything
+observable — raw wire traffic (captured below the encryption layer, so
+every quote Q1/Q2/Q3, signature and certificate is covered), the
+customer-visible attestation response, and the attestation server's
+hash-chained audit log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.crypto import fastpath
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.encoding import encode
+from repro.crypto.keypool import KeyPool
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import clear_verify_memo, sign, verify
+from repro.common.errors import SignatureError
+from repro.network.attacker import Eavesdropper
+from repro.telemetry import Telemetry
+from repro.tpm.trust_module import TrustModule
+
+KEY_BITS = 512
+SEED = 314
+
+
+def _run_attestation_round(fast_paths_on: bool):
+    """Launch → attest → report under one fast-path configuration.
+
+    Returns every observable artifact of the round: the raw wire
+    transcript, the customer's verified response, and the audit log.
+    """
+    if fast_paths_on:
+        # exercise batching and an explicit prefill, not just pass-through
+        context = fastpath.overridden(key_pool_batch=4)
+    else:
+        context = fastpath.all_disabled()
+    with context:
+        clear_verify_memo()
+        cloud = CloudMonatt(num_servers=1, seed=SEED, key_bits=KEY_BITS)
+        tap = Eavesdropper()
+        cloud.network.install_attacker(tap)
+        if fast_paths_on:
+            server = next(iter(cloud.servers.values()))
+            assert server.trust_module.key_pool is not None
+            server.trust_module.key_pool.prefill(4)
+        customer = cloud.register_customer("alice")
+        vm = customer.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY],
+        )
+        attestation = customer.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        wire = [
+            (env.sender, env.receiver, env.direction, env.payload)
+            for env in tap.captured
+        ]
+        audit = [
+            (rec.index, rec.time_ms, rec.event, rec.digest, rec.prev_digest)
+            for rec in cloud.attestation_server.audit
+        ]
+        return {
+            "wire": wire,
+            "response": encode(attestation.response),
+            "report_healthy": attestation.report.healthy,
+            "audit": audit,
+            "audit_head": cloud.attestation_server.audit.head_digest,
+        }
+
+
+class TestTranscriptEquivalence:
+    def test_fast_paths_change_no_protocol_bytes(self):
+        baseline = _run_attestation_round(fast_paths_on=False)
+        optimized = _run_attestation_round(fast_paths_on=True)
+        # every wire crossing, byte for byte: covers the Q1/Q2/Q3
+        # quotes, all signatures and certificates of the round
+        assert optimized["wire"] == baseline["wire"]
+        assert optimized["response"] == baseline["response"]
+        assert optimized["report_healthy"] == baseline["report_healthy"]
+        assert optimized["audit"] == baseline["audit"]
+        assert optimized["audit_head"] == baseline["audit_head"]
+
+    def test_disabled_round_is_self_consistent(self):
+        # same configuration twice → identical transcripts (sanity check
+        # that the comparison above cannot pass vacuously)
+        first = _run_attestation_round(fast_paths_on=False)
+        second = _run_attestation_round(fast_paths_on=False)
+        assert first["wire"] == second["wire"]
+        assert len(first["wire"]) > 10
+
+
+class TestKeyPoolDeterminism:
+    def _lazy_sessions(self, count: int) -> list[tuple[int, int]]:
+        with fastpath.overridden(key_pool=False):
+            module = TrustModule(HmacDrbg(SEED, "tm"), key_bits=KEY_BITS)
+            return [
+                (s.public.n, s.public.e)
+                for s in (module.new_attestation_session() for _ in range(count))
+            ]
+
+    def test_pool_matches_lazy_generation(self):
+        lazy = self._lazy_sessions(3)
+        with fastpath.overridden(key_pool=True):
+            module = TrustModule(HmacDrbg(SEED, "tm"), key_bits=KEY_BITS)
+            module.key_pool.prefill(3)
+            pooled = [
+                (s.public.n, s.public.e)
+                for s in (module.new_attestation_session() for _ in range(3))
+            ]
+        assert pooled == lazy
+
+    def test_on_demand_batch_matches_lazy_generation(self):
+        lazy = self._lazy_sessions(3)
+        with fastpath.overridden(key_pool=True, key_pool_batch=2):
+            module = TrustModule(HmacDrbg(SEED, "tm"), key_bits=KEY_BITS)
+            batched = [
+                (s.public.n, s.public.e)
+                for s in (module.new_attestation_session() for _ in range(3))
+            ]
+        assert batched == lazy
+
+    def test_background_generation_matches_sync(self):
+        sync_pool = KeyPool(HmacDrbg(SEED, "pool"), KEY_BITS)
+        sync_pool.prefill(3)
+        sync_keys = [sync_pool.take().public.n for _ in range(3)]
+        with fastpath.overridden(key_pool_background=True):
+            bg_pool = KeyPool(HmacDrbg(SEED, "pool"), KEY_BITS)
+            bg_pool.prefill(3)
+            bg_keys = [bg_pool.take().public.n for _ in range(3)]
+        assert bg_keys == sync_keys
+
+    def test_pool_counters(self):
+        telemetry = Telemetry(enabled=True)
+        pool = KeyPool(HmacDrbg(SEED, "pool"), KEY_BITS, telemetry=telemetry)
+        pool.prefill(2)
+        pool.take()
+        pool.take()
+        pool.take()  # empty → miss
+        assert telemetry.metrics.counter("crypto.keypool.prefill").total() == 2
+        assert telemetry.metrics.counter("crypto.keypool.hit").total() == 2
+        assert telemetry.metrics.counter("crypto.keypool.miss").total() == 1
+        assert pool.taken == 3
+
+
+class TestVerifyMemo:
+    def setup_method(self):
+        clear_verify_memo()
+        fastpath.reset_stats()
+
+    def test_memo_hit_on_repeat_verification(self):
+        keypair = generate_keypair(HmacDrbg(1, "memo"), bits=KEY_BITS)
+        message = {"quote": b"q3", "vid": "vm-1"}
+        signature = sign(keypair.private, message)
+        with fastpath.overridden(verify_memo=True):
+            verify(keypair.public, message, signature)
+            verify(keypair.public, message, signature)
+        stats = fastpath.stats()
+        assert stats.get("verify_memo.miss") == 1
+        assert stats.get("verify_memo.hit") == 1
+
+    def test_failures_are_never_cached(self):
+        keypair = generate_keypair(HmacDrbg(1, "memo"), bits=KEY_BITS)
+        message = {"quote": b"q3"}
+        signature = bytearray(sign(keypair.private, message))
+        signature[5] ^= 0x40
+        with fastpath.overridden(verify_memo=True):
+            for _ in range(2):
+                with pytest.raises(SignatureError):
+                    verify(keypair.public, message, bytes(signature))
+        assert "verify_memo.hit" not in fastpath.stats()
+
+    def test_memo_is_bounded(self):
+        from repro.crypto import signatures
+
+        keypair = generate_keypair(HmacDrbg(1, "memo"), bits=KEY_BITS)
+        with fastpath.overridden(verify_memo=True, verify_memo_size=4):
+            for index in range(8):
+                message = {"i": index}
+                verify(keypair.public, message, sign(keypair.private, message))
+            assert len(signatures._VERIFY_MEMO) <= 4
+
+    def test_tampered_message_rejected_after_memo_warm(self):
+        # a warm memo entry for (key, digest, sig) must not leak
+        # acceptance to a different message or signature
+        keypair = generate_keypair(HmacDrbg(1, "memo"), bits=KEY_BITS)
+        message = {"quote": b"q3"}
+        signature = sign(keypair.private, message)
+        with fastpath.overridden(verify_memo=True):
+            verify(keypair.public, message, signature)
+            with pytest.raises(SignatureError):
+                verify(keypair.public, {"quote": b"q3-tampered"}, signature)
+
+
+class TestPrimitiveCaches:
+    def test_crt_constants_match_direct_exponentiation(self):
+        from repro.crypto.keys import RsaPrivateKey
+        from repro.crypto.rsa import private_op
+
+        keypair = generate_keypair(HmacDrbg(2, "crt"), bits=KEY_BITS)
+        value = 0x1234567890ABCDEF
+        crt_result = private_op(keypair.private, value)
+        no_factors = RsaPrivateKey(n=keypair.private.n, d=keypair.private.d)
+        assert no_factors.crt is None
+        assert private_op(no_factors, value) == crt_result
+
+    def test_symmetric_subkeys_identical_cached_and_uncached(self):
+        from repro.crypto.symmetric import SymmetricKey
+
+        with fastpath.overridden(cache_symmetric_subkeys=False):
+            uncached = SymmetricKey(b"s" * 32)
+            reference = (uncached.enc_key, uncached.mac_key)
+        cached = SymmetricKey(b"s" * 32)
+        assert (cached.enc_key, cached.mac_key) == reference
+        assert (cached.enc_key, cached.mac_key) == reference  # second read
+
+    def test_encode_fast_path_matches_reference_shapes(self):
+        from repro.crypto.encoding import decode
+
+        samples = [
+            {"t": "data", "seq": 3, "sealed": b"\x00\x01", "from": "alice"},
+            {"nested": {"a": [1, 2.5, "x", None, True, False]}, "n": 10 ** 40},
+            ["mixed", b"bytes", {"k": -1}, (1, 2)],
+        ]
+        for value in samples:
+            blob = encode(value)
+            round_tripped = decode(blob)
+            assert encode(round_tripped) == blob
+
+
+def test_fastpath_configure_rejects_unknown_option():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        fastpath.configure(no_such_flag=True)
+
+
+def test_all_disabled_restores_previous_config():
+    before = fastpath.config().key_pool
+    with fastpath.all_disabled():
+        assert fastpath.config().key_pool is False
+        assert fastpath.config().verify_memo is False
+    assert fastpath.config().key_pool is before

@@ -193,3 +193,41 @@ class TestAttackers:
         # the failed exchange tore the channel down (TLS semantics), so
         # the next call re-handshakes transparently and succeeds
         assert client.call("bob", {"x": 1})["echo"] == {"x": 1}
+
+
+class TestRehandshakeSeedUniqueness:
+    """Regression: the handshake seed fork label must never repeat.
+
+    The label used to be ``seed-{peer}-{len(self._channels)}``; after a
+    channel teardown the channel count shrinks back, so a re-handshake
+    could reuse the label of an earlier session. The label now carries a
+    monotonically increasing per-peer handshake counter.
+    """
+
+    def test_rehandshake_after_record_failure_derives_fresh_key(self, net, ca):
+        client, _ = make_pair(net, ca)
+        client.call("bob", {"warmup": True})
+        first_key = client._channels["bob"].key.material
+        assert client._handshake_counts["bob"] == 1
+
+        # injected record failure: the tampered response kills the
+        # channel (TLS semantics), forcing a re-handshake on next call
+        net.install_attacker(TamperAttacker(direction="response"))
+        with pytest.raises((CryptoError, ReplayError, ProtocolError)):
+            client.call("bob", {"ask": "health"})
+        assert "bob" not in client._channels
+        net.install_attacker(None)
+
+        client.call("bob", {"after": "teardown"})
+        second_key = client._channels["bob"].key.material
+        # the fork label is unique per handshake, not per channel count
+        assert client._handshake_counts["bob"] == 2
+        assert second_key != first_key
+
+    def test_handshake_counter_is_per_peer(self, net, ca):
+        client, _ = make_pair(net, ca)
+        carol = SecureEndpoint("carol", net, HmacDrbg(12), ca, key_bits=KEY_BITS)
+        carol.handler = lambda peer, body: {"ok": True}
+        client.call("bob", {"x": 1})
+        client.call("carol", {"x": 1})
+        assert client._handshake_counts == {"bob": 1, "carol": 1}
