@@ -1,0 +1,81 @@
+"""Fault tolerance: transient faults absorbed, persistent faults degraded.
+
+Walks the contract of docs/FAILURE_MODEL.md end to end on one cloud:
+
+1. a clean attestation as the baseline;
+2. a single injected drop on the controller <-> attestation-server leg,
+   absorbed by retries — the verified report is byte-identical to the
+   baseline;
+3. a persistent blackhole on the same leg: the circuit breaker opens
+   and the customer receives a signed, degraded UNREACHABLE verdict
+   (never an exception, never a forged healthy report);
+4. the fault clears, the breaker's reset window passes, a half-open
+   probe succeeds, and the service recovers.
+
+Run: ``python examples/fault_tolerance.py``
+"""
+
+from repro import CloudMonatt, SecurityProperty
+from repro.network import FaultInjector, FaultSpec
+from repro.resilience import LEG_CONTROLLER_AS
+
+
+def describe(result) -> str:
+    verdict = result.report.details.get("verdict", "OK")
+    status = "healthy" if result.report.healthy else f"unhealthy ({verdict})"
+    return f"{status}: {result.report.explanation}"
+
+
+def main() -> None:
+    print("Building a CloudMonatt cloud (2 secure servers)...")
+    cloud = CloudMonatt(num_servers=2, seed=7)
+    alice = cloud.register_customer("alice")
+    vm = alice.launch_vm(
+        "small", "ubuntu", properties=[SecurityProperty.STARTUP_INTEGRITY]
+    )
+    print(f"  VM {vm.vid}: {'accepted' if vm.accepted else 'REJECTED'}")
+
+    print("\n1. Clean attestation (baseline):")
+    baseline = alice.attest(vm.vid, SecurityProperty.STARTUP_INTEGRITY)
+    print(f"  {describe(baseline)}")
+
+    print("\n2. One transient drop on the controller<->AS leg:")
+    cloud.network.install_fault_injector(
+        FaultInjector(
+            cloud.rng.child("demo-faults"),
+            {LEG_CONTROLLER_AS: FaultSpec(drop=1.0, limit=1)},
+        )
+    )
+    absorbed = alice.attest(vm.vid, SecurityProperty.STARTUP_INTEGRITY)
+    print(f"  {describe(absorbed)}")
+    identical = absorbed.report == baseline.report
+    print(f"  report byte-identical to baseline: {identical}")
+
+    print("\n3. Persistent blackhole on the same leg:")
+    cloud.network.install_fault_injector(
+        FaultInjector(
+            cloud.rng.child("demo-blackhole"),
+            {LEG_CONTROLLER_AS: FaultSpec(drop=1.0)},
+        )
+    )
+    degraded = alice.attest(vm.vid, SecurityProperty.STARTUP_INTEGRITY)
+    print(f"  {describe(degraded)}")
+    breaker = cloud.controller.attest_service.breaker_state()
+    print(f"  controller breaker for the attestation server: {breaker}")
+
+    print("\n4. Fault clears; after the 60 s reset window a probe recovers:")
+    cloud.network.install_fault_injector(None)
+    cloud.run_for(61_000.0)
+    recovered = alice.attest(vm.vid, SecurityProperty.STARTUP_INTEGRITY)
+    print(f"  {describe(recovered)}")
+    print(
+        "  breaker state: "
+        f"{cloud.controller.attest_service.breaker_state()}"
+    )
+
+    alice.terminate_vm(vm.vid)
+    print("\nVM terminated. Done.")
+
+
+if __name__ == "__main__":
+    main()

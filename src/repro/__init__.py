@@ -11,8 +11,17 @@ Start with :class:`repro.cloud.CloudMonatt`.
 """
 
 from repro.cloud import CloudMonatt, Customer
+from repro.network.faults import FaultSpec
 from repro.properties import PropertyReport, SecurityProperty
+from repro.resilience import RetryPolicy
 
 __version__ = "1.0.0"
 
-__all__ = ["CloudMonatt", "Customer", "PropertyReport", "SecurityProperty"]
+__all__ = [
+    "CloudMonatt",
+    "Customer",
+    "FaultSpec",
+    "PropertyReport",
+    "RetryPolicy",
+    "SecurityProperty",
+]

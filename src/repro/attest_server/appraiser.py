@@ -31,6 +31,7 @@ from repro.lifecycle.timing import CostModel
 from repro.network.secure_channel import SecureEndpoint
 from repro.protocol import messages as msg
 from repro.protocol.quotes import attestation_quote
+from repro.resilience import RetryExecutor, RetryPolicy
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q3, Telemetry
 
 
@@ -46,6 +47,7 @@ class OatAppraiser:
         check_signatures: bool = True,
         check_nonces: bool = True,
         telemetry: "Telemetry | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
     ):
         self._endpoint = endpoint
         self._ca_key = ca_public_key
@@ -53,6 +55,15 @@ class OatAppraiser:
         self._seen_nonces = NonceCache()
         self.cost = cost_model
         self.telemetry = telemetry or NULL_TELEMETRY
+        # NOTE: appended after the n3 fork so the nonce stream stays
+        # byte-identical across library versions
+        self._retry = RetryExecutor(
+            engine=cost_model.engine,
+            drbg=drbg.fork("retry"),
+            policy=retry_policy,
+            telemetry=self.telemetry,
+            site="as.appraiser",
+        )
         # ablation switches (security evaluation: what breaks without them)
         self.check_signatures = check_signatures
         self.check_nonces = check_nonces
@@ -65,23 +76,33 @@ class OatAppraiser:
         window_ms: float,
         params: dict | None = None,
     ) -> dict[str, Any]:
-        """One full measurement round; returns validated measurements M."""
-        nonce = self._nonces.fresh()
-        request = {
-            msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
-            msg.KEY_VID: str(vid),
-            msg.KEY_REQUESTED: list(measurements),
-            msg.KEY_NONCE: bytes(nonce),
-            msg.KEY_WINDOW: window_ms,
-            "params": params or {},
-        }
-        with self.telemetry.span(
-            SPAN_Q3, server=str(server), vid=str(vid)
-        ):
+        """One full measurement round; returns validated measurements M.
+
+        Transport failures retry with a fresh nonce N3 per attempt
+        (each retry is a new measurement round); validation failures
+        are not retried — a response that fails its crypto checks is
+        evidence, not noise.
+        """
+
+        def attempt() -> tuple[bytes, dict]:
+            fresh = self._nonces.fresh()
+            request = {
+                msg.KEY_TYPE: msg.MSG_MEASURE_REQUEST,
+                msg.KEY_VID: str(vid),
+                msg.KEY_REQUESTED: list(measurements),
+                msg.KEY_NONCE: bytes(fresh),
+                msg.KEY_WINDOW: window_ms,
+                "params": params or {},
+            }
             context = self.telemetry.context()
             if context is not None:
                 request[KEY_TRACE] = context
-            response = self._endpoint.call(str(server), request)
+            return bytes(fresh), self._endpoint.call(str(server), request)
+
+        with self.telemetry.span(
+            SPAN_Q3, server=str(server), vid=str(vid)
+        ):
+            nonce, response = self._retry.run(attempt)
         msg.require_fields(
             response,
             msg.KEY_VID,

@@ -28,6 +28,7 @@ from repro.properties.report import PropertyReport
 from repro.properties.trends import AvailabilityTrendAnalyzer
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q2
+from repro.resilience import RetryPolicy
 from repro.telemetry import (
     KEY_TRACE,
     NULL_TELEMETRY,
@@ -53,6 +54,7 @@ class AttestationServer:
         name: str = ATTESTATION_SERVER_ENDPOINT,
         key_bits: int = 1024,
         telemetry: Telemetry | None = None,
+        retry_policy: "RetryPolicy | None" = None,
     ):
         self.name = name
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -84,6 +86,7 @@ class AttestationServer:
             drbg.fork("appraiser"),
             cost_model,
             telemetry=self.telemetry,
+            retry_policy=retry_policy,
         )
         self.cost = cost_model
         self._seen_n2 = NonceCache()

@@ -336,6 +336,7 @@ def _fastpath_summary(cloud: CloudMonatt) -> str:
 def cmd_health(args: argparse.Namespace) -> int:
     """Render the fleet health scoreboard of a recorded run."""
     from repro.telemetry import (
+        events_from_records,
         render_scoreboard,
         scoreboard_from_records,
         slo_report_from_records,
@@ -363,6 +364,24 @@ def cmd_health(args: argparse.Namespace) -> int:
                         f"{stats['target_ms']:.0f} ms "
                         f"({stats['breached']}/{stats['observed']} breached)")
             print(f"  {leg:24s} {line}")
+    # last-known circuit-breaker state per attestation server (only
+    # present when a breaker transitioned during the run)
+    breaker_last: dict[str, tuple[float, str]] = {}
+    for event in events_from_records(records):
+        if event.get("kind") != "breaker_state":
+            continue
+        fields = event.get("fields", {})
+        breaker_last[str(fields.get("endpoint", ""))] = (
+            float(event.get("time_ms", 0.0)),
+            str(fields.get("state", "")),
+        )
+    if breaker_last:
+        print("\ncircuit breakers:")
+        for endpoint in sorted(breaker_last):
+            time_ms, state = breaker_last[endpoint]
+            marker = "!!" if state != "closed" else "ok"
+            print(f"  {endpoint:24s} {state:10s} "
+                  f"[{marker}] (since t={time_ms:.1f} ms)")
     return 0
 
 

@@ -28,7 +28,9 @@ from repro.crypto.drbg import HmacDrbg
 from repro.lifecycle.flavors import default_flavors, default_images
 from repro.lifecycle.timing import CostModel
 from repro.monitors.integrity_unit import SoftwareInventory
+from repro.network.faults import FaultInjector, FaultSpec
 from repro.network.network import Network
+from repro.resilience import DEFAULT_LEG_TIMEOUTS_MS, RetryPolicy
 from repro.server.node import CloudServer
 from repro.sim.engine import Engine
 from repro.telemetry import Observatory, Telemetry
@@ -57,6 +59,11 @@ class CloudMonatt:
         observatory_enabled: Optional[bool] = None,
         slo_targets: Optional[dict[str, float]] = None,
         alert_streak_threshold: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        leg_timeouts: Optional[dict[str, float]] = None,
+        fault_plan: Optional[dict[str, FaultSpec]] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_after_ms: float = 60_000.0,
     ):
         if num_servers < 1:
             raise StateError("a cloud needs at least one server")
@@ -92,9 +99,19 @@ class CloudMonatt:
         else:
             self.observatory = self.telemetry.observatory
 
+        #: the retry policy shared by every protocol entity (customer,
+        #: attest service, appraiser, periodic push)
+        self.retry_policy = retry_policy
         self.network = Network(
-            self.engine, self.rng.child("network"), latency_ms=network_latency_ms
+            self.engine,
+            self.rng.child("network"),
+            latency_ms=network_latency_ms,
+            leg_timeouts={**DEFAULT_LEG_TIMEOUTS_MS, **(leg_timeouts or {})},
         )
+        if fault_plan:
+            self.network.install_fault_injector(
+                FaultInjector(self.rng.child("faults"), fault_plan)
+            )
         self.cost = CostModel(engine=self.engine, rng=self.rng.child("cost"))
         self.ca = CertificateAuthority(
             "pCA", self._drbg.fork("ca"), key_bits=key_bits
@@ -119,6 +136,7 @@ class CloudMonatt:
                 ),
                 key_bits=key_bits,
                 telemetry=self.telemetry,
+                retry_policy=retry_policy,
             )
             for index in range(num_attestation_servers)
         ]
@@ -137,6 +155,9 @@ class CloudMonatt:
             id_factory=self.ids,
             key_bits=key_bits,
             telemetry=self.telemetry,
+            retry_policy=retry_policy,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_reset_after_ms=breaker_reset_after_ms,
         )
         self.topology = DataCenterTopology(rack_size=rack_size)
         self.controller.response.topology = self.topology
@@ -244,6 +265,7 @@ class CloudMonatt:
             controller_key=self.controller.endpoint.public_key,
             key_bits=self.key_bits,
             telemetry=self.telemetry,
+            retry_policy=self.retry_policy,
         )
         self.customers[name] = customer
         return customer

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import ProtocolError, ReplayError
+from repro.common.errors import CloudMonattError, ProtocolError, ReplayError
 from repro.common.identifiers import VmId
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.drbg import HmacDrbg
@@ -25,6 +25,7 @@ from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q1
+from repro.resilience import RetryExecutor, RetryPolicy, is_transient
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q1, Telemetry
 
 
@@ -45,7 +46,14 @@ class LaunchResult:
 
 @dataclass(frozen=True)
 class VerifiedAttestation:
-    """An attestation report that passed the customer's own checks."""
+    """An attestation report that passed the customer's own checks.
+
+    ``degraded=True`` marks a *locally synthesized* report: the
+    controller stayed unreachable through the whole retry budget, so
+    there is nothing signed to verify — the report only says the VM's
+    health is currently unknown (``UNREACHABLE``), never that it is
+    healthy. See ``docs/FAILURE_MODEL.md``.
+    """
 
     report: PropertyReport
     attest_ms: float
@@ -53,6 +61,9 @@ class VerifiedAttestation:
     #: AS-issued property certificate (present a copy to third parties;
     #: verify with the AS public key and the revocation service)
     certificate: Optional[dict] = None
+    #: True when the report was synthesized locally after retry
+    #: exhaustion (not signed by the controller)
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,7 @@ class Customer:
         key_bits: int = 1024,
         controller_name: str = "controller",
         telemetry: Optional[Telemetry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.name = name
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -102,6 +114,15 @@ class Customer:
         self._nonces = NonceGenerator(drbg.fork("n1"))
         self._network = network
         self._subscriptions: dict[tuple[VmId, str], _SubscriptionState] = {}
+        # NOTE: appended after the endpoint/n1 forks so existing DRBG
+        # streams stay byte-identical across library versions
+        self._retry = RetryExecutor(
+            engine=network.engine,
+            drbg=drbg.fork("retry"),
+            policy=retry_policy,
+            telemetry=self.telemetry,
+            site=f"customer.{name}",
+        )
 
     # ------------------------------------------------------------------
     # VM lifecycle
@@ -176,26 +197,46 @@ class Customer:
         at_startup: bool = False,
     ) -> VerifiedAttestation:
         """One-time attestation (``runtime_attest_current`` /
-        ``startup_attest_current``), with full report verification."""
-        nonce = self._nonces.fresh()
-        request = {
-            msg.KEY_TYPE: (
-                "startup_attest_current" if at_startup else "runtime_attest_current"
-            ),
-            msg.KEY_VID: str(vid),
-            msg.KEY_PROPERTY: prop.value,
-            msg.KEY_NONCE: bytes(nonce),
-        }
-        if window_ms is not None:
-            request[msg.KEY_WINDOW] = float(window_ms)
-        with self.telemetry.span(
-            SPAN_Q1, customer=self.name, vid=str(vid), property=prop.value
-        ):
+        ``startup_attest_current``), with full report verification.
+
+        Transient faults (drops, timeouts, tampered records) are
+        retried with fresh nonces; if the controller stays unreachable
+        through the whole retry budget the customer receives a locally
+        synthesized *degraded* report (``UNREACHABLE``, never healthy)
+        instead of an exception.
+        """
+
+        def attempt() -> tuple[bytes, dict]:
+            # a retry is a fresh protocol round: new nonce N1, so the
+            # controller's replay cache never rejects it
+            nonce = self._nonces.fresh()
+            request = {
+                msg.KEY_TYPE: (
+                    "startup_attest_current"
+                    if at_startup
+                    else "runtime_attest_current"
+                ),
+                msg.KEY_VID: str(vid),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: bytes(nonce),
+            }
+            if window_ms is not None:
+                request[msg.KEY_WINDOW] = float(window_ms)
             context = self.telemetry.context()
             if context is not None:
                 request[KEY_TRACE] = context
-            response = self.endpoint.call(self._controller, request)
-            report = self._verify_report(vid, prop, bytes(nonce), response)
+            return bytes(nonce), self.endpoint.call(self._controller, request)
+
+        with self.telemetry.span(
+            SPAN_Q1, customer=self.name, vid=str(vid), property=prop.value
+        ):
+            try:
+                nonce, response = self._retry.run(attempt)
+            except CloudMonattError as exc:
+                if not is_transient(exc):
+                    raise
+                return self._degraded_attestation(vid, prop, exc)
+            report = self._verify_report(vid, prop, nonce, response)
         return VerifiedAttestation(
             report=report,
             attest_ms=float(response.get("attest_ms", 0.0)),
@@ -203,21 +244,59 @@ class Customer:
             certificate=response.get("certificate"),
         )
 
+    def _degraded_attestation(
+        self, vid: VmId, prop: SecurityProperty, exc: CloudMonattError
+    ) -> VerifiedAttestation:
+        """Synthesize the degraded (UNREACHABLE) report locally.
+
+        The report is *not* a controller-signed verdict: it asserts
+        only that the VM's health could not be observed — a deliberate
+        fail-closed stance (never a forged "healthy").
+        """
+        self.telemetry.counter("resilience.degraded_reports").inc(
+            site=f"customer.{self.name}"
+        )
+        self.telemetry.observe_event(
+            "degraded_attestation",
+            customer=self.name,
+            vid=str(vid),
+            property=prop.value,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        report = PropertyReport(
+            prop=prop,
+            healthy=False,
+            explanation=(
+                f"attestation abandoned after retry exhaustion: {exc}"
+            ),
+            details={"verdict": "UNREACHABLE", "error": type(exc).__name__},
+        )
+        return VerifiedAttestation(report=report, attest_ms=0.0, degraded=True)
+
     def collect_raw_measurements(
         self, vid: VmId, prop: SecurityProperty, window_ms: Optional[float] = None
     ) -> dict:
         """Pass-through mode (§4.1): the validated raw measurements M for
-        a property, leaving interpretation to the customer."""
-        nonce = self._nonces.fresh()
-        request = {
-            msg.KEY_TYPE: "runtime_collect_raw",
-            msg.KEY_VID: str(vid),
-            msg.KEY_PROPERTY: prop.value,
-            msg.KEY_NONCE: bytes(nonce),
-        }
-        if window_ms is not None:
-            request[msg.KEY_WINDOW] = float(window_ms)
-        response = self.endpoint.call(self._controller, request)
+        a property, leaving interpretation to the customer.
+
+        Transient faults retry with fresh nonces; on exhaustion the
+        last error propagates (there is no meaningful degraded form of
+        raw measurements)."""
+
+        def attempt() -> tuple[bytes, dict]:
+            fresh = self._nonces.fresh()
+            request = {
+                msg.KEY_TYPE: "runtime_collect_raw",
+                msg.KEY_VID: str(vid),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: bytes(fresh),
+            }
+            if window_ms is not None:
+                request[msg.KEY_WINDOW] = float(window_ms)
+            return bytes(fresh), self.endpoint.call(self._controller, request)
+
+        nonce, response = self._retry.run(attempt)
         msg.require_fields(
             response, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_MEASUREMENTS,
             msg.KEY_NONCE, msg.KEY_QUOTE, msg.KEY_SIGNATURE,

@@ -49,6 +49,33 @@ class NetworkError(CloudMonattError):
     destination endpoint does not exist)."""
 
 
+class UnknownEndpointError(NetworkError):
+    """The destination endpoint is not registered on the network.
+
+    Distinguished from transient delivery failures because retrying is
+    pointless: a decommissioned server does not come back by waiting.
+    The resilience layer classifies this as non-retriable.
+    """
+
+
+class LegTimeoutError(NetworkError):
+    """A wire crossing exceeded the configured per-leg timeout.
+
+    Deterministic: the simulated clock still advances by exactly the
+    timeout budget before this raises, so same-seed runs time out at
+    identical instants. Classified as transient (retriable)."""
+
+
+class RecordError(ProtocolError):
+    """A secure-channel *record* could not be authenticated or parsed.
+
+    Record-layer damage (tampered ciphertext, desynchronized sequence
+    state, a record for a torn-down channel) is repaired by a fresh
+    handshake, so the resilience layer treats this as transient —
+    unlike application-level :class:`ProtocolError`\\ s, which retrying
+    cannot fix."""
+
+
 class PlacementError(CloudMonattError):
     """No cloud server satisfies a VM's resource + security-property needs."""
 

@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import CloudMonattError, PlacementError, ProtocolError
+from repro.common.errors import (
+    CloudMonattError,
+    PlacementError,
+    ProtocolError,
+    ReplayError,
+)
 from repro.common.identifiers import CustomerId, IdFactory, ServerId, VmId
 from repro.controller.attest_service import AttestService
 from repro.controller.database import NovaDatabase
@@ -42,6 +47,7 @@ from repro.network.secure_channel import SecureEndpoint
 from repro.properties.catalog import PropertyCatalog, SecurityProperty
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q1
+from repro.resilience import RetryExecutor, RetryPolicy, is_transient
 from repro.sim.engine import Engine, EventHandle
 from repro.telemetry import (
     KEY_TRACE,
@@ -103,6 +109,9 @@ class CloudController:
         key_bits: int = 1024,
         name: str = CONTROLLER_ENDPOINT,
         telemetry: Optional[Telemetry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_after_ms: float = 60_000.0,
     ):
         self.engine = engine
         self.rng = rng
@@ -131,6 +140,9 @@ class CloudController:
             drbg.fork("attest"),
             cost_model,
             telemetry=self.telemetry,
+            retry_policy=retry_policy,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_reset_after_ms=breaker_reset_after_ms,
         )
         self.response = ResponseModule(
             self.endpoint,
@@ -147,6 +159,15 @@ class CloudController:
         #: (the paper's §4 "logging, auditing and provenance mechanisms")
         self.provenance = AuditLog()
         self.response.provenance = self.provenance
+        # periodic-push retry; forked last so earlier DRBG streams stay
+        # byte-identical across library versions
+        self._push_retry = RetryExecutor(
+            engine=engine,
+            drbg=drbg.fork("push-retry"),
+            policy=retry_policy,
+            telemetry=self.telemetry,
+            site="controller.push",
+        )
 
     def _record_provenance(self, vid: VmId, event: str, **payload) -> None:
         self.provenance.append(
@@ -446,7 +467,10 @@ class CloudController:
                 vid, prop, window_ms=body.get(msg.KEY_WINDOW)
             )
             response_info = None
-            if not outcome.report.healthy and self.auto_respond:
+            # a degraded (UNREACHABLE) outcome is not a verdict on the
+            # VM — remediating on it would punish a healthy VM for an
+            # unreachable attestation server
+            if not outcome.report.healthy and self.auto_respond and not outcome.degraded:
                 response_outcome = self.response.respond(vid, prop)
                 response_info = {
                     "action": response_outcome.action.value,
@@ -589,7 +613,7 @@ class CloudController:
             self._schedule_next(subscription)
             return
         response_info = None
-        if not outcome.report.healthy and self.auto_respond:
+        if not outcome.report.healthy and self.auto_respond and not outcome.degraded:
             action = self.response.policy_for(subscription.prop)
             if action is not ResponseAction.NONE:
                 try:
@@ -627,10 +651,20 @@ class CloudController:
             "response": response_info,
         }
         try:
-            self.endpoint.call(subscription.customer, push)
+            self._push_retry.run(
+                lambda: self.endpoint.call(subscription.customer, push),
+                # a ReplayError from the customer means the push already
+                # landed — re-sending the same seq can never succeed
+                classify=lambda e: is_transient(e) and not isinstance(e, ReplayError),
+            )
+        except ReplayError:
+            # the customer already processed this push and only the
+            # acknowledgement was lost: delivered, nothing to do
+            pass
         except CloudMonattError as exc:
-            # the customer endpoint being unreachable must not kill the
-            # periodic loop; results keep accumulating in the AS log
+            # the customer endpoint staying unreachable through the
+            # retry budget must not kill the periodic loop; results
+            # keep accumulating in the AS log
             self.telemetry.observe_event(
                 "unreachable", endpoint=subscription.customer, detail=str(exc)
             )

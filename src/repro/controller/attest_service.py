@@ -14,8 +14,10 @@ quote Q2, nonce echo, and field binding.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.errors import (
+    CloudMonattError,
     NetworkError,
     ProtocolError,
     ReplayError,
@@ -33,6 +35,12 @@ from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import report_quote_q2
+from repro.resilience import (
+    CircuitBreaker,
+    RetryExecutor,
+    RetryPolicy,
+    is_transient,
+)
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q2, Telemetry
 
 
@@ -53,6 +61,10 @@ class AttestationOutcome:
     attest_ms: float
     #: the AS-issued property certificate (transportable dict), if any
     certificate: dict | None = None
+    #: True for a degraded (UNREACHABLE) report served while the AS
+    #: circuit is open — not a verdict on the VM, so it must never
+    #: trigger remediation
+    degraded: bool = False
 
 
 class AttestService:
@@ -66,6 +78,9 @@ class AttestService:
         cost_model: CostModel,
         attestation_server_name: str = "attestation-server",
         telemetry: Telemetry | None = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_after_ms: float = 60_000.0,
     ):
         self._endpoint = endpoint
         self._db = database
@@ -74,6 +89,47 @@ class AttestService:
         self._as_keys: dict[str, RsaPublicKey] = {}
         self.cost = cost_model
         self.telemetry = telemetry or NULL_TELEMETRY
+        # NOTE: appended after the n2 fork so the nonce stream stays
+        # byte-identical across library versions
+        self._retry = RetryExecutor(
+            engine=cost_model.engine,
+            drbg=drbg.fork("retry"),
+            policy=retry_policy,
+            telemetry=self.telemetry,
+            site="controller.attest",
+        )
+        self._breaker_threshold = breaker_failure_threshold
+        self._breaker_reset_ms = breaker_reset_after_ms
+        #: one circuit breaker per attestation-server endpoint
+        self.breakers: dict[str, CircuitBreaker] = {}
+
+    def _breaker(self, as_name: str) -> CircuitBreaker:
+        breaker = self.breakers.get(as_name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                clock=lambda: self.cost.engine.now,
+                failure_threshold=self._breaker_threshold,
+                reset_after_ms=self._breaker_reset_ms,
+                on_transition=(
+                    lambda old, new, name=as_name: self._on_breaker_transition(
+                        name, old, new
+                    )
+                ),
+            )
+            self.breakers[as_name] = breaker
+        return breaker
+
+    def _on_breaker_transition(self, as_name: str, old: str, new: str) -> None:
+        self.telemetry.counter("resilience.breaker_transitions").inc(
+            endpoint=as_name, to=new
+        )
+        self.telemetry.observe_event(
+            "breaker_state", endpoint=as_name, state=new, previous=old
+        )
+
+    def breaker_state(self, as_name: str | None = None) -> str:
+        """Current breaker state for one AS (default: the default AS)."""
+        return self._breaker(as_name or self._default_as).state
 
     def set_attestation_server_key(
         self, key: RsaPublicKey, name: str | None = None
@@ -100,38 +156,67 @@ class AttestService:
 
         ``accumulate=True`` asks the Attestation Server to merge this
         round with earlier ones (the periodic mode of §3.2.1).
+
+        Transport failures are retried (fresh N2 each attempt); repeated
+        round failures open the per-AS circuit breaker, after which the
+        service returns a degraded ``UNREACHABLE`` outcome carrying the
+        scoreboard's last-known server health instead of raising.
         """
         record = self._db.vm(vid)
         if record.server is None:
             raise ProtocolError(f"VM {vid} has no assigned server")
         started = self.cost.engine.now
-        nonce = self._nonces.fresh()
         self.cost.charge("db_access")
         as_name = self._as_for(record)
-        request = {
-            msg.KEY_TYPE: msg.MSG_ATTEST_REQUEST,
-            msg.KEY_VID: str(vid),
-            msg.KEY_SERVER: str(record.server),
-            msg.KEY_PROPERTY: prop.value,
-            msg.KEY_NONCE: bytes(nonce),
-        }
-        if window_ms is not None:
-            request[msg.KEY_WINDOW] = float(window_ms)
-        if accumulate:
-            request["accumulate"] = True
-        with self.telemetry.span(
-            SPAN_Q2, vid=str(vid), property=prop.value, attestation_server=as_name
-        ):
+        breaker = self._breaker(as_name)
+        if not breaker.allow():
+            return self._degraded_outcome(
+                vid, prop, record, as_name, breaker,
+                reason="circuit open", started=started,
+            )
+
+        def attempt() -> dict:
+            # each retry is a fresh round with a fresh nonce N2, so the
+            # AS replay cache accepts it
+            fresh = self._nonces.fresh()
+            request = {
+                msg.KEY_TYPE: msg.MSG_ATTEST_REQUEST,
+                msg.KEY_VID: str(vid),
+                msg.KEY_SERVER: str(record.server),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: bytes(fresh),
+            }
+            if window_ms is not None:
+                request[msg.KEY_WINDOW] = float(window_ms)
+            if accumulate:
+                request["accumulate"] = True
             context = self.telemetry.context()
             if context is not None:
                 request[KEY_TRACE] = context
+            return {"nonce": bytes(fresh), "response": self._endpoint.call(as_name, request)}
+
+        with self.telemetry.span(
+            SPAN_Q2, vid=str(vid), property=prop.value, attestation_server=as_name
+        ):
             try:
-                response = self._endpoint.call(as_name, request)
-            except NetworkError as exc:
-                self.telemetry.observe_event(
-                    "unreachable", endpoint=as_name, detail=str(exc)
-                )
+                round_result = self._retry.run(attempt)
+            except CloudMonattError as exc:
+                if not is_transient(exc):
+                    raise
+                if isinstance(exc, NetworkError):
+                    self.telemetry.observe_event(
+                        "unreachable", endpoint=as_name, detail=str(exc)
+                    )
+                breaker.record_failure()
+                if not breaker.allow():
+                    return self._degraded_outcome(
+                        vid, prop, record, as_name, breaker,
+                        reason=str(exc), started=started,
+                    )
                 raise
+            breaker.record_success()
+            nonce = round_result["nonce"]
+            response = round_result["response"]
             try:
                 report = self._validate(vid, prop, bytes(nonce), response, as_name)
             except (ProtocolError, ReplayError, SignatureError) as exc:
@@ -163,6 +248,63 @@ class AttestService:
             certificate=response.get("certificate"),
         )
 
+    def _degraded_outcome(
+        self,
+        vid: VmId,
+        prop: SecurityProperty,
+        record,
+        as_name: str,
+        breaker: CircuitBreaker,
+        reason: str,
+        started: float,
+    ) -> AttestationOutcome:
+        """Serve the degraded (UNREACHABLE) report for a dark AS.
+
+        Fail-closed: ``healthy=False`` with the verdict marked
+        ``UNREACHABLE`` — the VM is unobservable, not known-bad — plus
+        the scoreboard's last-known health for the hosting server so
+        the customer sees the most recent evidence we have.
+        """
+        details: dict = {
+            "verdict": "UNREACHABLE",
+            "attestation_server": as_name,
+            "breaker_state": breaker.state,
+            "reason": reason,
+        }
+        observatory = self.telemetry.observatory
+        if observatory is not None:
+            details["last_known_health"] = {
+                "server": str(record.server),
+                "score": observatory.scoreboard.server_score(str(record.server)),
+            }
+        report = PropertyReport(
+            prop=prop,
+            healthy=False,
+            explanation=(
+                f"attestation server {as_name!r} unreachable "
+                f"(circuit {breaker.state}): {reason}; "
+                "last-known scoreboard health attached"
+            ),
+            details=details,
+        )
+        self.telemetry.counter("resilience.degraded_reports").inc(
+            site="controller.attest"
+        )
+        self.telemetry.observe_event(
+            "degraded_attestation",
+            vid=str(vid),
+            property=prop.value,
+            attestation_server=as_name,
+            breaker_state=breaker.state,
+            detail=reason,
+        )
+        return AttestationOutcome(
+            report=report,
+            attest_ms=self.cost.engine.now - started,
+            certificate=None,
+            degraded=True,
+        )
+
     def collect_raw(
         self, vid: VmId, prop: SecurityProperty, window_ms: float | None = None
     ) -> dict:
@@ -170,19 +312,23 @@ class AttestService:
         record = self._db.vm(vid)
         if record.server is None:
             raise ProtocolError(f"VM {vid} has no assigned server")
-        nonce = self._nonces.fresh()
         self.cost.charge("db_access")
         as_name = self._as_for(record)
-        request = {
-            msg.KEY_TYPE: "raw_measure_request",
-            msg.KEY_VID: str(vid),
-            msg.KEY_SERVER: str(record.server),
-            msg.KEY_PROPERTY: prop.value,
-            msg.KEY_NONCE: bytes(nonce),
-        }
-        if window_ms is not None:
-            request[msg.KEY_WINDOW] = float(window_ms)
-        response = self._endpoint.call(as_name, request)
+
+        def attempt() -> tuple[bytes, dict]:
+            fresh = self._nonces.fresh()
+            request = {
+                msg.KEY_TYPE: "raw_measure_request",
+                msg.KEY_VID: str(vid),
+                msg.KEY_SERVER: str(record.server),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: bytes(fresh),
+            }
+            if window_ms is not None:
+                request[msg.KEY_WINDOW] = float(window_ms)
+            return bytes(fresh), self._endpoint.call(as_name, request)
+
+        nonce, response = self._retry.run(attempt)
         msg.require_fields(
             response, msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY,
             msg.KEY_MEASUREMENTS, msg.KEY_NONCE, msg.KEY_QUOTE, msg.KEY_SIGNATURE,

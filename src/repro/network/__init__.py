@@ -10,6 +10,9 @@ provides:
   model and an attacker interposition point on every wire crossing.
 - :mod:`repro.network.attacker` — attacker implementations: passive
   eavesdropper, bit-flipping tamperer, replayer, dropper and forger.
+- :mod:`repro.network.faults` — the *environment* fault model: seeded
+  probabilistic drop/delay/corrupt per protocol leg, for exercising the
+  resilience layer (``docs/FAILURE_MODEL.md``).
 - :class:`~repro.network.secure_channel.SecureEndpoint` — the SSL-like
   layer: certificate-authenticated RSA key transport handshakes yielding
   per-pair symmetric session keys (the Kx/Ky/Kz of paper Fig. 3), then
@@ -23,6 +26,7 @@ from repro.network.attacker import (
     ReplayAttacker,
     TamperAttacker,
 )
+from repro.network.faults import FaultInjector, FaultSpec
 from repro.network.network import Envelope, Network
 from repro.network.secure_channel import SecureEndpoint
 
@@ -30,6 +34,8 @@ __all__ = [
     "DropAttacker",
     "Eavesdropper",
     "Envelope",
+    "FaultInjector",
+    "FaultSpec",
     "ForgeAttacker",
     "Network",
     "ReplayAttacker",

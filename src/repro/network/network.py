@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
-from repro.common.errors import NetworkError
+from repro.common.errors import LegTimeoutError, NetworkError, UnknownEndpointError
 from repro.common.rng import DeterministicRng
+from repro.resilience.legs import leg_of
 from repro.sim.engine import Engine
 
 
@@ -49,6 +50,7 @@ class Network:
         rng: DeterministicRng,
         latency_ms: float = 0.35,
         latency_jitter: float = 0.15,
+        leg_timeouts: Optional[dict[str, float]] = None,
     ):
         if latency_ms < 0:
             raise NetworkError("latency cannot be negative")
@@ -56,8 +58,16 @@ class Network:
         self._rng = rng
         self.latency_ms = latency_ms
         self.latency_jitter = latency_jitter
+        #: per-leg crossing budgets in ms (see repro.resilience.legs);
+        #: a crossing that would exceed its leg's budget raises
+        #: LegTimeoutError after advancing the clock by exactly the
+        #: budget. Legs absent from the dict never time out.
+        self.leg_timeouts: dict[str, float] = dict(leg_timeouts or {})
         self._handlers: dict[str, Callable[[str, bytes], bytes]] = {}
         self.attacker: Optional[WireAttacker] = None
+        #: environment fault model (see repro.network.faults); applied
+        #: after the attacker, before latency
+        self.fault_injector = None
         #: total messages carried (for the performance evaluation)
         self.messages_sent = 0
         #: total bytes carried
@@ -77,8 +87,12 @@ class Network:
         """Put an attacker on the wire (or remove with ``None``)."""
         self.attacker = attacker
 
+    def install_fault_injector(self, injector) -> None:
+        """Put an environment fault model on the wire (``None`` removes)."""
+        self.fault_injector = injector
+
     def _cross_wire(self, envelope: Envelope) -> bytes:
-        """One direction of transit: attacker, then latency."""
+        """One direction of transit: attacker, faults, then latency."""
         payload: Optional[bytes] = envelope.payload
         if self.attacker is not None:
             payload = self.attacker.process(envelope)
@@ -87,7 +101,27 @@ class Network:
                 f"message {envelope.sender} -> {envelope.receiver} "
                 "dropped in transit"
             )
-        latency = self._rng.jitter(self.latency_ms, self.latency_jitter)
+        extra_delay = 0.0
+        leg = None
+        if self.fault_injector is not None or self.leg_timeouts:
+            leg = leg_of(envelope.sender, envelope.receiver)
+        if self.fault_injector is not None:
+            payload, extra_delay = self.fault_injector.apply(leg, envelope, payload)
+            if payload is None:
+                raise NetworkError(
+                    f"message {envelope.sender} -> {envelope.receiver} "
+                    "dropped in transit (injected fault)"
+                )
+        latency = self._rng.jitter(self.latency_ms, self.latency_jitter) + extra_delay
+        timeout = self.leg_timeouts.get(leg) if leg is not None else None
+        if timeout is not None and latency > timeout:
+            # deterministic timeout: the caller waits out exactly its
+            # budget before giving up on the crossing
+            self.engine.run_until(self.engine.now + timeout)
+            raise LegTimeoutError(
+                f"crossing {envelope.sender} -> {envelope.receiver} exceeded "
+                f"the {timeout:.0f} ms budget for leg {leg!r}"
+            )
         self.engine.run_until(self.engine.now + latency)
         self.messages_sent += 1
         self.bytes_sent += len(payload)
@@ -97,7 +131,7 @@ class Network:
         """Send a request and return the response, paying latency each way."""
         handler = self._handlers.get(receiver)
         if handler is None:
-            raise NetworkError(f"no endpoint {receiver!r} on the network")
+            raise UnknownEndpointError(f"no endpoint {receiver!r} on the network")
         delivered = self._cross_wire(
             Envelope(sender=sender, receiver=receiver, payload=request)
         )

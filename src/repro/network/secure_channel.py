@@ -26,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.common.errors import CryptoError, ProtocolError, ReplayError, SignatureError
+from repro.common.errors import (
+    CryptoError,
+    ProtocolError,
+    RecordError,
+    ReplayError,
+    SignatureError,
+)
 from repro.crypto.certificates import (
     Certificate,
     CertificateAuthority,
@@ -130,7 +136,7 @@ class SecureEndpoint:
     def _expect(message: Any, msg_type: str) -> dict:
         """Validate a decoded wire message's type tag."""
         if not isinstance(message, dict) or message.get("t") != msg_type:
-            raise ProtocolError(f"expected {msg_type!r} message")
+            raise RecordError(f"expected {msg_type!r} message")
         return message
 
     @staticmethod
@@ -144,7 +150,7 @@ class SecureEndpoint:
         seq = message.get("seq")
         sealed = message.get("sealed")
         if not isinstance(seq, int) or not isinstance(sealed, (bytes, bytearray)):
-            raise ProtocolError("malformed data record")
+            raise RecordError("malformed data record")
         return seq, bytes(sealed)
 
     # ------------------------------------------------------------------
@@ -243,7 +249,7 @@ class SecureEndpoint:
     def _on_wire(self, sender: str, wire: bytes) -> bytes:
         message = decode(wire)
         if not isinstance(message, dict) or "t" not in message:
-            raise ProtocolError("malformed wire message")
+            raise RecordError("malformed wire message")
         msg_type = message["t"]
         if msg_type == "hello":
             if self._hello_ack_wire is not None:
@@ -255,7 +261,7 @@ class SecureEndpoint:
             return self._accept_handshake(message)
         if msg_type == "data":
             return self._accept_data(message)
-        raise ProtocolError(f"unknown message type {msg_type!r}")
+        raise RecordError(f"unknown message type {msg_type!r}")
 
     def _accept_handshake(self, message: dict) -> bytes:
         transcript = message["transcript"]
@@ -282,10 +288,13 @@ class SecureEndpoint:
     def _accept_data(self, message: dict) -> bytes:
         peer = message.get("from")
         if not isinstance(peer, str):
-            raise ProtocolError("malformed data record (sender)")
+            raise RecordError("malformed data record (sender)")
         channel = self._channels.get(peer)
         if channel is None:
-            raise ProtocolError(f"no established channel with {peer!r}")
+            # the responder lost (or never had) session state for this
+            # peer; a fresh initiator handshake repairs it, so this is a
+            # RecordError — transient for the resilience layer
+            raise RecordError(f"no established channel with {peer!r}")
         seq, sealed = self._record_fields(message)
         if seq != channel.recv_seq:
             raise ReplayError(f"record sequence {seq} != expected {channel.recv_seq}")

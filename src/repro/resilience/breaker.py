@@ -1,0 +1,103 @@
+"""A circuit breaker on the simulation clock.
+
+Classic three-state breaker (closed → open → half-open), driven by a
+deterministic clock so same-seed runs transition at identical instants:
+
+- **closed** — operations flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` opens the circuit;
+- **open** — operations are refused outright (the caller serves a
+  degraded answer instead of burning retries against a dark peer)
+  until ``reset_after_ms`` of simulated time has passed;
+- **half-open** — exactly one probe operation is allowed through;
+  success closes the circuit, failure re-opens it for another full
+  reset window.
+
+Failures are counted per *operation* (a whole retried round), not per
+attempt — a single round that exhausts three retries is one failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigurationError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: transition hook: ``callback(old_state, new_state)``
+TransitionCallback = Callable[[str, str], None]
+
+
+class CircuitBreaker:
+    """Per-peer failure gate with deterministic timing."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        failure_threshold: int = 3,
+        reset_after_ms: float = 60_000.0,
+        on_transition: Optional[TransitionCallback] = None,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure threshold must be >= 1")
+        if reset_after_ms <= 0:
+            raise ConfigurationError("reset window must be positive")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_after_ms = reset_after_ms
+        self.on_transition = on_transition
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at_ms: float = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for reset-window expiry."""
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at_ms >= self.reset_after_ms
+        ):
+            self._transition(STATE_HALF_OPEN)
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt an operation right now.
+
+        In half-open state this admits the probe; the breaker stays
+        half-open until the probe's outcome is recorded, which in the
+        single-threaded simulation means exactly one probe at a time.
+        """
+        return self.state != STATE_OPEN
+
+    def record_success(self) -> None:
+        """A completed operation: close the circuit, clear the count."""
+        self._failures = 0
+        if self._state != STATE_CLOSED:
+            self._transition(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        """A failed operation: count it; maybe open the circuit."""
+        state = self.state
+        if state == STATE_HALF_OPEN:
+            # the probe failed: straight back to open, fresh window
+            self._open()
+            return
+        self._failures += 1
+        if state == STATE_CLOSED and self._failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at_ms = self._clock()
+        self._transition(STATE_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if self.on_transition is not None and old_state != new_state:
+            self.on_transition(old_state, new_state)

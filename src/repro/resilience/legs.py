@@ -1,0 +1,79 @@
+"""The four protocol legs of Fig. 3, as wire-level classifications.
+
+Every secure-channel crossing happens between two named endpoints; the
+endpoint naming convention (``controller``, ``attestation-server[-N]``,
+``server-NNNN``, ``pca``, anything else = a customer) is stable enough
+to classify each crossing into one of the paper's protocol legs:
+
+- ``customer_controller`` — Table 1 requests and report delivery
+  (carries N1/Q1), including periodic-result pushes;
+- ``controller_as`` — attestation brokering (N2/Q2);
+- ``as_server`` — the measurement round (N3/Q3);
+- ``controller_server`` — VM lifecycle commands (spawn, terminate,
+  migrate) from the controller to a cloud server.
+
+pCA enrollment traffic is deliberately *not* a protocol leg: it is
+trusted setup, outside the attestation path, so the fault injector and
+per-leg timeouts never touch it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+LEG_CUSTOMER_CONTROLLER = "customer_controller"
+LEG_CONTROLLER_AS = "controller_as"
+LEG_AS_SERVER = "as_server"
+LEG_CONTROLLER_SERVER = "controller_server"
+
+#: the four Fig. 3 legs, in protocol order
+PROTOCOL_LEGS: tuple[str, ...] = (
+    LEG_CUSTOMER_CONTROLLER,
+    LEG_CONTROLLER_AS,
+    LEG_AS_SERVER,
+    LEG_CONTROLLER_SERVER,
+)
+
+#: Default per-leg timeout budget in simulated ms. Generous against the
+#: default 55 ms crossing latency — a timeout should mean "injected
+#: pathological delay", never a healthy-but-slow round.
+DEFAULT_LEG_TIMEOUTS_MS: dict[str, float] = {
+    LEG_CUSTOMER_CONTROLLER: 10_000.0,
+    LEG_CONTROLLER_AS: 10_000.0,
+    LEG_AS_SERVER: 10_000.0,
+    LEG_CONTROLLER_SERVER: 10_000.0,
+}
+
+_ROLE_CONTROLLER = "controller"
+_ROLE_AS = "as"
+_ROLE_SERVER = "server"
+_ROLE_PCA = "pca"
+_ROLE_CUSTOMER = "customer"
+
+_LEG_BY_ROLES: dict[frozenset, str] = {
+    frozenset({_ROLE_CUSTOMER, _ROLE_CONTROLLER}): LEG_CUSTOMER_CONTROLLER,
+    frozenset({_ROLE_CONTROLLER, _ROLE_AS}): LEG_CONTROLLER_AS,
+    frozenset({_ROLE_AS, _ROLE_SERVER}): LEG_AS_SERVER,
+    frozenset({_ROLE_CONTROLLER, _ROLE_SERVER}): LEG_CONTROLLER_SERVER,
+}
+
+
+def _role(endpoint: str) -> str:
+    if endpoint == "controller":
+        return _ROLE_CONTROLLER
+    if endpoint.startswith("attestation-server"):
+        return _ROLE_AS
+    if endpoint.startswith("server-"):
+        return _ROLE_SERVER
+    if endpoint == "pca":
+        return _ROLE_PCA
+    return _ROLE_CUSTOMER
+
+
+def leg_of(sender: str, receiver: str) -> Optional[str]:
+    """Classify one crossing into a Fig. 3 leg (direction-agnostic).
+
+    Returns ``None`` for traffic outside the attestation path (pCA
+    enrollment, or exotic endpoint pairings a test wires up directly).
+    """
+    return _LEG_BY_ROLES.get(frozenset({_role(sender), _role(receiver)}))

@@ -1,0 +1,166 @@
+"""Deterministic retries: capped exponential backoff on the sim clock.
+
+Production RPC stacks (the OpenStack tooling in PAPERS.md) wrap every
+call in retry discipline; this module does the same without breaking
+replayability. Two sources of nondeterminism are eliminated:
+
+1. **Jitter** comes from a dedicated :class:`~repro.crypto.drbg.HmacDrbg`
+   fork, not wall-clock entropy — the jitter fraction for attempt *k*
+   is a pure function of the seed and the number of prior draws.
+2. **Waiting** advances the shared discrete-event engine
+   (``engine.run_until``), exactly like a wire crossing pays latency —
+   so backoff interleaves deterministically with scheduler events,
+   measurement windows and periodic attestation fires.
+
+Retry is *operation-level*, not message-level: the retried closure
+mints a fresh nonce each attempt, so a retry is a brand-new protocol
+round and never trips the receiver's replay cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.common.errors import (
+    CloudMonattError,
+    ConfigurationError,
+    CryptoError,
+    NetworkError,
+    RecordError,
+    ReplayError,
+    UnknownEndpointError,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.sim.engine import Engine
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+T = TypeVar("T")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying can plausibly fix this failure.
+
+    Transient: delivery failures (drops, timeouts — but not an
+    unregistered endpoint), record-layer damage (a fresh handshake
+    repairs the channel), tamper-induced crypto failures, and replayed
+    or stale nonces (the retry mints a fresh one). Everything else —
+    application-level protocol errors, state errors, placement errors —
+    is deterministic and retrying would only repeat it.
+    """
+    if isinstance(exc, UnknownEndpointError):
+        return False
+    return isinstance(exc, (NetworkError, RecordError, CryptoError, ReplayError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with DRBG-derived jitter.
+
+    The delay before retry attempt *k* (k = 1 for the first retry) is
+    ``min(base * multiplier**(k-1), max_delay) * (1 + jitter * unit)``
+    where ``unit`` is a uniform draw in [0, 1) from the executor's DRBG
+    fork. ``max_attempts`` counts the initial try, so ``max_attempts=1``
+    means no retries at all.
+    """
+
+    max_attempts: int = 4
+    base_delay_ms: float = 40.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 2_000.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ConfigurationError("backoff delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter fraction must be in [0, 1]")
+
+    def backoff_ms(self, attempt: int, unit: float) -> float:
+        """Delay before retry ``attempt`` (1-based), given a jitter unit."""
+        delay = min(
+            self.base_delay_ms * self.multiplier ** (attempt - 1),
+            self.max_delay_ms,
+        )
+        return delay * (1.0 + self.jitter * unit)
+
+
+#: The library default: 1 try + 3 retries, 40/80/160 ms base backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Disable retries while keeping the executor plumbing in place.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class RetryExecutor:
+    """Runs operations under a :class:`RetryPolicy`, deterministically.
+
+    One executor per call-site owner (customer, attest service,
+    appraiser), each with its own DRBG fork so jitter streams never
+    interleave across entities.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        drbg: HmacDrbg,
+        policy: Optional[RetryPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        site: str = "",
+    ):
+        self.engine = engine
+        self.policy = policy or DEFAULT_RETRY_POLICY
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.site = site
+        self._drbg = drbg
+
+    def _jitter_unit(self) -> float:
+        return int.from_bytes(self._drbg.generate(8), "big") / 2**64
+
+    def run(
+        self,
+        operation: Callable[[], T],
+        classify: Callable[[BaseException], bool] = is_transient,
+    ) -> T:
+        """Call ``operation`` until it succeeds or the policy is spent.
+
+        Only exceptions ``classify`` deems transient are retried; the
+        rest propagate immediately. On exhaustion the *last* transient
+        exception propagates (after a ``retry_giveup`` event).
+        """
+        policy = self.policy
+        last_error: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return operation()
+            except CloudMonattError as exc:
+                if not classify(exc):
+                    raise
+                last_error = exc
+                if attempt >= policy.max_attempts:
+                    break
+                delay = policy.backoff_ms(attempt, self._jitter_unit())
+                self.telemetry.counter("resilience.retries").inc(site=self.site)
+                self.telemetry.observe_event(
+                    "retry",
+                    site=self.site,
+                    attempt=attempt,
+                    backoff_ms=delay,
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
+                self.engine.run_until(self.engine.now + delay)
+        self.telemetry.counter("resilience.giveups").inc(site=self.site)
+        self.telemetry.observe_event(
+            "retry_giveup",
+            site=self.site,
+            attempts=policy.max_attempts,
+            error=type(last_error).__name__,
+            detail=str(last_error),
+        )
+        assert last_error is not None
+        raise last_error

@@ -12,8 +12,10 @@ from repro.telemetry.observatory.alerts import (
     Alert,
     AlertEngine,
     AlertRule,
+    BreakerOpenRule,
     FailureStreakRule,
     LatencySloRule,
+    RetryStormRule,
     UnreachableRule,
     VerificationSpikeRule,
     default_rules,
@@ -37,6 +39,7 @@ __all__ = [
     "Alert",
     "AlertEngine",
     "AlertRule",
+    "BreakerOpenRule",
     "DEFAULT_SLO_TARGETS",
     "EVENT_ATTESTATION",
     "EVENT_COLLECTION_FAILURE",
@@ -48,6 +51,7 @@ __all__ = [
     "LatencySloRule",
     "Observatory",
     "ObservatoryEvent",
+    "RetryStormRule",
     "SEVERITY_CRITICAL",
     "SEVERITY_WARNING",
     "TraceStore",

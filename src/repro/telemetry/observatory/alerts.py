@@ -20,6 +20,10 @@ Rules mirror the paper's operational concerns:
   failures clustered inside a sliding window (an active attacker or a
   desynchronized component, not a one-off glitch).
 - :class:`UnreachableRule` — an endpoint could not be reached.
+- :class:`RetryStormRule` — protocol retries clustered inside a sliding
+  window (backoff is masking a degrading network).
+- :class:`BreakerOpenRule` — a per-AS circuit breaker opened (the
+  controller is serving degraded ``UNREACHABLE`` reports).
 
 Duplicate suppression is engine-level: one alert per (rule, scope)
 while the condition stays active; rules call :meth:`AlertEngine.clear`
@@ -254,6 +258,75 @@ class UnreachableRule(AlertRule):
         )
 
 
+class RetryStormRule(AlertRule):
+    """Retries clustered in a sliding window: the network is degrading.
+
+    A handful of isolated retries is normal life on a lossy wire; a
+    burst of them per window means backoff is masking a systemic
+    problem an operator should see before breakers start opening.
+    """
+
+    name = "retry_storm"
+    severity = SEVERITY_WARNING
+
+    def __init__(self, threshold: int = 6, window_ms: float = 60_000.0):
+        self.threshold = threshold
+        self.window_ms = window_ms
+        self._recent: deque[float] = deque()
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "retry":
+            return
+        self._recent.append(event.time_ms)
+        while self._recent and event.time_ms - self._recent[0] > self.window_ms:
+            self._recent.popleft()
+        if len(self._recent) >= self.threshold:
+            fired = engine.fire(
+                self,
+                scope="network",
+                message=(
+                    f"{len(self._recent)} protocol retries within "
+                    f"{self.window_ms:.0f} ms"
+                ),
+                count=len(self._recent),
+                window_ms=self.window_ms,
+                last_site=str(event.fields.get("site", "")),
+                last_error=str(event.fields.get("error", "")),
+            )
+            if fired is not None:
+                # one alert per storm: re-arm only after a fresh burst
+                self._recent.clear()
+                engine.clear(self, "network")
+
+
+class BreakerOpenRule(AlertRule):
+    """A circuit breaker opened: an attestation server is dark.
+
+    Fires on the open transition and re-arms when the breaker closes
+    again (a half-open probe succeeded), so a flapping breaker alerts
+    once per open period.
+    """
+
+    name = "circuit_breaker_open"
+    severity = SEVERITY_CRITICAL
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "breaker_state":
+            return
+        endpoint = str(event.fields.get("endpoint", ""))
+        state = str(event.fields.get("state", ""))
+        if state == "open":
+            engine.fire(
+                self,
+                scope=endpoint,
+                message=f"circuit breaker for {endpoint} opened",
+                endpoint=endpoint,
+                previous=str(event.fields.get("previous", "")),
+            )
+        elif state == "closed":
+            engine.clear(self, endpoint)
+
+
 def default_rules(
     slo_targets: Optional[dict[str, float]] = None,
     streak_threshold: int = 3,
@@ -264,6 +337,8 @@ def default_rules(
         LatencySloRule(targets=slo_targets),
         VerificationSpikeRule(),
         UnreachableRule(),
+        RetryStormRule(),
+        BreakerOpenRule(),
     ]
 
 

@@ -1,16 +1,19 @@
 """Failure injection against the full stack.
 
 The architecture's promise is not that attacks cannot happen on the
-wire — it is that no attack yields a *forged healthy report*. Every
-injected failure must surface as an error or an unhealthy verdict,
-never as silently wrong data; and transient failures must not wedge
-long-running machinery like the periodic attestation loop.
+wire — it is that no attack yields a *forged healthy report*. With the
+resilience layer (``src/repro/resilience/``), transient faults are
+absorbed: protocol calls retry with fresh nonces, torn channels
+re-handshake automatically on the next attempt, and a *persistent*
+fault surfaces as a degraded ``UNREACHABLE`` verdict — unhealthy,
+fail-closed — rather than an exception or silently wrong data.
+Long-running machinery like the periodic attestation loop must survive
+fault bursts either way. See docs/FAILURE_MODEL.md.
 """
 
 import pytest
 
 from repro import CloudMonatt, SecurityProperty
-from repro.common.errors import CloudMonattError, NetworkError
 from repro.network import DropAttacker, Eavesdropper, TamperAttacker
 from repro.network.network import Envelope
 
@@ -37,20 +40,28 @@ class TestWireTampering:
     def test_tampered_attestation_never_yields_healthy_forgery(self, cloud, vm_setup):
         alice, vm = vm_setup
         cloud.network.install_attacker(TamperAttacker(direction="response"))
-        # the channel layer rejects the corrupted record somewhere along
-        # the chain; the customer sees an error, never a bogus verdict
-        with pytest.raises(CloudMonattError):
-            alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        # the channel layer rejects every corrupted record; the retries
+        # exhaust against the persistent tampering, and the customer
+        # receives a degraded UNREACHABLE verdict — never a bogus
+        # healthy report, and no exception either
+        result = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert not result.report.healthy
+        assert result.report.details.get("verdict") == "UNREACHABLE"
 
     def test_service_recovers_after_attack_stops(self, cloud, vm_setup):
         alice, vm = vm_setup
         cloud.network.install_attacker(TamperAttacker(direction="response"))
-        with pytest.raises(CloudMonattError):
-            alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        degraded = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert not degraded.report.healthy
         cloud.network.install_attacker(None)
-        # hop channels may be desynchronized by the tampering; entities
-        # re-handshake at the application's discretion — here we verify a
-        # fresh customer session works end to end
+        # channels desynchronized by the tampering re-handshake
+        # automatically on the next call — the *same* customer recovers
+        # once the controller's circuit breaker half-opens
+        cloud.run_for(61_000.0)
+        recovered = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert recovered.report.healthy
+        assert not recovered.degraded
+        # and a fresh customer session works end to end too
         bob = cloud.register_customer("bob")
         fresh = bob.launch_vm(
             "small", "cirros", properties=[SecurityProperty.STARTUP_INTEGRITY]
@@ -59,11 +70,15 @@ class TestWireTampering:
 
 
 class TestDropAttacks:
-    def test_dropped_requests_surface_as_errors(self, cloud, vm_setup):
+    def test_dropped_requests_degrade_to_unreachable(self, cloud, vm_setup):
         alice, vm = vm_setup
         cloud.network.install_attacker(DropAttacker(direction="request"))
-        with pytest.raises(NetworkError):
-            alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        # a blackhole exhausts the customer's retry budget; the result
+        # is a locally synthesized degraded report, not an exception
+        result = alice.attest(vm.vid, SecurityProperty.RUNTIME_INTEGRITY)
+        assert result.degraded
+        assert not result.report.healthy
+        assert result.report.details.get("verdict") == "UNREACHABLE"
 
     def test_periodic_loop_survives_transient_drops(self, cloud, vm_setup):
         """Drops during one periodic round must not kill the loop."""
