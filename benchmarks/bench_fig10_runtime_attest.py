@@ -9,15 +9,26 @@ no-attestation baseline over the same wall time.
 Paper shape: "there is no performance degradation due to the execution
 of runtime attestation" — the measurements are taken at VM switch time
 and never intercept the VM, so every bar stays ≈ 100%.
+
+Profiles: the full profile (default) regenerates the paper table for
+``bench_tables.txt``; ``BENCH_PROFILE=fast`` runs two benchmarks over a
+shorter window for CI smoke (same assertions, ~10x less work).
 """
+
+import os
 
 from _tables import print_table
 
 from repro import CloudMonatt, SecurityProperty
 
-BENCHMARKS = ["database", "file", "web", "app", "stream", "mail"]
+FAST = os.environ.get("BENCH_PROFILE", "").lower() == "fast"
+BENCHMARKS = (
+    ["database", "web"]
+    if FAST
+    else ["database", "file", "web", "app", "stream", "mail"]
+)
 FREQUENCIES = {"no attest": None, "1min": 60_000.0, "10s": 10_000.0, "5s": 5_000.0}
-MEASURE_WINDOW_MS = 180_000.0
+MEASURE_WINDOW_MS = 60_000.0 if FAST else 180_000.0
 
 
 def run_cell(benchmark_name: str, frequency_ms) -> float:

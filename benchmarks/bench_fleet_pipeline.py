@@ -1,0 +1,191 @@
+"""Wall-clock benchmark for the fleet-scale attestation pipeline.
+
+Launches a fleet of VMs (untimed), then measures real wall-clock time
+for attesting every VM once:
+
+- **serial**: one ``customer.attest()`` round per VM — the
+  pre-pipeline baseline, each round paying its own session keygen,
+  quote signatures and report signatures;
+- **fleet**: one ``customer.attest_fleet()`` call — overlapped rounds,
+  coalesced host-side measurement, one Merkle multi-quote per
+  (server, property) batch and one batch signature per protocol hop.
+
+Both paths run on fresh same-seed clouds with the key pool prewarmed
+(``prewarm_for_fleet``), and the benchmark asserts the fleet reports
+are byte-identical to the serial ones before it reports any speedup —
+a fast batch that changes appraisal results would be a bug, not a win.
+
+Outputs ``BENCH_fleet_pipeline.json`` and appends a table to
+``bench_tables.txt``. Exits non-zero if the fleet/serial speedup falls
+below ``--min-speedup`` (default 5x at the full 32-VM fleet; the CI
+smoke job runs ``--quick --min-speedup 3``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_pipeline.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _tables import print_table  # noqa: E402
+
+from repro import CloudMonatt, SecurityProperty  # noqa: E402
+from repro.crypto.signatures import clear_verify_memo  # noqa: E402
+
+SEED = 7
+PROPERTY = SecurityProperty.RUNTIME_INTEGRITY
+
+
+def _build_fleet(num_vms: int, key_bits: int):
+    """A fresh cloud hosting ``num_vms`` attestable VMs (untimed setup)."""
+    num_servers = max(2, num_vms // 8)
+    cloud = CloudMonatt(
+        num_servers=num_servers,
+        num_pcpus=(num_vms // num_servers) + 2,
+        seed=SEED,
+        key_bits=key_bits,
+    )
+    customer = cloud.register_customer("alice")
+    vids = [
+        customer.launch_vm(
+            "small", "ubuntu",
+            properties=[PROPERTY],
+            workload={"name": "idle"},
+        ).vid
+        for _ in range(num_vms)
+    ]
+    # size the key pool for the whole burst (serial worst case: one
+    # session per round, plus the warm-up round)
+    cloud.prewarm_for_fleet(num_vms + 1)
+    return cloud, customer, vids
+
+
+def bench_serial(num_vms: int, key_bits: int) -> tuple[dict, list]:
+    clear_verify_memo()
+    cloud, customer, vids = _build_fleet(num_vms, key_bits)
+    customer.attest(vids[0], PROPERTY)  # warm up channels/caches
+    start = time.perf_counter()
+    results = [customer.attest(vid, PROPERTY) for vid in vids]
+    seconds = time.perf_counter() - start
+    reports = [r.report.to_dict() for r in results]
+    return {
+        "n": num_vms,
+        "seconds": round(seconds, 6),
+        "rounds_per_sec": round(num_vms / seconds, 3),
+    }, reports
+
+
+def bench_fleet(num_vms: int, key_bits: int) -> tuple[dict, list]:
+    clear_verify_memo()
+    cloud, customer, vids = _build_fleet(num_vms, key_bits)
+    customer.attest(vids[0], PROPERTY)  # warm up channels/caches
+    requests = [(vid, PROPERTY) for vid in vids]
+    start = time.perf_counter()
+    results = customer.attest_fleet(requests)
+    seconds = time.perf_counter() - start
+    reports = [r.report.to_dict() for r in results]
+    return {
+        "n": num_vms,
+        "seconds": round(seconds, 6),
+        "rounds_per_sec": round(num_vms / seconds, 3),
+    }, reports
+
+
+def run(args: argparse.Namespace) -> dict:
+    num_vms = 8 if args.quick else args.vms
+    serial, serial_reports = bench_serial(num_vms, args.key_bits)
+    fleet, fleet_reports = bench_fleet(num_vms, args.key_bits)
+    if fleet_reports != serial_reports:
+        raise AssertionError(
+            "fleet reports diverge from serial reports — the pipeline "
+            "changed appraisal results, refusing to report a speedup"
+        )
+    return {
+        "num_vms": num_vms,
+        "serial": serial,
+        "fleet": fleet,
+        "speedup": round(serial["seconds"] / fleet["seconds"], 2),
+        "reports_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="8-VM fleet (CI smoke)")
+    parser.add_argument("--vms", type=int, default=32,
+                        help="fleet size for the full run (default 32)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        help="RSA modulus size (default 1024, the paper's "
+                             "key size; the sim default is 512)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_fleet_pipeline.json"),
+                        help="machine-readable output path")
+    parser.add_argument("--tables", default=str(REPO_ROOT / "bench_tables.txt"),
+                        help="append the human table here ('' to skip)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail if fleet/serial wall-clock speedup drops "
+                             "below this (0 disables)")
+    args = parser.parse_args(argv)
+
+    results = run(args)
+    title = (
+        f"Fleet attestation pipeline ({results['num_vms']} VMs, "
+        f"{args.key_bits}-bit keys{', quick' if args.quick else ''})"
+    )
+    headers = ["path", "rounds/sec", "n", "seconds"]
+    rows = [
+        ["serial attest() per VM", f"{results['serial']['rounds_per_sec']:,.1f}",
+         results["serial"]["n"], f"{results['serial']['seconds']:.3f}"],
+        ["attest_fleet() pipeline", f"{results['fleet']['rounds_per_sec']:,.1f}",
+         results["fleet"]["n"], f"{results['fleet']['seconds']:.3f}"],
+        ["fleet / serial speedup", f"{results['speedup']:.2f}x", "", ""],
+    ]
+    print_table(title, headers, rows)
+    print(f"reports byte-identical to serial: {results['reports_identical']}")
+
+    payload = {
+        "benchmark": "fleet_pipeline",
+        "seed": SEED,
+        "key_bits": args.key_bits,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.tables:
+        with open(args.tables, "a") as fh:
+            fh.write(f"\n=== {title} ===\n")
+            widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+                      for i in range(len(headers))]
+            fh.write("  ".join(str(h).ljust(w)
+                               for h, w in zip(headers, widths)) + "\n")
+            for row in rows:
+                fh.write("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)) + "\n")
+        print(f"appended table to {args.tables}")
+
+    if args.min_speedup and results["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: fleet pipeline speedup {results['speedup']:.2f}x "
+            f"< required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

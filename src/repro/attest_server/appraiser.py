@@ -30,7 +30,7 @@ from repro.crypto.certificates import verify_certificate
 from repro.lifecycle.timing import CostModel
 from repro.network.secure_channel import SecureEndpoint
 from repro.protocol import messages as msg
-from repro.protocol.quotes import attestation_quote
+from repro.protocol.quotes import attestation_quote, merkle_root
 from repro.resilience import RetryExecutor, RetryPolicy
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q3, Telemetry
 
@@ -157,3 +157,104 @@ class OatAppraiser:
         if missing:
             raise ProtocolError(f"measurements missing from response: {missing}")
         return returned_measurements
+
+    def collect_batch(
+        self,
+        server: ServerId,
+        vids: list[VmId],
+        measurements: tuple[str, ...],
+        window_ms: float,
+        params: dict | None = None,
+    ) -> list[dict[str, Any]]:
+        """One coalesced measurement round for many VMs on one server.
+
+        Every entry still gets its own fresh N3 and its own Q3 leaf; one
+        certificate-chain check and one signature verification cover the
+        whole batch, because the single session-key signature binds the
+        Merkle root over the per-entry leaves. Deliberately *not*
+        retried here: a transport failure surfaces to the caller, which
+        falls back to per-round :meth:`collect` so retries target the
+        logical round rather than the shared batch.
+        """
+        nonces = [bytes(self._nonces.fresh()) for _ in vids]
+        entries = [
+            {
+                msg.KEY_VID: str(vid),
+                msg.KEY_REQUESTED: list(measurements),
+                msg.KEY_NONCE: nonce,
+            }
+            for vid, nonce in zip(vids, nonces)
+        ]
+        request = {
+            msg.KEY_TYPE: msg.MSG_MEASURE_BATCH_REQUEST,
+            msg.KEY_ENTRIES: entries,
+            msg.KEY_WINDOW: window_ms,
+            "params": params or {},
+        }
+        context = self.telemetry.context()
+        if context is not None:
+            request[KEY_TRACE] = context
+        with self.telemetry.span(
+            SPAN_Q3, server=str(server), vid=f"batch:{len(vids)}"
+        ):
+            response = self._endpoint.call(str(server), request)
+        msg.require_fields(
+            response,
+            msg.KEY_ENTRIES,
+            msg.KEY_BATCH_ROOT,
+            msg.KEY_SIGNATURE,
+            msg.KEY_SESSION_CERT,
+        )
+        out_entries = list(response[msg.KEY_ENTRIES])
+        if len(out_entries) != len(vids):
+            raise ProtocolError("batch response entry count mismatch")
+
+        session_cert = certificate_from_dict(response[msg.KEY_SESSION_CERT])
+        batch_root = bytes(response[msg.KEY_BATCH_ROOT])
+        if self.check_signatures:
+            self.cost.charge("verify_signature")
+            verify_certificate(self._ca_key, session_cert)
+            self.cost.charge("verify_signature")
+            verify(
+                session_cert.public_key,
+                {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root},
+                bytes(response[msg.KEY_SIGNATURE]),
+            )
+
+        results: list[dict[str, Any]] = []
+        leaves: list[bytes] = []
+        for vid, nonce, entry in zip(vids, nonces, out_entries):
+            msg.require_fields(
+                entry,
+                msg.KEY_VID,
+                msg.KEY_REQUESTED,
+                msg.KEY_MEASUREMENTS,
+                msg.KEY_NONCE,
+                msg.KEY_QUOTE,
+            )
+            returned = entry[msg.KEY_MEASUREMENTS]
+            returned_nonce = bytes(entry[msg.KEY_NONCE])
+            if self.check_nonces:
+                if returned_nonce != nonce:
+                    raise ReplayError("cloud server echoed a stale nonce")
+                self._seen_nonces.check_and_store(returned_nonce)
+            expected_quote = attestation_quote(
+                str(vid), list(measurements), returned, returned_nonce,
+                telemetry=self.telemetry,
+            )
+            if bytes(entry[msg.KEY_QUOTE]) != expected_quote:
+                raise SignatureError(
+                    "quote Q3 does not bind the returned measurements"
+                )
+            if entry[msg.KEY_VID] != str(vid):
+                raise ProtocolError("batch entry names a different VM")
+            if list(entry[msg.KEY_REQUESTED]) != list(measurements):
+                raise ProtocolError("batch entry answers different measurements")
+            missing = set(measurements) - set(returned)
+            if missing:
+                raise ProtocolError(f"measurements missing from response: {missing}")
+            leaves.append(expected_quote)
+            results.append(returned)
+        if merkle_root(leaves, telemetry=self.telemetry) != batch_root:
+            raise SignatureError("batch root does not bind the per-entry quotes")
+        return results

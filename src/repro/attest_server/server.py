@@ -27,7 +27,7 @@ from repro.properties.catalog import PropertyCatalog, SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.properties.trends import AvailabilityTrendAnalyzer
 from repro.protocol import messages as msg
-from repro.protocol.quotes import report_quote_q2
+from repro.protocol.quotes import merkle_root, report_quote_q2
 from repro.resilience import RetryPolicy
 from repro.telemetry import (
     KEY_TRACE,
@@ -100,6 +100,8 @@ class AttestationServer:
             return self._handle_register_vm(body)
         if body.get(msg.KEY_TYPE) == "raw_measure_request":
             return self._handle_raw(body)
+        if body.get(msg.KEY_TYPE) == msg.MSG_ATTEST_BATCH_REQUEST:
+            return self._handle_attest_batch(body)
         if body.get(msg.KEY_TYPE) != msg.MSG_ATTEST_REQUEST:
             raise ProtocolError(
                 f"attestation server: unknown request {body.get(msg.KEY_TYPE)!r}"
@@ -152,6 +154,84 @@ class AttestationServer:
                 **signed,
                 msg.KEY_SIGNATURE: self.endpoint.sign(signed),
                 "certificate": certificate.to_dict(),
+            }
+
+    def _handle_attest_batch(self, body: dict) -> dict:
+        """Many attestation rounds in one controller request.
+
+        Entries are stably sorted by (Vid, nonce) before any batch
+        operation — a hard determinism requirement — then grouped so
+        same-(server, property) rounds share one coalesced measurement
+        pass. Each entry keeps its own N2 (replay-checked individually)
+        and its own Q2 leaf; one identity-key signature binds the Merkle
+        root over the leaves. Certificates are not issued in batch mode,
+        but the revocation obligation is preserved: an unhealthy report
+        still revokes the VM's stale healthy certificates.
+        """
+        msg.require_fields(body, msg.KEY_ENTRIES)
+        raw_entries = list(body[msg.KEY_ENTRIES])
+        if not raw_entries:
+            raise ProtocolError("attest batch has no entries")
+        parsed = []
+        for entry in raw_entries:
+            msg.require_fields(
+                entry, msg.KEY_VID, msg.KEY_SERVER, msg.KEY_PROPERTY, msg.KEY_NONCE
+            )
+            nonce = bytes(entry[msg.KEY_NONCE])
+            self._seen_n2.check_and_store(nonce)
+            parsed.append(
+                (
+                    VmId(entry[msg.KEY_VID]),
+                    ServerId(entry[msg.KEY_SERVER]),
+                    SecurityProperty(entry[msg.KEY_PROPERTY]),
+                    nonce,
+                )
+            )
+        parsed.sort(key=lambda item: (str(item[0]), item[3]))
+
+        with self.telemetry.span(
+            SPAN_ATTEST_ROUND,
+            remote_parent=body.get(KEY_TRACE),
+            vid=f"batch:{len(parsed)}",
+            server="*",
+            property="*",
+        ):
+            reports = self.attest_batch(
+                [(vid, server, prop) for vid, server, prop, _ in parsed],
+                window_ms=body.get(msg.KEY_WINDOW),
+                accumulate=bool(body.get("accumulate", False)),
+            )
+            out_entries = []
+            leaves = []
+            for (vid, server, prop, nonce), report in zip(parsed, reports):
+                report_dict = report.to_dict()
+                quote = report_quote_q2(
+                    str(vid), str(server), prop.value, report_dict, nonce,
+                    telemetry=self.telemetry,
+                )
+                if not report.healthy:
+                    for serial in self._healthy_serials.pop((vid, prop.value), []):
+                        self.certification.revoke(serial)
+                out_entries.append(
+                    {
+                        msg.KEY_VID: str(vid),
+                        msg.KEY_SERVER: str(server),
+                        msg.KEY_PROPERTY: prop.value,
+                        msg.KEY_REPORT: report_dict,
+                        msg.KEY_NONCE: nonce,
+                        msg.KEY_QUOTE: quote,
+                    }
+                )
+                leaves.append(quote)
+            batch_root = merkle_root(leaves, telemetry=self.telemetry)
+            self.cost.charge("report_sign")
+            signature = self.endpoint.sign(
+                {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root}
+            )
+            return {
+                msg.KEY_ENTRIES: out_entries,
+                msg.KEY_BATCH_ROOT: batch_root,
+                msg.KEY_SIGNATURE: signature,
             }
 
     def _certify(self, vid: VmId, prop: SecurityProperty, report):
@@ -298,24 +378,52 @@ class AttestationServer:
                     details={"failure": type(exc).__name__},
                 )
             else:
-                if accumulate:
-                    self.accumulator.add(vid, prop, measurements)
-                    measurements = self.accumulator.accumulated(vid, prop)
-                self.cost.charge("interpret_measurements")
-                with self.telemetry.span(
-                    SPAN_INTERPRETATION, vid=str(vid), property=prop.value
-                ):
-                    report = self.interpreter.interpret(prop, vid, measurements)
-                if accumulate:
-                    report = PropertyReport(
-                        prop=report.prop,
-                        healthy=report.healthy,
-                        explanation=report.explanation,
-                        details={
-                            **report.details,
-                            "accumulated_rounds": self.accumulator.rounds(vid, prop),
-                        },
-                    )
+                report = self._interpret_collected(vid, prop, measurements, accumulate)
+        self._finish_attestation(vid, server, prop, report)
+        return report
+
+    def _interpret_collected(
+        self,
+        vid: VmId,
+        prop: SecurityProperty,
+        measurements: dict,
+        accumulate: bool,
+    ) -> PropertyReport:
+        """Interpretation tail shared by the serial and batched paths.
+
+        Byte-identical report content is the contract: the batched
+        pipeline feeds per-entry measurements through this exact code,
+        so two same-seed runs — one serial, one batched — produce equal
+        reports.
+        """
+        if accumulate:
+            self.accumulator.add(vid, prop, measurements)
+            measurements = self.accumulator.accumulated(vid, prop)
+        self.cost.charge("interpret_measurements")
+        with self.telemetry.span(
+            SPAN_INTERPRETATION, vid=str(vid), property=prop.value
+        ):
+            report = self.interpreter.interpret(prop, vid, measurements)
+        if accumulate:
+            report = PropertyReport(
+                prop=report.prop,
+                healthy=report.healthy,
+                explanation=report.explanation,
+                details={
+                    **report.details,
+                    "accumulated_rounds": self.accumulator.rounds(vid, prop),
+                },
+            )
+        return report
+
+    def _finish_attestation(
+        self,
+        vid: VmId,
+        server: ServerId,
+        prop: SecurityProperty,
+        report: PropertyReport,
+    ) -> None:
+        """Record an attestation outcome: counter, database, audit log."""
         if self.telemetry.enabled:
             self.telemetry.counter("as.attestations").inc(
                 property=prop.value, healthy=str(report.healthy).lower()
@@ -340,4 +448,70 @@ class AttestationServer:
                 "healthy": report.healthy,
             },
         )
-        return report
+
+    def attest_batch(
+        self,
+        entries: list[tuple[VmId, ServerId, SecurityProperty]],
+        window_ms: float | None = None,
+        accumulate: bool = False,
+    ) -> list[PropertyReport]:
+        """Batched appraisal: one measurement round per (server, property).
+
+        ``entries`` must already be in deterministic (sorted) order; the
+        results align with it. Entries naming the same cloud server and
+        property share one coalesced measurement round; measurement
+        collection failures for a batch fall back to per-entry
+        :meth:`attest` so retries and degraded outcomes target the
+        logical round, not the shared batch.
+        """
+        reports: dict[int, PropertyReport] = {}
+        groups: dict[tuple[str, str], list[int]] = {}
+        for index, (vid, server, prop) in enumerate(entries):
+            groups.setdefault((str(server), prop.value), []).append(index)
+        for key in sorted(groups):
+            indices = groups[key]
+            _, server, prop = entries[indices[0]]
+            spec = self.catalog.spec(prop)
+            if not self.database.supports(server, spec.measurements):
+                for index in indices:
+                    vid = entries[index][0]
+                    report = PropertyReport(
+                        prop=prop,
+                        healthy=False,
+                        explanation=(
+                            f"server {server} does not support the measurements "
+                            f"required for {prop.value}"
+                        ),
+                    )
+                    self._finish_attestation(vid, server, prop, report)
+                    reports[index] = report
+                continue
+            window = spec.default_window_ms if window_ms is None else float(window_ms)
+            vids = [entries[index][0] for index in indices]
+            self.telemetry.histogram("pipeline.batch.size").observe(len(vids))
+            try:
+                with self.telemetry.span(
+                    SPAN_APPRAISAL,
+                    vid=f"batch:{len(vids)}",
+                    server=str(server),
+                    property=prop.value,
+                ):
+                    collected = self.appraiser.collect_batch(
+                        server, vids, spec.measurements, window
+                    )
+            except CloudMonattError:
+                # the shared round failed: retry each *logical* round
+                # through the serial path (own nonce, own retries)
+                self.telemetry.counter("pipeline.batch.fallbacks").inc()
+                for index in indices:
+                    vid = entries[index][0]
+                    reports[index] = self.attest(
+                        vid, server, prop, window_ms=window_ms, accumulate=accumulate
+                    )
+                continue
+            for index, measurements in zip(indices, collected):
+                vid = entries[index][0]
+                report = self._interpret_collected(vid, prop, measurements, accumulate)
+                self._finish_attestation(vid, server, prop, report)
+                reports[index] = report
+        return [reports[index] for index in range(len(entries))]

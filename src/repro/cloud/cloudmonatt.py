@@ -283,6 +283,23 @@ class CloudMonatt:
         """Advance the whole cloud by ``duration_ms``."""
         self.engine.run_until(self.engine.now + duration_ms)
 
+    def prewarm_for_fleet(self, expected_rounds: int) -> int:
+        """Pre-generate attestation session keys for an expected burst.
+
+        Sizes each secure server's KeyPool (PR 3 fast path) to the
+        pipeline's expected session count so batch drains never stall on
+        Miller-Rabin keygen mid-burst. Returns the total number of keys
+        pre-generated (0 when the key-pool fast path is off). If the
+        estimate is too low, the pool's ``crypto.keypool.exhausted``
+        counter and the observatory's KeyPoolExhausted alert surface the
+        fallback to on-demand keygen.
+        """
+        total = 0
+        for server in self.servers.values():
+            if server.secure and server.trust_module is not None:
+                total += server.trust_module.prewarm_sessions(expected_rounds)
+        return total
+
     def server_of(self, vid) -> CloudServer:
         """The cloud server currently hosting a VM."""
         record = self.controller.database.vm(vid)

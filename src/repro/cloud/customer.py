@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.common.errors import CloudMonattError, ProtocolError, ReplayError
+from repro.common.errors import (
+    CloudMonattError,
+    ProtocolError,
+    ReplayError,
+    SignatureError,
+)
 from repro.common.identifiers import VmId
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.drbg import HmacDrbg
@@ -24,7 +29,7 @@ from repro.network.secure_channel import SecureEndpoint
 from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
-from repro.protocol.quotes import report_quote_q1
+from repro.protocol.quotes import merkle_root, report_quote_q1
 from repro.resilience import RetryExecutor, RetryPolicy, is_transient
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q1, Telemetry
 
@@ -243,6 +248,116 @@ class Customer:
             response=response.get("response"),
             certificate=response.get("certificate"),
         )
+
+    def attest_fleet(
+        self,
+        requests: list[tuple[VmId, SecurityProperty]],
+        window_ms: Optional[float] = None,
+    ) -> list[VerifiedAttestation]:
+        """Attest many VMs in one wire round (``runtime_attest_batch``).
+
+        Each logical round keeps its own fresh N1 and its own verified
+        Q1 leaf; one controller signature binds the Merkle root over
+        the leaves. Results align with the input order. A transient
+        failure of the shared request falls back to per-round
+        :meth:`attest` — retries target the logical round, not the
+        batch — while a response failing its crypto checks raises.
+        """
+        if not requests:
+            return []
+        total = len(requests)
+        order = sorted(
+            range(total),
+            key=lambda i: (str(requests[i][0]), requests[i][1].value),
+        )
+        nonce_to_index: dict[bytes, int] = {}
+        entries = []
+        for index in order:
+            vid, prop = requests[index]
+            nonce = bytes(self._nonces.fresh())
+            nonce_to_index[nonce] = index
+            entries.append(
+                {
+                    msg.KEY_VID: str(vid),
+                    msg.KEY_PROPERTY: prop.value,
+                    msg.KEY_NONCE: nonce,
+                }
+            )
+        request = {
+            msg.KEY_TYPE: msg.MSG_ATTEST_FLEET,
+            msg.KEY_ENTRIES: entries,
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        context = self.telemetry.context()
+        if context is not None:
+            request[KEY_TRACE] = context
+        with self.telemetry.span(
+            SPAN_Q1, customer=self.name, vid=f"batch:{total}", property="*"
+        ):
+            try:
+                response = self.endpoint.call(self._controller, request)
+            except CloudMonattError as exc:
+                if not is_transient(exc):
+                    raise
+                self.telemetry.counter("pipeline.batch.fallbacks").inc(
+                    site=f"customer.{self.name}"
+                )
+                return [
+                    self.attest(vid, prop, window_ms=window_ms)
+                    for vid, prop in requests
+                ]
+            msg.require_fields(
+                response, msg.KEY_ENTRIES, msg.KEY_BATCH_ROOT, msg.KEY_SIGNATURE
+            )
+            out_entries = list(response[msg.KEY_ENTRIES])
+            if len(out_entries) != total:
+                raise ProtocolError("fleet response entry count mismatch")
+            batch_root = bytes(response[msg.KEY_BATCH_ROOT])
+            verify(
+                self._controller_key,
+                {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root},
+                bytes(response[msg.KEY_SIGNATURE]),
+            )
+            leaves: list[bytes] = []
+            results: list[Optional[VerifiedAttestation]] = [None] * total
+            seen: set[int] = set()
+            for entry in out_entries:
+                msg.require_fields(
+                    entry,
+                    msg.KEY_VID,
+                    msg.KEY_PROPERTY,
+                    msg.KEY_REPORT,
+                    msg.KEY_NONCE,
+                    msg.KEY_QUOTE,
+                )
+                nonce = bytes(entry[msg.KEY_NONCE])
+                index = nonce_to_index.get(nonce)
+                if index is None or index in seen:
+                    raise ReplayError("controller echoed a stale nonce N1")
+                seen.add(index)
+                vid, prop = requests[index]
+                if (
+                    entry[msg.KEY_VID] != str(vid)
+                    or entry[msg.KEY_PROPERTY] != prop.value
+                ):
+                    raise ProtocolError("fleet entry names a different VM/property")
+                expected = report_quote_q1(
+                    str(vid), prop.value, entry[msg.KEY_REPORT], nonce,
+                    telemetry=self.telemetry,
+                )
+                if bytes(entry[msg.KEY_QUOTE]) != expected:
+                    raise ProtocolError("quote Q1 does not bind the report")
+                leaves.append(expected)
+                results[index] = VerifiedAttestation(
+                    report=PropertyReport.from_dict(entry[msg.KEY_REPORT]),
+                    attest_ms=float(entry.get("attest_ms", 0.0)),
+                    response=entry.get("response"),
+                    certificate=None,
+                )
+            if merkle_root(leaves, telemetry=self.telemetry) != batch_root:
+                raise SignatureError("batch root does not bind the per-entry quotes")
+            return [result for result in results if result is not None]
 
     def _degraded_attestation(
         self, vid: VmId, prop: SecurityProperty, exc: CloudMonattError

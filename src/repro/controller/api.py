@@ -32,6 +32,7 @@ from repro.common.errors import (
 from repro.common.identifiers import CustomerId, IdFactory, ServerId, VmId
 from repro.controller.attest_service import AttestService
 from repro.controller.database import NovaDatabase
+from repro.controller.pipeline import AttestationPipeline
 from repro.controller.response import ResponseAction, ResponseModule
 from repro.controller.scheduler import NovaScheduler
 from repro.crypto.certificates import CertificateAuthority
@@ -46,7 +47,7 @@ from repro.network.network import Network
 from repro.network.secure_channel import SecureEndpoint
 from repro.properties.catalog import PropertyCatalog, SecurityProperty
 from repro.protocol import messages as msg
-from repro.protocol.quotes import report_quote_q1
+from repro.protocol.quotes import merkle_root, report_quote_q1
 from repro.resilience import RetryExecutor, RetryPolicy, is_transient
 from repro.sim.engine import Engine, EventHandle
 from repro.telemetry import (
@@ -144,6 +145,11 @@ class CloudController:
             breaker_failure_threshold=breaker_failure_threshold,
             breaker_reset_after_ms=breaker_reset_after_ms,
         )
+        #: the fleet pipeline: overlapped rounds drained into batched
+        #: attest_many calls (see repro.controller.pipeline)
+        self.pipeline = AttestationPipeline(
+            engine, self.attest_service, telemetry=self.telemetry
+        )
         self.response = ResponseModule(
             self.endpoint,
             self.database,
@@ -194,6 +200,7 @@ class CloudController:
             msg.MSG_LAUNCH: self._handle_launch,
             "runtime_attest_current": self._handle_attest_current,
             "startup_attest_current": self._handle_attest_current,
+            msg.MSG_ATTEST_FLEET: self._handle_attest_fleet,
             "runtime_attest_periodic": self._handle_attest_periodic,
             "runtime_collect_raw": self._handle_collect_raw,
             "stop_attest_periodic": self._handle_stop_periodic,
@@ -482,6 +489,89 @@ class CloudController:
                 "response": response_info,
                 "certificate": outcome.certificate,
             })
+
+    def _handle_attest_fleet(self, peer: str, body: dict) -> dict:
+        """Table-1 extension: attest many VMs in one customer request.
+
+        Each entry carries its own fresh N1 (replay-checked and
+        ownership-checked individually) and flows through the fleet
+        pipeline as its own logical round; the response binds per-entry
+        Q1 leaves under one Merkle root and one SKc signature. Entries
+        are stably sorted by (Vid, nonce) before any batch operation.
+        """
+        msg.require_fields(body, msg.KEY_ENTRIES)
+        raw_entries = list(body[msg.KEY_ENTRIES])
+        if not raw_entries:
+            raise ProtocolError("fleet attestation has no entries")
+        parsed = []
+        for entry in raw_entries:
+            msg.require_fields(entry, msg.KEY_VID, msg.KEY_PROPERTY, msg.KEY_NONCE)
+            vid = VmId(entry[msg.KEY_VID])
+            prop = SecurityProperty(entry[msg.KEY_PROPERTY])
+            nonce = bytes(entry[msg.KEY_NONCE])
+            self._seen_n1.check_and_store(nonce)
+            record = self.database.vm(vid)
+            if record.customer != peer:
+                raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+            parsed.append((vid, prop, nonce))
+        parsed.sort(key=lambda item: (str(item[0]), item[2]))
+
+        with self.telemetry.span(
+            SPAN_CONTROLLER_ATTEST,
+            remote_parent=body.get(KEY_TRACE),
+            vid=f"batch:{len(parsed)}",
+            property="*",
+            mode=msg.MSG_ATTEST_FLEET,
+        ):
+            futures = [
+                self.pipeline.submit(vid, prop, window_ms=body.get(msg.KEY_WINDOW))
+                for vid, prop, _nonce in parsed
+            ]
+            self.pipeline.flush()
+            outcomes = [future.result() for future in futures]
+
+            out_entries = []
+            leaves = []
+            for (vid, prop, nonce), outcome in zip(parsed, outcomes):
+                response_info = None
+                if (
+                    not outcome.report.healthy
+                    and self.auto_respond
+                    and not outcome.degraded
+                ):
+                    response_outcome = self.response.respond(vid, prop)
+                    response_info = {
+                        "action": response_outcome.action.value,
+                        "reaction_ms": response_outcome.reaction_ms,
+                        "new_server": str(response_outcome.new_server or ""),
+                    }
+                report_dict = outcome.report.to_dict()
+                quote = report_quote_q1(
+                    str(vid), prop.value, report_dict, nonce,
+                    telemetry=self.telemetry,
+                )
+                entry_out = {
+                    msg.KEY_VID: str(vid),
+                    msg.KEY_PROPERTY: prop.value,
+                    msg.KEY_REPORT: report_dict,
+                    msg.KEY_NONCE: nonce,
+                    msg.KEY_QUOTE: quote,
+                    "attest_ms": outcome.attest_ms,
+                }
+                if response_info is not None:
+                    entry_out["response"] = response_info
+                out_entries.append(entry_out)
+                leaves.append(quote)
+            batch_root = merkle_root(leaves, telemetry=self.telemetry)
+            self.cost.charge("report_sign")
+            signature = self.endpoint.sign(
+                {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root}
+            )
+            return {
+                msg.KEY_ENTRIES: out_entries,
+                msg.KEY_BATCH_ROOT: batch_root,
+                msg.KEY_SIGNATURE: signature,
+            }
 
     def _handle_collect_raw(self, peer: str, body: dict) -> dict:
         """Pass-through mode: return validated raw measurements (§4.1)."""

@@ -34,7 +34,7 @@ from repro.network.secure_channel import SecureEndpoint
 from repro.properties.catalog import SecurityProperty
 from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
-from repro.protocol.quotes import report_quote_q2
+from repro.protocol.quotes import merkle_root, report_quote_q2
 from repro.resilience import (
     CircuitBreaker,
     RetryExecutor,
@@ -247,6 +247,208 @@ class AttestService:
             attest_ms=attest_ms,
             certificate=response.get("certificate"),
         )
+
+    def attest_many(
+        self,
+        requests: list[tuple[VmId, SecurityProperty]],
+        window_ms: float | None = None,
+        accumulate: bool = False,
+        max_batch: int = 64,
+    ) -> list[AttestationOutcome]:
+        """Many brokered attestations in few wire rounds.
+
+        Requests are stably sorted by (Vid, property), grouped by the
+        responsible Attestation Server and sent as batched requests of
+        at most ``max_batch`` entries; results come back aligned with
+        the *original* request order. Each entry keeps its own fresh N2
+        and its own Q2 leaf; one SKa signature per batch binds the
+        Merkle root over the leaves.
+
+        Resilience targets the logical round, not the shared batch: a
+        transient batch failure records one breaker failure and then
+        replays every entry through serial :meth:`attest` (own retries,
+        own degraded outcome); an open circuit serves per-entry degraded
+        outcomes immediately. Validation failures raise — a batch that
+        fails its crypto checks is evidence, not noise.
+        """
+        if not requests:
+            return []
+        total = len(requests)
+        outcomes: dict[int, AttestationOutcome] = {}
+        order = sorted(
+            range(total),
+            key=lambda i: (str(requests[i][0]), requests[i][1].value),
+        )
+        groups: dict[str, list[int]] = {}
+        records: dict[int, object] = {}
+        for index in order:
+            vid, _prop = requests[index]
+            record = self._db.vm(vid)
+            if record.server is None:
+                raise ProtocolError(f"VM {vid} has no assigned server")
+            self.cost.charge("db_access")
+            records[index] = record
+            groups.setdefault(self._as_for(record), []).append(index)
+        for as_name in sorted(groups):
+            indices = groups[as_name]
+            breaker = self._breaker(as_name)
+            for start in range(0, len(indices), max_batch):
+                chunk = indices[start:start + max_batch]
+                if not breaker.allow():
+                    for index in chunk:
+                        vid, prop = requests[index]
+                        outcomes[index] = self._degraded_outcome(
+                            vid, prop, records[index], as_name, breaker,
+                            reason="circuit open", started=self.cost.engine.now,
+                        )
+                    continue
+                try:
+                    chunk_outcomes = self._attest_chunk(
+                        chunk, requests, records, as_name, window_ms, accumulate
+                    )
+                except CloudMonattError as exc:
+                    if not is_transient(exc):
+                        raise
+                    if isinstance(exc, NetworkError):
+                        self.telemetry.observe_event(
+                            "unreachable", endpoint=as_name, detail=str(exc)
+                        )
+                    breaker.record_failure()
+                    self.telemetry.counter("pipeline.batch.fallbacks").inc(
+                        site="controller.attest"
+                    )
+                    for index in chunk:
+                        vid, prop = requests[index]
+                        outcomes[index] = self.attest(
+                            vid, prop, window_ms=window_ms, accumulate=accumulate
+                        )
+                    continue
+                breaker.record_success()
+                for index, outcome in zip(chunk, chunk_outcomes):
+                    outcomes[index] = outcome
+        return [outcomes[index] for index in range(total)]
+
+    def _attest_chunk(
+        self,
+        chunk: list[int],
+        requests: list[tuple[VmId, SecurityProperty]],
+        records: dict,
+        as_name: str,
+        window_ms: float | None,
+        accumulate: bool,
+    ) -> list[AttestationOutcome]:
+        """One batched wire round against one Attestation Server."""
+        chunk_started = self.cost.engine.now
+        entries = []
+        nonce_to_pos: dict[bytes, int] = {}
+        for pos, index in enumerate(chunk):
+            vid, prop = requests[index]
+            fresh = bytes(self._nonces.fresh())
+            nonce_to_pos[fresh] = pos
+            entries.append(
+                {
+                    msg.KEY_VID: str(vid),
+                    msg.KEY_SERVER: str(records[index].server),
+                    msg.KEY_PROPERTY: prop.value,
+                    msg.KEY_NONCE: fresh,
+                }
+            )
+        request = {
+            msg.KEY_TYPE: msg.MSG_ATTEST_BATCH_REQUEST,
+            msg.KEY_ENTRIES: entries,
+        }
+        if window_ms is not None:
+            request[msg.KEY_WINDOW] = float(window_ms)
+        if accumulate:
+            request["accumulate"] = True
+        context = self.telemetry.context()
+        if context is not None:
+            request[KEY_TRACE] = context
+        with self.telemetry.span(
+            SPAN_Q2,
+            vid=f"batch:{len(chunk)}",
+            property="*",
+            attestation_server=as_name,
+        ):
+            response = self._endpoint.call(as_name, request)
+
+        msg.require_fields(
+            response, msg.KEY_ENTRIES, msg.KEY_BATCH_ROOT, msg.KEY_SIGNATURE
+        )
+        as_key = self._as_keys.get(as_name)
+        if as_key is None:
+            raise ProtocolError(f"no verification key for {as_name!r}")
+        out_entries = list(response[msg.KEY_ENTRIES])
+        if len(out_entries) != len(chunk):
+            raise ProtocolError("batch response entry count mismatch")
+        batch_root = bytes(response[msg.KEY_BATCH_ROOT])
+        self.cost.charge("verify_signature")
+        verify(
+            as_key,
+            {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root},
+            bytes(response[msg.KEY_SIGNATURE]),
+        )
+        leaves: list[bytes] = []
+        reports: list[PropertyReport | None] = [None] * len(chunk)
+        seen_positions: set[int] = set()
+        for entry in out_entries:
+            msg.require_fields(
+                entry,
+                msg.KEY_VID,
+                msg.KEY_SERVER,
+                msg.KEY_PROPERTY,
+                msg.KEY_REPORT,
+                msg.KEY_NONCE,
+                msg.KEY_QUOTE,
+            )
+            nonce = bytes(entry[msg.KEY_NONCE])
+            pos = nonce_to_pos.get(nonce)
+            if pos is None or pos in seen_positions:
+                raise ReplayError("attestation server echoed a stale nonce N2")
+            seen_positions.add(pos)
+            vid, prop = requests[chunk[pos]]
+            if entry[msg.KEY_VID] != str(vid) or entry[msg.KEY_PROPERTY] != prop.value:
+                raise ProtocolError("batch entry names a different VM/property")
+            expected_quote = report_quote_q2(
+                str(vid),
+                str(entry[msg.KEY_SERVER]),
+                prop.value,
+                entry[msg.KEY_REPORT],
+                nonce,
+                telemetry=self.telemetry,
+            )
+            if bytes(entry[msg.KEY_QUOTE]) != expected_quote:
+                raise ProtocolError("quote Q2 does not bind the attestation report")
+            leaves.append(expected_quote)
+            reports[pos] = PropertyReport.from_dict(entry[msg.KEY_REPORT])
+        if merkle_root(leaves, telemetry=self.telemetry) != batch_root:
+            raise SignatureError("batch root does not bind the per-entry quotes")
+
+        attest_ms = self.cost.engine.now - chunk_started
+        outcomes: list[AttestationOutcome] = []
+        for pos, index in enumerate(chunk):
+            vid, prop = requests[index]
+            report = reports[pos]
+            assert report is not None
+            if self.telemetry.enabled:
+                self.telemetry.histogram("controller.attest_ms").observe(
+                    attest_ms, property=prop.value
+                )
+            self.telemetry.observe_event(
+                "attestation",
+                vid=str(vid),
+                server=str(records[index].server),
+                property=prop.value,
+                healthy=report.healthy,
+                attest_ms=attest_ms,
+                explanation=report.explanation,
+            )
+            outcomes.append(
+                AttestationOutcome(
+                    report=report, attest_ms=attest_ms, certificate=None
+                )
+            )
+        return outcomes
 
     def _degraded_outcome(
         self,

@@ -83,6 +83,7 @@ class KeyPool:
         self._pending: Deque[_PendingKey] = deque()
         self._next_fork_index = 1
         self._taken = 0
+        self._ever_prefilled = False
         self._worker: Optional[threading.Thread] = None
         self._work_queue: Deque[_PendingKey] = deque()
         self._work_signal = threading.Condition()
@@ -116,6 +117,7 @@ class KeyPool:
             self._pending.append(pending)
         self.telemetry.counter("crypto.keypool.prefill").inc(count)
         fastpath.record("keypool.prefill", count)
+        self._ever_prefilled = True
         return count
 
     def take(self) -> KeyPair:
@@ -129,6 +131,17 @@ class KeyPool:
         # empty pool: generate on demand; a batch > 1 additionally
         # pre-generates the following sessions' keys while we are here
         batch = max(1, int(fastpath.config().key_pool_batch))
+        if self._ever_prefilled:
+            # a warmed pool ran dry mid-run: the pipeline's prewarm
+            # under-estimated the session count, and this round pays
+            # on-demand keygen. The observatory alerts on this event.
+            self.telemetry.counter("crypto.keypool.exhausted").inc()
+            self.telemetry.observe_event(
+                "keypool_exhausted",
+                session_index=self._next_fork_index,
+                taken=self._taken,
+            )
+            fastpath.record("keypool.exhausted")
         keypair = generate_keypair(self._fork_next(), self._key_bits)
         self.telemetry.counter("crypto.keypool.miss").inc()
         fastpath.record("keypool.miss")

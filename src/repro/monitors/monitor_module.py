@@ -53,6 +53,9 @@ class MeasurementProvider(abc.ABC):
 
     name: str = ""
     requires_window: bool = False
+    #: True when the value does not depend on the VM being measured, so
+    #: one coalesced pass may share it across a same-server batch.
+    vm_independent: bool = False
 
     def begin(self, vid: VmId, params: dict) -> None:
         """Open a measurement window (no-op for instant measurements)."""
@@ -66,6 +69,7 @@ class PlatformIntegrityProvider(MeasurementProvider):
     """Platform measured-boot evidence (PCR value + log)."""
 
     name = MEAS_PLATFORM_INTEGRITY
+    vm_independent = True
 
     def __init__(self, integrity_unit: IntegrityMeasurementUnit):
         self._unit = integrity_unit
@@ -233,3 +237,37 @@ class MonitorModule:
             name: self._provider(name).collect(request.vid, request.params)
             for name in request.measurements
         }
+
+    def begin_many(self, requests: list[MeasurementRequest]) -> None:
+        """Phase 1 for a coalesced batch, in the given (sorted) order."""
+        for request in requests:
+            self.begin(request)
+
+    def collect_many(
+        self, requests: list[MeasurementRequest]
+    ) -> tuple[list[dict[str, Any]], int]:
+        """Phase 2 for a coalesced batch.
+
+        VM-independent measurements (e.g. platform integrity) are
+        collected once per batch and shared across entries; everything
+        else is collected per VM. Returns the per-request measurement
+        dicts (aligned with ``requests``) and the number of coalesce
+        hits — collections avoided by sharing.
+        """
+        shared: dict[str, Any] = {}
+        coalesce_hits = 0
+        results: list[dict[str, Any]] = []
+        for request in requests:
+            values: dict[str, Any] = {}
+            for name in request.measurements:
+                provider = self._provider(name)
+                if provider.vm_independent:
+                    if name in shared:
+                        coalesce_hits += 1
+                    else:
+                        shared[name] = provider.collect(request.vid, request.params)
+                    values[name] = shared[name]
+                else:
+                    values[name] = provider.collect(request.vid, request.params)
+            results.append(values)
+        return results, coalesce_hits

@@ -25,10 +25,21 @@ KEY_REPORT = "report"
 KEY_HEALTHY = "healthy"
 KEY_STATUS = "status"
 KEY_FREQ = "frequency_ms"
+#: per-round sub-requests of a batched (fleet-pipeline) message
+KEY_ENTRIES = "entries"
+#: Merkle root over the per-entry quote leaves of a batched response
+KEY_BATCH_ROOT = "batch_root"
 
 # message type tags
 MSG_ATTEST_REQUEST = "attest_request"
 MSG_MEASURE_REQUEST = "measure_request"
+#: fleet pipeline: many logical rounds in one wire crossing per hop.
+#: Each entry keeps its own fresh nonce and its own single-round quote
+#: (Q1/Q2/Q3 semantics unchanged); one signature binds the Merkle root
+#: over the sorted per-entry quote leaves.
+MSG_ATTEST_BATCH_REQUEST = "attest_batch_request"
+MSG_MEASURE_BATCH_REQUEST = "measure_batch_request"
+MSG_ATTEST_FLEET = "runtime_attest_batch"
 MSG_LAUNCH = "launch_vm"
 MSG_TERMINATE = "terminate_vm"
 MSG_SUSPEND = "suspend_vm"

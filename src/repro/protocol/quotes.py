@@ -55,3 +55,32 @@ def report_quote_q1(
     the customer must not learn which server hosts the VM)."""
     (telemetry or NULL_TELEMETRY).counter("protocol.quotes").inc(kind="q1")
     return sha256([vid, prop, report, nonce])
+
+
+def merkle_root(
+    leaves: list[bytes],
+    telemetry: Optional[Telemetry] = None,
+) -> bytes:
+    """Merkle root over per-round quote leaves of one batched message.
+
+    The fleet pipeline keeps per-round Q1/Q2/Q3 semantics intact — each
+    entry still hashes its own fresh nonce — but a single signature per
+    hop binds the root over all leaves, so signing cost stays constant
+    as the batch grows. Leaf order must already be deterministic (the
+    pipeline sorts entries by (Vid, nonce) before hashing). Leaves and
+    interior nodes are domain-separated; odd levels promote the last
+    node unchanged rather than duplicating it.
+    """
+    (telemetry or NULL_TELEMETRY).counter("protocol.quotes").inc(kind="merkle_root")
+    if not leaves:
+        return sha256(["merkle-empty"])
+    # domain-separate leaves from interior nodes
+    level = [sha256(["merkle-leaf", leaf]) for leaf in leaves]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(sha256(["merkle-node", level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

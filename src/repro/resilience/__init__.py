@@ -14,6 +14,15 @@ without giving up replayability:
   four protocol legs of Fig. 3, shared by the network's per-leg
   timeout enforcement and the fault injector.
 
+**Batched rounds.** The fleet pipeline shares wire crossings across
+many logical rounds, but fault tolerance always targets the *logical
+round*, never the shared batch: a transient failure of a batched
+request records one breaker failure and then replays each member round
+through the serial path — its own fresh nonces, its own retry budget,
+its own degraded outcome — while an open circuit serves per-round
+degraded reports immediately. A batch is an optimization, not a fate-
+sharing domain (counted by the ``pipeline.batch.fallbacks`` telemetry).
+
 See ``docs/FAILURE_MODEL.md`` for the full fault taxonomy and the
 degraded-mode (``UNREACHABLE``) reporting semantics.
 """

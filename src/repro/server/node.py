@@ -46,7 +46,7 @@ from repro.monitors.vmm_profile import VmmProfileTool
 from repro.network.network import Network
 from repro.network.secure_channel import SecureEndpoint
 from repro.protocol import messages as msg
-from repro.protocol.quotes import attestation_quote
+from repro.protocol.quotes import attestation_quote, merkle_root
 from repro.sim.engine import Engine
 from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_MEASURE, Telemetry
 from repro.tpm.trust_module import TrustModule
@@ -198,6 +198,7 @@ class CloudServer:
         msg.require_fields(body, msg.KEY_TYPE)
         handlers = {
             msg.MSG_MEASURE_REQUEST: self._handle_measure,
+            msg.MSG_MEASURE_BATCH_REQUEST: self._handle_measure_batch,
             "server_load_report": self._handle_load_report,
             msg.MSG_LAUNCH: self._handle_launch,
             msg.MSG_TERMINATE: self._handle_terminate,
@@ -289,6 +290,104 @@ class CloudServer:
         signature = self.trust_module.sign_with_session(session, payload)
         return {
             **payload,
+            msg.KEY_SIGNATURE: signature,
+            msg.KEY_SESSION_CERT: session_cert,
+        }
+
+    def _handle_measure_batch(self, peer: str, body: dict) -> dict:
+        """Coalesced Fig. 2 flow for many VMs on this server at once.
+
+        One attestation session (③) and one privacy-CA round serve the
+        whole batch; the Monitor Module opens every window together and
+        shares VM-independent measurements across entries (②④⑤); each
+        entry keeps its own fresh nonce and its own Q3 leaf, and a single
+        session-key signature (⑥) binds the Merkle root over the sorted
+        leaves. Per-round Q3 semantics are unchanged — a verifier checks
+        its entry's leaf against the root before trusting the batch
+        signature.
+        """
+        if not self.secure or self.trust_module is None:
+            raise StateError(f"server {self.server_id} has no Trust Module")
+        msg.require_fields(body, msg.KEY_ENTRIES, msg.KEY_WINDOW)
+        window_ms = float(body[msg.KEY_WINDOW])
+        entries = list(body[msg.KEY_ENTRIES])
+        if not entries:
+            raise ProtocolError("measure batch has no entries")
+        for entry in entries:
+            msg.require_fields(entry, msg.KEY_VID, msg.KEY_REQUESTED, msg.KEY_NONCE)
+            if VmId(entry[msg.KEY_VID]) not in self.hosted:
+                raise StateError(
+                    f"server {self.server_id} does not host {entry[msg.KEY_VID]}"
+                )
+        with self.telemetry.span(
+            SPAN_MEASURE,
+            remote_parent=body.get(KEY_TRACE),
+            server=str(self.server_id),
+            vid=f"batch:{len(entries)}",
+        ):
+            return self._measure_batch(entries, window_ms, body)
+
+    def _measure_batch(self, entries: list[dict], window_ms: float, body: dict) -> dict:
+        # ③ one fresh attestation session certifies the whole batch
+        self.cost.charge("session_keygen")
+        session = self.trust_module.new_attestation_session()
+        cert_response = self.endpoint.call(
+            self._pca_endpoint,
+            {
+                msg.KEY_TYPE: "certify_attestation_key",
+                "server": str(self.server_id),
+                "attestation_key": session.public.to_dict(),
+                "endorsement": session.endorsement,
+            },
+        )
+        self.cost.charge("pca_certify")
+        session_cert = cert_response["certificate"]
+
+        # ②④ one shared measurement pass: every window opens together,
+        # one run_until covers them all, VM-independent values coalesce
+        requests = [
+            MeasurementRequest(
+                vid=VmId(entry[msg.KEY_VID]),
+                measurements=tuple(str(m) for m in entry[msg.KEY_REQUESTED]),
+                window_ms=window_ms,
+                params=dict(body.get("params", {})),
+            )
+            for entry in entries
+        ]
+        self.monitor_module.begin_many(requests)
+        if window_ms > 0:
+            self.engine.run_until(self.engine.now + window_ms)
+        all_measurements, coalesce_hits = self.monitor_module.collect_many(requests)
+        self.telemetry.counter("pipeline.coalesce.hits").inc(coalesce_hits)
+
+        # ⑤ evidence + per-entry Q3 leaves, ⑥ one signature over the root
+        out_entries = []
+        leaves = []
+        for entry, request, measurements in zip(entries, requests, all_measurements):
+            nonce = bytes(entry[msg.KEY_NONCE])
+            self.trust_module.store_evidence(f"attest:{request.vid}", measurements)
+            quote = attestation_quote(
+                str(request.vid), list(request.measurements), measurements, nonce,
+                telemetry=self.telemetry,
+            )
+            leaves.append(quote)
+            out_entries.append(
+                {
+                    msg.KEY_VID: str(request.vid),
+                    msg.KEY_REQUESTED: list(request.measurements),
+                    msg.KEY_MEASUREMENTS: measurements,
+                    msg.KEY_NONCE: nonce,
+                    msg.KEY_QUOTE: quote,
+                }
+            )
+        batch_root = merkle_root(leaves, telemetry=self.telemetry)
+        self.cost.charge("tpm_quote_sign")
+        signature = self.trust_module.sign_with_session(
+            session, {msg.KEY_ENTRIES: out_entries, msg.KEY_BATCH_ROOT: batch_root}
+        )
+        return {
+            msg.KEY_ENTRIES: out_entries,
+            msg.KEY_BATCH_ROOT: batch_root,
             msg.KEY_SIGNATURE: signature,
             msg.KEY_SESSION_CERT: session_cert,
         }

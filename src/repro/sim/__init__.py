@@ -4,8 +4,19 @@ A minimal, deterministic event engine: a priority queue of timestamped
 callbacks with stable FIFO ordering for simultaneous events. The Xen
 scheduler simulation, the network latency model and the VM lifecycle
 timing all run on one shared engine so their clocks agree.
+
+:mod:`repro.sim.rounds` adds the deterministic future abstraction the
+fleet attestation pipeline uses to keep many logical rounds in flight
+at once without threads or an asyncio loop.
 """
 
 from repro.sim.engine import Engine, EventHandle
+from repro.sim.rounds import RoundFuture, gather_results, resolve_each
 
-__all__ = ["Engine", "EventHandle"]
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "RoundFuture",
+    "gather_results",
+    "resolve_each",
+]

@@ -1,0 +1,113 @@
+"""Deterministic round futures for overlapped protocol rounds.
+
+The fleet attestation pipeline lets many logical Fig. 3 rounds be *in
+flight* at once: callers submit requests and receive a
+:class:`RoundFuture` that resolves when the pipeline drains its queue.
+Unlike ``asyncio`` futures there is no event loop and no thread — every
+state transition happens synchronously inside an engine callback, so
+resolution order is a pure function of the seed and the submission
+order, and two same-seed runs resolve every future at identical
+simulated times with identical values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+from repro.common.errors import StateError
+
+T = TypeVar("T")
+
+_PENDING = "pending"
+_DONE = "done"
+
+
+class RoundFuture(Generic[T]):
+    """The eventual outcome of one logical attestation round.
+
+    A future resolves exactly once, with either a result or an
+    exception. Done-callbacks added before resolution run in addition
+    order at resolution time (inside the resolving engine event);
+    callbacks added after resolution run immediately.
+    """
+
+    __slots__ = ("_state", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._state = _PENDING
+        self._result: Optional[T] = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["RoundFuture[T]"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether the round has resolved (result or exception)."""
+        return self._state == _DONE
+
+    def result(self) -> T:
+        """The round's result; raises its exception if it failed."""
+        if self._state != _DONE:
+            raise StateError("round has not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result  # type: ignore[return-value]
+
+    def exception(self) -> Optional[BaseException]:
+        """The round's exception, or ``None`` if it succeeded."""
+        if self._state != _DONE:
+            raise StateError("round has not resolved yet")
+        return self._exception
+
+    def set_result(self, value: T) -> None:
+        """Resolve the round successfully."""
+        self._resolve(result=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Resolve the round with a failure."""
+        self._resolve(exception=exc)
+
+    def add_done_callback(
+        self, callback: Callable[["RoundFuture[T]"], None]
+    ) -> None:
+        """Run ``callback(future)`` once the round resolves."""
+        if self._state == _DONE:
+            callback(self)
+            return
+        self._callbacks.append(callback)
+
+    def _resolve(
+        self,
+        result: Optional[T] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        if self._state == _DONE:
+            raise StateError("round already resolved")
+        self._state = _DONE
+        self._result = result
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+def gather_results(futures: list[RoundFuture[T]]) -> list[T]:
+    """Results of resolved futures, in order; raises the first failure."""
+    return [future.result() for future in futures]
+
+
+def resolve_each(
+    futures: list[RoundFuture[T]], outcomes: list[Any]
+) -> None:
+    """Resolve ``futures[i]`` with ``outcomes[i]``.
+
+    An outcome that is a ``BaseException`` instance resolves its future
+    as a failure (the :func:`asyncio.gather` ``return_exceptions``
+    idiom); anything else resolves it as a result.
+    """
+    if len(futures) != len(outcomes):
+        raise StateError("futures and outcomes must align")
+    for future, outcome in zip(futures, outcomes):
+        if isinstance(outcome, BaseException):
+            future.set_exception(outcome)
+        else:
+            future.set_result(outcome)

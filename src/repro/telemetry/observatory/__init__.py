@@ -14,6 +14,7 @@ from repro.telemetry.observatory.alerts import (
     AlertRule,
     BreakerOpenRule,
     FailureStreakRule,
+    KeyPoolExhaustedRule,
     LatencySloRule,
     RetryStormRule,
     UnreachableRule,
@@ -48,6 +49,7 @@ __all__ = [
     "EVENT_VERIFICATION_FAILURE",
     "FailureStreakRule",
     "HealthScoreboard",
+    "KeyPoolExhaustedRule",
     "LatencySloRule",
     "Observatory",
     "ObservatoryEvent",

@@ -327,6 +327,36 @@ class BreakerOpenRule(AlertRule):
             engine.clear(self, endpoint)
 
 
+class KeyPoolExhaustedRule(AlertRule):
+    """A pre-warmed KeyPool ran dry and fell back to on-demand keygen.
+
+    The fleet pipeline pre-warms each server's session-key pool from
+    its expected round count; an exhaustion event means the estimate
+    was too low and a batch paid Miller-Rabin keygen on the critical
+    path. One alert per exhaustion event (the scope re-arms itself so
+    repeated shortfalls stay visible).
+    """
+
+    name = "keypool_exhausted"
+    severity = SEVERITY_WARNING
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "keypool_exhausted":
+            return
+        session_index = event.fields.get("session_index", "")
+        engine.fire(
+            self,
+            scope="keypool",
+            message=(
+                "attestation key pool exhausted; session "
+                f"{session_index} fell back to on-demand keygen"
+            ),
+            session_index=str(session_index),
+            taken=str(event.fields.get("taken", "")),
+        )
+        engine.clear(self, "keypool")
+
+
 def default_rules(
     slo_targets: Optional[dict[str, float]] = None,
     streak_threshold: int = 3,
@@ -339,6 +369,7 @@ def default_rules(
         UnreachableRule(),
         RetryStormRule(),
         BreakerOpenRule(),
+        KeyPoolExhaustedRule(),
     ]
 
 

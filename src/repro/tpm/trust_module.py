@@ -113,6 +113,21 @@ class TrustModule:
         """Crypto engine: sign ``payload`` with the session key ASKs."""
         return sign(session.keypair.private, payload)
 
+    def prewarm_sessions(self, count: int) -> int:
+        """Pre-generate session keypairs for ``count`` expected rounds.
+
+        The fleet pipeline calls this with its expected session count so
+        batch drains never stall on Miller-Rabin keygen. A no-op (returns
+        0) when the key-pool fast path is disabled — the lazy fork path
+        stays byte-identical either way.
+        """
+        if self.key_pool is None:
+            return 0
+        needed = count - self.key_pool.available
+        if needed <= 0:
+            return 0
+        return self.key_pool.prefill(needed)
+
     # ------------------------------------------------------------------
     # trust evidence registers
     # ------------------------------------------------------------------

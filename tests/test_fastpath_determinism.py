@@ -94,6 +94,52 @@ class TestTranscriptEquivalence:
         assert len(first["wire"]) > 10
 
 
+def _run_fleet_round(fast_paths_on: bool):
+    """Three overlapped rounds through the fleet pipeline's batch path."""
+    context = (
+        fastpath.overridden(key_pool_batch=4)
+        if fast_paths_on
+        else fastpath.all_disabled()
+    )
+    with context:
+        clear_verify_memo()
+        cloud = CloudMonatt(num_servers=1, seed=SEED, key_bits=KEY_BITS)
+        tap = Eavesdropper()
+        cloud.network.install_attacker(tap)
+        customer = cloud.register_customer("alice")
+        vids = [
+            customer.launch_vm(
+                "small", "ubuntu",
+                properties=[SecurityProperty.RUNTIME_INTEGRITY],
+            ).vid
+            for _ in range(3)
+        ]
+        results = customer.attest_fleet(
+            [(vid, SecurityProperty.RUNTIME_INTEGRITY) for vid in vids]
+        )
+        wire = [
+            (env.sender, env.receiver, env.direction, env.payload)
+            for env in tap.captured
+        ]
+        return {
+            "wire": wire,
+            "reports": [encode(r.report.to_dict()) for r in results],
+            "audit_head": cloud.attestation_server.audit.head_digest,
+        }
+
+
+class TestFleetTranscriptEquivalence:
+    def test_fast_paths_change_no_fleet_protocol_bytes(self):
+        # the batched path (Merkle multi-quotes, shared sessions,
+        # coalesced measurement) under fast paths vs fully disabled:
+        # every wire crossing identical, byte for byte
+        baseline = _run_fleet_round(fast_paths_on=False)
+        optimized = _run_fleet_round(fast_paths_on=True)
+        assert optimized["wire"] == baseline["wire"]
+        assert optimized["reports"] == baseline["reports"]
+        assert optimized["audit_head"] == baseline["audit_head"]
+
+
 class TestKeyPoolDeterminism:
     def _lazy_sessions(self, count: int) -> list[tuple[int, int]]:
         with fastpath.overridden(key_pool=False):

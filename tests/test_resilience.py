@@ -486,6 +486,49 @@ class TestPersistentFaultDegradation:
 
 
 # ----------------------------------------------------------------------
+# batched rounds: faults hit the logical round, never the shared batch
+# ----------------------------------------------------------------------
+
+
+class TestFleetFaultIsolation:
+    def test_dark_as_degrades_every_round_in_the_batch(self):
+        cloud = CloudMonatt(num_servers=2, seed=SEED)
+        alice = cloud.register_customer("alice")
+        vids = [
+            alice.launch_vm(
+                "small", "ubuntu",
+                properties=[SecurityProperty.STARTUP_INTEGRITY],
+            ).vid
+            for _ in range(3)
+        ]
+        cloud.network.install_fault_injector(
+            FaultInjector(
+                cloud.rng.child("test-faults"),
+                {LEG_CONTROLLER_AS: FaultSpec(drop=1.0)},
+            )
+        )
+        results = alice.attest_fleet(
+            [(vid, SecurityProperty.STARTUP_INTEGRITY) for vid in vids]
+        )
+        # a dead batch leg never fate-shares: every member round gets
+        # its own signed degraded report, and the breaker opened
+        assert len(results) == 3
+        for result in results:
+            assert not result.report.healthy
+            assert result.report.details.get("verdict") == "UNREACHABLE"
+        assert cloud.controller.attest_service.breaker_state() == STATE_OPEN
+
+        # circuit already open: the next batch degrades immediately,
+        # without touching the dark AS again
+        again = alice.attest_fleet(
+            [(vid, SecurityProperty.STARTUP_INTEGRITY) for vid in vids]
+        )
+        assert all(
+            r.report.details.get("verdict") == "UNREACHABLE" for r in again
+        )
+
+
+# ----------------------------------------------------------------------
 # determinism: same seed, same fault plan, same everything
 # ----------------------------------------------------------------------
 

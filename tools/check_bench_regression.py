@@ -1,0 +1,90 @@
+"""Guard the pooled-attestation throughput against silent regression.
+
+Re-runs the wall-clock harness (``benchmarks/bench_wallclock.py``),
+re-emitting a fresh ``BENCH_wallclock.json``, and compares the fresh
+``attest_rounds_pooled.ops_per_sec`` against the committed artifact at
+the repo root. Fails (exit 1) if the fresh number drops more than
+``--max-drop`` (default 20%) below the committed value.
+
+Wall-clock numbers move with the host, so the committed artifact is a
+*floor*, not a target: CI runs the quick profile and only trips on a
+drop large enough to indicate a real fast-path regression, not machine
+noise. Regenerate the committed artifact with a full
+``bench_wallclock.py`` run whenever the fast paths legitimately change.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_regression.py [--quick]
+        [--baseline BENCH_wallclock.json] [--max-drop 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+METRIC = ("attest_rounds_pooled", "ops_per_sec")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline",
+                        default=str(REPO_ROOT / "BENCH_wallclock.json"),
+                        help="committed artifact to compare against")
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        help="maximum tolerated fractional drop in pooled "
+                             "attestation ops/sec (default 0.20)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the quick bench profile (CI)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_wallclock.json"),
+                        help="where the fresh artifact is re-emitted")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to compare",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    committed = baseline["results"][METRIC[0]][METRIC[1]]
+
+    import bench_wallclock
+
+    bench_args = ["--min-speedup", "0", "--tables", "", "--out", args.out]
+    if args.quick:
+        bench_args.append("--quick")
+    if "key_bits" in baseline:
+        bench_args += ["--key-bits", str(baseline["key_bits"])]
+    status = bench_wallclock.main(bench_args)
+    if status != 0:
+        return status
+
+    fresh = json.loads(Path(args.out).read_text())
+    current = fresh["results"][METRIC[0]][METRIC[1]]
+    floor = committed * (1.0 - args.max_drop)
+    verdict = "OK" if current >= floor else "FAIL"
+    print(
+        f"{verdict}: pooled attestation {current:,.1f} ops/sec vs committed "
+        f"{committed:,.1f} (floor {floor:,.1f} at -{args.max_drop:.0%})"
+    )
+    if current < floor:
+        print(
+            "pooled attestation throughput regressed more than "
+            f"{args.max_drop:.0%} from the committed artifact — inspect the "
+            "crypto fast paths or regenerate BENCH_wallclock.json with a "
+            "full run if the change is intentional",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
