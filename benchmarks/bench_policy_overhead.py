@@ -1,0 +1,299 @@
+"""Wall-clock overhead of the continuous attestation scheduler.
+
+The policy scheduler is a cadence layer on top of the attestation
+pipeline: ticks, due-entry sorting, alarm state machines, staleness
+accounting. None of that should cost measurable wall-clock time next to
+the crypto the rounds themselves pay. This benchmark pins that claim:
+
+- **policy**: register a monitoring policy over the fleet and
+  ``run_for`` a fixed window of simulated time, recording exactly when
+  the scheduler submits each round;
+- **bare**: on a fresh same-seed cloud, replay those *same* rounds at
+  the *same* simulated instants straight into the pipeline — identical
+  attestation work, no scheduler.
+
+Both paths are timed in *process CPU time* (the whole simulation is
+CPU-bound and single-threaded, so CPU time is the same quantity as
+wall-clock minus other-process scheduling noise). Each of ``--repeat``
+(default 5) iterations times the two paths back-to-back. The *median*
+pairwise ``policy/bare - 1`` is reported; the gate tests the *best*
+(lowest) pair. The two paths do byte-aligned crypto work, so any
+single pair's ratio moves only with host interference — but a *real*
+scheduler cost shifts every pair up, so requiring the best of five
+pairs to clear the bound keeps the gate robust on noisy hosts while
+still catching a genuine regression. The benchmark exits non-zero if
+the best pair exceeds ``--max-overhead`` (default 2%).
+
+Outputs ``BENCH_policy_overhead.json`` and appends a table to
+``bench_tables.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_policy_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _tables import print_table  # noqa: E402
+
+from repro import CloudMonatt, SecurityProperty  # noqa: E402
+from repro.common.identifiers import VmId  # noqa: E402
+from repro.crypto.signatures import clear_verify_memo  # noqa: E402
+from repro.policy import MonitoringPolicy  # noqa: E402
+
+SEED = 7
+PROPERTY = SecurityProperty.RUNTIME_INTEGRITY
+
+
+def _period_ms(num_vms: int) -> float:
+    """Check period that keeps the attestation path comfortably under
+    capacity: one singleton round costs ~700 ms of *simulated* protocol
+    time, so a period of 1 s per VM holds utilisation near 70%. A
+    saturated path would make the comparison meaningless — the two
+    runs would complete different amounts of work."""
+    return 1_000.0 * num_vms
+
+
+def _build_fleet(num_vms: int, key_bits: int):
+    num_servers = max(2, num_vms // 8)
+    cloud = CloudMonatt(
+        num_servers=num_servers,
+        num_pcpus=(num_vms // num_servers) + 2,
+        seed=SEED,
+        key_bits=key_bits,
+    )
+    customer = cloud.register_customer("alice")
+    vids = [
+        customer.launch_vm(
+            "small", "ubuntu",
+            properties=[PROPERTY],
+            workload={"name": "idle"},
+        ).vid
+        for _ in range(num_vms)
+    ]
+    # prewarm one session key per expected round (plus slack): keypair
+    # generation has stochastic cost (random prime search), and a
+    # single extra on-demand keygen would swamp the sub-2% bookkeeping
+    # signal this benchmark measures
+    cloud.prewarm_for_fleet(5 * num_vms + 10)
+    return cloud, customer, vids
+
+
+def _policy_for(vids) -> MonitoringPolicy:
+    period = _period_ms(len(vids))
+    return MonitoringPolicy.from_dict({
+        "name": "bench",
+        "version": 1,
+        "entities": [str(vid) for vid in vids],
+        "checks": [{
+            "name": "runtime",
+            "property": PROPERTY.value,
+            "period_ms": period,
+            "staleness_budget_ms": 4 * period,
+        }],
+        # keep the comparison about the scheduler itself, not the
+        # observatory fan-out the bare path has no equivalent for
+        "notifications": {"observatory": False, "audit": False},
+    })
+
+
+def _drain_remaining(cloud, pending, limit_ms: float = 60_000.0) -> None:
+    """Run the engine until every captured round future resolved."""
+    waited = 0.0
+    while any(not f.done for f in pending) and waited < limit_ms:
+        cloud.run_for(500.0)
+        waited += 500.0
+    unresolved = sum(1 for f in pending if not f.done)
+    if unresolved:
+        raise AssertionError(
+            f"{unresolved} round(s) never resolved — the configured load "
+            "saturates the attestation path; the comparison would be "
+            "between different amounts of completed work"
+        )
+
+
+def bench_policy(num_vms: int, key_bits: int,
+                 duration_ms: float) -> tuple[float, list]:
+    """Time a monitored run; return (seconds, submission schedule)."""
+    clear_verify_memo()
+    cloud, customer, vids = _build_fleet(num_vms, key_bits)
+    customer.attest(vids[0], PROPERTY)  # warm up channels/caches
+    schedule: list[tuple[float, str]] = []
+    pending: list = []
+    original = cloud.controller.pipeline.submit
+
+    def spy(vid, prop, window_ms=None, source="api"):
+        schedule.append((cloud.engine.now - start_ms, str(vid)))
+        future = original(vid, prop, window_ms=window_ms, source=source)
+        pending.append(future)
+        return future
+
+    cloud.controller.pipeline.submit = spy
+    # registration is a signed protocol exchange — one-time setup cost,
+    # not steady-state scheduler overhead, so it stays outside the timed
+    # region (the bare path performs the same exchange untimed); the
+    # schedule epoch starts after it so replay instants line up exactly
+    customer.register_policy(_policy_for(vids))
+    start_ms = cloud.now
+    start = time.process_time()
+    cloud.run_for(duration_ms)
+    # freeze the injection budget so the drain phase below completes
+    # the in-flight rounds without the scheduler starting new ones
+    cloud.controller.policy_scheduler.rounds_per_tick = 0
+    _drain_remaining(cloud, pending)
+    seconds = time.process_time() - start
+    return seconds, schedule
+
+
+def bench_bare(num_vms: int, key_bits: int, duration_ms: float,
+               schedule: list) -> float:
+    """Replay the policy run's rounds with no scheduler in the loop."""
+    clear_verify_memo()
+    cloud, customer, vids = _build_fleet(num_vms, key_bits)
+    customer.attest(vids[0], PROPERTY)  # warm up channels/caches
+    # perform the same registration exchange as the policy run, then
+    # empty the scheduler: registration consumes DRBG/keypool material,
+    # and skipping it here would hand every replayed round a *different*
+    # RSA key than the policy run used — per-key modexp cost varies by a
+    # few percent, which would drown the bookkeeping signal
+    customer.register_policy(_policy_for(vids))
+    cloud.controller.policy_scheduler._entries.clear()
+    pipeline = cloud.controller.pipeline
+    pending: list = []
+    start = time.process_time()
+    for delay_ms, vid in schedule:
+        cloud.engine.schedule(
+            delay_ms,
+            lambda v=vid: pending.append(pipeline.submit(VmId(v), PROPERTY)),
+        )
+    # the policy run's drain phase can fire past the window proper, so
+    # run to the last replayed round before draining
+    cloud.run_for(max(duration_ms, max(d for d, _ in schedule) + 1.0))
+    _drain_remaining(cloud, pending)
+    seconds = time.process_time() - start
+    if len(pending) != len(schedule):
+        raise AssertionError("bare replay lost rounds")
+    return seconds
+
+
+def run(args: argparse.Namespace) -> dict:
+    num_vms = 4 if args.quick else args.vms
+    duration_ms = args.duration_ms or 8 * _period_ms(num_vms)
+    policy_times, bare_times = [], []
+    schedule: list = []
+    # each repeat times the two paths back-to-back, so slow machine
+    # drift (frequency scaling, cache pressure) cancels within a pair;
+    # the median pairwise ratio then discards interference outliers
+    for _ in range(args.repeat):
+        seconds, schedule = bench_policy(num_vms, args.key_bits, duration_ms)
+        policy_times.append(seconds)
+        bare_times.append(
+            bench_bare(num_vms, args.key_bits, duration_ms, schedule))
+    ratios = sorted(p / b for p, b in zip(policy_times, bare_times))
+    overhead = ratios[len(ratios) // 2] - 1.0
+    # a real scheduler cost shifts every pair's ratio up, while host
+    # interference scatters individual pairs both ways — gating on the
+    # best pair tolerates the scatter without missing a true regression
+    overhead_best = ratios[0] - 1.0
+    policy_s, bare_s = min(policy_times), min(bare_times)
+    rounds = len(schedule)
+    return {
+        "num_vms": num_vms,
+        "duration_ms": duration_ms,
+        "rounds": rounds,
+        "policy": {"seconds": round(policy_s, 6),
+                   "rounds_per_sec": round(rounds / policy_s, 3)},
+        "bare": {"seconds": round(bare_s, 6),
+                 "rounds_per_sec": round(rounds / bare_s, 3)},
+        "overhead": round(overhead, 4),
+        "overhead_best": round(overhead_best, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="4-VM fleet (CI smoke)")
+    parser.add_argument("--vms", type=int, default=8,
+                        help="fleet size for the full run (default 8)")
+    parser.add_argument("--duration-ms", type=float, default=0.0,
+                        help="simulated monitoring window (default: eight "
+                             "check periods)")
+    parser.add_argument("--key-bits", type=int, default=1024,
+                        help="RSA modulus size (default 1024)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="back-to-back timing pairs; the median "
+                             "pairwise ratio is reported (default 5)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_policy_overhead.json"),
+                        help="machine-readable output path")
+    parser.add_argument("--tables", default=str(REPO_ROOT / "bench_tables.txt"),
+                        help="append the human table here ('' to skip)")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="fail if scheduler overhead exceeds this "
+                             "fraction (default 0.02; 0 disables)")
+    args = parser.parse_args(argv)
+
+    results = run(args)
+    title = (
+        f"Policy scheduler overhead ({results['num_vms']} VMs, "
+        f"{results['rounds']} rounds over {results['duration_ms']:.0f} ms, "
+        f"{args.key_bits}-bit keys{', quick' if args.quick else ''})"
+    )
+    headers = ["path", "seconds", "rounds/sec"]
+    rows = [
+        ["policy scheduler", f"{results['policy']['seconds']:.3f}",
+         f"{results['policy']['rounds_per_sec']:,.1f}"],
+        ["bare pipeline replay", f"{results['bare']['seconds']:.3f}",
+         f"{results['bare']['rounds_per_sec']:,.1f}"],
+        ["scheduler overhead (median pair)", f"{results['overhead']:+.2%}", ""],
+        ["scheduler overhead (best pair)",
+         f"{results['overhead_best']:+.2%}", ""],
+    ]
+    print_table(title, headers, rows)
+
+    payload = {
+        "benchmark": "policy_overhead",
+        "seed": SEED,
+        "key_bits": args.key_bits,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.tables:
+        with open(args.tables, "a") as fh:
+            fh.write(f"\n=== {title} ===\n")
+            widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+                      for i in range(len(headers))]
+            fh.write("  ".join(str(h).ljust(w)
+                               for h, w in zip(headers, widths)) + "\n")
+            for row in rows:
+                fh.write("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)) + "\n")
+        print(f"appended table to {args.tables}")
+
+    if args.max_overhead and results["overhead_best"] > args.max_overhead:
+        print(
+            f"FAIL: scheduler overhead {results['overhead_best']:+.2%} "
+            f"(best of {args.repeat} pairs) exceeds {args.max_overhead:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,15 +12,19 @@ Start with :class:`repro.cloud.CloudMonatt`.
 
 from repro.cloud import CloudMonatt, Customer
 from repro.network.faults import FaultSpec
+from repro.policy import CheckSpec, MonitoringPolicy, NotificationRouting
 from repro.properties import PropertyReport, SecurityProperty
 from repro.resilience import RetryPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckSpec",
     "CloudMonatt",
     "Customer",
     "FaultSpec",
+    "MonitoringPolicy",
+    "NotificationRouting",
     "PropertyReport",
     "RetryPolicy",
     "SecurityProperty",

@@ -13,6 +13,10 @@ Commands:
 - ``telemetry [TRACE]`` — run the demo workload with tracing on (or
   summarize an existing JSONL trace) and print the per-span latency
   summary;
+- ``policy validate|show|status`` — check a monitoring-policy JSON
+  document against the schema and property catalog, render its
+  compiled checks, or run it over a seeded demo fleet and print the
+  schedule entries and alarm-transition timeline;
 - ``health TRACE`` — the fleet health scoreboard of a recorded run;
 - ``alerts TRACE`` — the alert log of a recorded run;
 - ``trace TRACE`` — query the span store of a recorded run (filters,
@@ -318,7 +322,11 @@ def _fastpath_summary(cloud: CloudMonatt) -> str:
     Key-pool hits/misses/prefills come from the cloud's own hub (one
     series per Trust Module, summed); the verification-memo counters are
     process-global (the memo is shared across endpoints) and read from
-    :mod:`repro.crypto.fastpath`.
+    :mod:`repro.crypto.fastpath`. The degraded-path counters make a
+    struggling fleet run visible from here: a non-zero
+    ``pipeline.batch.fallbacks`` means a batched round fell back to the
+    serial path, and ``crypto.keypool.exhausted`` means a pre-warmed
+    pool ran dry and keygen landed on the critical path.
     """
     from repro.crypto import fastpath
 
@@ -330,7 +338,117 @@ def _fastpath_summary(cloud: CloudMonatt) -> str:
     stats = fastpath.stats()
     for name in ("verify_memo.hit", "verify_memo.miss"):
         lines.append(f"crypto.{name:<21} {stats.get(name, 0)}")
+    lines.append("=== degraded paths ===")
+    for name in ("pipeline.batch.fallbacks", "crypto.keypool.exhausted"):
+        lines.append(f"{name:<28} {metrics.counter(name).total():.0f}")
     return "\n".join(lines)
+
+
+def _load_policy(path: str):
+    """Parse a policy JSON file, exiting cleanly on malformed input."""
+    from repro.common.errors import PolicyError
+    from repro.policy import MonitoringPolicy
+
+    try:
+        document = json.loads(open(path, encoding="utf-8").read())
+    except OSError as exc:
+        print(f"error: cannot read policy {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        return MonitoringPolicy.from_dict(document)
+    except PolicyError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """Validate, render, or demo-run a monitoring policy document."""
+    from repro.common.errors import PolicyError
+    from repro.properties.catalog import PropertyCatalog
+
+    if args.policy_command == "validate":
+        policy = _load_policy(args.path)
+        try:
+            policy.validate(PropertyCatalog())
+        except PolicyError as exc:
+            print(f"error: {args.path}: {exc}", file=sys.stderr)
+            return 1
+        checks = len(policy.checks) * len(policy.entities)
+        print(f"{args.path}: policy {policy.name!r} v{policy.version} OK "
+              f"({len(policy.checks)} check(s) x {len(policy.entities)} "
+              f"entit(ies) = {checks} schedule entries)")
+        return 0
+
+    if args.policy_command == "show":
+        policy = _load_policy(args.path)
+        routing = policy.notifications
+        print(f"policy {policy.name} v{policy.version}")
+        print(f"  entities: {', '.join(policy.entities)}")
+        print(f"  notifications: observatory={routing.observatory} "
+              f"audit={routing.audit} auto_respond={routing.auto_respond}")
+        print(f"  {'check':16s} {'property':24s} {'period_ms':>9s} "
+              f"{'budget_ms':>9s} {'warn':>5s} {'crit':>5s} {'clear':>6s}")
+        for check in policy.checks:
+            print(f"  {check.name:16s} {check.prop.value:24s} "
+                  f"{check.period_ms:9.0f} {check.staleness_budget_ms:9.0f} "
+                  f"{check.warning_after:5d} {check.critical_after:5d} "
+                  f"{check.clear_after:6d}")
+        return 0
+
+    # status: run the policy over a seeded demo fleet and report the
+    # schedule entries, alarm states and transition timeline
+    from repro.policy import MonitoringPolicy
+
+    policy = _load_policy(args.path) if args.path else None
+    cloud = _make_cloud(args, num_servers=2)
+    alice = cloud.register_customer("alice")
+    vids = [
+        alice.launch_vm(
+            "small", "ubuntu",
+            properties=[SecurityProperty.RUNTIME_INTEGRITY],
+            workload={"name": "app"},
+        ).vid
+        for _ in range(args.vms)
+    ]
+    if policy is None:
+        policy = MonitoringPolicy.from_dict({
+            "name": "demo",
+            "version": 1,
+            "entities": [str(vid) for vid in vids],
+            "checks": [{
+                "name": "runtime",
+                "property": "runtime_integrity",
+                "period_ms": 2_000.0,
+                "staleness_budget_ms": 6_000.0,
+            }],
+        })
+    else:
+        # the document's entities name someone else's VMs; re-target the
+        # demo fleet so its checks run against what we just launched
+        policy = MonitoringPolicy.from_dict(
+            {**policy.to_dict(), "entities": [str(vid) for vid in vids]}
+        )
+    alice.register_policy(policy)
+    cloud.run_for(args.duration_ms)
+    status = alice.policy_status()
+    print(f"policy status after {args.duration_ms:.0f} ms "
+          f"(seed {args.seed}):")
+    print(f"  {'check':16s} {'vid':10s} {'state':9s} {'fired':>5s} "
+          f"{'shed':>4s} {'stale':>5s}")
+    for entry in status["entries"]:
+        print(f"  {entry['check']:16s} {entry['vid']:10s} "
+              f"{entry['state']:9s} {entry['fired']:5d} {entry['shed']:4d} "
+              f"{str(entry['stale']).lower():>5s}")
+    transitions = status["transitions"]
+    print(f"{len(transitions)} alarm transition(s)")
+    for t in transitions:
+        print(f"  t={t['time_ms']:10.1f} ms {t['check']}/{t['vid']}: "
+              f"{t['old_state']} -> {t['new_state']} ({t['verdict']})")
+    _export_telemetry(args, cloud)
+    return 0
 
 
 def cmd_health(args: argparse.Namespace) -> int:
@@ -504,6 +622,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="summarize this JSONL trace instead of "
                                 "running the demo")
     telemetry.set_defaults(func=cmd_telemetry)
+
+    policy = commands.add_parser(
+        "policy", help="validate, render or demo-run a monitoring policy")
+    policy_commands = policy.add_subparsers(dest="policy_command",
+                                            required=True)
+    policy_validate = policy_commands.add_parser(
+        "validate", help="check a policy JSON document against the "
+                         "schema and property catalog")
+    policy_validate.add_argument("path", metavar="POLICY",
+                                 help="policy document (JSON)")
+    policy_show = policy_commands.add_parser(
+        "show", help="render a policy document's compiled checks")
+    policy_show.add_argument("path", metavar="POLICY",
+                             help="policy document (JSON)")
+    policy_status = policy_commands.add_parser(
+        "status", help="run the policy over a seeded demo fleet and "
+                       "print schedule entries and alarm transitions")
+    policy_status.add_argument("path", nargs="?", default=None,
+                               metavar="POLICY",
+                               help="policy document (JSON); omit for the "
+                                    "built-in demo policy")
+    policy_status.add_argument("--vms", type=int, default=3,
+                               help="demo fleet size (default 3)")
+    policy_status.add_argument("--duration-ms", type=float, default=20_000.0,
+                               help="how long to run the continuous "
+                                    "scheduler (default 20000)")
+    policy.set_defaults(func=cmd_policy)
 
     health = commands.add_parser(
         "health", help="fleet health scoreboard of a recorded run")

@@ -475,6 +475,35 @@ class Customer:
         return list(state.results) if state else []
 
     # ------------------------------------------------------------------
+    # declarative monitoring policies
+    # ------------------------------------------------------------------
+
+    def register_policy(self, policy) -> dict:
+        """Register (or version-migrate) a monitoring policy.
+
+        ``policy`` is a :class:`~repro.policy.model.MonitoringPolicy`
+        or its plain-dict document form. Validation runs locally first
+        so a malformed document fails fast without a round trip; the
+        controller re-validates against its property catalog and checks
+        that every entity belongs to this customer.
+        """
+        from repro.policy.model import MonitoringPolicy
+
+        if not isinstance(policy, MonitoringPolicy):
+            policy = MonitoringPolicy.from_dict(policy)
+        policy.validate()
+        return self.endpoint.call(
+            self._controller,
+            {msg.KEY_TYPE: "register_policy", "policy": policy.to_dict()},
+        )
+
+    def policy_status(self) -> dict:
+        """This customer's policies, schedule entries and alarm timeline."""
+        return self.endpoint.call(
+            self._controller, {msg.KEY_TYPE: "policy_status"}
+        )
+
+    # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
 

@@ -76,6 +76,12 @@ class RecordError(ProtocolError):
     cannot fix."""
 
 
+class PolicyError(CloudMonattError):
+    """A monitoring-policy document failed validation or could not be
+    applied (unknown property, non-positive period, version conflict,
+    entities the caller does not own)."""
+
+
 class PlacementError(CloudMonattError):
     """No cloud server satisfies a VM's resource + security-property needs."""
 

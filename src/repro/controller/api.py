@@ -45,6 +45,8 @@ from repro.lifecycle.timing import CostModel
 from repro.monitors.audit_log import AuditLog
 from repro.network.network import Network
 from repro.network.secure_channel import SecureEndpoint
+from repro.policy.model import MonitoringPolicy
+from repro.policy.scheduler import PolicyScheduler
 from repro.properties.catalog import PropertyCatalog, SecurityProperty
 from repro.protocol import messages as msg
 from repro.protocol.quotes import merkle_root, report_quote_q1
@@ -174,6 +176,25 @@ class CloudController:
             telemetry=self.telemetry,
             site="controller.push",
         )
+        #: continuous monitoring: declarative policies compiled onto the
+        #: engine and drained through the fleet pipeline (this fork must
+        #: stay after push-retry so earlier DRBG streams are unchanged)
+        self.policy_scheduler = PolicyScheduler(
+            engine=engine,
+            pipeline=self.pipeline,
+            drbg=drbg.fork("policy"),
+            telemetry=self.telemetry,
+            catalog=self.catalog,
+            responder=self.response,
+            audit=self._record_provenance,
+            eligible=self._vm_live,
+        )
+
+    def _vm_live(self, vid: str) -> bool:
+        try:
+            return self.database.vm(VmId(vid)).live
+        except CloudMonattError:
+            return False
 
     def _record_provenance(self, vid: VmId, event: str, **payload) -> None:
         self.provenance.append(
@@ -204,6 +225,8 @@ class CloudController:
             "runtime_attest_periodic": self._handle_attest_periodic,
             "runtime_collect_raw": self._handle_collect_raw,
             "stop_attest_periodic": self._handle_stop_periodic,
+            "register_policy": self._handle_register_policy,
+            "policy_status": self._handle_policy_status,
             msg.MSG_TERMINATE: self._handle_terminate,
             msg.MSG_RESUME: self._handle_resume,
         }
@@ -771,6 +794,31 @@ class CloudController:
         if subscription.handle is not None:
             self.engine.cancel(subscription.handle)
         return {msg.KEY_STATUS: "periodic_stopped"}
+
+    # ------------------------------------------------------------------
+    # declarative monitoring policies (continuous attestation)
+    # ------------------------------------------------------------------
+
+    def _handle_register_policy(self, peer: str, body: dict) -> dict:
+        """Register or version-migrate a monitoring policy document.
+
+        Validation happens here, at the API boundary: a malformed
+        document (unknown property, non-positive period) dies with a
+        :class:`~repro.common.errors.PolicyError` before the scheduler
+        ever sees it. Every entity must belong to the calling customer.
+        """
+        msg.require_fields(body, "policy")
+        policy = MonitoringPolicy.from_dict(body["policy"])
+        for vid in policy.entities:
+            record = self.database.vm(VmId(vid))
+            if record.customer != peer:
+                raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
+        applied = self.policy_scheduler.apply(policy, owner=peer)
+        return {msg.KEY_STATUS: "policy_applied", **applied}
+
+    def _handle_policy_status(self, peer: str, body: dict) -> dict:
+        """Report the calling customer's policies, entries, timeline."""
+        return {msg.KEY_STATUS: "ok", **self.policy_scheduler.status(owner=peer)}
 
     # ------------------------------------------------------------------
     # lifecycle commands

@@ -64,11 +64,18 @@ class AttestationPipeline:
         prop: SecurityProperty,
         window_ms: Optional[float] = None,
         accumulate: bool = False,
+        source: str = "api",
     ) -> RoundFuture[AttestationOutcome]:
-        """Enqueue one logical round; resolves at the next drain tick."""
+        """Enqueue one logical round; resolves at the next drain tick.
+
+        ``source`` labels the telemetry series so operators can split
+        customer-requested rounds (``api``) from scheduler-originated
+        ones (``policy``); it does not affect batching or ordering.
+        """
         future: RoundFuture[AttestationOutcome] = RoundFuture()
         self._queue.append((vid, prop, window_ms, accumulate, future))
-        self.telemetry.counter("pipeline.rounds").inc(property=prop.value)
+        self.telemetry.counter("pipeline.rounds").inc(
+            property=prop.value, source=source)
         self.telemetry.gauge("pipeline.queue.depth").set(len(self._queue))
         if not self._drain_scheduled:
             self._drain_scheduled = True

@@ -1,0 +1,51 @@
+"""Declarative monitoring policies and the continuous scheduler.
+
+The paper's thesis is *continuous* security health monitoring; this
+package turns the repo's request-scoped attestation into standing
+coverage. :mod:`repro.policy.model` defines the plain-data policy
+documents (entities × checks × notification routing),
+:mod:`repro.policy.alarms` the OK/WARNING/CRITICAL state machines with
+hysteresis, and :mod:`repro.policy.scheduler` the deterministic
+periodic scheduler that drains due checks into the fleet attestation
+pipeline.
+"""
+
+from repro.policy.alarms import (
+    ALARM_CRITICAL,
+    ALARM_OK,
+    ALARM_WARNING,
+    AlarmStateMachine,
+    AlarmTransition,
+    VERDICT_HEALTHY,
+    VERDICT_UNHEALTHY,
+    VERDICT_UNREACHABLE,
+)
+from repro.policy.model import (
+    CheckSpec,
+    MonitoringPolicy,
+    NotificationRouting,
+    POLICY_SCHEMA,
+)
+from repro.policy.scheduler import (
+    EVENT_POLICY_ALARM,
+    EVENT_POLICY_COVERAGE,
+    PolicyScheduler,
+)
+
+__all__ = [
+    "ALARM_CRITICAL",
+    "ALARM_OK",
+    "ALARM_WARNING",
+    "AlarmStateMachine",
+    "AlarmTransition",
+    "CheckSpec",
+    "EVENT_POLICY_ALARM",
+    "EVENT_POLICY_COVERAGE",
+    "MonitoringPolicy",
+    "NotificationRouting",
+    "POLICY_SCHEMA",
+    "PolicyScheduler",
+    "VERDICT_HEALTHY",
+    "VERDICT_UNHEALTHY",
+    "VERDICT_UNREACHABLE",
+]

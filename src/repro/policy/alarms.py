@@ -1,0 +1,137 @@
+"""Alarm state machines: OK / WARNING / CRITICAL with hysteresis.
+
+Each (policy, check, VM) triple owns one :class:`AlarmStateMachine`.
+Verdicts from attestation rounds feed :meth:`AlarmStateMachine.observe`
+and the machine decides whether anything page-worthy happened:
+
+- ``unhealthy`` extends the consecutive-failure streak; the state
+  escalates to WARNING at ``warning_after`` failures and CRITICAL at
+  ``critical_after``. Escalation is monotone — a failure never lowers
+  a raised state.
+- ``healthy`` extends the consecutive-healthy streak; only once
+  ``clear_after`` healthy verdicts arrive in a row does a raised alarm
+  return to OK. One good round after a bad stretch never clears — that
+  is the hysteresis that stops a flapping VM from paging on every
+  oscillation.
+- ``unreachable`` (the PR-4 circuit breaker speaking, not the VM) is
+  evidence of *nothing*: the state holds, the failure streak holds,
+  and the healthy streak resets, because an unobserved VM cannot be
+  accumulating proof of health.
+
+The transition relation is pure and total — no clocks, no randomness —
+so the test suite can exhaustively enumerate every verdict sequence
+against an independent reference model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PolicyError
+
+ALARM_OK = "OK"
+ALARM_WARNING = "WARNING"
+ALARM_CRITICAL = "CRITICAL"
+
+#: Severity order used for the monotone-escalation rule.
+_SEVERITY = {ALARM_OK: 0, ALARM_WARNING: 1, ALARM_CRITICAL: 2}
+
+VERDICT_HEALTHY = "healthy"
+VERDICT_UNHEALTHY = "unhealthy"
+VERDICT_UNREACHABLE = "unreachable"
+
+VERDICTS = (VERDICT_HEALTHY, VERDICT_UNHEALTHY, VERDICT_UNREACHABLE)
+
+
+@dataclass(frozen=True)
+class AlarmTransition:
+    """One observed state change, suitable for timelines and audits."""
+
+    time_ms: float
+    policy: str
+    check: str
+    vid: str
+    old_state: str
+    new_state: str
+    verdict: str
+
+    def to_dict(self) -> dict:
+        return {
+            "time_ms": self.time_ms,
+            "policy": self.policy,
+            "check": self.check,
+            "vid": self.vid,
+            "old_state": self.old_state,
+            "new_state": self.new_state,
+            "verdict": self.verdict,
+        }
+
+
+class AlarmStateMachine:
+    """Threshold-with-hysteresis alarm over a verdict stream."""
+
+    __slots__ = ("warning_after", "critical_after", "clear_after",
+                 "state", "failure_streak", "healthy_streak")
+
+    def __init__(self, warning_after: int, critical_after: int,
+                 clear_after: int):
+        if warning_after < 1 or clear_after < 1:
+            raise PolicyError("alarm thresholds must be >= 1")
+        if critical_after < warning_after:
+            raise PolicyError("critical_after must be >= warning_after")
+        self.warning_after = warning_after
+        self.critical_after = critical_after
+        self.clear_after = clear_after
+        self.state = ALARM_OK
+        self.failure_streak = 0
+        self.healthy_streak = 0
+
+    def observe(self, verdict: str) -> tuple[str, str] | None:
+        """Feed one verdict; return ``(old, new)`` if the state changed."""
+        old = self.state
+        if verdict == VERDICT_HEALTHY:
+            self.failure_streak = 0
+            self.healthy_streak += 1
+            if self.state != ALARM_OK and self.healthy_streak >= self.clear_after:
+                self.state = ALARM_OK
+        elif verdict == VERDICT_UNHEALTHY:
+            self.healthy_streak = 0
+            self.failure_streak += 1
+            if self.failure_streak >= self.critical_after:
+                target = ALARM_CRITICAL
+            elif self.failure_streak >= self.warning_after:
+                target = ALARM_WARNING
+            else:
+                target = ALARM_OK
+            # monotone escalation: a failure never lowers a raised state
+            if _SEVERITY[target] > _SEVERITY[self.state]:
+                self.state = target
+        elif verdict == VERDICT_UNREACHABLE:
+            # no evidence either way; health cannot accumulate unobserved
+            self.healthy_streak = 0
+        else:
+            raise PolicyError(f"unknown verdict {verdict!r}")
+        if self.state != old:
+            return (old, self.state)
+        return None
+
+    def retune(self, warning_after: int, critical_after: int,
+               clear_after: int) -> None:
+        """Adopt new thresholds in place, keeping state and streaks.
+
+        Used by policy-version migration: a v2 document may tighten or
+        loosen thresholds without resetting the alarm's memory of the
+        VM's recent behaviour.
+        """
+        if critical_after < warning_after or warning_after < 1 or clear_after < 1:
+            raise PolicyError("invalid alarm thresholds")
+        self.warning_after = warning_after
+        self.critical_after = critical_after
+        self.clear_after = clear_after
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "failure_streak": self.failure_streak,
+            "healthy_streak": self.healthy_streak,
+        }

@@ -1,0 +1,244 @@
+"""Declarative monitoring-policy documents.
+
+A :class:`MonitoringPolicy` is a plain-data, versioned document the
+customer registers with the controller: it names the **entities** (VM
+identifiers) to keep under continuous attestation, the **checks** to
+run against each of them (which security property, how often, how
+stale a verdict may grow before coverage counts as blown, and the
+consecutive-failure thresholds feeding the alarm state machine), and
+the **notification routing** (observatory alerts, audit-log records,
+optional controller auto-response).
+
+Everything here is inert data: no clocks, no engine, no I/O. The
+document round-trips through plain dicts (:meth:`MonitoringPolicy.
+from_dict` / :meth:`~MonitoringPolicy.to_dict`) so policies can live
+in JSON files, travel over the protocol endpoint, and diff cleanly.
+Validation failures raise :class:`~repro.common.errors.PolicyError`
+with a message naming the offending field — a bad policy must die at
+registration time, never mid-run inside the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.common.errors import PolicyError
+from repro.properties.catalog import PropertyCatalog, SecurityProperty
+
+#: Current schema revision for serialized policy documents.
+POLICY_SCHEMA = 1
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise PolicyError(message)
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One periodic attestation check within a policy.
+
+    ``staleness_budget_ms`` is the coverage contract: if no *real*
+    verdict (healthy or unhealthy — not UNREACHABLE) has landed within
+    the budget, the check is stale and the coverage alert fires.
+    """
+
+    name: str
+    prop: SecurityProperty
+    period_ms: float
+    staleness_budget_ms: float
+    #: consecutive failures before the alarm enters WARNING
+    warning_after: int = 2
+    #: consecutive failures before the alarm enters CRITICAL
+    critical_after: int = 4
+    #: consecutive healthy verdicts before a raised alarm returns to OK
+    clear_after: int = 2
+    #: optional monitor accumulation window passed through to attestation
+    window_ms: Optional[float] = None
+
+    def validate(self, catalog: Optional[PropertyCatalog] = None) -> None:
+        _require(bool(self.name), "check name must be non-empty")
+        _require(self.period_ms > 0,
+                 f"check {self.name!r}: period_ms must be positive, "
+                 f"got {self.period_ms!r}")
+        _require(self.staleness_budget_ms >= self.period_ms,
+                 f"check {self.name!r}: staleness_budget_ms "
+                 f"({self.staleness_budget_ms!r}) must be >= period_ms "
+                 f"({self.period_ms!r})")
+        _require(self.warning_after >= 1,
+                 f"check {self.name!r}: warning_after must be >= 1")
+        _require(self.critical_after >= self.warning_after,
+                 f"check {self.name!r}: critical_after must be >= "
+                 "warning_after")
+        _require(self.clear_after >= 1,
+                 f"check {self.name!r}: clear_after must be >= 1")
+        if self.window_ms is not None:
+            _require(self.window_ms > 0,
+                     f"check {self.name!r}: window_ms must be positive")
+        if catalog is not None:
+            _require(catalog.supports(self.prop),
+                     f"check {self.name!r}: property {self.prop.value!r} "
+                     "is not served by the attestation catalog")
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "property": self.prop.value,
+            "period_ms": self.period_ms,
+            "staleness_budget_ms": self.staleness_budget_ms,
+            "warning_after": self.warning_after,
+            "critical_after": self.critical_after,
+            "clear_after": self.clear_after,
+        }
+        if self.window_ms is not None:
+            doc["window_ms"] = self.window_ms
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CheckSpec":
+        _require(isinstance(doc, dict), "check must be a mapping")
+        for key in ("name", "property", "period_ms", "staleness_budget_ms"):
+            _require(key in doc, f"check is missing required field {key!r}")
+        raw_prop = doc["property"]
+        try:
+            prop = SecurityProperty(raw_prop)
+        except ValueError:
+            known = ", ".join(p.value for p in SecurityProperty)
+            raise PolicyError(
+                f"check {doc.get('name')!r}: unknown property {raw_prop!r} "
+                f"(known: {known})"
+            ) from None
+        try:
+            spec = cls(
+                name=str(doc["name"]),
+                prop=prop,
+                period_ms=float(doc["period_ms"]),
+                staleness_budget_ms=float(doc["staleness_budget_ms"]),
+                warning_after=int(doc.get("warning_after", 2)),
+                critical_after=int(doc.get("critical_after", 4)),
+                clear_after=int(doc.get("clear_after", 2)),
+                window_ms=(float(doc["window_ms"])
+                           if doc.get("window_ms") is not None else None),
+            )
+        except (TypeError, ValueError) as exc:
+            raise PolicyError(
+                f"check {doc.get('name')!r}: malformed field: {exc}"
+            ) from None
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class NotificationRouting:
+    """Where alarm transitions and coverage breaches are delivered."""
+
+    #: emit observatory events (alert rules, scoreboard coverage)
+    observatory: bool = True
+    #: append hash-chained audit-log records for every transition
+    audit: bool = True
+    #: invoke the controller's response module when an alarm goes CRITICAL
+    auto_respond: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "observatory": self.observatory,
+            "audit": self.audit,
+            "auto_respond": self.auto_respond,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Optional[dict]) -> "NotificationRouting":
+        if doc is None:
+            return cls()
+        _require(isinstance(doc, dict), "notifications must be a mapping")
+        unknown = set(doc) - {"observatory", "audit", "auto_respond"}
+        _require(not unknown,
+                 f"notifications has unknown fields: {sorted(unknown)}")
+        return cls(
+            observatory=bool(doc.get("observatory", True)),
+            audit=bool(doc.get("audit", True)),
+            auto_respond=bool(doc.get("auto_respond", False)),
+        )
+
+
+@dataclass(frozen=True)
+class MonitoringPolicy:
+    """A versioned monitoring-policy document: entities × checks."""
+
+    name: str
+    version: int
+    entities: tuple[str, ...]
+    checks: tuple[CheckSpec, ...] = field(default_factory=tuple)
+    notifications: NotificationRouting = field(
+        default_factory=NotificationRouting)
+
+    def validate(self, catalog: Optional[PropertyCatalog] = None) -> None:
+        """Reject malformed documents with a :class:`PolicyError`."""
+        _require(bool(self.name), "policy name must be non-empty")
+        _require(self.version >= 1,
+                 f"policy {self.name!r}: version must be >= 1, "
+                 f"got {self.version!r}")
+        _require(len(self.entities) > 0,
+                 f"policy {self.name!r}: entities must be non-empty")
+        _require(len(set(self.entities)) == len(self.entities),
+                 f"policy {self.name!r}: duplicate entities")
+        _require(len(self.checks) > 0,
+                 f"policy {self.name!r}: checks must be non-empty")
+        names = [check.name for check in self.checks]
+        _require(len(set(names)) == len(names),
+                 f"policy {self.name!r}: duplicate check names")
+        for check in self.checks:
+            check.validate(catalog)
+
+    def check(self, name: str) -> CheckSpec:
+        for spec in self.checks:
+            if spec.name == name:
+                return spec
+        raise PolicyError(f"policy {self.name!r} has no check {name!r}")
+
+    def keys(self) -> Iterable[tuple[str, str]]:
+        """Every (check name, vid) pair the policy compiles to."""
+        for check in self.checks:
+            for vid in self.entities:
+                yield (check.name, vid)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": POLICY_SCHEMA,
+            "name": self.name,
+            "version": self.version,
+            "entities": list(self.entities),
+            "checks": [check.to_dict() for check in self.checks],
+            "notifications": self.notifications.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MonitoringPolicy":
+        _require(isinstance(doc, dict), "policy must be a mapping")
+        schema = doc.get("schema", POLICY_SCHEMA)
+        _require(schema == POLICY_SCHEMA,
+                 f"unsupported policy schema {schema!r} "
+                 f"(this build reads schema {POLICY_SCHEMA})")
+        for key in ("name", "version", "entities", "checks"):
+            _require(key in doc, f"policy is missing required field {key!r}")
+        _require(isinstance(doc["entities"], (list, tuple)),
+                 "policy entities must be a list")
+        _require(isinstance(doc["checks"], (list, tuple)),
+                 "policy checks must be a list")
+        try:
+            version = int(doc["version"])
+        except (TypeError, ValueError):
+            raise PolicyError(
+                f"policy {doc.get('name')!r}: version must be an integer"
+            ) from None
+        policy = cls(
+            name=str(doc["name"]),
+            version=version,
+            entities=tuple(str(vid) for vid in doc["entities"]),
+            checks=tuple(CheckSpec.from_dict(c) for c in doc["checks"]),
+            notifications=NotificationRouting.from_dict(
+                doc.get("notifications")),
+        )
+        policy.validate()
+        return policy

@@ -24,6 +24,12 @@ Rules mirror the paper's operational concerns:
   window (backoff is masking a degrading network).
 - :class:`BreakerOpenRule` — a per-AS circuit breaker opened (the
   controller is serving degraded ``UNREACHABLE`` reports).
+- :class:`PolicyCoverageRule` — a monitoring-policy check blew its
+  staleness budget: no real verdict landed within the window, so the
+  VM's clean bill of health has silently expired.
+- :class:`PolicyAlarmRule` — a policy alarm state machine went
+  CRITICAL; re-arms only when the alarm clears back to OK, so a
+  flapping VM pages once per raised episode, not per oscillation.
 
 Duplicate suppression is engine-level: one alert per (rule, scope)
 while the condition stays active; rules call :meth:`AlertEngine.clear`
@@ -357,6 +363,84 @@ class KeyPoolExhaustedRule(AlertRule):
         engine.clear(self, "keypool")
 
 
+class PolicyCoverageRule(AlertRule):
+    """A monitoring-policy check blew its staleness budget.
+
+    The policy scheduler publishes ``policy_coverage`` events on every
+    stale/fresh transition; the alert fires while a check has gone
+    longer than its budget without a *real* verdict (UNREACHABLE
+    results age coverage rather than refreshing it) and re-arms as
+    soon as a real verdict lands again.
+    """
+
+    name = "policy_coverage_blown"
+    severity = SEVERITY_CRITICAL
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "policy_coverage":
+            return
+        policy = str(event.fields.get("policy", ""))
+        check = str(event.fields.get("check", ""))
+        vid = str(event.fields.get("vid", ""))
+        scope = f"{policy}/{check}/{vid}"
+        if not event.fields.get("stale"):
+            engine.clear(self, scope)
+            return
+        age = float(event.fields.get("age_ms", 0.0))
+        budget = float(event.fields.get("budget_ms", 0.0))
+        engine.fire(
+            self,
+            scope=scope,
+            message=(
+                f"policy {policy} check {check} on {vid}: no real verdict "
+                f"for {age:.0f} ms against a {budget:.0f} ms staleness budget"
+            ),
+            policy=policy,
+            check=check,
+            vid=vid,
+            property=str(event.fields.get("property", "")),
+            age_ms=age,
+            budget_ms=budget,
+        )
+
+
+class PolicyAlarmRule(AlertRule):
+    """A policy alarm state machine escalated to CRITICAL.
+
+    WARNING states stay off the pager (the state machine's own
+    hysteresis already absorbed isolated flaps); the scope re-arms only
+    when the alarm returns to OK, so one raised episode emits one
+    alert no matter how the verdicts oscillate inside it.
+    """
+
+    name = "policy_alarm_critical"
+    severity = SEVERITY_CRITICAL
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "policy_alarm":
+            return
+        policy = str(event.fields.get("policy", ""))
+        check = str(event.fields.get("check", ""))
+        vid = str(event.fields.get("vid", ""))
+        scope = f"{policy}/{check}/{vid}"
+        new_state = str(event.fields.get("new_state", ""))
+        if new_state == "CRITICAL":
+            engine.fire(
+                self,
+                scope=scope,
+                message=(
+                    f"policy {policy} check {check} on {vid} went CRITICAL"
+                ),
+                policy=policy,
+                check=check,
+                vid=vid,
+                property=str(event.fields.get("property", "")),
+                verdict=str(event.fields.get("verdict", "")),
+            )
+        elif new_state == "OK":
+            engine.clear(self, scope)
+
+
 def default_rules(
     slo_targets: Optional[dict[str, float]] = None,
     streak_threshold: int = 3,
@@ -370,6 +454,8 @@ def default_rules(
         RetryStormRule(),
         BreakerOpenRule(),
         KeyPoolExhaustedRule(),
+        PolicyCoverageRule(),
+        PolicyAlarmRule(),
     ]
 
 

@@ -41,6 +41,8 @@ EVENT_VERIFICATION_FAILURE = "verification_failure"
 EVENT_UNREACHABLE = "unreachable"
 EVENT_RESPONSE = "response"
 EVENT_COLLECTION_FAILURE = "collection_failure"
+EVENT_POLICY_ALARM = "policy_alarm"
+EVENT_POLICY_COVERAGE = "policy_coverage"
 
 
 @dataclass(frozen=True)
@@ -124,6 +126,13 @@ class Observatory:
         elif kind == EVENT_UNREACHABLE:
             self.scoreboard.record_unreachable(
                 time_ms, endpoint=str(fields.get("endpoint", ""))
+            )
+        elif kind == EVENT_POLICY_COVERAGE:
+            self.scoreboard.record_coverage(
+                time_ms,
+                vid=str(fields.get("vid", "")),
+                stale_checks=int(fields.get("stale_checks", 0)),
+                total_checks=int(fields.get("total_checks", 0)),
             )
         self.alerts.ingest_event(event)
 

@@ -43,6 +43,10 @@ class _EntityHealth:
     monitor_readings: int = 0
     last_event_ms: float = 0.0
     last_property: str = ""
+    #: policy coverage: stale / total continuous-monitoring checks
+    #: ("-" in the rendered table when no policy covers the entity)
+    stale_checks: int = 0
+    total_checks: int = 0
     history: deque = field(default_factory=lambda: deque(maxlen=TREND_WINDOW))
 
     def absorb(self, healthy: bool, time_ms: float) -> None:
@@ -79,7 +83,14 @@ class _EntityHealth:
             "monitor_readings": self.monitor_readings,
             "last_event_ms": self.last_event_ms,
             "last_property": self.last_property,
+            "coverage": self.coverage(),
         }
+
+    def coverage(self) -> str:
+        """Fresh/total policy checks, e.g. ``"2/3"``; ``"-"`` if none."""
+        if self.total_checks == 0:
+            return "-"
+        return f"{self.total_checks - self.stale_checks}/{self.total_checks}"
 
 
 class HealthScoreboard:
@@ -137,6 +148,15 @@ class HealthScoreboard:
         entry.monitor_readings += 1
         entry.last_event_ms = time_ms
 
+    def record_coverage(
+        self, time_ms: float, vid: str, stale_checks: int, total_checks: int
+    ) -> None:
+        """Update a VM's continuous-monitoring coverage tallies."""
+        entry = self._vm(vid)
+        entry.stale_checks = stale_checks
+        entry.total_checks = total_checks
+        entry.last_event_ms = time_ms
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -170,7 +190,8 @@ def render_scoreboard(snapshot: dict, title: str = "Fleet health") -> str:
         if not entries:
             continue
         lines.append(f"{label}s:")
-        headers = [label, "score", "trend", "attest", "fail", "resp", "unreach"]
+        headers = [label, "score", "trend", "attest", "fail", "resp",
+                   "unreach", "coverage"]
         rows = [
             [
                 name,
@@ -180,6 +201,7 @@ def render_scoreboard(snapshot: dict, title: str = "Fleet health") -> str:
                 str(entry["failures"]),
                 str(entry["responses"]),
                 str(entry["unreachable"]),
+                str(entry.get("coverage", "-")),
             ]
             for name, entry in entries.items()
         ]

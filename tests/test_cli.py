@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+EXAMPLE_POLICY = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples" / "policies" / "continuous_monitoring.json"
+)
 
 
 @pytest.fixture(scope="module")
@@ -18,7 +26,10 @@ class TestParser:
         parser = build_parser()
         for argv in (["demo"], ["attack", "rootkit"],
                      ["verify-protocol"], ["leak-analysis"],
-                     ["export-proverif"], ["launch-matrix"]):
+                     ["export-proverif"], ["launch-matrix"],
+                     ["policy", "validate", "p.json"],
+                     ["policy", "show", "p.json"],
+                     ["policy", "status"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -162,6 +173,15 @@ class TestObservatoryCommands:
         assert "_total" in text
         assert "_bucket{" in text
 
+    def test_telemetry_surfaces_degraded_path_counters(self, capsys):
+        # a clean run still prints the degraded-path section, so a
+        # struggling fleet is visible without grepping raw artifacts
+        assert main(["--seed", "7", "telemetry"]) == 0
+        output = capsys.readouterr().out
+        assert "=== degraded paths ===" in output
+        assert "pipeline.batch.fallbacks" in output
+        assert "crypto.keypool.exhausted" in output
+
     def test_slo_flags_silence_alerts(self, tmp_path, capsys):
         path = str(tmp_path / "quiet.jsonl")
         assert main(["--seed", "7", "--telemetry-out", path,
@@ -171,3 +191,86 @@ class TestObservatoryCommands:
         capsys.readouterr()
         assert main(["alerts", path, "--fail-on-alert"]) == 0
         assert "0 alert(s)" in capsys.readouterr().out
+
+
+class TestPolicyCommands:
+    @pytest.fixture()
+    def policy_path(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({
+            "name": "prod",
+            "version": 1,
+            "entities": ["vm-0001", "vm-0002"],
+            "checks": [{
+                "name": "runtime",
+                "property": "runtime_integrity",
+                "period_ms": 2000.0,
+                "staleness_budget_ms": 6000.0,
+            }],
+        }), encoding="utf-8")
+        return str(path)
+
+    def test_validate_accepts_a_good_policy(self, policy_path, capsys):
+        assert main(["policy", "validate", policy_path]) == 0
+        output = capsys.readouterr().out
+        assert "policy 'prod' v1 OK" in output
+        assert "2 schedule entries" in output
+
+    def test_validate_accepts_the_shipped_example(self, capsys):
+        assert main(["policy", "validate", str(EXAMPLE_POLICY)]) == 0
+        assert "'production-baseline' v1 OK" in capsys.readouterr().out
+
+    def test_validate_rejects_unknown_property(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "name": "p", "version": 1, "entities": ["vm-0001"],
+            "checks": [{"name": "c", "property": "disk_quota",
+                        "period_ms": 1000.0,
+                        "staleness_budget_ms": 3000.0}],
+        }), encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["policy", "validate", str(bad)])
+        assert excinfo.value.code == 1
+        assert "unknown property" in capsys.readouterr().err
+
+    def test_validate_rejects_non_positive_period(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "name": "p", "version": 1, "entities": ["vm-0001"],
+            "checks": [{"name": "c", "property": "runtime_integrity",
+                        "period_ms": 0,
+                        "staleness_budget_ms": 3000.0}],
+        }), encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["policy", "validate", str(bad)])
+        assert excinfo.value.code == 1
+        assert "period_ms must be positive" in capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["policy", "validate", str(bad)])
+        assert excinfo.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["policy", "show", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+        assert "cannot read policy" in capsys.readouterr().err
+
+    def test_show_renders_the_compiled_table(self, policy_path, capsys):
+        assert main(["policy", "show", policy_path]) == 0
+        output = capsys.readouterr().out
+        assert "policy prod v1" in output
+        assert "runtime_integrity" in output
+        assert "period_ms" in output
+
+    def test_status_runs_a_monitored_demo_fleet(self, capsys):
+        assert main(["--seed", "7", "policy", "status", "--vms", "2",
+                     "--duration-ms", "6000"]) == 0
+        output = capsys.readouterr().out
+        assert "policy status after 6000 ms" in output
+        assert "runtime" in output
+        assert "alarm transition(s)" in output

@@ -516,12 +516,13 @@ class TestObservatoryWiring:
         cloud = CloudMonatt(num_servers=1, telemetry_enabled=False)
         cloud.telemetry.observe_event("attestation", vid="vm-1")
 
-    def test_default_rules_cover_the_seven_concerns(self):
+    def test_default_rules_cover_the_standard_concerns(self):
         names = {rule.name for rule in default_rules()}
         assert names == {
             "attestation_failure_streak", "latency_slo_breach",
             "verification_failure_spike", "endpoint_unreachable",
             "retry_storm", "circuit_breaker_open", "keypool_exhausted",
+            "policy_coverage_blown", "policy_alarm_critical",
         }
 
     def test_observatory_slo_targets_flow_to_the_rule(self):

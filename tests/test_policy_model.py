@@ -1,0 +1,281 @@
+"""Monitoring-policy documents and alarm state machines.
+
+Two promises pinned here. First, a malformed policy document dies at
+validation time with a :class:`PolicyError` naming the offending field
+— never as a mid-run crash inside the scheduler. Second, the
+OK/WARNING/CRITICAL alarm machine implements exactly the documented
+transition relation: the exhaustive test enumerates *every* verdict
+sequence up to length 6 against an independent reference model, so any
+drift in the hysteresis semantics fails loudly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.errors import PolicyError
+from repro.policy import (
+    ALARM_CRITICAL,
+    ALARM_OK,
+    ALARM_WARNING,
+    AlarmStateMachine,
+    CheckSpec,
+    MonitoringPolicy,
+    NotificationRouting,
+    VERDICT_HEALTHY,
+    VERDICT_UNHEALTHY,
+    VERDICT_UNREACHABLE,
+)
+from repro.properties.catalog import PropertyCatalog, SecurityProperty
+
+
+def _doc(**overrides) -> dict:
+    document = {
+        "name": "prod",
+        "version": 1,
+        "entities": ["vm-0001"],
+        "checks": [{
+            "name": "runtime",
+            "property": "runtime_integrity",
+            "period_ms": 1000.0,
+            "staleness_budget_ms": 3000.0,
+        }],
+    }
+    document.update(overrides)
+    return document
+
+
+def _check(**overrides) -> dict:
+    check = {
+        "name": "runtime",
+        "property": "runtime_integrity",
+        "period_ms": 1000.0,
+        "staleness_budget_ms": 3000.0,
+    }
+    check.update(overrides)
+    return check
+
+
+class TestPolicyValidation:
+    def test_round_trip_through_dict(self):
+        policy = MonitoringPolicy.from_dict(_doc())
+        assert MonitoringPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_property_is_a_policy_error(self):
+        with pytest.raises(PolicyError, match="unknown property 'disk_quota'"):
+            MonitoringPolicy.from_dict(
+                _doc(checks=[_check(property="disk_quota")])
+            )
+
+    def test_unknown_property_names_the_known_ones(self):
+        with pytest.raises(PolicyError, match="runtime_integrity"):
+            MonitoringPolicy.from_dict(_doc(checks=[_check(property="nope")]))
+
+    @pytest.mark.parametrize("period", [0, -5.0])
+    def test_non_positive_period_is_a_policy_error(self, period):
+        with pytest.raises(PolicyError, match="period_ms must be positive"):
+            MonitoringPolicy.from_dict(_doc(checks=[_check(period_ms=period)]))
+
+    def test_budget_below_period_is_a_policy_error(self):
+        with pytest.raises(PolicyError, match="staleness_budget_ms"):
+            MonitoringPolicy.from_dict(
+                _doc(checks=[_check(period_ms=5000.0,
+                                    staleness_budget_ms=1000.0)])
+            )
+
+    def test_version_below_one_is_a_policy_error(self):
+        with pytest.raises(PolicyError, match="version must be >= 1"):
+            MonitoringPolicy.from_dict(_doc(version=0))
+
+    def test_duplicate_check_names_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate check names"):
+            MonitoringPolicy.from_dict(_doc(checks=[_check(), _check()]))
+
+    def test_empty_entities_rejected(self):
+        with pytest.raises(PolicyError, match="entities must be non-empty"):
+            MonitoringPolicy.from_dict(_doc(entities=[]))
+
+    def test_empty_checks_rejected(self):
+        with pytest.raises(PolicyError, match="checks must be non-empty"):
+            MonitoringPolicy.from_dict(_doc(checks=[]))
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(PolicyError, match="critical_after"):
+            MonitoringPolicy.from_dict(
+                _doc(checks=[_check(warning_after=4, critical_after=2)])
+            )
+
+    def test_missing_required_field_is_a_policy_error(self):
+        bad = _doc()
+        del bad["checks"][0]["period_ms"]
+        with pytest.raises(PolicyError, match="period_ms"):
+            MonitoringPolicy.from_dict(bad)
+
+    def test_unknown_notification_field_rejected(self):
+        with pytest.raises(PolicyError, match="unknown fields"):
+            MonitoringPolicy.from_dict(_doc(notifications={"pager": True}))
+
+    def test_catalog_validation_accepts_served_properties(self):
+        policy = MonitoringPolicy.from_dict(_doc())
+        policy.validate(PropertyCatalog())
+
+    def test_defaults_fill_thresholds_and_routing(self):
+        policy = MonitoringPolicy.from_dict(_doc())
+        check = policy.check("runtime")
+        assert (check.warning_after, check.critical_after,
+                check.clear_after) == (2, 4, 2)
+        assert policy.notifications == NotificationRouting()
+        assert check.prop is SecurityProperty.RUNTIME_INTEGRITY
+
+
+# ----------------------------------------------------------------------
+# alarm hysteresis: exhaustive transition-table check
+# ----------------------------------------------------------------------
+
+
+class ReferenceAlarm:
+    """Independent re-statement of the documented transition relation.
+
+    Deliberately written as a flat transition table rather than sharing
+    any code with the production class, so a bug in one cannot hide in
+    the other.
+    """
+
+    def __init__(self, warning_after, critical_after, clear_after):
+        self.w, self.c, self.k = warning_after, critical_after, clear_after
+        self.state = ALARM_OK
+        self.fails = 0
+        self.healths = 0
+
+    def step(self, verdict):
+        if verdict == VERDICT_UNHEALTHY:
+            self.fails += 1
+            self.healths = 0
+            rank = {ALARM_OK: 0, ALARM_WARNING: 1, ALARM_CRITICAL: 2}
+            if self.fails >= self.c:
+                computed = ALARM_CRITICAL
+            elif self.fails >= self.w:
+                computed = ALARM_WARNING
+            else:
+                computed = ALARM_OK
+            if rank[computed] > rank[self.state]:
+                self.state = computed
+        elif verdict == VERDICT_HEALTHY:
+            self.fails = 0
+            self.healths += 1
+            if self.healths >= self.k:
+                self.state = ALARM_OK
+        else:  # unreachable: state and failure streak hold
+            self.healths = 0
+        return self.state
+
+
+VERDICTS = (VERDICT_HEALTHY, VERDICT_UNHEALTHY, VERDICT_UNREACHABLE)
+THRESHOLDS = [(1, 1, 1), (1, 2, 1), (2, 4, 2), (2, 3, 1), (3, 3, 2)]
+
+
+class TestAlarmHysteresisExhaustive:
+    @pytest.mark.parametrize("thresholds", THRESHOLDS)
+    def test_all_sequences_up_to_length_six(self, thresholds):
+        checked = 0
+        for length in range(1, 7):
+            for sequence in itertools.product(VERDICTS, repeat=length):
+                machine = AlarmStateMachine(*thresholds)
+                reference = ReferenceAlarm(*thresholds)
+                for verdict in sequence:
+                    machine.observe(verdict)
+                    assert machine.state == reference.step(verdict), (
+                        f"diverged on {sequence} at thresholds {thresholds}"
+                    )
+                assert machine.failure_streak == reference.fails
+                assert machine.healthy_streak == reference.healths
+                checked += 1
+        assert checked == sum(3 ** n for n in range(1, 7))  # 1092 sequences
+
+    def test_transitions_reported_exactly_when_state_changes(self):
+        for sequence in itertools.product(VERDICTS, repeat=5):
+            machine = AlarmStateMachine(2, 3, 2)
+            previous = machine.state
+            for verdict in sequence:
+                change = machine.observe(verdict)
+                if machine.state != previous:
+                    assert change == (previous, machine.state)
+                else:
+                    assert change is None
+                previous = machine.state
+
+
+class TestAlarmHysteresisPointCases:
+    def test_single_flap_does_not_page(self):
+        machine = AlarmStateMachine(2, 4, 2)
+        assert machine.observe(VERDICT_UNHEALTHY) is None
+        assert machine.state == ALARM_OK
+
+    def test_streak_escalates_warning_then_critical(self):
+        machine = AlarmStateMachine(2, 4, 2)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.observe(VERDICT_UNHEALTHY) == (ALARM_OK, ALARM_WARNING)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.observe(VERDICT_UNHEALTHY) == (
+            ALARM_WARNING, ALARM_CRITICAL)
+
+    def test_one_healthy_round_never_clears(self):
+        machine = AlarmStateMachine(1, 2, 2)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.state == ALARM_WARNING
+        assert machine.observe(VERDICT_HEALTHY) is None
+        assert machine.state == ALARM_WARNING
+        assert machine.observe(VERDICT_HEALTHY) == (ALARM_WARNING, ALARM_OK)
+
+    def test_failure_never_downgrades_a_raised_state(self):
+        machine = AlarmStateMachine(1, 2, 2)
+        machine.observe(VERDICT_UNHEALTHY)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.state == ALARM_CRITICAL
+        machine.observe(VERDICT_HEALTHY)  # resets the failure streak
+        machine.observe(VERDICT_UNHEALTHY)  # streak 1 -> computes WARNING
+        assert machine.state == ALARM_CRITICAL
+
+    def test_unreachable_holds_state_and_blocks_clearing(self):
+        machine = AlarmStateMachine(1, 2, 2)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.state == ALARM_WARNING
+        machine.observe(VERDICT_HEALTHY)
+        assert machine.observe(VERDICT_UNREACHABLE) is None
+        # the unreachable round reset the healthy streak: one more
+        # healthy round is NOT enough to clear now
+        assert machine.observe(VERDICT_HEALTHY) is None
+        assert machine.observe(VERDICT_HEALTHY) == (ALARM_WARNING, ALARM_OK)
+
+    def test_retune_keeps_state_and_streaks(self):
+        machine = AlarmStateMachine(2, 4, 2)
+        machine.observe(VERDICT_UNHEALTHY)
+        machine.observe(VERDICT_UNHEALTHY)
+        assert machine.state == ALARM_WARNING
+        machine.retune(2, 3, 1)
+        assert machine.state == ALARM_WARNING
+        assert machine.failure_streak == 2
+        assert machine.observe(VERDICT_UNHEALTHY) == (
+            ALARM_WARNING, ALARM_CRITICAL)
+
+    def test_unknown_verdict_rejected(self):
+        with pytest.raises(PolicyError, match="unknown verdict"):
+            AlarmStateMachine(1, 1, 1).observe("flaky")
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(PolicyError):
+            AlarmStateMachine(0, 1, 1)
+        with pytest.raises(PolicyError):
+            AlarmStateMachine(2, 1, 1)
+
+
+class TestCheckSpecDirect:
+    def test_window_passes_through(self):
+        check = CheckSpec.from_dict(_check(window_ms=250.0))
+        assert check.window_ms == 250.0
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(PolicyError, match="window_ms"):
+            CheckSpec.from_dict(_check(window_ms=0.0))

@@ -1,0 +1,490 @@
+"""The continuous attestation scheduler, end to end.
+
+The promises pinned here, in order: scheduler-driven rounds are
+byte-identical to the on-demand rounds a customer would have requested
+(the scheduler is a cadence layer, not a different attestation path);
+same seed + same policy produces an identical alarm-transition timeline
+and telemetry snapshot across two runs; a v1→v2 policy migration keeps
+alarm state and misses no check firings; a flapping VM never pages; an
+unreachable attestation path ages coverage until the staleness alert
+fires instead of silently extending a clean bill of health.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import PolicyError, ProtocolError
+from repro.crypto.encoding import encode
+from repro.guest import HiddenServiceMalware, Rootkit
+from repro.network import TamperAttacker
+
+KEY_BITS = 512
+SEED = 1123
+RUNTIME = SecurityProperty.RUNTIME_INTEGRITY
+
+
+def _build_cloud(num_vms: int, properties=(RUNTIME,), telemetry_enabled=False,
+                 num_servers: int = 2, **cloud_kwargs):
+    cloud = CloudMonatt(
+        num_servers=num_servers,
+        num_pcpus=(num_vms // num_servers) + 2,
+        seed=SEED,
+        key_bits=KEY_BITS,
+        telemetry_enabled=telemetry_enabled,
+        **cloud_kwargs,
+    )
+    customer = cloud.register_customer("alice")
+    vids = [
+        customer.launch_vm(
+            "small", "ubuntu", properties=list(properties),
+            workload={"name": "idle"},
+        ).vid
+        for _ in range(num_vms)
+    ]
+    return cloud, customer, vids
+
+
+def _policy(vids, name="prod", version=1, checks=None, notifications=None):
+    document = {
+        "name": name,
+        "version": version,
+        "entities": [str(v) for v in vids],
+        "checks": checks or [{
+            "name": "runtime",
+            "property": "runtime_integrity",
+            "period_ms": 2000.0,
+            "staleness_budget_ms": 6000.0,
+        }],
+    }
+    if notifications is not None:
+        document["notifications"] = notifications
+    return document
+
+
+def _spy_on_submits(cloud, log):
+    """Record every pipeline submission as (time_ms, vid, prop, source)."""
+    original = cloud.controller.pipeline.submit
+
+    def spy(vid, prop, window_ms=None, source="api"):
+        future = original(vid, prop, window_ms=window_ms, source=source)
+        record = {"time_ms": cloud.engine.now, "vid": str(vid),
+                  "property": prop.value, "source": source}
+        log.append(record)
+        future.add_done_callback(lambda f: record.update(future=f))
+        return future
+
+    cloud.controller.pipeline.submit = spy
+
+
+def _entry(status, check, vid):
+    (match,) = [e for e in status["entries"]
+                if e["check"] == check and e["vid"] == str(vid)]
+    return match
+
+
+# ----------------------------------------------------------------------
+# registration, validation at the API boundary, ownership
+# ----------------------------------------------------------------------
+
+
+class TestRegistration:
+    def test_register_creates_one_entry_per_check_and_vm(self):
+        cloud, customer, vids = _build_cloud(3)
+        applied = customer.register_policy(_policy(vids))
+        assert applied["status"] == "policy_applied"
+        assert applied["created"] == 3
+        assert applied["migrated"] == 0
+        status = customer.policy_status()
+        assert status["policies"]["prod"]["version"] == 1
+        assert len(status["entries"]) == 3
+        assert all(e["state"] == "OK" for e in status["entries"])
+
+    def test_malformed_policy_fails_fast_with_policy_error(self):
+        # satellite: unknown property and non-positive period die with a
+        # clear PolicyError at registration, never mid-run
+        cloud, customer, vids = _build_cloud(1)
+        bad_prop = _policy(vids)
+        bad_prop["checks"][0]["property"] = "disk_quota"
+        with pytest.raises(PolicyError, match="unknown property"):
+            customer.register_policy(bad_prop)
+        bad_period = _policy(vids)
+        bad_period["checks"][0]["period_ms"] = 0
+        with pytest.raises(PolicyError, match="period_ms must be positive"):
+            customer.register_policy(bad_period)
+        # nothing was scheduled; the cloud keeps running cleanly
+        cloud.run_for(2000)
+        assert customer.policy_status()["entries"] == []
+
+    def test_policy_over_someone_elses_vm_is_rejected(self):
+        cloud, customer, vids = _build_cloud(1)
+        mallory = cloud.register_customer("mallory")
+        with pytest.raises(ProtocolError, match="does not belong"):
+            mallory.register_policy(_policy(vids))
+        assert mallory.policy_status()["entries"] == []
+
+    def test_policy_status_is_scoped_to_the_caller(self):
+        cloud, customer, vids = _build_cloud(1)
+        customer.register_policy(_policy(vids))
+        bob = cloud.register_customer("bob")
+        assert bob.policy_status()["policies"] == {}
+        assert customer.policy_status()["policies"].keys() == {"prod"}
+
+
+# ----------------------------------------------------------------------
+# continuous rounds over a healthy fleet
+# ----------------------------------------------------------------------
+
+
+class TestContinuousRounds:
+    def test_healthy_fleet_keeps_firing_and_stays_ok(self):
+        cloud, customer, vids = _build_cloud(3, telemetry_enabled=True)
+        customer.register_policy(_policy(vids))
+        cloud.run_for(10_000)
+        status = customer.policy_status()
+        for entry in status["entries"]:
+            assert entry["fired"] >= 4
+            assert entry["state"] == "OK"
+            assert not entry["stale"]
+        assert status["transitions"] == []
+        # the counter and the live entries agree exactly (the status
+        # round-trip itself advances sim time, so compare live state)
+        fired = cloud.telemetry.metrics.counter("policy.checks.fired")
+        entries = cloud.controller.policy_scheduler._entries.values()
+        assert fired.total() == sum(e.fired for e in entries)
+
+    def test_policy_rounds_are_labelled_in_pipeline_telemetry(self):
+        cloud, customer, vids = _build_cloud(2, telemetry_enabled=True)
+        customer.register_policy(_policy(vids))
+        cloud.run_for(3000)
+        rounds = cloud.telemetry.metrics.counter("pipeline.rounds")
+        policy_rounds = sum(
+            count for labels, count in rounds.series()
+            if ("source", "policy") in labels
+        )
+        assert policy_rounds >= 2
+
+    def test_phase_jitter_spreads_same_period_checks(self):
+        # content-addressed phases: not every VM fires at the same
+        # instant, and re-registering in any order gives the same phases
+        cloud, customer, vids = _build_cloud(4)
+        submissions = []
+        _spy_on_submits(cloud, submissions)
+        customer.register_policy(_policy(vids))
+        cloud.run_for(2500)
+        first = {s["vid"]: s["time_ms"] for s in submissions}
+        assert len(first) == 4
+        assert len(set(first.values())) > 1, "all phases collided"
+
+
+# ----------------------------------------------------------------------
+# determinism and equivalence (the acceptance criteria)
+# ----------------------------------------------------------------------
+
+
+def _run_monitored_cloud(duration_ms=20_000):
+    cloud, customer, vids = _build_cloud(3, telemetry_enabled=True)
+    customer.register_policy(_policy(vids, checks=[{
+        "name": "runtime", "property": "runtime_integrity",
+        "period_ms": 2000.0, "staleness_budget_ms": 6000.0,
+        "warning_after": 2, "critical_after": 4, "clear_after": 2,
+    }]))
+    victim = vids[1]
+    cloud.engine.schedule(
+        5000,
+        lambda: Rootkit().infect(cloud.server_of(victim).hosted[victim].guest),
+    )
+    cloud.run_for(duration_ms)
+    return cloud, customer, vids
+
+
+class TestDeterminism:
+    def test_same_seed_same_policy_identical_timeline_and_telemetry(self):
+        cloud_a, _, _ = _run_monitored_cloud()
+        cloud_b, _, _ = _run_monitored_cloud()
+        timeline_a = cloud_a.controller.policy_scheduler.timeline()
+        timeline_b = cloud_b.controller.policy_scheduler.timeline()
+        assert timeline_a, "expected alarm transitions from the rootkit"
+        assert timeline_a == timeline_b
+        assert cloud_a.telemetry.snapshot_json() == \
+            cloud_b.telemetry.snapshot_json()
+
+    def test_infection_produces_the_documented_escalation(self):
+        cloud, customer, vids = _run_monitored_cloud()
+        victim = str(vids[1])
+        states = [(t["old_state"], t["new_state"])
+                  for t in cloud.controller.policy_scheduler.timeline()
+                  if t["vid"] == victim]
+        assert states == [("OK", "WARNING"), ("WARNING", "CRITICAL")]
+        clean = {str(vids[0]), str(vids[2])}
+        assert all(t["vid"] == victim
+                   for t in cloud.controller.policy_scheduler.timeline()
+                   if t["vid"] in clean | {victim})
+
+
+class TestSchedulerMatchesOnDemand:
+    def test_policy_rounds_byte_identical_to_serial_attest(self):
+        # the scheduler decides *when*; the report bytes must be exactly
+        # what an on-demand attest of the same VM would have produced
+        cloud, customer, vids = _build_cloud(3)
+        submissions = []
+        _spy_on_submits(cloud, submissions)
+        customer.register_policy(_policy(vids))
+        cloud.run_for(4000)
+        by_vid = {}
+        for record in submissions:
+            assert record["source"] == "policy"
+            outcome = record["future"].result()
+            by_vid.setdefault(record["vid"], outcome)
+        assert by_vid.keys() == {str(v) for v in vids}
+
+        _, serial_customer, serial_vids = _build_cloud(3)
+        assert serial_vids == vids
+        for vid in vids:
+            serial = serial_customer.attest(vid, RUNTIME)
+            assert encode(by_vid[str(vid)].report.to_dict()) == \
+                encode(serial.report.to_dict())
+
+
+# ----------------------------------------------------------------------
+# versioned migration
+# ----------------------------------------------------------------------
+
+
+V1_CHECKS = [{
+    "name": "runtime", "property": "runtime_integrity",
+    "period_ms": 2000.0, "staleness_budget_ms": 6000.0,
+    "warning_after": 2, "critical_after": 10, "clear_after": 2,
+}]
+V2_CHECKS = [
+    {
+        "name": "runtime", "property": "runtime_integrity",
+        "period_ms": 2000.0, "staleness_budget_ms": 6000.0,
+        "warning_after": 2, "critical_after": 12, "clear_after": 3,
+    },
+    # one availability round costs ~1s of simulated protocol time, so
+    # the added check must stay well under the path's capacity or the
+    # scheduler (correctly) starts shedding
+    {
+        "name": "availability", "property": "cpu_availability",
+        "period_ms": 8000.0, "staleness_budget_ms": 24_000.0,
+        "window_ms": 200.0,
+    },
+]
+
+
+class TestVersionMigration:
+    def _migrated_cloud(self):
+        cloud, customer, vids = _build_cloud(
+            2, properties=(RUNTIME, SecurityProperty.CPU_AVAILABILITY))
+        submissions = []
+        _spy_on_submits(cloud, submissions)
+        customer.register_policy(_policy(vids, checks=V1_CHECKS))
+        Rootkit().infect(cloud.server_of(vids[0]).hosted[vids[0]].guest)
+        cloud.run_for(7000)
+        before = customer.policy_status()
+        applied = customer.register_policy(
+            _policy(vids, version=2, checks=V2_CHECKS))
+        return cloud, customer, vids, submissions, before, applied
+
+    def test_migration_keeps_alarm_state_and_streaks(self):
+        cloud, customer, vids, _, before, applied = self._migrated_cloud()
+        assert applied == {"status": "policy_applied", "policy": "prod",
+                           "version": 2, "created": 2, "migrated": 2}
+        after = customer.policy_status()
+        old = _entry(before, "runtime", vids[0])
+        new = _entry(after, "runtime", vids[0])
+        assert old["state"] == "WARNING"
+        assert new["state"] == "WARNING"
+        assert new["failure_streak"] == old["failure_streak"]
+        assert new["fired"] == old["fired"]
+        # the new version's thresholds are live on the surviving entry
+        assert after["policies"]["prod"]["version"] == 2
+        assert {e["check"] for e in after["entries"]} == \
+            {"runtime", "availability"}
+
+    def test_migration_misses_no_firings(self):
+        cloud, customer, vids, submissions, before, _ = self._migrated_cloud()
+        migration_ms = cloud.now
+        cloud.run_for(7000)
+        after = customer.policy_status()
+        for vid in vids:
+            assert _entry(after, "runtime", vid)["fired"] >= \
+                _entry(before, "runtime", vid)["fired"] + 2
+        # the kept check's cadence never opened a gap across the
+        # migration: consecutive runtime rounds always stay under two
+        # periods (a dropped entry or a reset phase would show a full
+        # extra period or more), even though the newly added
+        # availability batch wobbles the tick it shares by ~1.5s
+        for vid in vids:
+            times = [s["time_ms"] for s in submissions
+                     if s["vid"] == str(vid) and
+                     s["property"] == "runtime_integrity"]
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert max(gaps) < 2 * 2000.0
+            assert any(t > migration_ms for t in times)
+
+    def test_stale_or_equal_version_is_rejected(self):
+        cloud, customer, vids = _build_cloud(1)
+        customer.register_policy(_policy(vids, version=3))
+        for version in (1, 3):
+            with pytest.raises(PolicyError, match="does not supersede"):
+                customer.register_policy(_policy(vids, version=version))
+
+    def test_removed_check_is_retired(self):
+        cloud, customer, vids, *_ = self._migrated_cloud()
+        customer.register_policy(_policy(vids, version=3, checks=V1_CHECKS))
+        after = customer.policy_status()
+        assert {e["check"] for e in after["entries"]} == {"runtime"}
+        cloud.run_for(3000)  # retired entries never fire again
+
+
+# ----------------------------------------------------------------------
+# flapping: hysteresis prevents alert storms (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestFlappingVm:
+    def _flapping_cloud(self, toggle_ms=1500.0, duration_ms=15_000):
+        cloud, customer, vids = _build_cloud(1, telemetry_enabled=True)
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 5000.0,
+            "warning_after": 3, "critical_after": 5, "clear_after": 2,
+        }]))
+        guest = cloud.server_of(vids[0]).hosted[vids[0]].guest
+        running = {}
+
+        def toggle():
+            if running:
+                guest.kill(running.pop("process").pid)
+            else:
+                running["process"] = HiddenServiceMalware().infect(guest)
+
+        ticks = int(duration_ms / toggle_ms) - 1
+        for i in range(ticks):
+            cloud.engine.schedule(toggle_ms * (i + 1), toggle)
+        cloud.run_for(duration_ms)
+        return cloud, customer, vids
+
+    def test_flapping_vm_never_pages(self):
+        # the malware toggles every 1.5 periods: at most two consecutive
+        # unhealthy samples, below warning_after=3 — the alarm must hold
+        # OK through the whole seeded flap storm
+        cloud, customer, vids = self._flapping_cloud()
+        status = customer.policy_status()
+        (entry,) = status["entries"]
+        assert entry["fired"] >= 10, "scheduler stopped sampling"
+        assert entry["state"] == "OK"
+        assert status["transitions"] == []
+        alarms = [a for a in cloud.observatory.alert_records()
+                  if a["rule"] == "policy_alarm_critical"]
+        assert alarms == []
+
+    def test_sustained_infection_pages_exactly_once(self):
+        cloud, customer, vids = _build_cloud(1, telemetry_enabled=True)
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 5000.0,
+            "warning_after": 2, "critical_after": 4, "clear_after": 2,
+        }]))
+        guest = cloud.server_of(vids[0]).hosted[vids[0]].guest
+        HiddenServiceMalware().infect(guest)
+        cloud.run_for(12_000)
+        states = [(t["old_state"], t["new_state"])
+                  for t in customer.policy_status()["transitions"]]
+        assert states == [("OK", "WARNING"), ("WARNING", "CRITICAL")]
+        alarms = [a for a in cloud.observatory.alert_records()
+                  if a["rule"] == "policy_alarm_critical"]
+        assert len(alarms) == 1, "CRITICAL must page once, not every round"
+
+
+# ----------------------------------------------------------------------
+# staleness: unreachable rounds age coverage (never extend health)
+# ----------------------------------------------------------------------
+
+
+class TestStalenessAndRecovery:
+    def test_unreachable_path_blows_the_staleness_budget(self):
+        cloud, customer, vids = _build_cloud(1, telemetry_enabled=True,
+                                             num_servers=1)
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 3000.0,
+        }]))
+        cloud.run_for(2500)  # a few healthy rounds first
+        cloud.network.install_attacker(TamperAttacker(direction="response"))
+        cloud.run_for(12_000)
+        scheduler = cloud.controller.policy_scheduler
+        (entry,) = [e.to_dict() for e in scheduler._entries.values()]
+        assert entry["stale"]
+        # UNREACHABLE is not a verdict on the VM: no alarm transition
+        assert entry["state"] == "OK"
+        assert scheduler.timeline() == []
+        stale = cloud.telemetry.metrics.counter("policy.checks.stale")
+        assert stale.total() >= 1
+        coverage_alerts = [a for a in cloud.observatory.alert_records()
+                           if a["rule"] == "policy_coverage_blown"]
+        assert len(coverage_alerts) == 1
+        snapshot = cloud.observatory.health_snapshot()
+        assert snapshot["vms"][str(vids[0])]["coverage"] == "0/1"
+
+    def test_coverage_restores_after_the_breaker_resets(self):
+        cloud, customer, vids = _build_cloud(1, telemetry_enabled=True,
+                                             num_servers=1)
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 3000.0,
+        }]))
+        cloud.run_for(2500)
+        cloud.network.install_attacker(TamperAttacker(direction="response"))
+        cloud.run_for(10_000)
+        cloud.network.install_attacker(None)
+        cloud.run_for(70_000)  # past the breaker's reset window
+        status = customer.policy_status()
+        (entry,) = status["entries"]
+        assert not entry["stale"]
+        assert entry["state"] == "OK"
+        snapshot = cloud.observatory.health_snapshot()
+        assert snapshot["vms"][str(vids[0])]["coverage"] == "1/1"
+
+
+# ----------------------------------------------------------------------
+# load shedding and lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestLoadShedding:
+    def test_over_budget_checks_are_shed_but_everyone_gets_served(self):
+        cloud, customer, vids = _build_cloud(4, telemetry_enabled=True)
+        cloud.controller.policy_scheduler.rounds_per_tick = 1
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 20_000.0,
+        }]))
+        cloud.run_for(10_000)
+        status = customer.policy_status()
+        shed = cloud.telemetry.metrics.counter("policy.checks.shed")
+        assert shed.total() > 0
+        # oldest-coverage-first: nobody starves under the budget
+        assert all(e["fired"] >= 2 for e in status["entries"])
+
+
+class TestVmLifecycle:
+    def test_terminated_vm_entries_are_retired(self):
+        cloud, customer, vids = _build_cloud(2)
+        customer.register_policy(_policy(vids, checks=[{
+            "name": "runtime", "property": "runtime_integrity",
+            "period_ms": 1000.0, "staleness_budget_ms": 4000.0,
+        }]))
+        cloud.run_for(3000)
+        customer.terminate_vm(vids[0])
+        cloud.run_for(5000)
+        status = customer.policy_status()
+        survivors = {e["vid"] for e in status["entries"]}
+        assert survivors == {str(vids[1])}
+        # the surviving VM's coverage never suffered for its neighbour
+        (entry,) = status["entries"]
+        assert not entry["stale"]
+        assert entry["state"] == "OK"

@@ -1,89 +1,139 @@
-"""Guard the pooled-attestation throughput against silent regression.
+"""Guard the committed benchmark artifacts against silent regression.
 
-Re-runs the wall-clock harness (``benchmarks/bench_wallclock.py``),
-re-emitting a fresh ``BENCH_wallclock.json``, and compares the fresh
-``attest_rounds_pooled.ops_per_sec`` against the committed artifact at
-the repo root. Fails (exit 1) if the fresh number drops more than
-``--max-drop`` (default 20%) below the committed value.
+Re-runs each benchmark whose artifact is committed at the repo root and
+compares one headline metric per artifact against the committed value.
+Fails (exit 1) if any fresh number drops more than ``--max-drop``
+(default 20%) below its committed baseline:
 
-Wall-clock numbers move with the host, so the committed artifact is a
-*floor*, not a target: CI runs the quick profile and only trips on a
-drop large enough to indicate a real fast-path regression, not machine
-noise. Regenerate the committed artifact with a full
-``bench_wallclock.py`` run whenever the fast paths legitimately change.
+- ``BENCH_wallclock.json`` — pooled-attestation throughput
+  (``attest_rounds_pooled.ops_per_sec``), re-run with the baseline's
+  key size; honours ``--quick``;
+- ``BENCH_fleet_pipeline.json`` — fleet pipeline throughput
+  (``fleet.rounds_per_sec``), re-run at the baseline's fleet size and
+  key size (rounds/sec depends on fleet size, so ``--quick`` must not
+  shrink the fleet).
+
+Wall-clock numbers move with the host, so the committed artifacts are
+*floors*, not targets: CI only trips on a drop large enough to indicate
+a real regression, not machine noise. Regenerate a committed artifact
+with a full benchmark run whenever its fast paths legitimately change.
 
 Usage::
 
     PYTHONPATH=src python tools/check_bench_regression.py [--quick]
-        [--baseline BENCH_wallclock.json] [--max-drop 0.2]
+        [--max-drop 0.2] [--only wallclock|fleet_pipeline]
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-METRIC = ("attest_rounds_pooled", "ops_per_sec")
+
+def _wallclock_args(baseline: dict, quick: bool) -> list[str]:
+    extra = ["--quick"] if quick else []
+    if "key_bits" in baseline:
+        extra += ["--key-bits", str(baseline["key_bits"])]
+    return extra
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline",
-                        default=str(REPO_ROOT / "BENCH_wallclock.json"),
-                        help="committed artifact to compare against")
-    parser.add_argument("--max-drop", type=float, default=0.20,
-                        help="maximum tolerated fractional drop in pooled "
-                             "attestation ops/sec (default 0.20)")
-    parser.add_argument("--quick", action="store_true",
-                        help="run the quick bench profile (CI)")
-    parser.add_argument("--out",
-                        default=str(REPO_ROOT / "BENCH_wallclock.json"),
-                        help="where the fresh artifact is re-emitted")
-    args = parser.parse_args(argv)
+def _fleet_args(baseline: dict, quick: bool) -> list[str]:
+    # rounds/sec is fleet-size dependent: always re-run at the
+    # baseline's fleet size, even in --quick
+    extra = ["--vms", str(baseline["results"]["num_vms"])]
+    if "key_bits" in baseline:
+        extra += ["--key-bits", str(baseline["key_bits"])]
+    return extra
 
-    baseline_path = Path(args.baseline)
+
+#: name -> (artifact, benchmark module, metric path, label, extra args)
+GUARDS = {
+    "wallclock": {
+        "artifact": "BENCH_wallclock.json",
+        "module": "bench_wallclock",
+        "metric": ("attest_rounds_pooled", "ops_per_sec"),
+        "label": "pooled attestation ops/sec",
+        "extra_args": _wallclock_args,
+    },
+    "fleet_pipeline": {
+        "artifact": "BENCH_fleet_pipeline.json",
+        "module": "bench_fleet_pipeline",
+        "metric": ("fleet", "rounds_per_sec"),
+        "label": "fleet pipeline rounds/sec",
+        "extra_args": _fleet_args,
+    },
+}
+
+
+def _check(name: str, guard: dict, args: argparse.Namespace) -> int:
+    baseline_path = REPO_ROOT / guard["artifact"]
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; nothing to compare",
               file=sys.stderr)
         return 1
     baseline = json.loads(baseline_path.read_text())
-    committed = baseline["results"][METRIC[0]][METRIC[1]]
+    node = baseline["results"]
+    for key in guard["metric"]:
+        node = node[key]
+    committed = node
 
-    import bench_wallclock
-
-    bench_args = ["--min-speedup", "0", "--tables", "", "--out", args.out]
-    if args.quick:
-        bench_args.append("--quick")
-    if "key_bits" in baseline:
-        bench_args += ["--key-bits", str(baseline["key_bits"])]
-    status = bench_wallclock.main(bench_args)
+    # fresh numbers go to a scratch file: a quick-profile run must not
+    # replace the committed full-run artifact it is compared against
+    out = str(Path(tempfile.mkdtemp(prefix="bench_check_"))
+              / guard["artifact"])
+    bench_args = ["--min-speedup", "0", "--tables", "", "--out", out]
+    bench_args += guard["extra_args"](baseline, args.quick)
+    module = importlib.import_module(guard["module"])
+    status = module.main(bench_args)
     if status != 0:
         return status
 
-    fresh = json.loads(Path(args.out).read_text())
-    current = fresh["results"][METRIC[0]][METRIC[1]]
+    fresh = json.loads(Path(out).read_text())["results"]
+    for key in guard["metric"]:
+        fresh = fresh[key]
     floor = committed * (1.0 - args.max_drop)
-    verdict = "OK" if current >= floor else "FAIL"
+    verdict = "OK" if fresh >= floor else "FAIL"
     print(
-        f"{verdict}: pooled attestation {current:,.1f} ops/sec vs committed "
+        f"{verdict}: {guard['label']} {fresh:,.1f} vs committed "
         f"{committed:,.1f} (floor {floor:,.1f} at -{args.max_drop:.0%})"
     )
-    if current < floor:
+    if fresh < floor:
         print(
-            "pooled attestation throughput regressed more than "
-            f"{args.max_drop:.0%} from the committed artifact — inspect the "
-            "crypto fast paths or regenerate BENCH_wallclock.json with a "
-            "full run if the change is intentional",
+            f"{guard['label']} regressed more than {args.max_drop:.0%} from "
+            f"the committed artifact — inspect the change or regenerate "
+            f"{guard['artifact']} with a full run if it is intentional",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        help="maximum tolerated fractional drop for every "
+                             "guarded metric (default 0.20)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run quick bench profiles where the metric "
+                             "allows it (CI)")
+    parser.add_argument("--only", choices=sorted(GUARDS),
+                        help="check a single artifact instead of all")
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else sorted(GUARDS)
+    worst = 0
+    for name in names:
+        print(f"--- {name} ---")
+        worst = max(worst, _check(name, GUARDS[name], args))
+    return worst
 
 
 if __name__ == "__main__":
