@@ -438,6 +438,9 @@ class AttestationServer:
                 metric=report.details.get("relative_usage"),
             )
         )
+        # round_tags() joins this tamper-evident entry to the flight
+        # recorder's round; empty outside any round scope so untracked
+        # runs keep their exact historical payload bytes
         self.audit.append(
             time_ms=self.cost.engine.now,
             event="attestation",
@@ -446,6 +449,7 @@ class AttestationServer:
                 "server": str(server),
                 "property": prop.value,
                 "healthy": report.healthy,
+                **self.telemetry.round_tags(),
             },
         )
 

@@ -542,19 +542,73 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"error: round {args.waterfall} out of range "
                   f"(trace holds {len(rounds)} round(s))", file=sys.stderr)
             return 2
-        print(store.waterfall(rounds[args.waterfall]))
+        root = rounds[args.waterfall]
+        if args.json:
+            tree = [
+                {"depth": depth, **span,
+                 "duration_ms": span_duration_ms(span)}
+                for depth, span in store.subtree(root)
+            ]
+            print(json.dumps(tree, sort_keys=True))
+            return 0
+        print(store.waterfall(root))
         return 0
     if args.vid or args.leg or args.min_ms is not None:
         spans = store.spans(
             name=args.leg, vid=args.vid, min_duration_ms=args.min_ms
         )
+        if args.json:
+            for span in spans:
+                print(json.dumps(span, sort_keys=True))
+            return 0
         for span in spans:
             vid = span.get("attrs", {}).get("vid", "-")
             print(f"{span['name']:32s} start {span['start_ms']:10.1f} ms  "
                   f"{span_duration_ms(span):8.1f} ms  vid={vid}")
         print(f"{len(spans)} span(s)")
         return 0
+    if args.json:
+        table = {name: store.percentiles(name) for name in store.leg_names()}
+        print(json.dumps(table, sort_keys=True))
+        return 0
     print(store.render_leg_table())
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct the causal chain of recorded attestation rounds."""
+    from repro.telemetry import flight_records_from_records
+    from repro.telemetry.observatory import (
+        render_flight_record,
+        render_round_summary,
+    )
+
+    records = _load_trace(args.trace)
+    flights = flight_records_from_records(records)
+    if args.vid:
+        flights = [f for f in flights if f.get("vid") == args.vid]
+    if not flights:
+        scope = f" for vid {args.vid}" if args.vid else ""
+        print(f"error: {args.trace} holds no flight records{scope} "
+              "(was the run recorded with the flight recorder enabled?)",
+              file=sys.stderr)
+        return 2
+    if args.round is not None:
+        if not 0 <= args.round < len(flights):
+            print(f"error: round {args.round} out of range "
+                  f"(trace holds {len(flights)} round(s))", file=sys.stderr)
+            return 2
+        flights = [flights[args.round]]
+    if args.json:
+        for flight in flights:
+            print(json.dumps(flight, sort_keys=True))
+        return 0
+    if len(flights) == 1:
+        print(render_flight_record(flights[0]))
+        return 0
+    for flight in flights:
+        print(render_round_summary(flight))
+    print(f"{len(flights)} round(s); use --round N for one full narrative")
     return 0
 
 
@@ -680,7 +734,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only spans at least this long")
     trace.add_argument("--waterfall", type=int, default=None, metavar="N",
                        help="render attestation round N as a text waterfall")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable output: one JSON object per "
+                            "span (filter mode), a per-leg percentile "
+                            "object (table mode), or the round's span "
+                            "tree (waterfall mode)")
     trace.set_defaults(func=cmd_trace)
+
+    explain = commands.add_parser(
+        "explain",
+        help="narrate recorded attestation rounds (the flight recorder)")
+    explain.add_argument("trace", metavar="TRACE",
+                         help="JSONL trace written with --telemetry-out")
+    explain.add_argument("vid", nargs="?", default=None, metavar="VID",
+                         help="only rounds attesting this VM")
+    explain.add_argument("--round", type=int, default=None, metavar="N",
+                         help="narrate only round N of the selection "
+                              "(0-based, mint order)")
+    explain.add_argument("--json", action="store_true",
+                         help="print one JSON flight record per round")
+    explain.set_defaults(func=cmd_explain)
     return parser
 
 

@@ -56,6 +56,7 @@ class CloudMonatt:
         rack_size: int = 4,
         telemetry_enabled: bool = False,
         telemetry: Optional[Telemetry] = None,
+        flight_recorder_enabled: bool = True,
         observatory_enabled: Optional[bool] = None,
         slo_targets: Optional[dict[str, float]] = None,
         alert_streak_threshold: int = 3,
@@ -78,7 +79,10 @@ class CloudMonatt:
         #: same-seed runs export byte-identical snapshots)
         if telemetry is None:
             telemetry = Telemetry(
-                clock=lambda: self.engine.now, enabled=telemetry_enabled, seed=seed
+                clock=lambda: self.engine.now,
+                enabled=telemetry_enabled,
+                seed=seed,
+                round_tracking=flight_recorder_enabled,
             )
         self.telemetry = telemetry
         self.telemetry.attach_engine(self.engine)

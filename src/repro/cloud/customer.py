@@ -31,7 +31,8 @@ from repro.properties.report import PropertyReport
 from repro.protocol import messages as msg
 from repro.protocol.quotes import merkle_root, report_quote_q1
 from repro.resilience import RetryExecutor, RetryPolicy, is_transient
-from repro.telemetry import KEY_TRACE, NULL_TELEMETRY, SPAN_Q1, Telemetry
+from repro.telemetry import KEY_ROUND, KEY_TRACE, NULL_TELEMETRY, SPAN_Q1, Telemetry
+from repro.telemetry.observatory.flightrecorder import outcome_verdict
 
 
 @dataclass(frozen=True)
@@ -200,6 +201,7 @@ class Customer:
         prop: SecurityProperty,
         window_ms: Optional[float] = None,
         at_startup: bool = False,
+        round_id: Optional[str] = None,
     ) -> VerifiedAttestation:
         """One-time attestation (``runtime_attest_current`` /
         ``startup_attest_current``), with full report verification.
@@ -209,7 +211,22 @@ class Customer:
         through the whole retry budget the customer receives a locally
         synthesized *degraded* report (``UNREACHABLE``, never healthy)
         instead of an exception.
+
+        ``round_id`` adopts a flight-recorder round minted upstream
+        (the per-entry fallback of :meth:`attest_fleet`); when ``None``
+        this call mints its own round and publishes its ``round_start``.
         """
+        owned = round_id is None
+        rid = self.telemetry.mint_round_id() if owned else round_id
+        if owned and rid is not None:
+            self.telemetry.observe_event(
+                "round_start",
+                round_id=rid,
+                vid=str(vid),
+                property=prop.value,
+                source="on-demand",
+                customer=self.name,
+            )
 
         def attempt() -> tuple[bytes, dict]:
             # a retry is a fresh protocol round: new nonce N1, so the
@@ -230,24 +247,39 @@ class Customer:
             context = self.telemetry.context()
             if context is not None:
                 request[KEY_TRACE] = context
+            if rid is not None:
+                request[KEY_ROUND] = rid
             return bytes(nonce), self.endpoint.call(self._controller, request)
 
-        with self.telemetry.span(
-            SPAN_Q1, customer=self.name, vid=str(vid), property=prop.value
-        ):
-            try:
-                nonce, response = self._retry.run(attempt)
-            except CloudMonattError as exc:
-                if not is_transient(exc):
-                    raise
-                return self._degraded_attestation(vid, prop, exc)
-            report = self._verify_report(vid, prop, nonce, response)
-        return VerifiedAttestation(
-            report=report,
-            attest_ms=float(response.get("attest_ms", 0.0)),
-            response=response.get("response"),
-            certificate=response.get("certificate"),
-        )
+        with self.telemetry.round_scope(rid):
+            with self.telemetry.span(
+                SPAN_Q1, customer=self.name, vid=str(vid), property=prop.value
+            ):
+                try:
+                    nonce, response = self._retry.run(attempt)
+                except CloudMonattError as exc:
+                    if not is_transient(exc):
+                        raise
+                    result = self._degraded_attestation(vid, prop, exc)
+                else:
+                    report = self._verify_report(vid, prop, nonce, response)
+                    result = VerifiedAttestation(
+                        report=report,
+                        attest_ms=float(response.get("attest_ms", 0.0)),
+                        response=response.get("response"),
+                        certificate=response.get("certificate"),
+                    )
+        if rid is not None:
+            verdict, degraded = outcome_verdict(result.report, result.degraded)
+            self.telemetry.observe_event(
+                "round_end",
+                round_id=rid,
+                vid=str(vid),
+                property=prop.value,
+                verdict=verdict,
+                degraded=degraded,
+            )
+        return result
 
     def attest_fleet(
         self,
@@ -272,17 +304,34 @@ class Customer:
         )
         nonce_to_index: dict[bytes, int] = {}
         entries = []
+        rids: list[Optional[str]] = [None] * total
         for index in order:
             vid, prop = requests[index]
             nonce = bytes(self._nonces.fresh())
             nonce_to_index[nonce] = index
-            entries.append(
-                {
-                    msg.KEY_VID: str(vid),
-                    msg.KEY_PROPERTY: prop.value,
-                    msg.KEY_NONCE: nonce,
-                }
-            )
+            # each logical round in the batch is its own flight-recorder
+            # round: mint here (the round starts at the customer) and
+            # carry the id inside the wire entry so the controller's
+            # pipeline adopts it instead of minting a duplicate
+            rid = self.telemetry.mint_round_id()
+            rids[index] = rid
+            if rid is not None:
+                self.telemetry.observe_event(
+                    "round_start",
+                    round_id=rid,
+                    vid=str(vid),
+                    property=prop.value,
+                    source="fleet",
+                    customer=self.name,
+                )
+            entry = {
+                msg.KEY_VID: str(vid),
+                msg.KEY_PROPERTY: prop.value,
+                msg.KEY_NONCE: nonce,
+            }
+            if rid is not None:
+                entry[KEY_ROUND] = rid
+            entries.append(entry)
         request = {
             msg.KEY_TYPE: msg.MSG_ATTEST_FLEET,
             msg.KEY_ENTRIES: entries,
@@ -292,9 +341,14 @@ class Customer:
         context = self.telemetry.context()
         if context is not None:
             request[KEY_TRACE] = context
-        with self.telemetry.span(
-            SPAN_Q1, customer=self.name, vid=f"batch:{total}", property="*"
-        ):
+        span_attrs: dict = {
+            "customer": self.name, "vid": f"batch:{total}", "property": "*",
+        }
+        batch_rids = [rids[i] for i in order if rids[i] is not None]
+        if batch_rids:
+            # the shared Q1 leg serves every round in the batch
+            span_attrs["round_ids"] = batch_rids
+        with self.telemetry.span(SPAN_Q1, **span_attrs):
             try:
                 response = self.endpoint.call(self._controller, request)
             except CloudMonattError as exc:
@@ -304,8 +358,9 @@ class Customer:
                     site=f"customer.{self.name}"
                 )
                 return [
-                    self.attest(vid, prop, window_ms=window_ms)
-                    for vid, prop in requests
+                    self.attest(vid, prop, window_ms=window_ms,
+                                round_id=rids[index])
+                    for index, (vid, prop) in enumerate(requests)
                 ]
             msg.require_fields(
                 response, msg.KEY_ENTRIES, msg.KEY_BATCH_ROOT, msg.KEY_SIGNATURE
@@ -357,7 +412,21 @@ class Customer:
                 )
             if merkle_root(leaves, telemetry=self.telemetry) != batch_root:
                 raise SignatureError("batch root does not bind the per-entry quotes")
-            return [result for result in results if result is not None]
+        for index, (vid, prop) in enumerate(requests):
+            rid = rids[index]
+            result = results[index]
+            if rid is None or result is None:
+                continue
+            verdict, degraded = outcome_verdict(result.report, result.degraded)
+            self.telemetry.observe_event(
+                "round_end",
+                round_id=rid,
+                vid=str(vid),
+                property=prop.value,
+                verdict=verdict,
+                degraded=degraded,
+            )
+        return [result for result in results if result is not None]
 
     def _degraded_attestation(
         self, vid: VmId, prop: SecurityProperty, exc: CloudMonattError

@@ -53,6 +53,7 @@ from repro.protocol.quotes import merkle_root, report_quote_q1
 from repro.resilience import RetryExecutor, RetryPolicy, is_transient
 from repro.sim.engine import Engine, EventHandle
 from repro.telemetry import (
+    KEY_ROUND,
     KEY_TRACE,
     NULL_TELEMETRY,
     SPAN_CONTROLLER_ATTEST,
@@ -60,6 +61,7 @@ from repro.telemetry import (
     SPAN_LAUNCH_STAGE_PREFIX,
     Telemetry,
 )
+from repro.telemetry.observatory.flightrecorder import outcome_verdict
 
 CONTROLLER_ENDPOINT = "controller"
 
@@ -197,10 +199,12 @@ class CloudController:
             return False
 
     def _record_provenance(self, vid: VmId, event: str, **payload) -> None:
+        # round_tags() is empty outside any flight-recorder round scope,
+        # so untracked runs keep their exact historical payload bytes
         self.provenance.append(
             time_ms=self.engine.now,
             event=event,
-            payload={"vid": str(vid), **payload},
+            payload={"vid": str(vid), **payload, **self.telemetry.round_tags()},
         )
 
     def vm_provenance(self, vid: VmId) -> list:
@@ -486,7 +490,10 @@ class CloudController:
         record = self.database.vm(vid)
         if record.customer != peer:
             raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
-        with self.telemetry.span(
+        # adopt the customer's flight-recorder round; in-process the
+        # ambient scope already carries it, but the wire key keeps the
+        # correlation honest across separately-traced entities
+        with self.telemetry.round_scope(body.get(KEY_ROUND)), self.telemetry.span(
             SPAN_CONTROLLER_ATTEST,
             remote_parent=body.get(KEY_TRACE),
             vid=str(vid),
@@ -536,26 +543,34 @@ class CloudController:
             record = self.database.vm(vid)
             if record.customer != peer:
                 raise ProtocolError(f"VM {vid} does not belong to {peer!r}")
-            parsed.append((vid, prop, nonce))
+            parsed.append((vid, prop, nonce, entry.get(KEY_ROUND)))
         parsed.sort(key=lambda item: (str(item[0]), item[2]))
 
+        span_attrs: dict = {
+            "vid": f"batch:{len(parsed)}",
+            "property": "*",
+            "mode": msg.MSG_ATTEST_FLEET,
+        }
+        adopted = [rid for _vid, _prop, _nonce, rid in parsed if rid]
+        if adopted:
+            # one shared controller leg serving every adopted round
+            span_attrs["round_ids"] = adopted
         with self.telemetry.span(
             SPAN_CONTROLLER_ATTEST,
             remote_parent=body.get(KEY_TRACE),
-            vid=f"batch:{len(parsed)}",
-            property="*",
-            mode=msg.MSG_ATTEST_FLEET,
+            **span_attrs,
         ):
             futures = [
-                self.pipeline.submit(vid, prop, window_ms=body.get(msg.KEY_WINDOW))
-                for vid, prop, _nonce in parsed
+                self.pipeline.submit(vid, prop, window_ms=body.get(msg.KEY_WINDOW),
+                                     round_id=rid)
+                for vid, prop, _nonce, rid in parsed
             ]
             self.pipeline.flush()
             outcomes = [future.result() for future in futures]
 
             out_entries = []
             leaves = []
-            for (vid, prop, nonce), outcome in zip(parsed, outcomes):
+            for (vid, prop, nonce, _rid), outcome in zip(parsed, outcomes):
                 response_info = None
                 if (
                     not outcome.report.healthy
@@ -701,46 +716,81 @@ class CloudController:
             self.telemetry.counter("controller.periodic_fires").inc(
                 property=subscription.prop.value
             )
-        try:
-            # periodic mode: the AS accumulates measurements across
-            # rounds and interprets the merged view (§3.2.1)
-            outcome = self.attest_service.attest(
-                subscription.vid, subscription.prop, accumulate=True
-            )
-        except CloudMonattError as exc:
-            # collection failed outright — surface as an unhealthy push
-            from repro.properties.report import PropertyReport
-
+        rid = self.telemetry.mint_round_id()
+        if rid is not None:
             self.telemetry.observe_event(
-                "collection_failure",
+                "round_start",
+                round_id=rid,
                 vid=str(subscription.vid),
                 property=subscription.prop.value,
-                error=str(exc),
+                source="periodic",
             )
-            outcome_report = PropertyReport(
-                prop=subscription.prop,
-                healthy=False,
-                explanation=f"periodic attestation failed: {exc}",
-            )
-            self._push_result(subscription, outcome_report.to_dict(), None)
-            self._schedule_next(subscription)
-            return
-        response_info = None
-        if not outcome.report.healthy and self.auto_respond and not outcome.degraded:
-            action = self.response.policy_for(subscription.prop)
-            if action is not ResponseAction.NONE:
-                try:
-                    response_outcome = self.response.respond(
-                        subscription.vid, subscription.prop
+        with self.telemetry.round_scope(rid):
+            try:
+                # periodic mode: the AS accumulates measurements across
+                # rounds and interprets the merged view (§3.2.1)
+                outcome = self.attest_service.attest(
+                    subscription.vid, subscription.prop, accumulate=True
+                )
+            except CloudMonattError as exc:
+                # collection failed outright — surface as an unhealthy push
+                from repro.properties.report import PropertyReport
+
+                self.telemetry.observe_event(
+                    "collection_failure",
+                    vid=str(subscription.vid),
+                    property=subscription.prop.value,
+                    error=str(exc),
+                )
+                outcome_report = PropertyReport(
+                    prop=subscription.prop,
+                    healthy=False,
+                    explanation=f"periodic attestation failed: {exc}",
+                )
+                if rid is not None:
+                    self.telemetry.observe_event(
+                        "round_end",
+                        round_id=rid,
+                        vid=str(subscription.vid),
+                        property=subscription.prop.value,
+                        verdict="UNHEALTHY",
+                        degraded=False,
+                        error=type(exc).__name__,
                     )
-                except PlacementError:
-                    response_outcome = None
-                if response_outcome is not None:
-                    response_info = {
-                        "action": response_outcome.action.value,
-                        "reaction_ms": response_outcome.reaction_ms,
-                    }
-        self._push_result(subscription, outcome.report.to_dict(), response_info)
+                self._push_result(subscription, outcome_report.to_dict(), None)
+                self._schedule_next(subscription)
+                return
+            response_info = None
+            if (
+                not outcome.report.healthy
+                and self.auto_respond
+                and not outcome.degraded
+            ):
+                action = self.response.policy_for(subscription.prop)
+                if action is not ResponseAction.NONE:
+                    try:
+                        response_outcome = self.response.respond(
+                            subscription.vid, subscription.prop
+                        )
+                    except PlacementError:
+                        response_outcome = None
+                    if response_outcome is not None:
+                        response_info = {
+                            "action": response_outcome.action.value,
+                            "reaction_ms": response_outcome.reaction_ms,
+                        }
+            if rid is not None:
+                verdict, degraded = outcome_verdict(
+                    outcome.report, outcome.degraded)
+                self.telemetry.observe_event(
+                    "round_end",
+                    round_id=rid,
+                    vid=str(subscription.vid),
+                    property=subscription.prop.value,
+                    verdict=verdict,
+                    degraded=degraded,
+                )
+            self._push_result(subscription, outcome.report.to_dict(), response_info)
         if self.database.vm(subscription.vid).live:
             self._schedule_next(subscription)
         else:

@@ -25,6 +25,7 @@ from repro.properties.catalog import SecurityProperty
 from repro.sim.engine import Engine
 from repro.sim.rounds import RoundFuture
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.observatory.flightrecorder import outcome_verdict
 
 
 class AttestationPipeline:
@@ -49,7 +50,7 @@ class AttestationPipeline:
         self.drain_delay_ms = drain_delay_ms
         self._queue: list[
             tuple[VmId, SecurityProperty, Optional[float], bool,
-                  RoundFuture[AttestationOutcome]]
+                  RoundFuture[AttestationOutcome], Optional[str], bool]
         ] = []
         self._drain_scheduled = False
 
@@ -65,15 +66,32 @@ class AttestationPipeline:
         window_ms: Optional[float] = None,
         accumulate: bool = False,
         source: str = "api",
+        round_id: Optional[str] = None,
     ) -> RoundFuture[AttestationOutcome]:
         """Enqueue one logical round; resolves at the next drain tick.
 
         ``source`` labels the telemetry series so operators can split
         customer-requested rounds (``api``) from scheduler-originated
         ones (``policy``); it does not affect batching or ordering.
+
+        ``round_id`` adopts a flight-recorder round minted upstream (a
+        fleet-batched customer round arriving via the wire); when
+        ``None`` the pipeline mints its own and owns the round's
+        start/end bookkeeping.
         """
+        owned = round_id is None
+        rid = self.telemetry.mint_round_id() if owned else round_id
         future: RoundFuture[AttestationOutcome] = RoundFuture()
-        self._queue.append((vid, prop, window_ms, accumulate, future))
+        future.round_id = rid
+        if owned and rid is not None:
+            self.telemetry.observe_event(
+                "round_start",
+                round_id=rid,
+                vid=str(vid),
+                property=prop.value,
+                source=source,
+            )
+        self._queue.append((vid, prop, window_ms, accumulate, future, rid, owned))
         self.telemetry.counter("pipeline.rounds").inc(
             property=prop.value, source=source)
         self.telemetry.gauge("pipeline.queue.depth").set(len(self._queue))
@@ -101,23 +119,59 @@ class AttestationPipeline:
         # rounds with different windows or accumulation modes cannot
         # share a batched request; group them, preserving queue order
         groups: dict[tuple, list[int]] = {}
-        for index, (_vid, _prop, window_ms, accumulate, _future) in enumerate(pending):
+        for index, (_vid, _prop, window_ms, accumulate, *_rest) in enumerate(pending):
             groups.setdefault((window_ms, accumulate), []).append(index)
         for key in sorted(groups, key=lambda k: (repr(k[0]), k[1])):
             indices = groups[key]
             window_ms, accumulate = key
             requests = [(pending[i][0], pending[i][1]) for i in indices]
-            futures = [pending[i][4] for i in indices]
-            try:
-                outcomes = self.attest_service.attest_many(
-                    requests,
-                    window_ms=window_ms,
-                    accumulate=accumulate,
-                    max_batch=self.max_batch,
-                )
-            except Exception as exc:  # noqa: BLE001 — delivered via futures
-                for future in futures:
-                    future.set_exception(exc)
+            rows = [pending[i] for i in indices]
+            outcomes = None
+            error: Optional[Exception] = None
+            # the batched legs below serve every round in the group at
+            # once: tag their spans/events with the whole id set
+            with self.telemetry.round_scope(*(row[5] for row in rows)):
+                try:
+                    outcomes = self.attest_service.attest_many(
+                        requests,
+                        window_ms=window_ms,
+                        accumulate=accumulate,
+                        max_batch=self.max_batch,
+                    )
+                except Exception as exc:  # noqa: BLE001 — delivered via futures
+                    error = exc
+            # resolve *outside* the scope: done-callbacks (policy alarm
+            # transitions) tag themselves with their own round id
+            if error is not None:
+                for row in rows:
+                    self._round_end(row, verdict="ERROR",
+                                    error=type(error).__name__)
+                    row[4].set_exception(error)
                 continue
-            for future, outcome in zip(futures, outcomes):
-                future.set_result(outcome)
+            for row, outcome in zip(rows, outcomes):
+                verdict, degraded = outcome_verdict(
+                    outcome.report, outcome.degraded)
+                self._round_end(row, verdict=verdict, degraded=degraded)
+                row[4].set_result(outcome)
+
+    def _round_end(
+        self,
+        row: tuple,
+        verdict: str,
+        degraded: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        """Publish the round's terminal event, if this pipeline owns it."""
+        vid, prop, _window_ms, _accumulate, _future, rid, owned = row
+        if not owned or rid is None:
+            return
+        fields: dict = {
+            "round_id": rid,
+            "vid": str(vid),
+            "property": prop.value,
+            "verdict": verdict,
+            "degraded": degraded,
+        }
+        if error is not None:
+            fields["error"] = error
+        self.telemetry.observe_event("round_end", **fields)

@@ -200,7 +200,15 @@ class SecureEndpoint:
 
     def _handshake(self, peer: str) -> None:
         """Establish a session key with ``peer`` (initiator side)."""
-        with self.telemetry.span(SPAN_HANDSHAKE, initiator=self.name, peer=peer):
+        with self.telemetry.span(
+            SPAN_HANDSHAKE,
+            initiator=self.name,
+            peer=peer,
+            # a repeat handshake means the previous channel was torn
+            # down (call failure) — the flight recorder's causal chain
+            # renders it as a "re-handshake" step
+            rehandshake=self._handshake_counts.get(peer, 0) > 0,
+        ):
             self._handshake_rounds(peer)
         self.telemetry.counter("channel.handshakes").inc(endpoint=self.name)
 

@@ -63,6 +63,7 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 #: observatory event kinds this module publishes
 EVENT_POLICY_ALARM = "policy_alarm"
 EVENT_POLICY_COVERAGE = "policy_coverage"
+EVENT_POLICY_SHED = "policy_shed"
 
 _EntryKey = tuple[str, str, str]  # (policy, check, vid)
 
@@ -282,6 +283,16 @@ class PolicyScheduler:
             entry.shed += 1
             self.telemetry.counter("policy.checks.shed").inc(
                 policy=entry.policy, property=entry.check.prop.value)
+            # shed checks never start a round, so there is no round id —
+            # the event is still flight-visible per VM (`repro explain`
+            # surfaces sheds as fleet-pressure context)
+            if entry.routing.observatory:
+                self.telemetry.observe_event(
+                    EVENT_POLICY_SHED,
+                    policy=entry.policy, check=entry.check.name,
+                    vid=entry.vid, property=entry.check.prop.value,
+                    shed_count=entry.shed,
+                )
         for entry in due[:budget]:
             self._fire(entry, now)
         self._ensure_tick()
@@ -330,10 +341,12 @@ class PolicyScheduler:
                 entry.last_observed = now
         change = entry.alarm.observe(verdict)
         if change is not None:
-            self._transition(entry, change, verdict, now)
+            self._transition(entry, change, verdict, now,
+                             round_id=getattr(future, "round_id", None))
 
     def _transition(self, entry: _ScheduleEntry, change: tuple[str, str],
-                    verdict: str, now: float) -> None:
+                    verdict: str, now: float,
+                    round_id: Optional[str] = None) -> None:
         old, new = change
         transition = AlarmTransition(
             time_ms=now, policy=entry.policy, check=entry.check.name,
@@ -342,17 +355,21 @@ class PolicyScheduler:
         self.transitions.append(transition)
         self.telemetry.counter("policy.alarms.transitions").inc(
             policy=entry.policy)
+        # the round that produced the deciding verdict joins the alarm
+        # transition to the flight recorder's causal chain
+        round_fields = {"round_id": round_id} if round_id is not None else {}
         if entry.routing.observatory:
             self.telemetry.observe_event(
                 EVENT_POLICY_ALARM,
                 policy=entry.policy, check=entry.check.name, vid=entry.vid,
                 property=entry.check.prop.value, old_state=old,
-                new_state=new, verdict=verdict,
+                new_state=new, verdict=verdict, **round_fields,
             )
         if self.audit is not None and entry.routing.audit:
             self.audit(VmId(entry.vid), "policy_alarm",
                        policy=entry.policy, check=entry.check.name,
-                       old_state=old, new_state=new, verdict=verdict)
+                       old_state=old, new_state=new, verdict=verdict,
+                       **round_fields)
         if (new == ALARM_CRITICAL and entry.routing.auto_respond
                 and self.responder is not None):
             try:

@@ -153,7 +153,11 @@ class RetryExecutor:
                     error=type(exc).__name__,
                     detail=str(exc),
                 )
-                self.engine.run_until(self.engine.now + delay)
+                # unrelated callbacks (policy ticks, pipeline drains)
+                # fire during the wait on this round's Python stack:
+                # suspend the round scope so they are not mis-tagged
+                with self.telemetry.isolate_rounds():
+                    self.engine.run_until(self.engine.now + delay)
         self.telemetry.counter("resilience.giveups").inc(site=self.site)
         self.telemetry.observe_event(
             "retry_giveup",

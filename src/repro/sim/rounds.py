@@ -31,13 +31,16 @@ class RoundFuture(Generic[T]):
     callbacks added after resolution run immediately.
     """
 
-    __slots__ = ("_state", "_result", "_exception", "_callbacks")
+    __slots__ = ("_state", "_result", "_exception", "_callbacks", "round_id")
 
     def __init__(self) -> None:
         self._state = _PENDING
         self._result: Optional[T] = None
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[["RoundFuture[T]"], None]] = []
+        #: flight-recorder round id stamped by the submitting pipeline
+        #: (``None`` when round tracking is off)
+        self.round_id: Optional[str] = None
 
     @property
     def done(self) -> bool:

@@ -29,8 +29,10 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    nearest_rank,
 )
 from repro.telemetry.tracer import (
+    KEY_ROUND,
     KEY_TRACE,
     PROTOCOL_LEG_SPANS,
     SPAN_APPRAISAL,
@@ -56,6 +58,7 @@ from repro.telemetry.exporters import (
     console_summary,
     events_from_records,
     export_jsonl_lines,
+    flight_records_from_records,
     metrics_from_records,
     read_jsonl,
     scoreboard_from_records,
@@ -70,9 +73,14 @@ from repro.telemetry.observatory import (
     DEFAULT_SLO_TARGETS,
     Alert,
     AlertEngine,
+    FlightRecord,
     HealthScoreboard,
     Observatory,
     TraceStore,
+    build_flight_records,
+    flight_records_from_trace,
+    render_flight_record,
+    render_round_summary,
     render_scoreboard,
 )
 
@@ -84,8 +92,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "nearest_rank",
     "Tracer",
     "Span",
+    "KEY_ROUND",
     "KEY_TRACE",
     "PROTOCOL_LEG_SPANS",
     "SPAN_Q1",
@@ -112,6 +122,7 @@ __all__ = [
     "TraceFormatError",
     "alerts_from_records",
     "events_from_records",
+    "flight_records_from_records",
     "scoreboard_from_records",
     "slo_report_from_records",
     "to_prometheus_text",
@@ -119,8 +130,13 @@ __all__ = [
     "Alert",
     "AlertEngine",
     "DEFAULT_SLO_TARGETS",
+    "FlightRecord",
     "HealthScoreboard",
     "Observatory",
     "TraceStore",
+    "build_flight_records",
+    "flight_records_from_trace",
+    "render_flight_record",
+    "render_round_summary",
     "render_scoreboard",
 ]

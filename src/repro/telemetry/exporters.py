@@ -19,7 +19,10 @@ telemetry-enabled clouds):
 - ``{"type": "scoreboard", "snapshot": {...}}`` — the final fleet
   health snapshot;
 - ``{"type": "slo", "report": {...}}`` — the per-leg SLO compliance
-  report.
+  report;
+- ``{"type": "flight_record", ...}`` — one line per attestation round,
+  joining the round's spans, events, verdict and alarms (the flight
+  recorder; assembled lazily at export time).
 
 Nothing wall-clock-derived is written, so two same-seed runs produce
 byte-identical files — :func:`read_jsonl` round-trips them for the
@@ -71,6 +74,8 @@ def export_jsonl_lines(
             {"type": "scoreboard", "snapshot": observatory.health_snapshot()}
         )
         yield _dumps({"type": "slo", "report": observatory.slo_report()})
+        for flight in observatory.flight_records():
+            yield _dumps({"type": "flight_record", **flight.to_dict()})
 
 
 def write_jsonl(
@@ -152,6 +157,20 @@ def alerts_from_records(records: list[dict]) -> list[dict]:
 def events_from_records(records: list[dict]) -> list[dict]:
     """The observatory event records of a parsed trace."""
     return [record for record in records if record.get("type") == "event"]
+
+
+def flight_records_from_records(records: list[dict]) -> list[dict]:
+    """The flight-record lines of a parsed trace, rebuilt if absent.
+
+    Delegates to :func:`repro.telemetry.observatory.flightrecorder.
+    flight_records_from_trace`: precomputed ``flight_record`` lines win;
+    older traces are reassembled from their span + event lines.
+    """
+    from repro.telemetry.observatory.flightrecorder import (
+        flight_records_from_trace,
+    )
+
+    return flight_records_from_trace(records)
 
 
 def scoreboard_from_records(records: list[dict]) -> Optional[dict]:

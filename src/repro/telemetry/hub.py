@@ -58,6 +58,7 @@ class Telemetry:
         clock: Optional[Callable[[], float]] = None,
         enabled: bool = True,
         seed: Optional[int] = None,
+        round_tracking: bool = True,
     ):
         self.enabled = enabled
         self.clock = clock or (lambda: 0.0)
@@ -65,6 +66,11 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock, enabled=enabled)
         self._engine = None
+        #: flight recorder: whether :meth:`mint_round_id` issues ids.
+        #: With tracking off nothing is ever pushed onto the tracer's
+        #: round stack, so spans and events stay untagged.
+        self.round_tracking = enabled and round_tracking
+        self._next_round_id = 1
         #: consumer layer (alerting, scoreboard, trace store); attached
         #: via :meth:`attach_observatory`, ``None`` on bare hubs
         self.observatory = None
@@ -102,6 +108,44 @@ class Telemetry:
         return self.tracer.context()
 
     # ------------------------------------------------------------------
+    # flight recorder: round correlation
+    # ------------------------------------------------------------------
+
+    def mint_round_id(self) -> Optional[str]:
+        """Issue the next attestation round id, or ``None`` if untracked.
+
+        Ids are plain per-hub sequence numbers — no DRBG draw, no wall
+        clock — so minting never perturbs the seeded entropy streams and
+        same-seed runs mint byte-identical ids in byte-identical order.
+        """
+        if not self.round_tracking:
+            return None
+        rid = f"r{self._next_round_id:06d}"
+        self._next_round_id += 1
+        return rid
+
+    def round_scope(self, *round_ids: Optional[str]):
+        """Tag spans/events inside the scope (see :meth:`Tracer.round_scope`)."""
+        return self.tracer.round_scope(*round_ids)
+
+    def isolate_rounds(self):
+        """Suspend round tagging while unrelated engine work runs."""
+        return self.tracer.isolate_rounds()
+
+    def round_tags(self) -> dict:
+        """Round-correlation fields for audit/provenance payloads.
+
+        Empty outside any round scope, so untracked runs keep their
+        exact historical payload bytes.
+        """
+        rounds = self.tracer.current_rounds()
+        if not rounds:
+            return {}
+        if len(rounds) == 1:
+            return {"round_id": rounds[0]}
+        return {"round_ids": list(rounds)}
+
+    # ------------------------------------------------------------------
     # observatory (consumer layer)
     # ------------------------------------------------------------------
 
@@ -118,8 +162,15 @@ class Telemetry:
         never perturbs an un-observed run.
         """
         observatory = self.observatory
-        if observatory is not None:
-            observatory.record(kind, self.clock(), fields)
+        if observatory is None:
+            return
+        rounds = self.tracer.current_rounds()
+        if rounds and "round_id" not in fields and "round_ids" not in fields:
+            if len(rounds) == 1:
+                fields["round_id"] = rounds[0]
+            else:
+                fields["round_ids"] = list(rounds)
+        observatory.record(kind, self.clock(), fields)
 
     # ------------------------------------------------------------------
     # engine sampling

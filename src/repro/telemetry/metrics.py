@@ -38,6 +38,25 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
 _LabelKey = tuple[tuple[str, str], ...]
 
 
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """The exact nearest-rank q-quantile of an ascending sequence.
+
+    The one rank rule shared by :meth:`Histogram.quantile` and
+    :meth:`repro.telemetry.observatory.tracestore.TraceStore.
+    percentiles`: ``q = 0`` is the minimum, ``q = 1`` the maximum, a
+    single observation answers every quantile, and interior quantiles
+    truncate (``rank = int(q * n)``), never interpolate — an observed
+    value always comes back. Callers own their empty-input policy;
+    here an empty sequence is an error.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile {q} outside [0, 1]")
+    if not sorted_values:
+        raise ConfigurationError(f"quantile {q} of an empty sequence")
+    rank = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[rank]
+
+
 def _label_key(labels: dict[str, object]) -> _LabelKey:
     """Canonical, hashable, order-independent form of a label set."""
     if not labels:
@@ -178,8 +197,7 @@ class Histogram:
             raise ConfigurationError(
                 f"histogram {self.name!r} has no observations for {labels!r}"
             )
-        rank = min(int(q * len(series.values)), len(series.values) - 1)
-        return series.values[rank]
+        return nearest_rank(series.values, q)
 
     def series(self) -> list[tuple[_LabelKey, _HistogramSeries]]:
         """Sorted (label key, series state) pairs — exporter iteration."""

@@ -30,6 +30,16 @@ from repro.telemetry.observatory.core import (
     Observatory,
     ObservatoryEvent,
 )
+from repro.telemetry.observatory.flightrecorder import (
+    EVENT_ROUND_END,
+    EVENT_ROUND_START,
+    FlightRecord,
+    build_flight_records,
+    flight_records_from_trace,
+    outcome_verdict,
+    render_flight_record,
+    render_round_summary,
+)
 from repro.telemetry.observatory.scoreboard import (
     HealthScoreboard,
     render_scoreboard,
@@ -45,9 +55,12 @@ __all__ = [
     "EVENT_ATTESTATION",
     "EVENT_COLLECTION_FAILURE",
     "EVENT_RESPONSE",
+    "EVENT_ROUND_END",
+    "EVENT_ROUND_START",
     "EVENT_UNREACHABLE",
     "EVENT_VERIFICATION_FAILURE",
     "FailureStreakRule",
+    "FlightRecord",
     "HealthScoreboard",
     "KeyPoolExhaustedRule",
     "LatencySloRule",
@@ -59,7 +72,12 @@ __all__ = [
     "TraceStore",
     "UnreachableRule",
     "VerificationSpikeRule",
+    "build_flight_records",
     "default_rules",
+    "flight_records_from_trace",
+    "outcome_verdict",
+    "render_flight_record",
+    "render_round_summary",
     "render_scoreboard",
     "span_duration_ms",
 ]

@@ -165,3 +165,16 @@ class Observatory:
     def slo_report(self) -> dict[str, dict]:
         """Per-leg SLO compliance from the loaded latency rule."""
         return self.alerts.slo_report()
+
+    def flight_records(self) -> list:
+        """Per-round flight records joined lazily from spans + events.
+
+        Nothing is assembled while the simulation runs — producers only
+        pay the round-id tagging; the join happens here, at query or
+        export time.
+        """
+        from repro.telemetry.observatory.flightrecorder import (
+            build_flight_records,
+        )
+
+        return build_flight_records(self.traces.spans(), self.event_records())

@@ -1,0 +1,382 @@
+"""The flight recorder: per-round correlation of every telemetry signal.
+
+CloudMonatt's signals are produced by different layers — Fig. 3 spans
+by the tracer, attestation outcomes by the AS audit log, alarms by the
+policy scheduler, retries and breaker trips by the resilience layer —
+and before this module they shared no key. The flight recorder joins
+them: every attestation round is minted a ``round_id`` at its origin
+(:meth:`repro.telemetry.hub.Telemetry.mint_round_id`), the id rides
+the round's synchronous call graph via the tracer's round scope (and
+the ``"_round"`` wire key across entities), and this module folds the
+tagged spans and events back into one :class:`FlightRecord` per round:
+inputs, legs with timings, degraded-path annotations, appraisal
+evidence, the final verdict, and any alarms the round fired.
+
+Assembly is *lazy*: nothing is built while the simulation runs — the
+producers only pay the tagging — and the joins happen at export or
+query time, from either a live :class:`~repro.telemetry.observatory.
+core.Observatory` or a parsed JSONL artifact. All inputs are
+deterministic per seed, so same-seed runs yield byte-identical flight
+records.
+
+The narrative renderers at the bottom back ``repro explain``: they
+reconstruct a round's causal chain ("retry ×2 on the Q2 leg →
+re-handshake → degraded UNREACHABLE, breaker open since t=…") from the
+record alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.telemetry.tracer import SPAN_HANDSHAKE
+
+#: round-boundary event kinds the minting sites publish
+EVENT_ROUND_START = "round_start"
+EVENT_ROUND_END = "round_end"
+
+#: verdict vocabulary (matches the policy layer's alarm verdicts)
+VERDICT_HEALTHY = "HEALTHY"
+VERDICT_UNHEALTHY = "UNHEALTHY"
+VERDICT_UNREACHABLE = "UNREACHABLE"
+VERDICT_ERROR = "ERROR"
+VERDICT_UNKNOWN = "UNKNOWN"
+
+
+def outcome_verdict(report, degraded: bool) -> tuple[str, bool]:
+    """Collapse a property report + degraded flag into (verdict, degraded).
+
+    A controller-side degraded outcome arrives as a *signed* report
+    whose details carry ``verdict: UNREACHABLE`` (the customer's own
+    ``degraded`` flag stays False because the report verified) — both
+    shapes normalize to the same UNREACHABLE verdict here.
+    """
+    details = getattr(report, "details", None) or {}
+    if degraded or details.get("verdict") == VERDICT_UNREACHABLE:
+        return VERDICT_UNREACHABLE, True
+    return (VERDICT_HEALTHY if report.healthy else VERDICT_UNHEALTHY), False
+
+
+def _round_ids(fields: dict) -> tuple:
+    """Round ids a span's attrs or an event's fields are tagged with."""
+    rid = fields.get("round_id")
+    if rid:
+        return (rid,)
+    return tuple(fields.get("round_ids") or ())
+
+
+@dataclass
+class FlightRecord:
+    """Everything one attestation round did, joined across all signals."""
+
+    round_id: str
+    vid: str = ""
+    property: str = ""
+    source: str = "unknown"
+    start_ms: Optional[float] = None
+    end_ms: Optional[float] = None
+    verdict: str = VERDICT_UNKNOWN
+    degraded: bool = False
+    error: Optional[str] = None
+    #: spans tagged with this round, as leg dicts in start order;
+    #: ``shared`` marks batched legs serving several rounds at once
+    legs: list[dict] = field(default_factory=list)
+    #: observatory events tagged with this round, publication order
+    events: list[dict] = field(default_factory=list)
+    #: policy alarm transitions this round's verdict caused
+    alarms: list[dict] = field(default_factory=list)
+
+    def is_batched(self) -> bool:
+        """Whether any leg was shared with other rounds (batch paths).
+
+        A method, not a ``property``: the dataclass field named
+        ``property`` (the attested security property) shadows the
+        builtin inside this class body.
+        """
+        return any(leg.get("shared") for leg in self.legs)
+
+    def to_dict(self) -> dict:
+        """JSON-encodable form (the ``flight_record`` JSONL line)."""
+        record = {
+            "round_id": self.round_id,
+            "vid": self.vid,
+            "property": self.property,
+            "source": self.source,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "verdict": self.verdict,
+            "degraded": self.degraded,
+            "batched": self.is_batched(),
+            "legs": self.legs,
+            "events": self.events,
+            "alarms": self.alarms,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+def build_flight_records(
+    span_records: Iterable[dict], event_records: Iterable[dict]
+) -> list[FlightRecord]:
+    """Join tagged span and event records into per-round flight records.
+
+    ``span_records`` are exporter-form span dicts; ``event_records``
+    are observatory event dicts (``kind`` / ``time_ms`` / ``fields``).
+    Records come back sorted by round id — mint order, since ids are
+    zero-padded sequence numbers.
+    """
+    records: dict[str, FlightRecord] = {}
+
+    def ensure(rid: str) -> FlightRecord:
+        record = records.get(rid)
+        if record is None:
+            record = records[rid] = FlightRecord(round_id=rid)
+        return record
+
+    for event in event_records:
+        kind = event.get("kind", "")
+        time_ms = event.get("time_ms", 0.0)
+        fields = event.get("fields", {})
+        if kind == EVENT_ROUND_START:
+            record = ensure(fields["round_id"])
+            record.start_ms = time_ms
+            record.vid = str(fields.get("vid", ""))
+            record.property = str(fields.get("property", ""))
+            record.source = str(fields.get("source", "unknown"))
+            continue
+        if kind == EVENT_ROUND_END:
+            record = ensure(fields["round_id"])
+            record.end_ms = time_ms
+            record.verdict = str(fields.get("verdict", VERDICT_UNKNOWN))
+            record.degraded = bool(fields.get("degraded", False))
+            if fields.get("error"):
+                record.error = str(fields["error"])
+            continue
+        for rid in _round_ids(fields):
+            record = ensure(rid)
+            entry = {
+                "kind": kind,
+                "time_ms": time_ms,
+                "fields": {k: fields[k] for k in sorted(fields)},
+            }
+            record.events.append(entry)
+            if kind == "policy_alarm":
+                record.alarms.append(entry["fields"])
+
+    for span in span_records:
+        attrs = span.get("attrs", {})
+        rids = _round_ids(attrs)
+        if not rids:
+            continue
+        leg = {
+            "name": span.get("name", ""),
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+            "start_ms": span.get("start_ms"),
+            "end_ms": span.get("end_ms"),
+            "duration_ms": (
+                0.0
+                if span.get("end_ms") is None
+                else span["end_ms"] - span["start_ms"]
+            ),
+            "shared": len(rids) > 1,
+            "attrs": {k: attrs[k] for k in sorted(attrs)},
+        }
+        for rid in rids:
+            ensure(rid).legs.append(leg)
+
+    for record in records.values():
+        record.legs.sort(key=lambda leg: (leg["start_ms"], leg["span_id"]))
+    return [records[rid] for rid in sorted(records)]
+
+
+def flight_records_from_trace(records: Iterable[dict]) -> list[dict]:
+    """Flight records (dict form) from parsed JSONL trace records.
+
+    Prefers the exporter's precomputed ``flight_record`` lines; traces
+    written before the flight recorder existed (or filtered exports)
+    fall back to rebuilding from their span and event lines, so
+    ``repro explain`` works on old artifacts too.
+    """
+    flights = []
+    spans = []
+    events = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "flight_record":
+            flight = dict(record)
+            flight.pop("type", None)
+            flights.append(flight)
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "event":
+            events.append(record)
+    if flights:
+        return flights
+    return [record.to_dict() for record in build_flight_records(spans, events)]
+
+
+# ----------------------------------------------------------------------
+# narrative rendering (the `repro explain` engine)
+# ----------------------------------------------------------------------
+
+
+def _chain_items(record: dict) -> list[tuple[float, str]]:
+    """(time, text) causal-chain steps from a flight record's signals."""
+    items: list[tuple[float, str]] = []
+    for event in record.get("events", []):
+        kind = event.get("kind", "")
+        fields = event.get("fields", {})
+        time_ms = event.get("time_ms", 0.0)
+        if kind == "retry":
+            text = (
+                f"retry #{fields.get('attempt')} at {fields.get('site')} "
+                f"after {fields.get('error')} "
+                f"(backoff {float(fields.get('backoff_ms', 0.0)):.0f} ms)"
+            )
+        elif kind == "retry_giveup":
+            text = (
+                f"retries exhausted at {fields.get('site')} after "
+                f"{fields.get('attempts')} attempts ({fields.get('error')})"
+            )
+        elif kind == "breaker_state":
+            text = (
+                f"circuit breaker {fields.get('endpoint')}: "
+                f"{fields.get('previous')} -> {fields.get('state')}"
+            )
+        elif kind == "unreachable":
+            text = (
+                f"endpoint {fields.get('endpoint')} unreachable: "
+                f"{fields.get('detail', '')}"
+            )
+        elif kind == "verification_failure":
+            text = (
+                f"report failed verification ({fields.get('kind')}): "
+                f"{fields.get('detail', '')}"
+            )
+        elif kind == "degraded_attestation":
+            reason = fields.get("error") or fields.get("breaker_state") or ""
+            text = "degraded verdict UNREACHABLE"
+            if reason:
+                text += f" ({reason})"
+            if fields.get("detail"):
+                text += f": {fields['detail']}"
+        elif kind == "collection_failure":
+            text = f"measurement collection failed: {fields.get('error', '')}"
+        elif kind == "attestation":
+            health = "healthy" if fields.get("healthy") else "unhealthy"
+            text = f"appraisal verdict {health}"
+            if fields.get("explanation"):
+                text += f" — {fields['explanation']}"
+        elif kind == "response":
+            text = f"remediation response: {fields.get('action', '')}"
+        elif kind == "policy_alarm":
+            text = (
+                f"alarm {fields.get('policy')}/{fields.get('check')}: "
+                f"{fields.get('old_state')} -> {fields.get('new_state')} "
+                f"(verdict {fields.get('verdict')})"
+            )
+        else:
+            continue
+        items.append((time_ms, text))
+    for leg in record.get("legs", []):
+        attrs = leg.get("attrs", {})
+        if leg.get("name") == SPAN_HANDSHAKE and attrs.get("rehandshake"):
+            items.append((
+                leg.get("start_ms", 0.0),
+                f"re-handshake {attrs.get('initiator')} -> {attrs.get('peer')}",
+            ))
+    items.sort(key=lambda item: item[0])
+    return items
+
+
+def _open_breaker_since(record: dict) -> Optional[float]:
+    """When the last breaker transition left the circuit open, its time."""
+    since = None
+    for event in record.get("events", []):
+        if event.get("kind") != "breaker_state":
+            continue
+        if event.get("fields", {}).get("state") == "open":
+            since = event.get("time_ms", 0.0)
+        else:
+            since = None
+    return since
+
+
+def render_round_summary(record: dict) -> str:
+    """One summary line per round (the `repro explain` list mode)."""
+    start = record.get("start_ms")
+    end = record.get("end_ms")
+    window = (
+        f"t={start:.1f}..{end:.1f} ms"
+        if start is not None and end is not None
+        else "t=?"
+    )
+    verdict = record.get("verdict", VERDICT_UNKNOWN)
+    if record.get("degraded"):
+        verdict += " (degraded)"
+    flags = " [batched]" if record.get("batched") else ""
+    return (
+        f"{record.get('round_id')}  {record.get('vid')}  "
+        f"{record.get('property')}  source={record.get('source')}  "
+        f"verdict={verdict}{flags}  {window}  "
+        f"legs={len(record.get('legs', []))} "
+        f"events={len(record.get('events', []))}"
+    )
+
+
+def render_flight_record(record: dict) -> str:
+    """The full causal narrative of one round, human-readable."""
+    lines = [f"=== flight record {record.get('round_id')} ==="]
+    lines.append(
+        f"vid {record.get('vid')}  property {record.get('property')}  "
+        f"source {record.get('source')}"
+    )
+    start = record.get("start_ms")
+    end = record.get("end_ms")
+    if start is not None and end is not None:
+        lines.append(
+            f"window: t={start:.1f} .. {end:.1f} ms ({end - start:.1f} ms)"
+        )
+    elif start is not None:
+        lines.append(f"window: t={start:.1f} ms .. (round never completed)")
+    verdict = f"verdict: {record.get('verdict', VERDICT_UNKNOWN)}"
+    if record.get("degraded"):
+        verdict += " (degraded)"
+    if record.get("error"):
+        verdict += f" [{record['error']}]"
+    since = _open_breaker_since(record)
+    if since is not None:
+        verdict += f", breaker open since t={since:.1f} ms"
+    lines.append(verdict)
+    legs = record.get("legs", [])
+    if legs:
+        lines.append("legs:")
+        name_width = max(len(leg.get("name", "")) for leg in legs)
+        for leg in legs:
+            note = "  [shared]" if leg.get("shared") else ""
+            error = leg.get("attrs", {}).get("error")
+            if error:
+                note += f"  [error {error}]"
+            lines.append(
+                f"  {leg.get('name', '').ljust(name_width)}  "
+                f"t={leg.get('start_ms', 0.0):9.1f}  "
+                f"+{leg.get('duration_ms', 0.0):8.1f} ms{note}"
+            )
+    chain = _chain_items(record)
+    if chain:
+        lines.append("causal chain:")
+        for time_ms, text in chain:
+            lines.append(f"  t={time_ms:9.1f}  {text}")
+    alarms = record.get("alarms", [])
+    if alarms:
+        lines.append("alarms fired:")
+        for alarm in alarms:
+            lines.append(
+                f"  {alarm.get('policy')}/{alarm.get('check')} on "
+                f"{alarm.get('vid')}: {alarm.get('old_state')} -> "
+                f"{alarm.get('new_state')} (verdict {alarm.get('verdict')})"
+            )
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.telemetry.metrics import nearest_rank
 from repro.telemetry.tracer import SPAN_Q1
 
 #: span names treated as attestation-round roots for waterfall selection
@@ -115,8 +116,7 @@ class TraceStore:
             return {}
         result = {}
         for q in qs:
-            rank = min(int(q * len(durations)), len(durations) - 1)
-            result[f"p{int(q * 100)}"] = durations[rank]
+            result[f"p{int(q * 100)}"] = nearest_rank(durations, q)
         result["max"] = durations[-1]
         result["count"] = len(durations)
         return result

@@ -25,6 +25,17 @@ each request embeds :func:`Tracer.context` under the reserved
 simulation both mechanisms agree; the explicit propagation is what
 keeps the trace connected if entities ever run with separate tracers.
 
+On top of span nesting the tracer keeps a **round stack**: when an
+attestation round is minted (flight recorder), its ``round_id`` is
+pushed via :meth:`Tracer.round_scope` for the duration of the round's
+synchronous call graph, and every span opened inside the scope — and
+every observatory event published inside it — is tagged with the id.
+Batch legs serve several rounds at once, so a scope holds a *tuple* of
+ids and shared legs are tagged ``round_ids`` instead of ``round_id``.
+Round context also rides inside :meth:`context` (``"rounds"``), so the
+tagging survives entities with separate tracers the same way parent
+attribution does.
+
 Span ids are sequence numbers and times come from the injected clock
 (the discrete-event engine), so traces are reproducible per seed.
 """
@@ -36,6 +47,11 @@ from typing import Callable, Optional
 
 #: Reserved message-body key carrying span context between entities.
 KEY_TRACE = "_trace"
+
+#: Reserved message-body key carrying the originating round id, so a
+#: receiver can adopt the sender's flight-recorder round (KEY_TRACE's
+#: sibling: KEY_TRACE joins spans, KEY_ROUND joins rounds).
+KEY_ROUND = "_round"
 
 # span taxonomy: the Fig. 3 protocol legs
 SPAN_Q1 = "protocol.q1.customer_controller"
@@ -119,6 +135,47 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _RoundScope:
+    """Context manager pushing one tuple of round ids onto the tracer."""
+
+    __slots__ = ("_tracer", "_rounds")
+
+    def __init__(self, tracer: "Tracer", rounds: tuple):
+        self._tracer = tracer
+        self._rounds = rounds
+
+    def __enter__(self) -> tuple:
+        self._tracer._round_stack.append(self._rounds)
+        return self._rounds
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._round_stack.pop()
+
+
+class _RoundIsolation:
+    """Stashes the round stack while the engine runs unrelated work.
+
+    Backoff waits (``engine.run_until``) fire whatever callbacks are
+    due — policy ticks, pipeline drains — *inside* the waiting round's
+    Python stack. Without isolation those unrelated spans and events
+    would inherit the waiter's round id.
+    """
+
+    __slots__ = ("_tracer", "_stash")
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+        self._stash: list = []
+
+    def __enter__(self) -> None:
+        self._stash = self._tracer._round_stack
+        self._tracer._round_stack = []
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._round_stack = self._stash
+
+
 class Tracer:
     """Creates, nests, and collects spans.
 
@@ -133,6 +190,10 @@ class Tracer:
         self.enabled = enabled
         self._next_id = 1
         self._stack: list[Span] = []
+        #: active round scopes (flight recorder); each entry is a tuple
+        #: of round ids — singleton for a plain round, several for a
+        #: batch leg serving many rounds at once
+        self._round_stack: list[tuple] = []
         #: finished spans, in completion order
         self.finished: list[Span] = []
         #: called with each span as it finishes (the observatory's
@@ -160,16 +221,50 @@ class Tracer:
             parent_id = self._stack[-1].span_id
         else:
             parent_id = None
+        span_attrs = dict(attrs)
+        if self._round_stack:
+            rounds = self._round_stack[-1]
+        elif remote_parent is not None:
+            rounds = tuple(remote_parent.get("rounds") or ())
+        else:
+            rounds = ()
+        if rounds and "round_id" not in span_attrs and "round_ids" not in span_attrs:
+            if len(rounds) == 1:
+                span_attrs["round_id"] = rounds[0]
+            else:
+                span_attrs["round_ids"] = list(rounds)
         span = Span(
             span_id=self._next_id,
             name=name,
             start_ms=self._clock(),
             parent_id=parent_id,
-            attrs=dict(attrs),
+            attrs=span_attrs,
         )
         self._next_id += 1
         self._stack.append(span)
         return _ActiveSpan(self, span)
+
+    def round_scope(self, *round_ids: Optional[str]):
+        """Tag everything inside the scope with the given round ids.
+
+        ``None`` entries are dropped (a disabled hub mints ``None``), and
+        an effectively-empty scope returns the shared no-op manager, so
+        un-tracked paths pay a tuple build and nothing else.
+        """
+        rounds = tuple(rid for rid in round_ids if rid)
+        if not self.enabled or not rounds:
+            return _NULL_SPAN
+        return _RoundScope(self, rounds)
+
+    def isolate_rounds(self):
+        """Suspend all round scopes while unrelated engine work runs."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _RoundIsolation(self)
+
+    def current_rounds(self) -> tuple:
+        """Round ids of the innermost active scope (empty when none)."""
+        return self._round_stack[-1] if self._round_stack else ()
 
     def _finish(self, span: Span) -> None:
         span.end_ms = self._clock()
@@ -187,7 +282,10 @@ class Tracer:
         """Span context to embed into an outgoing protocol message."""
         if not self.enabled or not self._stack:
             return None
-        return {"span": self._stack[-1].span_id}
+        ctx: dict = {"span": self._stack[-1].span_id}
+        if self._round_stack:
+            ctx["rounds"] = list(self._round_stack[-1])
+        return ctx
 
     def spans_named(self, name: str) -> list[Span]:
         """Finished spans with the given taxonomy name."""

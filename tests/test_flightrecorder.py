@@ -1,0 +1,378 @@
+"""The attestation flight recorder, end to end.
+
+The promises pinned here: every attestation round — on-demand,
+fleet-batched, policy-scheduled — is minted one ``round_id`` that tags
+all of its spans and events; the lazy join reconstructs the round's
+full causal chain (retries, re-handshakes, breaker trips, degraded
+verdicts, policy alarm transitions) from either a live observatory or
+a parsed JSONL artifact; same-seed runs export byte-identical
+``flight_record`` lines; and the shared nearest-rank quantile helper
+answers its edge cases the same way for histograms and the trace store.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.cli import main
+from repro.common.errors import ConfigurationError
+from repro.network.faults import FaultInjector, FaultSpec
+from repro.telemetry import (
+    SPAN_APPRAISAL,
+    SPAN_Q1,
+    SPAN_Q2,
+    SPAN_Q3,
+    export_jsonl_lines,
+    flight_records_from_records,
+    nearest_rank,
+    read_jsonl,
+)
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.observatory import (
+    TraceStore,
+    render_flight_record,
+    render_round_summary,
+)
+from repro.guest import HiddenServiceMalware
+
+KEY_BITS = 512
+SEED = 91
+RUNTIME = SecurityProperty.RUNTIME_INTEGRITY
+
+
+def _build_cloud(num_vms: int = 1, **cloud_kwargs):
+    cloud = CloudMonatt(
+        num_servers=2,
+        num_pcpus=num_vms + 2,
+        seed=SEED,
+        key_bits=KEY_BITS,
+        telemetry_enabled=True,
+        **cloud_kwargs,
+    )
+    customer = cloud.register_customer("alice")
+    vids = [
+        customer.launch_vm(
+            "small", "ubuntu", properties=[RUNTIME],
+            workload={"name": "idle"},
+        ).vid
+        for _ in range(num_vms)
+    ]
+    return cloud, customer, vids
+
+
+def _inject(cloud, leg: str, spec: FaultSpec) -> None:
+    cloud.network.install_fault_injector(
+        FaultInjector(cloud.rng.child("test-faults"), {leg: spec})
+    )
+
+
+def _flights(cloud) -> list[dict]:
+    return [record.to_dict()
+            for record in cloud.telemetry.observatory.flight_records()]
+
+
+def _flight_lines(cloud) -> list[str]:
+    return [line for line in export_jsonl_lines(cloud.telemetry)
+            if '"type":"flight_record"' in line]
+
+
+# ----------------------------------------------------------------------
+# round correlation: on-demand, fault-injected, batched, scheduled
+# ----------------------------------------------------------------------
+
+
+class TestRoundCorrelation:
+    def test_on_demand_round_tags_every_leg(self):
+        cloud, customer, vids = _build_cloud()
+        customer.attest(vids[0], RUNTIME)
+        (flight,) = _flights(cloud)
+        assert flight["round_id"] == "r000001"
+        assert flight["vid"] == str(vids[0])
+        assert flight["property"] == "runtime_integrity"
+        assert flight["source"] == "on-demand"
+        assert flight["verdict"] == "HEALTHY"
+        assert not flight["degraded"]
+        assert not flight["batched"]
+        leg_names = {leg["name"] for leg in flight["legs"]}
+        assert {SPAN_Q1, SPAN_Q2, SPAN_Q3, SPAN_APPRAISAL} <= leg_names
+        assert flight["start_ms"] is not None
+        assert flight["end_ms"] is not None
+        assert flight["start_ms"] <= flight["end_ms"]
+        # the window brackets every leg of the round
+        for leg in flight["legs"]:
+            assert flight["start_ms"] <= leg["start_ms"]
+        kinds = {event["kind"] for event in flight["events"]}
+        assert "attestation" in kinds
+
+    def test_transient_fault_chain_is_reconstructed(self):
+        cloud, customer, vids = _build_cloud()
+        _inject(cloud, "controller_as", FaultSpec(drop=1.0, limit=1))
+        result = customer.attest(vids[0], RUNTIME)
+        assert result.report.healthy
+        (flight,) = _flights(cloud)
+        assert flight["verdict"] == "HEALTHY"
+        retries = [e for e in flight["events"] if e["kind"] == "retry"]
+        assert retries, "the injected drop must surface as a tagged retry"
+        assert retries[0]["fields"]["round_id"] == flight["round_id"]
+        rehandshakes = [leg for leg in flight["legs"]
+                       if leg["attrs"].get("rehandshake")]
+        assert rehandshakes, "the torn channel re-handshakes inside the round"
+        narrative = render_flight_record(flight)
+        assert "retry #1" in narrative
+        assert "re-handshake" in narrative
+        assert "verdict: HEALTHY" in narrative
+
+    def test_persistent_fault_degrades_with_full_chain(self):
+        cloud, customer, vids = _build_cloud()
+        _inject(cloud, "controller_as", FaultSpec(drop=1.0))
+        result = customer.attest(vids[0], RUNTIME)
+        assert result.report.details.get("verdict") == "UNREACHABLE"
+        (flight,) = _flights(cloud)
+        assert flight["verdict"] == "UNREACHABLE"
+        assert flight["degraded"]
+        kinds = [event["kind"] for event in flight["events"]]
+        assert "retry" in kinds
+        assert "retry_giveup" in kinds
+        narrative = render_flight_record(flight)
+        assert "retries exhausted" in narrative
+        assert "verdict: UNREACHABLE (degraded)" in narrative
+
+    def test_breaker_trip_lands_in_the_tripping_round(self):
+        cloud, customer, vids = _build_cloud(
+            breaker_failure_threshold=1, breaker_reset_after_ms=60_000.0
+        )
+        _inject(cloud, "controller_as", FaultSpec(drop=1.0))
+        customer.attest(vids[0], RUNTIME)
+        (flight,) = _flights(cloud)
+        trips = [e for e in flight["events"] if e["kind"] == "breaker_state"]
+        assert any(e["fields"]["state"] == "open" for e in trips)
+        assert "breaker open since t=" in render_flight_record(flight)
+
+    def test_fleet_rounds_share_batched_legs(self):
+        cloud, customer, vids = _build_cloud(num_vms=3)
+        results = customer.attest_fleet([(vid, RUNTIME) for vid in vids])
+        assert len(results) == 3
+        flights = _flights(cloud)
+        assert [f["round_id"] for f in flights] == \
+            sorted(f["round_id"] for f in flights)
+        assert len(flights) == 3
+        assert {f["vid"] for f in flights} == {str(v) for v in vids}
+        for flight in flights:
+            assert flight["source"] == "fleet"
+            assert flight["batched"], "the batch Q1 leg is shared"
+            assert flight["verdict"] == "HEALTHY"
+        shared = [leg for leg in flights[0]["legs"] if leg["shared"]]
+        assert shared, "at least the batched Q1 leg serves several rounds"
+
+    def test_policy_alarm_transition_carries_the_round_id(self):
+        cloud, customer, vids = _build_cloud()
+        customer.register_policy({
+            "name": "prod",
+            "version": 1,
+            "entities": [str(v) for v in vids],
+            "checks": [{
+                "name": "runtime", "property": "runtime_integrity",
+                "period_ms": 1000.0, "staleness_budget_ms": 5000.0,
+                "warning_after": 2, "critical_after": 4, "clear_after": 2,
+            }],
+        })
+        guest = cloud.server_of(vids[0]).hosted[vids[0]].guest
+        HiddenServiceMalware().infect(guest)
+        cloud.run_for(8_000)
+        alarmed = [f for f in _flights(cloud) if f["alarms"]]
+        assert alarmed, "the WARNING transition must land in a flight record"
+        flight = alarmed[0]
+        (alarm,) = flight["alarms"]
+        assert alarm["round_id"] == flight["round_id"]
+        assert (alarm["old_state"], alarm["new_state"]) == ("OK", "WARNING")
+        assert flight["verdict"] == "UNHEALTHY"
+        assert "alarms fired:" in render_flight_record(flight)
+
+
+# ----------------------------------------------------------------------
+# determinism and artifact round-trips
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _fault_run_lines(self) -> list[str]:
+        cloud, customer, vids = _build_cloud()
+        _inject(cloud, "controller_as", FaultSpec(drop=1.0, limit=1))
+        customer.attest(vids[0], RUNTIME)
+        return _flight_lines(cloud)
+
+    def test_same_seed_flight_records_are_byte_identical(self):
+        first = self._fault_run_lines()
+        second = self._fault_run_lines()
+        assert first, "the run must export flight_record lines"
+        assert first == second
+
+    def test_round_tracking_off_exports_no_flight_records(self):
+        cloud, customer, vids = _build_cloud(flight_recorder_enabled=False)
+        customer.attest(vids[0], RUNTIME)
+        assert _flight_lines(cloud) == []
+        assert cloud.telemetry.mint_round_id() is None
+
+    def test_artifact_prefers_precomputed_lines(self, tmp_path):
+        cloud, customer, vids = _build_cloud()
+        customer.attest(vids[0], RUNTIME)
+        path = tmp_path / "trace.jsonl"
+        from repro.telemetry import write_jsonl
+        write_jsonl(cloud.telemetry, str(path))
+        records = read_jsonl(str(path))
+        flights = flight_records_from_records(records)
+        assert flights == _flights(cloud)
+
+    def test_old_artifact_rebuilds_from_spans_and_events(self, tmp_path):
+        cloud, customer, vids = _build_cloud()
+        customer.attest(vids[0], RUNTIME)
+        records = [r for r in read_jsonl(_write(cloud, tmp_path))
+                   if r.get("type") != "flight_record"]
+        rebuilt = flight_records_from_records(records)
+        assert rebuilt == _flights(cloud)
+
+
+def _write(cloud, tmp_path) -> str:
+    from repro.telemetry import write_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(cloud.telemetry, str(path))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# the `repro explain` CLI
+# ----------------------------------------------------------------------
+
+
+class TestExplainCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        cloud, customer, vids = _build_cloud()
+        _inject(cloud, "controller_as", FaultSpec(drop=1.0, limit=1))
+        customer.attest(vids[0], RUNTIME)
+        customer.attest(vids[0], SecurityProperty.CPU_AVAILABILITY)
+        return _write(cloud, tmp_path), str(vids[0])
+
+    def test_lists_round_summaries(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["explain", path]) == 0
+        out = capsys.readouterr().out
+        assert "r000001" in out
+        assert "r000002" in out
+        assert "2 round(s)" in out
+
+    def test_single_round_narrative(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["explain", path, "--round", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "=== flight record r000001 ===" in out
+        assert "causal chain:" in out
+        assert "retry #1" in out
+
+    def test_vid_filter(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["explain", path, vid]) == 0
+        assert vid in capsys.readouterr().out
+        assert main(["explain", path, "vm-9999"]) == 2
+        assert "no flight records" in capsys.readouterr().err
+
+    def test_json_mode_round_trips(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["explain", path, "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        flights = [json.loads(line) for line in lines]
+        assert flights[0]["round_id"] == "r000001"
+        assert all(f["vid"] == vid for f in flights)
+
+    def test_round_out_of_range_exits_two(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["explain", path, "--round", "9"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_summary_rendering_is_one_line_per_round(self, trace_path):
+        path, vid = trace_path
+        for flight in flight_records_from_records(read_jsonl(path)):
+            summary = render_round_summary(flight)
+            assert "\n" not in summary
+            assert flight["round_id"] in summary
+
+
+class TestTraceJson:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        cloud, customer, vids = _build_cloud()
+        customer.attest(vids[0], RUNTIME)
+        return _write(cloud, tmp_path), str(vids[0])
+
+    def test_leg_table_json(self, trace_path, capsys):
+        path, _ = trace_path
+        assert main(["trace", path, "--json"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert SPAN_Q1 in table
+        assert set(table[SPAN_Q1]) == {"p50", "p90", "p99", "max", "count"}
+
+    def test_filter_json_is_one_span_per_line(self, trace_path, capsys):
+        path, vid = trace_path
+        assert main(["trace", path, "--vid", vid, "--json"]) == 0
+        spans = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert spans
+        assert all(s["attrs"]["vid"] == vid for s in spans)
+
+    def test_waterfall_json_is_the_span_tree(self, trace_path, capsys):
+        path, _ = trace_path
+        assert main(["trace", path, "--waterfall", "0", "--json"]) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree[0]["name"] == SPAN_Q1
+        assert tree[0]["depth"] == 0
+        assert any(node["depth"] > 0 for node in tree)
+
+
+# ----------------------------------------------------------------------
+# the shared nearest-rank quantile helper (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestNearestRank:
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            nearest_rank([], 0.5)
+
+    def test_single_observation_answers_every_quantile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert nearest_rank([7.0], q) == 7.0
+
+    def test_extremes_are_min_and_max(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(values, 0.0) == 1.0
+        assert nearest_rank(values, 1.0) == 4.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ConfigurationError, match=r"outside \[0, 1\]"):
+            nearest_rank([1.0], 1.5)
+
+    def test_histogram_and_tracestore_agree(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        histogram = Histogram("h", buckets=(10.0,))
+        store = TraceStore()
+        for i, value in enumerate(values):
+            histogram.observe(value)
+            store.add_record({"span_id": i, "parent_id": None,
+                              "name": "leg", "start_ms": 0.0,
+                              "end_ms": value, "attrs": {}})
+        stats = store.percentiles("leg", qs=(0.5, 0.9))
+        assert stats["p50"] == histogram.quantile(0.5)
+        assert stats["p90"] == histogram.quantile(0.9)
+        assert stats["count"] == 5
+
+    def test_tracestore_empty_leg_still_returns_empty_dict(self):
+        assert TraceStore().percentiles("leg") == {}
+
+    def test_histogram_empty_still_raises_named_error(self):
+        with pytest.raises(ConfigurationError, match="'h' has no observations"):
+            Histogram("h", buckets=(1.0,)).quantile(0.5)

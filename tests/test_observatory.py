@@ -485,6 +485,50 @@ class TestPrometheusExporter:
         assert "lat_sum 134" in text
         assert "lat_count 4" in text
 
+    def test_histogram_inf_bucket_counts_overflow_only_once(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(10.0,))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        text = to_prometheus_text(registry)
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 55" in text
+        assert "lat_count 2" in text
+
+    def test_histogram_fractional_sum_renders_as_float(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(10.0,)).observe(0.5)
+        assert "lat_sum 0.5" in to_prometheus_text(registry)
+
+    def test_labeled_histogram_series_render_sorted_and_separate(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(10.0, 20.0))
+        histogram.observe(5.0, leg="q2")
+        histogram.observe(15.0, leg="q2")
+        histogram.observe(30.0, leg="q1")
+        text = to_prometheus_text(registry)
+        lines = text.splitlines()
+        # one bucket ladder + _sum + _count per label set, q1 before q2
+        # (the registry's sorted-label ordering)
+        q1 = [line for line in lines if 'leg="q1"' in line]
+        q2 = [line for line in lines if 'leg="q2"' in line]
+        assert lines.index(q1[0]) < lines.index(q2[0])
+        assert q1 == [
+            'lat_bucket{leg="q1",le="10"} 0',
+            'lat_bucket{leg="q1",le="20"} 0',
+            'lat_bucket{leg="q1",le="+Inf"} 1',
+            'lat_sum{leg="q1"} 30',
+            'lat_count{leg="q1"} 1',
+        ]
+        assert q2 == [
+            'lat_bucket{leg="q2",le="10"} 1',
+            'lat_bucket{leg="q2",le="20"} 2',
+            'lat_bucket{leg="q2",le="+Inf"} 2',
+            'lat_sum{leg="q2"} 20',
+            'lat_count{leg="q2"} 2',
+        ]
+
     def test_label_values_are_escaped(self):
         registry = MetricsRegistry()
         registry.counter("c").inc(detail='say "hi"\nback\\slash')

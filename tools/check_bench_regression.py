@@ -11,7 +11,12 @@ Fails (exit 1) if any fresh number drops more than ``--max-drop``
 - ``BENCH_fleet_pipeline.json`` — fleet pipeline throughput
   (``fleet.rounds_per_sec``), re-run at the baseline's fleet size and
   key size (rounds/sec depends on fleet size, so ``--quick`` must not
-  shrink the fleet).
+  shrink the fleet);
+- ``BENCH_flightrecorder_overhead.json`` — flight-recorded attestation
+  throughput (``recorded.rounds_per_sec``), re-run at the baseline's
+  fleet size and wave count; the benchmark's own ``--max-overhead``
+  gate additionally fails the run if round tracking costs more than 2%
+  over the untracked path.
 
 Wall-clock numbers move with the host, so the committed artifacts are
 *floors*, not targets: CI only trips on a drop large enough to indicate
@@ -54,6 +59,16 @@ def _fleet_args(baseline: dict, quick: bool) -> list[str]:
     return extra
 
 
+def _flightrecorder_args(baseline: dict, quick: bool) -> list[str]:
+    # rounds/sec depends on the fleet size and on the on-demand/batched
+    # mix, so re-run at the baseline's exact profile even in --quick
+    extra = ["--vms", str(baseline["results"]["num_vms"]),
+             "--waves", str(baseline["results"]["waves"])]
+    if "key_bits" in baseline:
+        extra += ["--key-bits", str(baseline["key_bits"])]
+    return extra
+
+
 #: name -> (artifact, benchmark module, metric path, label, extra args)
 GUARDS = {
     "wallclock": {
@@ -69,6 +84,13 @@ GUARDS = {
         "metric": ("fleet", "rounds_per_sec"),
         "label": "fleet pipeline rounds/sec",
         "extra_args": _fleet_args,
+    },
+    "flightrecorder_overhead": {
+        "artifact": "BENCH_flightrecorder_overhead.json",
+        "module": "bench_flightrecorder_overhead",
+        "metric": ("recorded", "rounds_per_sec"),
+        "label": "flight-recorded rounds/sec",
+        "extra_args": _flightrecorder_args,
     },
 }
 
