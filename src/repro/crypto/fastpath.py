@@ -39,6 +39,24 @@ class FastPathConfig:
     #: itself always happens on the caller's thread, so determinism is
     #: unaffected by thread timing)
     key_pool_background: bool = False
+    #: pre-generate pooled keys on a multiprocess worker farm (fork
+    #: order still fixed on the caller's thread, results re-assembled in
+    #: fork order, so pool contents are byte-identical to serial); on a
+    #: single-core host the farm degrades to the serial path
+    keygen_farm: bool = False
+    #: farm size; 0 means one worker per available CPU
+    keygen_farm_workers: int = 0
+    #: raw modular exponentiation through the optional accelerated
+    #: backend (GMP via ctypes when loadable — see repro.crypto.accel);
+    #: bit-exact with ``pow`` by construction, so transcripts never move
+    accel_backend: bool = False
+    #: private-key ops via the pure-python Montgomery-form windowed walk
+    #: (per-key precomputed constants; reference implementation for the
+    #: bench sweep — CPython's C ``pow`` usually still wins)
+    modexp_montgomery: bool = False
+    #: private-key ops via plain fixed-window (k-ary) exponentiation
+    #: with per-key precomputed exponent digits
+    modexp_fixed_window: bool = False
     #: memoise *successful* signature verifications keyed by
     #: (modulus, exponent, message digest, signature)
     verify_memo: bool = True
@@ -99,6 +117,10 @@ def all_disabled(**extra: object):
         verify_memo=False,
         cache_symmetric_subkeys=False,
         cache_wire_encodings=False,
+        keygen_farm=False,
+        accel_backend=False,
+        modexp_montgomery=False,
+        modexp_fixed_window=False,
         **extra,
     )
 

@@ -1,0 +1,97 @@
+"""Multiprocess keygen farm: parallel keypair generation, serial bytes.
+
+Key-pool prefill is embarrassingly parallel *after* the DRBG forks have
+happened: each pooled session key is a pure function of its own forked
+DRBG state. The farm exploits exactly that split:
+
+1. The caller (always the pool's thread) forks the child DRBGs in
+   strictly increasing session order — the only state mutation that
+   matters for determinism, identical to the serial path.
+2. The snapshot of each child's state is shipped to a worker process,
+   which runs the same ``generate_keypair`` the serial path runs.
+3. Results are re-assembled **in fork order** (``Pool.map`` preserves
+   input order regardless of completion order), so the pool's contents
+   are byte-identical to serial generation; which worker computed which
+   key affects wall-clock only.
+
+The farm uses the ``fork`` start method (cheap, inherits the live
+``fastpath`` configuration so workers use the same modexp engine as the
+parent). Where ``fork`` is unavailable (non-POSIX) or a single worker
+is requested, :func:`generate_batch` degrades to the serial loop — same
+bytes, no processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Optional
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import KeyPair, RsaPrivateKey, RsaPublicKey
+from repro.crypto.rsa import generate_keypair
+
+
+def available() -> bool:
+    """Whether the multiprocess path can run on this host."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def resolve_workers(requested: int, jobs: int) -> int:
+    """Farm size for ``jobs`` keys: requested, else one per CPU."""
+    workers = requested if requested > 0 else (os.cpu_count() or 1)
+    return max(1, min(workers, jobs))
+
+
+def _generate_one(task: tuple[HmacDrbg, int]) -> tuple[int, int, int, int, int]:
+    """Worker body: run the serial keygen on one pre-forked DRBG.
+
+    Returns plain integers rather than the dataclasses so the parent
+    re-runs the eager per-key precompute itself — child-side ``__dict__``
+    caches never cross the process boundary.
+    """
+    drbg, bits = task
+    pair = generate_keypair(drbg, bits)
+    private = pair.private
+    return (private.n, pair.public.e, private.d, private.p, private.q)
+
+
+def _rebuild(raw: tuple[int, int, int, int, int]) -> KeyPair:
+    n, e, d, p, q = raw
+    return KeyPair(
+        public=RsaPublicKey(n=n, e=e),
+        private=RsaPrivateKey(n=n, d=d, p=p, q=q),
+    )
+
+
+def generate_batch(
+    drbgs: list[HmacDrbg], bits: int, workers: int = 0
+) -> list[KeyPair]:
+    """Generate one keypair per (already-forked) DRBG, farm-parallel.
+
+    ``drbgs[i]`` must be the exact stream the serial path would have
+    used for slot ``i``; the result list is index-aligned with it.
+    """
+    count = len(drbgs)
+    if count == 0:
+        return []
+    workers = resolve_workers(workers, count)
+    if workers <= 1 or not available():
+        return [generate_keypair(drbg, bits) for drbg in drbgs]
+    context = multiprocessing.get_context("fork")
+    tasks = [(drbg, bits) for drbg in drbgs]
+    # chunksize=1: keygen latency is heavy-tailed (candidate count is
+    # geometric), so fine-grained dispatch keeps the farm load-balanced
+    with context.Pool(processes=workers) as pool:
+        raw = pool.map(_generate_one, tasks, chunksize=1)
+    return [_rebuild(entry) for entry in raw]
+
+
+def farm_config() -> Optional[dict]:
+    """Introspection for benchmarks: resolved farm shape, or ``None``."""
+    if not available():
+        return None
+    return {"cpus": os.cpu_count() or 1, "start_method": "fork"}

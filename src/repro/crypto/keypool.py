@@ -21,6 +21,13 @@ key_pool_background=True)``) forks the child DRBGs synchronously and
 hands only the pure ``generate_keypair(child_drbg)`` computation to a
 worker thread; thread scheduling can reorder *when* keys materialise,
 never *which* keys they are.
+
+The optional keygen farm (``fastpath.configure(keygen_farm=True)``)
+parallelises prefill across worker *processes* under the same split:
+forks happen here, in order, on the caller's thread; the farm only runs
+the pure per-stream computation and hands results back in fork order
+(:mod:`repro.crypto.keygen_farm`), so pool contents stay byte-identical
+to serial generation.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import threading
 from collections import deque
 from typing import Deque, Optional
 
-from repro.crypto import fastpath
+from repro.crypto import fastpath, keygen_farm
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.keys import KeyPair
 from repro.crypto.rsa import generate_keypair
@@ -49,6 +56,11 @@ class _PendingKey:
 
     def compute(self) -> None:
         self.result = generate_keypair(self.drbg, self.bits)
+        self.ready.set()
+
+    def complete(self, keypair: KeyPair) -> None:
+        """Adopt a keypair computed elsewhere (the keygen farm)."""
+        self.result = keypair
         self.ready.set()
 
     def wait(self) -> KeyPair:
@@ -107,14 +119,33 @@ class KeyPool:
         """
         if count <= 0:
             return 0
-        background = fastpath.config().key_pool_background
-        for _ in range(count):
-            pending = _PendingKey(self._fork_next(), self._key_bits)
-            if background:
-                self._submit(pending)
-            else:
-                pending.compute()
-            self._pending.append(pending)
+        config = fastpath.config()
+        if config.keygen_farm and count > 1 and keygen_farm.available():
+            # fork every stream first (order is the determinism
+            # contract), then let the farm chew through the pure
+            # computations in parallel; results come back in fork order
+            pendings = [
+                _PendingKey(self._fork_next(), self._key_bits)
+                for _ in range(count)
+            ]
+            keypairs = keygen_farm.generate_batch(
+                [pending.drbg for pending in pendings],
+                self._key_bits,
+                config.keygen_farm_workers,
+            )
+            for pending, keypair in zip(pendings, keypairs):
+                pending.complete(keypair)
+                self._pending.append(pending)
+            fastpath.record("keypool.farm_prefill", count)
+        else:
+            background = config.key_pool_background
+            for _ in range(count):
+                pending = _PendingKey(self._fork_next(), self._key_bits)
+                if background:
+                    self._submit(pending)
+                else:
+                    pending.compute()
+                self._pending.append(pending)
         self.telemetry.counter("crypto.keypool.prefill").inc(count)
         fastpath.record("keypool.prefill", count)
         self._ever_prefilled = True

@@ -4,6 +4,18 @@ RSA keys are plain frozen dataclasses; what matters architecturally is who
 *holds* them (paper Fig. 3): each entity owns a long-term identity key
 pair, and the Trust Module mints a fresh attestation key pair {AVKs, ASKs}
 per attestation session so the cloud server stays anonymous to observers.
+
+**Eager precompute.** Everything a private key can hoist out of its hot
+path — the CRT constants, the Montgomery contexts for its moduli, the
+fixed-window digit decomposition of its exponents — is computed at
+construction time in ``__post_init__``, not lazily on first use. Two
+fresh keys therefore take the *same* code path on their very first
+operation (a plain ``__dict__`` hit, no one-time-setup branch), which
+keeps first-round pooled timings free of setup jitter; the regression
+test in ``tests/test_crypto_modexp.py`` pins this. The public key keeps
+its Montgomery context lazy on purpose: public ops use ``e = 65537``,
+where a windowed walk never pays, and public keys are reconstructed on
+every wire decode where an eager ``R² mod n`` would be pure overhead.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from functools import cached_property
 from typing import Optional
 
 from repro.crypto.hashing import sha256_hex
+from repro.crypto.modexp import ExponentWindows, MontgomeryContext
 
 
 @dataclass(frozen=True)
@@ -26,6 +39,16 @@ class RsaPublicKey:
     def bits(self) -> int:
         """Modulus size in bits."""
         return self.n.bit_length()
+
+    @cached_property
+    def mont(self) -> MontgomeryContext:
+        """Montgomery context for ``n`` (lazy — see module docstring)."""
+        return MontgomeryContext(self.n)
+
+    @cached_property
+    def windows(self) -> ExponentWindows:
+        """Fixed-window digits of ``e`` (lazy, for the bench sweep)."""
+        return ExponentWindows(self.e)
 
     def fingerprint(self) -> str:
         """Stable short identifier for logs, reports and certificates."""
@@ -54,6 +77,16 @@ class RsaPrivateKey:
     p: int = field(repr=False, default=0)
     q: int = field(repr=False, default=0)
 
+    def __post_init__(self):
+        # eager precompute (module docstring): touch every cached
+        # property the raw ops consult, so no op ever hits a lazy branch
+        if self.crt is not None:
+            self.mont_crt
+            self.windows_crt
+        else:
+            self.mont_n
+            self.windows_d
+
     @property
     def bits(self) -> int:
         """Modulus size in bits."""
@@ -64,9 +97,7 @@ class RsaPrivateKey:
         """CRT constants ``(dp, dq, q_inv)``, computed once per key.
 
         ``None`` when the prime factors are absent (imported keys); the
-        raw op then falls back to a full-width exponentiation. Cached
-        because every ``private_op`` call needs them and the two modular
-        reductions plus the inverse are a measurable slice of each sign.
+        raw op then falls back to a full-width exponentiation.
         """
         if not (self.p and self.q):
             return None
@@ -75,6 +106,31 @@ class RsaPrivateKey:
             self.d % (self.q - 1),
             pow(self.q, -1, self.p),
         )
+
+    @cached_property
+    def mont_crt(self) -> Optional[tuple[MontgomeryContext, MontgomeryContext]]:
+        """Montgomery contexts for ``p`` and ``q`` (CRT half-width ops)."""
+        if not (self.p and self.q):
+            return None
+        return (MontgomeryContext(self.p), MontgomeryContext(self.q))
+
+    @cached_property
+    def windows_crt(self) -> Optional[tuple[ExponentWindows, ExponentWindows]]:
+        """Fixed-window digits of ``dp`` and ``dq``."""
+        crt = self.crt
+        if crt is None:
+            return None
+        return (ExponentWindows(crt[0]), ExponentWindows(crt[1]))
+
+    @cached_property
+    def mont_n(self) -> MontgomeryContext:
+        """Montgomery context for ``n`` (factorless fallback path)."""
+        return MontgomeryContext(self.n)
+
+    @cached_property
+    def windows_d(self) -> ExponentWindows:
+        """Fixed-window digits of ``d`` (factorless fallback path)."""
+        return ExponentWindows(self.d)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,154 @@
+"""Modular-exponentiation variants for the RSA hot paths.
+
+The raw private op is the crypto floor of every attestation round, so
+this module implements the classic speed ladder explicitly rather than
+leaning on ``pow`` alone:
+
+- **Fixed-window (k-ary) exponentiation** — scan the exponent in
+  ``WINDOW_BITS``-bit digits, precomputing ``base^0 .. base^(2^k - 1)``
+  once per call; the *digit decomposition of the exponent* is fixed per
+  key, so :class:`ExponentWindows` is computed once at key construction
+  and reused for every sign.
+- **Montgomery-form exponentiation** — the same window walk performed in
+  the Montgomery domain, where each reduction is a multiply/shift/mask
+  instead of a division. :class:`MontgomeryContext` holds the per-modulus
+  constants (``n'``, ``R^2 mod n``) and is precomputed per key.
+
+Both variants compute exactly ``pow(base, exp, mod)`` — they exist so
+the benchmark sweep in ``benchmarks/bench_crypto_floor.py`` can compare
+the algorithmic ladder honestly against CPython's built-in (itself a
+C sliding-window) and against the GMP backend in
+:mod:`repro.crypto.accel`. None of them is constant-time; the whole
+repository is a deterministic simulation, not a production signer.
+
+Selection happens in :mod:`repro.crypto.rsa` via
+``fastpath.config()``: ``accel_backend`` > ``modexp_montgomery`` >
+``modexp_fixed_window`` > built-in ``pow``.
+"""
+
+from __future__ import annotations
+
+WINDOW_BITS = 5
+"""Window width for the k-ary walks. 5 bits ≈ optimal for 512–2048-bit
+exponents (32-entry table, one multiply per 5 squarings); fixed rather
+than configurable so per-key window tables can never go stale against a
+reconfigured width."""
+
+
+class ExponentWindows:
+    """A fixed exponent decomposed into most-significant-first k-bit digits.
+
+    RSA exponents (``d``, ``dp``, ``dq``) never change over a key's
+    lifetime, so the digit scan — ~200 shift/mask pairs for a 1024-bit
+    exponent — is hoisted out of every exponentiation and attached to
+    the key (see ``RsaPrivateKey.__post_init__``).
+    """
+
+    __slots__ = ("exponent", "digits")
+
+    def __init__(self, exponent: int, width: int = WINDOW_BITS):
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.exponent = exponent
+        digits = []
+        bits = exponent.bit_length()
+        # top digit may be narrower than ``width``; remaining are exact
+        top = bits % width or (width if bits else 0)
+        shift = bits - top
+        if bits:
+            digits.append(exponent >> shift)
+        mask = (1 << width) - 1
+        while shift > 0:
+            shift -= width
+            digits.append((exponent >> shift) & mask)
+        self.digits = tuple(digits)
+
+
+class MontgomeryContext:
+    """Per-modulus constants for Montgomery multiplication mod an odd ``n``.
+
+    With ``R = 2^shift`` (``shift = n.bit_length()``), a Montgomery
+    product ``mont_mul(a, b) = a·b·R⁻¹ mod n`` costs one wide multiply,
+    one masked multiply by ``n'`` and a shift — no trial division. The
+    two derived constants are ``n' = -n⁻¹ mod R`` and ``R² mod n`` (for
+    entering the domain).
+    """
+
+    __slots__ = ("n", "shift", "mask", "n_prime", "r2", "one")
+
+    def __init__(self, n: int):
+        if n <= 0 or n % 2 == 0:
+            raise ValueError("Montgomery form requires a positive odd modulus")
+        self.n = n
+        self.shift = n.bit_length()
+        r = 1 << self.shift
+        self.mask = r - 1
+        self.n_prime = (-pow(n, -1, r)) & self.mask
+        self.r2 = r * r % n
+        self.one = r % n  # 1 in the Montgomery domain
+
+    def mul(self, a: int, b: int) -> int:
+        """Montgomery product ``a·b·R⁻¹ mod n`` (REDC)."""
+        t = a * b
+        m = ((t & self.mask) * self.n_prime) & self.mask
+        u = (t + m * self.n) >> self.shift
+        return u - self.n if u >= self.n else u
+
+    def to_mont(self, a: int) -> int:
+        """Map ``a`` into the Montgomery domain (``a·R mod n``)."""
+        return self.mul(a, self.r2)
+
+    def from_mont(self, a: int) -> int:
+        """Map back out of the domain (``a·R⁻¹ mod n``)."""
+        m = ((a & self.mask) * self.n_prime) & self.mask
+        u = (a + m * self.n) >> self.shift
+        return u - self.n if u >= self.n else u
+
+    def powm(self, base: int, windows: ExponentWindows) -> int:
+        """``base ** windows.exponent mod n`` via a windowed Montgomery walk."""
+        digits = windows.digits
+        if not digits:
+            return 1 % self.n
+        mul = self.mul
+        # table[i] = base^i in the Montgomery domain
+        table = [self.one] * (1 << WINDOW_BITS)
+        table[1] = mb = self.to_mont(base % self.n)
+        for i in range(2, 1 << WINDOW_BITS):
+            table[i] = mul(table[i - 1], mb)
+        acc = table[digits[0]]
+        for digit in digits[1:]:
+            for _ in range(WINDOW_BITS):
+                acc = mul(acc, acc)
+            if digit:
+                acc = mul(acc, table[digit])
+        return self.from_mont(acc)
+
+
+def powmod_window(base: int, mod: int, windows: ExponentWindows) -> int:
+    """Fixed-window exponentiation in the plain domain (no Montgomery).
+
+    Identical walk to :meth:`MontgomeryContext.powm` but each step pays
+    a real ``% mod``; kept separate so the benchmark can attribute the
+    Montgomery saving precisely.
+    """
+    digits = windows.digits
+    if not digits:
+        return 1 % mod
+    base %= mod
+    table = [1] * (1 << WINDOW_BITS)
+    table[1] = base
+    for i in range(2, 1 << WINDOW_BITS):
+        table[i] = table[i - 1] * base % mod
+    acc = table[digits[0]]
+    for digit in digits[1:]:
+        for _ in range(WINDOW_BITS):
+            acc = acc * acc % mod
+        if digit:
+            acc = acc * table[digit] % mod
+    return acc
+
+
+def powmod_montgomery(base: int, ctx: MontgomeryContext,
+                      windows: ExponentWindows) -> int:
+    """Module-level convenience over :meth:`MontgomeryContext.powm`."""
+    return ctx.powm(base, windows)

@@ -3,10 +3,27 @@
 Implements Miller-Rabin probabilistic primality testing with a
 deterministic small-prime pre-sieve, driven by the :class:`HmacDrbg` so
 that key generation is reproducible under a seed.
+
+Performance notes (the crypto-floor PR):
+
+- The pre-sieve is a single ``gcd`` against the product of the small
+  primes instead of 46 separate trial divisions — mathematically the
+  same accept/reject set, so the DRBG draw sequence (and therefore
+  every generated key) is unchanged.
+- The Miller-Rabin exponentiations go through the accelerated backend
+  when ``fastpath.config().accel_backend`` is on (GMP, bit-exact with
+  ``pow``). Keygen is ~40 half-width modexps per key, so this is where
+  the key-generation floor actually moves.
+- Base selection stays DRBG-drawn and the round count stays fixed:
+  both are part of the determinism contract — skipping or reordering a
+  draw would shift the stream and change every subsequent key.
 """
 
 from __future__ import annotations
 
+import math
+
+from repro.crypto import accel, fastpath
 from repro.crypto.drbg import HmacDrbg
 
 _SMALL_PRIMES = [
@@ -14,6 +31,11 @@ _SMALL_PRIMES = [
     67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
     139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
 ]
+
+_SMALL_PRIME_SET = frozenset(_SMALL_PRIMES)
+
+#: product of the sieve primes: one gcd replaces 46 trial divisions
+_SMALL_PRIME_PRODUCT = math.prod(_SMALL_PRIMES)
 
 
 def is_probable_prime(n: int, drbg: HmacDrbg, rounds: int = 24) -> bool:
@@ -24,17 +46,24 @@ def is_probable_prime(n: int, drbg: HmacDrbg, rounds: int = 24) -> bool:
     """
     if n < 2:
         return False
-    for p in _SMALL_PRIMES:
-        if n == p:
-            return True
-        if n % p == 0:
-            return False
+    if n in _SMALL_PRIME_SET:
+        return True
+    if math.gcd(n, _SMALL_PRIME_PRODUCT) != 1:
+        return False
     # write n - 1 as d * 2^r with d odd
     d = n - 1
     r = 0
     while d % 2 == 0:
         d //= 2
         r += 1
+    if accel.AVAILABLE and fastpath.config().accel_backend:
+        # fused witness rounds: the whole x^d / squaring chain stays in
+        # GMP; base draws are identical, so the keys are too
+        for _ in range(rounds):
+            a = 2 + drbg.randint_below(n - 3)
+            if not accel.mr_witness_passes(a, d, n, r):
+                return False
+        return True
     for _ in range(rounds):
         a = 2 + drbg.randint_below(n - 3)
         x = pow(a, d, n)

@@ -14,13 +14,24 @@ Design notes:
 - Heap entries are plain ``(time, seq, event)`` tuples: every sift in
   push/pop compares entries, and tuple comparison (resolved on the
   float, then the unique int) is several times cheaper than a generated
-  dataclass ``__lt__``. The event payload rides along uncompared.
+  dataclass ``__lt__``. The event payload rides along uncompared
+  (``_Event`` is ``__slots__``-based, so its mutable flags are plain
+  slot loads).
+- The ``run``/``run_until`` loops are deliberately flat: the heap pop,
+  the queue, and the error class are bound to locals outside the loop,
+  ``run`` inlines :meth:`step` instead of paying a method call per
+  event, and the sequence counter is a plain int. At 10k-VM fleet scale
+  the engine pushes through hundreds of thousands of events per
+  simulated run, so per-event interpreter overhead is the ceiling
+  (``benchmarks/bench_crypto_floor.py`` tracks it).
+- Compaction rebuilds the queue **in place** (slice assignment), never
+  rebinding ``self._queue`` — the run loops hold a local alias to the
+  list, and a callback-triggered cancel may compact mid-run.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 from repro.common.errors import StateError
@@ -73,7 +84,7 @@ class Engine:
     def __init__(self):
         self._now = 0.0
         self._queue: list[tuple[float, int, _Event]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._running = False
         self._cancelled = 0
         #: total events executed over the engine's lifetime (telemetry)
@@ -100,7 +111,9 @@ class Engine:
         if delay < 0:
             raise StateError(f"cannot schedule into the past (delay={delay})")
         event = _Event(self._now + delay, callback, args)
-        heapq.heappush(self._queue, (event.time, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (event.time, seq, event))
         return EventHandle(event)
 
     def schedule_at(
@@ -121,15 +134,17 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the remainder."""
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries and re-heapify, in place (module notes)."""
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapify(queue)
         self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)[2]
+        queue = self._queue
+        while queue:
+            event = heappop(queue)[2]
             event.popped = True
             if event.cancelled:
                 self._cancelled -= 1
@@ -149,30 +164,43 @@ class Engine:
         Re-entrancy: an event callback may itself call ``run_until``
         (e.g. a periodic attestation firing network calls, each of which
         advances the clock). Inner calls may push ``now`` past the outer
-        horizon; the ``max`` guards keep time monotonic in that case.
+        horizon; the monotonic-time guards keep time consistent in that
+        case.
         """
         if end_time < self._now:
             raise StateError("run_until target is in the past")
-        while self._queue:
-            if self._queue[0][0] > end_time:
-                break
-            event = heapq.heappop(self._queue)[2]
+        queue = self._queue
+        pop = heappop
+        while queue and queue[0][0] <= end_time:
+            time_, _, event = pop(queue)
             event.popped = True
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self._now = max(self._now, event.time)
+            if time_ > self._now:
+                self._now = time_
             self.events_fired += 1
             event.callback(*event.args)
-        self._now = max(self._now, end_time)
+        if end_time > self._now:
+            self._now = end_time
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Run until the queue is empty; returns the event count executed.
 
         ``max_events`` guards against runaway self-rescheduling loops.
         """
+        queue = self._queue
+        pop = heappop
         executed = 0
-        while self.step():
+        while queue:
+            time_, _, event = pop(queue)
+            event.popped = True
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._now = time_
+            self.events_fired += 1
+            event.callback(*event.args)
             executed += 1
             if executed >= max_events:
                 raise StateError(f"exceeded {max_events} events; runaway loop?")

@@ -12,6 +12,8 @@ hash-chained audit log.
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
 from repro import CloudMonatt, SecurityProperty
@@ -30,15 +32,19 @@ KEY_BITS = 512
 SEED = 314
 
 
-def _run_attestation_round(fast_paths_on: bool):
+def _run_attestation_round(fast_paths_on: bool, extra_overrides=None):
     """Launch → attest → report under one fast-path configuration.
 
     Returns every observable artifact of the round: the raw wire
     transcript, the customer's verified response, and the audit log.
+    ``extra_overrides`` layers additional fast-path knobs (the modexp /
+    keygen matrix) on top of the enabled configuration.
     """
     if fast_paths_on:
         # exercise batching and an explicit prefill, not just pass-through
-        context = fastpath.overridden(key_pool_batch=4)
+        context = fastpath.overridden(
+            key_pool_batch=4, **(extra_overrides or {})
+        )
     else:
         context = fastpath.all_disabled()
     with context:
@@ -138,6 +144,76 @@ class TestFleetTranscriptEquivalence:
         assert optimized["wire"] == baseline["wire"]
         assert optimized["reports"] == baseline["reports"]
         assert optimized["audit_head"] == baseline["audit_head"]
+
+
+#: the crypto-floor knobs: every on/off combination must be
+#: transcript-transparent (ISSUE 8 satellite: the 2^4 matrix)
+MATRIX_KNOBS = (
+    "modexp_montgomery",
+    "modexp_fixed_window",
+    "keygen_farm",
+    "accel_backend",
+)
+
+_MATRIX_COMBOS = list(itertools.product((False, True), repeat=len(MATRIX_KNOBS)))
+
+
+def _combo_id(combo) -> str:
+    short = {"modexp_montgomery": "mont", "modexp_fixed_window": "win",
+             "keygen_farm": "farm", "accel_backend": "accel"}
+    on = [short[k] for k, v in zip(MATRIX_KNOBS, combo) if v]
+    return "+".join(on) or "none"
+
+
+class TestModexpMatrixEquivalence:
+    """Montgomery × fixed-window × keygen-farm × accel backend.
+
+    Each variant claims to compute the same integers as the ``pow``
+    baseline; here every one of the 16 combinations drives a complete
+    attestation round and must reproduce the disabled-path transcript
+    byte for byte, and fill a key pool with byte-identical keys.
+    """
+
+    _baseline = None
+    _pool_baseline = None
+
+    @classmethod
+    def _get_baseline(cls):
+        if cls._baseline is None:
+            cls._baseline = _run_attestation_round(fast_paths_on=False)
+        return cls._baseline
+
+    @classmethod
+    def _get_pool_baseline(cls):
+        if cls._pool_baseline is None:
+            disabled = {knob: False for knob in MATRIX_KNOBS}
+            with fastpath.overridden(key_pool=True, **disabled):
+                cls._pool_baseline = cls._pool_keys()
+        return cls._pool_baseline
+
+    @staticmethod
+    def _pool_keys():
+        pool = KeyPool(HmacDrbg(SEED, "matrix-pool"), KEY_BITS)
+        pool.prefill(4)
+        return [
+            (kp.private.n, kp.private.d, kp.private.p, kp.private.q)
+            for kp in (pool.take() for _ in range(4))
+        ]
+
+    @pytest.mark.parametrize("combo", _MATRIX_COMBOS, ids=_combo_id)
+    def test_transcripts_and_pool_identical(self, combo):
+        overrides = dict(zip(MATRIX_KNOBS, combo))
+        baseline = self._get_baseline()
+        result = _run_attestation_round(
+            fast_paths_on=True, extra_overrides=overrides
+        )
+        assert result["wire"] == baseline["wire"], overrides
+        assert result["response"] == baseline["response"], overrides
+        assert result["audit"] == baseline["audit"], overrides
+        assert result["audit_head"] == baseline["audit_head"], overrides
+        pool_baseline = self._get_pool_baseline()
+        with fastpath.overridden(key_pool=True, **overrides):
+            assert self._pool_keys() == pool_baseline, overrides
 
 
 class TestKeyPoolDeterminism:

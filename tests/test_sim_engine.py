@@ -212,3 +212,109 @@ class TestQueueAccounting:
         assert fired == [100 + i for i in range(20)]
         assert all(handle.cancelled for handle in victims)
         assert not any(handle.cancelled for handle in survivors)
+
+
+class TestFlattenedLoopEdgeCases:
+    """Edge cases for the flattened run loops and in-place compaction."""
+
+    def test_compact_during_run_keeps_loop_alias_valid(self):
+        # the run loop holds a local alias to the queue list; a callback
+        # that cancels enough events to trigger _compact must not strand
+        # the loop on a stale list object
+        engine = Engine()
+        fired = []
+        victims = [
+            engine.schedule(50.0 + i, fired.append, i) for i in range(128)
+        ]
+        survivors = [200.0 + i for i in range(4)]
+        for t in survivors:
+            engine.schedule(t, fired.append, t)
+
+        def mass_cancel():
+            for handle in victims:
+                engine.cancel(handle)
+            # compaction ran at least once mid-run (queues below 64
+            # entries intentionally skip it)
+            assert len(engine._queue) < len(victims)
+
+        engine.schedule(1.0, mass_cancel)
+        engine.run()
+        assert fired == survivors
+        assert engine.pending_count == 0
+
+    def test_compact_during_run_until_keeps_loop_alias_valid(self):
+        engine = Engine()
+        fired = []
+        victims = [
+            engine.schedule(50.0 + i, fired.append, i) for i in range(128)
+        ]
+        engine.schedule(1.0, lambda: [engine.cancel(h) for h in victims])
+        engine.schedule(300.0, fired.append, "late")
+        engine.run_until(200.0)
+        assert fired == []
+        assert engine.pending_count == 1
+        engine.run_until(300.0)
+        assert fired == ["late"]
+
+    def test_schedule_at_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, fired.append, "delay-first")
+        engine.schedule_at(5.0, fired.append, "absolute-second")
+        engine.schedule(5.0, fired.append, "delay-third")
+        engine.run()
+        assert fired == ["delay-first", "absolute-second", "delay-third"]
+
+    def test_run_max_events_exact_exhaustion(self):
+        # exactly max_events in the queue: the guard must not trip when
+        # the budget is spent on the final event
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i), fired.append, i)
+        with pytest.raises(StateError):
+            engine.run(max_events=10)
+        assert fired == list(range(10))
+
+        engine2 = Engine()
+        for i in range(9):
+            engine2.schedule(float(i), fired.append, i)
+        assert engine2.run(max_events=10) == 9
+
+    def test_pending_count_under_interleaved_cancel_and_fire(self):
+        engine = Engine()
+        observed = []
+        handles = {}
+
+        def fire_and_cancel(i):
+            # cancel the event two slots ahead, then record the count
+            target = handles.get(i + 2)
+            if target is not None:
+                engine.cancel(target)
+            observed.append(engine.pending_count)
+
+        for i in range(10):
+            handles[i] = engine.schedule(float(i), fire_and_cancel, i)
+        engine.run()
+        # events 0..9 scheduled; each firing cancels i+2, so events fire
+        # at i = 0, 1, 4, 5, 8, 9 and the count never goes negative
+        assert observed[-1] == 0
+        assert all(count >= 0 for count in observed)
+        fired_indices = [i for i in range(10) if i not in (2, 3, 6, 7)]
+        assert len(observed) == len(fired_indices)
+
+    def test_step_interleaved_with_cancel_keeps_accounting(self):
+        engine = Engine()
+        fired = []
+        handles = [engine.schedule(float(i), fired.append, i) for i in range(6)]
+        assert engine.step()
+        engine.cancel(handles[1])
+        engine.cancel(handles[2])
+        assert engine.pending_count == 3
+        assert engine.step()  # skips 1 and 2, fires 3
+        assert fired == [0, 3]
+        assert engine.pending_count == 2
+        while engine.step():
+            pass
+        assert fired == [0, 3, 4, 5]
+        assert engine.pending_count == 0

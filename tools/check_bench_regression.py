@@ -1,7 +1,7 @@
 """Guard the committed benchmark artifacts against silent regression.
 
 Re-runs each benchmark whose artifact is committed at the repo root and
-compares one headline metric per artifact against the committed value.
+compares its headline metric(s) against the committed values.
 Fails (exit 1) if any fresh number drops more than ``--max-drop``
 (default 20%) below its committed baseline:
 
@@ -16,7 +16,12 @@ Fails (exit 1) if any fresh number drops more than ``--max-drop``
   throughput (``recorded.rounds_per_sec``), re-run at the baseline's
   fleet size and wave count; the benchmark's own ``--max-overhead``
   gate additionally fails the run if round tracking costs more than 2%
-  over the untracked path.
+  over the untracked path;
+- ``BENCH_crypto_floor.json`` — three raw-speed floors at once:
+  accelerated sign ops/sec (``sign.accel``), farm prefill keys/sec
+  (``keygen.farm_auto``) and engine events/sec (``engine.events``);
+  ``--quick`` shrinks the sign/engine profiles but the bench keeps the
+  keygen profile at full size (keys/sec over too few keys is noise).
 
 Wall-clock numbers move with the host, so the committed artifacts are
 *floors*, not targets: CI only trips on a drop large enough to indicate
@@ -26,7 +31,7 @@ with a full benchmark run whenever its fast paths legitimately change.
 Usage::
 
     PYTHONPATH=src python tools/check_bench_regression.py [--quick]
-        [--max-drop 0.2] [--only wallclock|fleet_pipeline]
+        [--max-drop 0.2] [--only crypto_floor|wallclock|...]
 """
 
 from __future__ import annotations
@@ -69,28 +74,51 @@ def _flightrecorder_args(baseline: dict, quick: bool) -> list[str]:
     return extra
 
 
-#: name -> (artifact, benchmark module, metric path, label, extra args)
+def _crypto_floor_args(baseline: dict, quick: bool) -> list[str]:
+    extra = ["--quick"] if quick else []
+    if "key_bits" in baseline:
+        extra += ["--key-bits", str(baseline["key_bits"])]
+    return extra
+
+
+#: name -> (artifact, benchmark module, metric paths+labels, extra args).
+#: ``metrics`` is a list so one artifact can guard several floors.
 GUARDS = {
     "wallclock": {
         "artifact": "BENCH_wallclock.json",
         "module": "bench_wallclock",
-        "metric": ("attest_rounds_pooled", "ops_per_sec"),
-        "label": "pooled attestation ops/sec",
+        "metrics": [
+            (("attest_rounds_pooled", "ops_per_sec"),
+             "pooled attestation ops/sec"),
+        ],
         "extra_args": _wallclock_args,
     },
     "fleet_pipeline": {
         "artifact": "BENCH_fleet_pipeline.json",
         "module": "bench_fleet_pipeline",
-        "metric": ("fleet", "rounds_per_sec"),
-        "label": "fleet pipeline rounds/sec",
+        "metrics": [
+            (("fleet", "rounds_per_sec"), "fleet pipeline rounds/sec"),
+        ],
         "extra_args": _fleet_args,
     },
     "flightrecorder_overhead": {
         "artifact": "BENCH_flightrecorder_overhead.json",
         "module": "bench_flightrecorder_overhead",
-        "metric": ("recorded", "rounds_per_sec"),
-        "label": "flight-recorded rounds/sec",
+        "metrics": [
+            (("recorded", "rounds_per_sec"), "flight-recorded rounds/sec"),
+        ],
         "extra_args": _flightrecorder_args,
+    },
+    "crypto_floor": {
+        "artifact": "BENCH_crypto_floor.json",
+        "module": "bench_crypto_floor",
+        "metrics": [
+            (("sign", "accel", "ops_per_sec"), "accelerated sign ops/sec"),
+            (("keygen", "farm_auto", "keys_per_sec"),
+             "farm prefill keys/sec"),
+            (("engine", "events", "ops_per_sec"), "engine events/sec"),
+        ],
+        "extra_args": _crypto_floor_args,
     },
 }
 
@@ -102,10 +130,6 @@ def _check(name: str, guard: dict, args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     baseline = json.loads(baseline_path.read_text())
-    node = baseline["results"]
-    for key in guard["metric"]:
-        node = node[key]
-    committed = node
 
     # fresh numbers go to a scratch file: a quick-profile run must not
     # replace the committed full-run artifact it is compared against
@@ -118,24 +142,29 @@ def _check(name: str, guard: dict, args: argparse.Namespace) -> int:
     if status != 0:
         return status
 
-    fresh = json.loads(Path(out).read_text())["results"]
-    for key in guard["metric"]:
-        fresh = fresh[key]
-    floor = committed * (1.0 - args.max_drop)
-    verdict = "OK" if fresh >= floor else "FAIL"
-    print(
-        f"{verdict}: {guard['label']} {fresh:,.1f} vs committed "
-        f"{committed:,.1f} (floor {floor:,.1f} at -{args.max_drop:.0%})"
-    )
-    if fresh < floor:
+    fresh_results = json.loads(Path(out).read_text())["results"]
+    worst = 0
+    for path, label in guard["metrics"]:
+        committed = baseline["results"]
+        fresh = fresh_results
+        for key in path:
+            committed = committed[key]
+            fresh = fresh[key]
+        floor = committed * (1.0 - args.max_drop)
+        verdict = "OK" if fresh >= floor else "FAIL"
         print(
-            f"{guard['label']} regressed more than {args.max_drop:.0%} from "
-            f"the committed artifact — inspect the change or regenerate "
-            f"{guard['artifact']} with a full run if it is intentional",
-            file=sys.stderr,
+            f"{verdict}: {label} {fresh:,.1f} vs committed "
+            f"{committed:,.1f} (floor {floor:,.1f} at -{args.max_drop:.0%})"
         )
-        return 1
-    return 0
+        if fresh < floor:
+            print(
+                f"{label} regressed more than {args.max_drop:.0%} from "
+                f"the committed artifact — inspect the change or regenerate "
+                f"{guard['artifact']} with a full run if it is intentional",
+                file=sys.stderr,
+            )
+            worst = 1
+    return worst
 
 
 def main(argv: list[str] | None = None) -> int:
