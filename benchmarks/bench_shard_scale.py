@@ -1,0 +1,311 @@
+"""Wall-clock scaling benchmark for the sharded control plane.
+
+Sweeps fleet size x shard count and measures real wall-clock time for
+one ``attest_fleet`` pass over the whole fleet:
+
+- a **1-shard** plane is the single-controller baseline: one engine
+  pays every server's scheduler ticks and credit accounting across the
+  whole fleet's attestation window;
+- a **k-shard** plane splits the same total hardware into k independent
+  deployments, so each engine only advances its own slice — the
+  near-linear speedup this benchmark asserts.
+
+Every configuration at a given fleet size uses (as close as rounding
+allows) the *same total hardware*, launches the *same logical VMs*
+(the plane mints identical vid sequences), and the benchmark asserts
+the per-VM reports of every k-shard run are byte-identical to the
+1-shard run before it reports any speedup — a fast shard layout that
+changed appraisal results would be a bug, not a win.
+
+Fleet provisioning is untimed and uses a zero-cost launch window (the
+launch-stage CostModel operations are zeroed, VMs launch without
+startup properties, and each VM is registered with its shard's
+Attestation Server explicitly) so even the 4096-VM cells set up in
+seconds; the timed region is exactly the fleet attestation.
+
+Outputs ``BENCH_shard_scale.json`` and appends a table to
+``bench_tables.txt``. Exits non-zero if the speedup of the largest
+shard count over 1 shard at the largest fleet size falls below
+``--min-speedup`` (default 3x at the full 4096-VM / 8-shard sweep; the
+CI smoke job runs ``--quick`` with a lower gate at 256 VMs).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scale.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _tables import print_table  # noqa: E402
+
+from repro import SecurityProperty  # noqa: E402
+from repro.crypto.signatures import clear_verify_memo  # noqa: E402
+from repro.protocol import messages as msg  # noqa: E402
+from repro.shard import ShardPlane  # noqa: E402
+
+SEED = 7
+PROPERTY = SecurityProperty.RUNTIME_INTEGRITY
+
+#: small-flavor VMs one 4-pCPU/32GB server can host (memory-bound:
+#: 16 x 2048 MB; vCPU overcommit allows the same 16)
+VMS_PER_SERVER = 16
+#: extra per-shard capacity over the even split, absorbing ring skew
+HEADROOM = 1.35
+#: session keys pre-generated per secure server (a fleet call consumes
+#: only a couple of sessions per server; exhaustion falls back to
+#: on-demand keygen inside the timed region)
+PREWARM_SESSIONS = 8
+
+#: CostModel operations charged by the launch pipeline — zeroed during
+#: the untimed provisioning window, restored before the timed attest
+LAUNCH_OPS = (
+    "db_access",
+    "scheduling_base",
+    "scheduling_property_filter",
+    "networking",
+    "block_device_mapping",
+    "spawn_base",
+    "boot_per_flavor_vcpu",
+    "image_fetch_per_mb",
+    "tpm_extend",
+)
+
+
+def _servers_total(num_vms: int) -> int:
+    """Total servers a fleet needs, with skew headroom."""
+    return math.ceil(num_vms / VMS_PER_SERVER * HEADROOM)
+
+
+def _build_plane(num_vms: int, num_shards: int, key_bits: int):
+    """A fresh k-shard plane hosting ``num_vms`` attestable VMs.
+
+    Setup is untimed: launch-stage costs are zeroed so provisioning
+    advances (almost) no simulated time, VMs launch without startup
+    properties, and runtime-integrity interpretation references are
+    registered with each shard's AS explicitly.
+    """
+    per_shard = max(1, math.ceil(_servers_total(num_vms) / num_shards))
+    plane = ShardPlane(
+        num_shards=num_shards,
+        seed=SEED,
+        num_servers=per_shard,
+        num_pcpus=4,
+        key_bits=key_bits,
+        network_latency_ms=0.0,
+    )
+    customer = plane.register_customer("operator")
+
+    saved: dict[str, dict[str, float]] = {}
+    for name, shard in plane.shards.items():
+        saved[name] = {op: shard.cloud.cost.costs_ms[op] for op in LAUNCH_OPS}
+        for op in LAUNCH_OPS:
+            shard.cloud.cost.set_cost(op, 0.0)
+    vids = []
+    for _ in range(num_vms):
+        result = customer.launch_vm("small", "cirros", workload={"name": "idle"})
+        if not result.accepted:
+            raise RuntimeError(
+                f"launch rejected at VM {len(vids) + 1}/{num_vms} "
+                f"({num_shards} shards, {per_shard} servers each) — "
+                f"raise HEADROOM"
+            )
+        vids.append(result.vid)
+    for vid in vids:
+        controller = plane.shard_of(vid).cloud.controller
+        server = controller.database.vm(vid).server
+        controller.endpoint.call(
+            controller.database.server(server).attestation_server,
+            {
+                msg.KEY_TYPE: "register_vm",
+                msg.KEY_VID: str(vid),
+                "image_name": "cirros",
+            },
+        )
+    for name, shard in plane.shards.items():
+        for op, base_ms in saved[name].items():
+            shard.cloud.cost.set_cost(op, base_ms)
+
+    plane.prewarm_for_fleet(PREWARM_SESSIONS)
+    return plane, customer, vids, per_shard
+
+
+def bench_cell(num_vms: int, num_shards: int, key_bits: int) -> tuple[dict, list]:
+    """Time one full-fleet attestation on a fresh k-shard plane."""
+    clear_verify_memo()
+    plane, customer, vids, per_shard = _build_plane(
+        num_vms, num_shards, key_bits
+    )
+    # warm up channels/caches with one untimed round per shard
+    warmed = set()
+    for vid in vids:
+        shard_name = plane.placement[str(vid)]
+        if shard_name not in warmed:
+            warmed.add(shard_name)
+            customer.attest(vid, PROPERTY)
+    requests = [(vid, PROPERTY) for vid in vids]
+    start = time.perf_counter()
+    fleet = customer.attest_fleet(requests)
+    seconds = time.perf_counter() - start
+    reports = [r.report.to_dict() for r in fleet.results]
+    if not fleet.healthy:
+        raise AssertionError("fleet came back unhealthy — benchmark is void")
+    return {
+        "n": num_vms,
+        "shards": num_shards,
+        "servers_per_shard": per_shard,
+        "total_servers": per_shard * num_shards,
+        "seconds": round(seconds, 6),
+        "rounds_per_sec": round(num_vms / seconds, 3),
+        "cross_shard_root": fleet.root.hex()[:16] if fleet.root else None,
+    }, reports
+
+
+def run(args: argparse.Namespace) -> dict:
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    shard_counts = [int(s) for s in args.shards.split(",") if s]
+    cells: dict[str, dict[str, dict]] = {}
+    for num_vms in sizes:
+        row: dict[str, dict] = {}
+        baseline_reports: list | None = None
+        baseline_seconds: float | None = None
+        for num_shards in shard_counts:
+            cell, reports = bench_cell(num_vms, num_shards, args.key_bits)
+            if num_shards == min(shard_counts):
+                baseline_reports = reports
+                baseline_seconds = cell["seconds"]
+                cell["speedup_vs_base"] = 1.0
+            else:
+                if reports != baseline_reports:
+                    raise AssertionError(
+                        f"{num_shards}-shard reports diverge from the "
+                        f"{min(shard_counts)}-shard reports at "
+                        f"{num_vms} VMs — sharding changed appraisal "
+                        f"results, refusing to report a speedup"
+                    )
+                cell["speedup_vs_base"] = round(
+                    baseline_seconds / cell["seconds"], 2
+                )
+            row[f"s{num_shards}"] = cell
+            print(
+                f"  {num_vms} VMs x {num_shards} shard(s): "
+                f"{cell['seconds']:.2f}s "
+                f"({cell['rounds_per_sec']:,.1f} rounds/sec, "
+                f"{cell['speedup_vs_base']:.2f}x)",
+                flush=True,
+            )
+        cells[f"n{num_vms}"] = row
+    top_n, top_k = max(sizes), max(shard_counts)
+    headline = cells[f"n{top_n}"][f"s{top_k}"]["speedup_vs_base"]
+    return {
+        "sizes": sizes,
+        "shard_counts": shard_counts,
+        "cells": cells,
+        "headline": {
+            "num_vms": top_n,
+            "shards": top_k,
+            "speedup_vs_1shard": headline,
+        },
+        "reports_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="256-VM max sweep over 1/4 shards (CI smoke)")
+    parser.add_argument("--sizes", default="32,256,1024,4096",
+                        help="comma-separated fleet sizes (default "
+                             "32,256,1024,4096)")
+    parser.add_argument("--shards", default="1,2,4,8",
+                        help="comma-separated shard counts; the smallest "
+                             "is the speedup baseline (default 1,2,4,8)")
+    parser.add_argument("--key-bits", type=int, default=512,
+                        help="RSA modulus size (default 512, the sim "
+                             "default; scaling is key-size independent)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_shard_scale.json"),
+                        help="machine-readable output path")
+    parser.add_argument("--tables", default=str(REPO_ROOT / "bench_tables.txt"),
+                        help="append the human table here ('' to skip)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail if the largest-sweep speedup over the "
+                             "baseline shard count drops below this "
+                             "(0 disables)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.sizes = "32,256"
+        args.shards = "1,4"
+        if args.min_speedup == 3.0:
+            args.min_speedup = 1.2
+
+    results = run(args)
+    top = results["headline"]
+    title = (
+        f"Sharded control-plane scaling (max {top['num_vms']} VMs, "
+        f"{args.key_bits}-bit keys{', quick' if args.quick else ''})"
+    )
+    headers = ["VMs", "shards", "servers", "seconds", "rounds/sec",
+               "speedup"]
+    rows = []
+    for num_vms in results["sizes"]:
+        for num_shards in results["shard_counts"]:
+            cell = results["cells"][f"n{num_vms}"][f"s{num_shards}"]
+            rows.append([
+                num_vms, num_shards, cell["total_servers"],
+                f"{cell['seconds']:.3f}",
+                f"{cell['rounds_per_sec']:,.1f}",
+                f"{cell['speedup_vs_base']:.2f}x",
+            ])
+    print_table(title, headers, rows)
+    print(
+        f"headline: {top['shards']} shards vs 1 at {top['num_vms']} VMs = "
+        f"{top['speedup_vs_1shard']:.2f}x "
+        f"(reports byte-identical: {results['reports_identical']})"
+    )
+
+    payload = {
+        "benchmark": "shard_scale",
+        "seed": SEED,
+        "key_bits": args.key_bits,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.tables:
+        with open(args.tables, "a") as fh:
+            fh.write(f"\n=== {title} ===\n")
+            widths = [max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+                      for i in range(len(headers))]
+            fh.write("  ".join(str(h).ljust(w)
+                               for h, w in zip(headers, widths)) + "\n")
+            for row in rows:
+                fh.write("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)) + "\n")
+        print(f"appended table to {args.tables}")
+
+    if args.min_speedup and top["speedup_vs_1shard"] < args.min_speedup:
+        print(
+            f"FAIL: shard-scale speedup {top['speedup_vs_1shard']:.2f}x "
+            f"< required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

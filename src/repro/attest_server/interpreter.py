@@ -83,6 +83,10 @@ class OatInterpreter:
         if entitled_share is not None:
             self.availability.set_entitled_share(vid, entitled_share)
 
+    def registered_vms(self) -> int:
+        """How many VMs currently hold per-VM interpretation references."""
+        return self.runtime.registered_vms()
+
     # ------------------------------------------------------------------
     # interpretation
     # ------------------------------------------------------------------

@@ -55,8 +55,12 @@ class AttestationServer:
         key_bits: int = 1024,
         telemetry: Telemetry | None = None,
         retry_policy: "RetryPolicy | None" = None,
+        shard: str = "",
     ):
         self.name = name
+        #: which control-plane shard this AS serves (``""`` = unsharded);
+        #: surfaced by :meth:`describe` and the `repro shard status` CLI
+        self.shard = shard
         self.telemetry = telemetry or NULL_TELEMETRY
         self.endpoint = SecureEndpoint(
             name,
@@ -308,6 +312,19 @@ class AttestationServer:
             [record.time_ms for record in history],
             [record.metric for record in history],
         )
+
+    def describe(self) -> dict:
+        """Operator-facing identity card for this attestation server.
+
+        Used by ``repro shard status`` to render per-shard AS rows:
+        endpoint name, owning shard label, and how many VMs currently
+        hold registered interpretation references here.
+        """
+        return {
+            "name": self.name,
+            "shard": self.shard,
+            "registered_vms": self.interpreter.registered_vms(),
+        }
 
     def _handle_register_vm(self, body: dict) -> dict:
         """Install per-VM interpretation references at launch time.

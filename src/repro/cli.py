@@ -612,6 +612,48 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Run a sharded control-plane scenario and print its status."""
+    from repro.properties.catalog import SecurityProperty
+    from repro.shard import ShardPlane
+
+    prop = SecurityProperty.RUNTIME_INTEGRITY
+    plane = ShardPlane(
+        num_shards=args.shards,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        num_servers=args.servers,
+        num_pcpus=8,
+    )
+    plane.prewarm_for_fleet(args.vms // args.servers + 2)
+    customer = plane.register_customer("operator")
+    vids = [
+        customer.launch_vm("small", "cirros", properties=[prop]).vid
+        for _ in range(args.vms)
+    ]
+    fleet = customer.attest_fleet([(vid, prop) for vid in vids])
+    status = plane.status()
+    print(f"shard plane: {len(plane.shards)} shard(s), "
+          f"{status['vms']} VM(s), {plane.ring.vnodes} vnodes/shard "
+          f"(ring salt {status['ring']['salt']})")
+    print(f"  {'shard':12s} {'vms':>4s} {'rounds':>7s} {'registered':>11s} "
+          f"{'sim_ms':>9s}  batch root")
+    for name in sorted(status["shards"]):
+        row = status["shards"][name]
+        registered = sum(
+            entry["registered_vms"] for entry in row["attestation_servers"]
+        )
+        root = fleet.shard_roots.get(name)
+        print(f"  {name:12s} {row['vms']:4d} "
+              f"{fleet.by_shard.get(name, 0):7d} {registered:11d} "
+              f"{row['now_ms']:9.0f}  "
+              f"{root.hex()[:16] if root else '-'}")
+    healthy = sum(1 for r in fleet.results if r.report.healthy)
+    print(f"fleet: {healthy}/{len(fleet.results)} healthy, cross-shard root "
+          f"{fleet.root.hex() if fleet.root else '-'}")
+    return 0 if healthy == len(fleet.results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -754,6 +796,26 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--json", action="store_true",
                          help="print one JSON flight record per round")
     explain.set_defaults(func=cmd_explain)
+
+    shard = commands.add_parser(
+        "shard", help="sharded control plane (consistent-hash multi-"
+                      "controller deployments)")
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+    shard_status = shard_commands.add_parser(
+        "status", help="run a sharded fleet attestation and print the "
+                       "per-shard placement, evidence roots and clocks")
+    shard_status.add_argument("--shards", type=int, default=2,
+                              help="number of control-plane shards "
+                                   "(default 2)")
+    shard_status.add_argument("--vms", type=int, default=8,
+                              help="fleet size to launch and attest "
+                                   "(default 8)")
+    shard_status.add_argument("--vnodes", type=int, default=64,
+                              help="virtual nodes per shard on the ring "
+                                   "(default 64)")
+    shard_status.add_argument("--servers", type=int, default=2,
+                              help="cloud servers per shard (default 2)")
+    shard.set_defaults(func=cmd_shard)
     return parser
 
 

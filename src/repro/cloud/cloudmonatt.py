@@ -65,9 +65,15 @@ class CloudMonatt:
         fault_plan: Optional[dict[str, FaultSpec]] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_after_ms: float = 60_000.0,
+        shard_name: Optional[str] = None,
     ):
         if num_servers < 1:
             raise StateError("a cloud needs at least one server")
+        #: which control-plane shard this deployment is, or ``None`` for
+        #: the classic standalone cloud. Set by the shard plane
+        #: (repro.shard): labels the telemetry hub (shard tags on events
+        #: and flight records), the policy scheduler, and every AS.
+        self.shard_name = shard_name
         self.engine = Engine()
         self.rng = DeterministicRng(seed)
         self._drbg = HmacDrbg(seed, "cloudmonatt")
@@ -86,6 +92,8 @@ class CloudMonatt:
             )
         self.telemetry = telemetry
         self.telemetry.attach_engine(self.engine)
+        if shard_name is not None:
+            self.telemetry.set_shard(shard_name)
         #: consumer layer over the hub (alert engine, fleet scoreboard,
         #: trace store); on by default whenever telemetry is enabled,
         #: and attached before any entity exists so setup spans land in
@@ -141,6 +149,7 @@ class CloudMonatt:
                 key_bits=key_bits,
                 telemetry=self.telemetry,
                 retry_policy=retry_policy,
+                shard=shard_name or "",
             )
             for index in range(num_attestation_servers)
         ]
@@ -162,6 +171,7 @@ class CloudMonatt:
             retry_policy=retry_policy,
             breaker_failure_threshold=breaker_failure_threshold,
             breaker_reset_after_ms=breaker_reset_after_ms,
+            shard_name=shard_name,
         )
         self.topology = DataCenterTopology(rack_size=rack_size)
         self.controller.response.topology = self.topology

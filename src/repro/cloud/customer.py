@@ -51,6 +51,21 @@ class LaunchResult:
 
 
 @dataclass(frozen=True)
+class FleetAttestation:
+    """A verified fleet batch plus the signed Merkle root binding it.
+
+    ``batch_root`` is the controller-signed root over the per-entry Q1
+    leaves — the per-shard evidence the sharded control plane
+    (:mod:`repro.shard`) aggregates hierarchically into a cross-shard
+    fleet root. ``None`` only on the per-round fallback path, where no
+    shared batch (and hence no root) existed.
+    """
+
+    results: list["VerifiedAttestation"]
+    batch_root: Optional[bytes]
+
+
+@dataclass(frozen=True)
 class VerifiedAttestation:
     """An attestation report that passed the customer's own checks.
 
@@ -144,6 +159,7 @@ class Customer:
         entitled_share: Optional[float] = None,
         force_server: Optional[str] = None,
         dedicated: bool = False,
+        vid: Optional[VmId] = None,
     ) -> LaunchResult:
         """Request a VM with the given resources and security properties.
 
@@ -151,22 +167,25 @@ class Customer:
         shares a server with other customers (a defense against the
         co-residence attacks the paper cites). ``force_server`` is an
         operator placement hint used by the experiment harnesses to
-        co-locate VMs deliberately.
+        co-locate VMs deliberately. ``vid`` pre-assigns the VM's
+        identifier — the sharded control plane mints globally unique
+        vids before consistent-hash placement decides which controller
+        runs the launch; the controller rejects duplicates.
         """
-        response = self.endpoint.call(
-            self._controller,
-            {
-                msg.KEY_TYPE: msg.MSG_LAUNCH,
-                "flavor_name": flavor_name,
-                "image_name": image_name,
-                "properties": [p.value for p in (properties or [])],
-                "workload": workload or {"name": "idle"},
-                "pins": pins,
-                "entitled_share": entitled_share,
-                "force_server": force_server,
-                "dedicated": dedicated,
-            },
-        )
+        body = {
+            msg.KEY_TYPE: msg.MSG_LAUNCH,
+            "flavor_name": flavor_name,
+            "image_name": image_name,
+            "properties": [p.value for p in (properties or [])],
+            "workload": workload or {"name": "idle"},
+            "pins": pins,
+            "entitled_share": entitled_share,
+            "force_server": force_server,
+            "dedicated": dedicated,
+        }
+        if vid is not None:
+            body[msg.KEY_VID] = str(vid)
+        response = self.endpoint.call(self._controller, body)
         report = (
             PropertyReport.from_dict(response[msg.KEY_REPORT])
             if response.get(msg.KEY_REPORT)
@@ -285,7 +304,8 @@ class Customer:
         self,
         requests: list[tuple[VmId, SecurityProperty]],
         window_ms: Optional[float] = None,
-    ) -> list[VerifiedAttestation]:
+        with_root: bool = False,
+    ) -> "list[VerifiedAttestation] | FleetAttestation":
         """Attest many VMs in one wire round (``runtime_attest_batch``).
 
         Each logical round keeps its own fresh N1 and its own verified
@@ -294,9 +314,13 @@ class Customer:
         failure of the shared request falls back to per-round
         :meth:`attest` — retries target the logical round, not the
         batch — while a response failing its crypto checks raises.
+
+        ``with_root=True`` returns a :class:`FleetAttestation` carrying
+        the verified batch root alongside the results, for callers (the
+        shard coordinator) that aggregate roots across controllers.
         """
         if not requests:
-            return []
+            return FleetAttestation([], None) if with_root else []
         total = len(requests)
         order = sorted(
             range(total),
@@ -357,11 +381,13 @@ class Customer:
                 self.telemetry.counter("pipeline.batch.fallbacks").inc(
                     site=f"customer.{self.name}"
                 )
-                return [
+                fallback = [
                     self.attest(vid, prop, window_ms=window_ms,
                                 round_id=rids[index])
                     for index, (vid, prop) in enumerate(requests)
                 ]
+                # no shared batch survived, so there is no root to bind
+                return FleetAttestation(fallback, None) if with_root else fallback
             msg.require_fields(
                 response, msg.KEY_ENTRIES, msg.KEY_BATCH_ROOT, msg.KEY_SIGNATURE
             )
@@ -426,7 +452,8 @@ class Customer:
                 verdict=verdict,
                 degraded=degraded,
             )
-        return [result for result in results if result is not None]
+        final = [result for result in results if result is not None]
+        return FleetAttestation(final, batch_root) if with_root else final
 
     def _degraded_attestation(
         self, vid: VmId, prop: SecurityProperty, exc: CloudMonattError

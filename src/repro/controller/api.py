@@ -117,9 +117,13 @@ class CloudController:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_after_ms: float = 60_000.0,
+        shard_name: Optional[str] = None,
     ):
         self.engine = engine
         self.rng = rng
+        #: which control-plane shard this controller serves, or ``None``
+        #: for the classic single-controller deployment (repro.shard)
+        self.shard_name = shard_name
         self.cost = cost_model
         self.flavors = flavors
         self.images = images
@@ -190,6 +194,7 @@ class CloudController:
             responder=self.response,
             audit=self._record_provenance,
             eligible=self._vm_live,
+            shard=shard_name or "",
         )
 
     def _vm_live(self, vid: str) -> bool:
@@ -262,6 +267,7 @@ class CloudController:
                 ServerId(body["force_server"]) if body.get("force_server") else None
             ),
             dedicated=bool(body.get("dedicated", False)),
+            vid=VmId(body[msg.KEY_VID]) if body.get(msg.KEY_VID) else None,
         )
         return {
             msg.KEY_VID: str(outcome.vid),
@@ -282,8 +288,13 @@ class CloudController:
         exclude_servers: Optional[set[ServerId]] = None,
         force_server: Optional[ServerId] = None,
         dedicated: bool = False,
+        vid: Optional[VmId] = None,
     ) -> LaunchOutcome:
-        """Run the launch pipeline; returns placement and stage timings."""
+        """Run the launch pipeline; returns placement and stage timings.
+
+        ``vid`` pre-assigns the identifier (shard-plane launches mint
+        vids globally before routing); the database rejects duplicates.
+        """
         with self.telemetry.span(
             SPAN_LAUNCH, customer=str(customer), flavor=flavor.name, image=image.name
         ):
@@ -298,6 +309,7 @@ class CloudController:
                 exclude_servers=exclude_servers,
                 force_server=force_server,
                 dedicated=dedicated,
+                vid=vid,
             )
         if self.telemetry.enabled:
             self.telemetry.histogram("controller.launch_total_ms").observe(
@@ -322,8 +334,12 @@ class CloudController:
         exclude_servers: Optional[set[ServerId]] = None,
         force_server: Optional[ServerId] = None,
         dedicated: bool = False,
+        vid: Optional[VmId] = None,
     ) -> LaunchOutcome:
-        vid = self.ids.vm_id()
+        # the platform-retry recursion below never forwards ``vid``: the
+        # rejected attempt keeps the pre-assigned id's database record,
+        # so the retried launch mints a fresh one
+        vid = vid if vid is not None else self.ids.vm_id()
         record = VmRecord(
             vid=vid,
             customer=customer,

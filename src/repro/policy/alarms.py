@@ -56,6 +56,7 @@ class AlarmTransition:
     verdict: str
 
     def to_dict(self) -> dict:
+        """The transition as a plain dict (audit/export form)."""
         return {
             "time_ms": self.time_ms,
             "policy": self.policy,
@@ -130,6 +131,7 @@ class AlarmStateMachine:
         self.clear_after = clear_after
 
     def to_dict(self) -> dict:
+        """Current alarm state and streaks as a plain dict."""
         return {
             "state": self.state,
             "failure_streak": self.failure_streak,

@@ -58,6 +58,7 @@ class CheckSpec:
     window_ms: Optional[float] = None
 
     def validate(self, catalog: Optional[PropertyCatalog] = None) -> None:
+        """Raise :class:`PolicyError` unless the check is well-formed."""
         _require(bool(self.name), "check name must be non-empty")
         _require(self.period_ms > 0,
                  f"check {self.name!r}: period_ms must be positive, "
@@ -82,6 +83,7 @@ class CheckSpec:
                      "is not served by the attestation catalog")
 
     def to_dict(self) -> dict:
+        """The check as a policy-document dict (round-trips from_dict)."""
         doc = {
             "name": self.name,
             "property": self.prop.value,
@@ -97,6 +99,7 @@ class CheckSpec:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "CheckSpec":
+        """Parse one check from a policy document, validating fields."""
         _require(isinstance(doc, dict), "check must be a mapping")
         for key in ("name", "property", "period_ms", "staleness_budget_ms"):
             _require(key in doc, f"check is missing required field {key!r}")
@@ -141,6 +144,7 @@ class NotificationRouting:
     auto_respond: bool = False
 
     def to_dict(self) -> dict:
+        """The routing as a policy-document dict."""
         return {
             "observatory": self.observatory,
             "audit": self.audit,
@@ -149,6 +153,7 @@ class NotificationRouting:
 
     @classmethod
     def from_dict(cls, doc: Optional[dict]) -> "NotificationRouting":
+        """Parse routing from a policy document (``None`` -> defaults)."""
         if doc is None:
             return cls()
         _require(isinstance(doc, dict), "notifications must be a mapping")
@@ -192,6 +197,7 @@ class MonitoringPolicy:
             check.validate(catalog)
 
     def check(self, name: str) -> CheckSpec:
+        """The named check, or :class:`PolicyError` if undefined."""
         for spec in self.checks:
             if spec.name == name:
                 return spec
@@ -204,6 +210,7 @@ class MonitoringPolicy:
                 yield (check.name, vid)
 
     def to_dict(self) -> dict:
+        """The policy as its canonical document (round-trips from_dict)."""
         return {
             "schema": POLICY_SCHEMA,
             "name": self.name,
@@ -215,6 +222,7 @@ class MonitoringPolicy:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "MonitoringPolicy":
+        """Parse and structurally validate a full policy document."""
         _require(isinstance(doc, dict), "policy must be a mapping")
         schema = doc.get("schema", POLICY_SCHEMA)
         _require(schema == POLICY_SCHEMA,

@@ -129,6 +129,7 @@ class PolicyScheduler:
         eligible: Optional[Callable[[str], bool]] = None,
         tick_ms: float = 250.0,
         rounds_per_tick: int = 32,
+        shard: str = "",
     ):
         if tick_ms <= 0:
             raise PolicyError("tick_ms must be positive")
@@ -146,6 +147,11 @@ class PolicyScheduler:
         #: terminated VM would otherwise poison every batch it shares,
         #: so its entries are retired at fire time instead
         self.eligible = eligible
+        #: which control-plane shard this scheduler serves; empty for a
+        #: single-controller deployment. The shard plane keys its merged
+        #: policy status by this label, and :meth:`status` tags every
+        #: entry with it so cross-shard snapshots stay attributable.
+        self.shard = shard
         self.tick_ms = tick_ms
         #: per-tick attestation budget; excess due checks are shed
         self.rounds_per_tick = rounds_per_tick
@@ -422,6 +428,7 @@ class PolicyScheduler:
     # ------------------------------------------------------------------
 
     def policy(self, name: str) -> MonitoringPolicy:
+        """The registered policy by name, or :class:`PolicyError`."""
         try:
             return self._policies[name]
         except KeyError:
@@ -442,7 +449,13 @@ class PolicyScheduler:
             for key in sorted(self._entries)
             if key[0] in names
         ]
-        return {
+        if self.shard:
+            # sharded deployments key every entry by its owning shard so
+            # merged cross-shard snapshots stay attributable; the
+            # unsharded path keeps its exact historical bytes
+            for entry in entries:
+                entry["shard"] = self.shard
+        status = {
             "policies": {
                 name: {
                     "version": self._policies[name].version,
@@ -456,3 +469,6 @@ class PolicyScheduler:
                 t.to_dict() for t in self.transitions if t.policy in names
             ],
         }
+        if self.shard:
+            status["shard"] = self.shard
+        return status

@@ -39,6 +39,10 @@ class RuntimeIntegrityInterpreter(PropertyInterpreter):
         if modules is not None:
             self._module_whitelists[vid] = set(modules)
 
+    def registered_vms(self) -> int:
+        """How many VMs have a registered task whitelist."""
+        return len(self._task_whitelists)
+
     def interpret(self, vid: VmId, measurements: dict[str, Any]) -> PropertyReport:
         tasks = measurements[MEAS_TASK_LIST]
         modules = measurements.get(MEAS_KERNEL_MODULES, [])

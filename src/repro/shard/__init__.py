@@ -1,0 +1,38 @@
+"""Sharded multi-controller control plane (DESIGN.md §11).
+
+N independent CloudMonatt deployments ("shards") — each with its own
+engine, controller and attestation server — fronted by a consistent-
+hash ring that maps every vid to its owning shard, a coordinator that
+fans fleet attestations and policy registrations out per shard and
+merges the evidence hierarchically (per arXiv:2304.00382), and
+ring-adjacent rebalancing with in-flight drain when shards are added or
+removed. Per-VM reports stay byte-identical to the single-controller
+path; ``benchmarks/bench_shard_scale.py`` measures the scaling.
+"""
+
+from repro.shard.coordinator import (
+    CrossShardFleetReport,
+    RebalanceReport,
+    ShardedCustomer,
+)
+from repro.shard.plane import (
+    SHARD_SEED_STRIDE,
+    Shard,
+    ShardPlane,
+    VmSpec,
+    shards_for_fleet,
+)
+from repro.shard.ring import DEFAULT_VNODES, ConsistentHashRing
+
+__all__ = [
+    "ConsistentHashRing",
+    "CrossShardFleetReport",
+    "DEFAULT_VNODES",
+    "RebalanceReport",
+    "SHARD_SEED_STRIDE",
+    "Shard",
+    "ShardPlane",
+    "ShardedCustomer",
+    "VmSpec",
+    "shards_for_fleet",
+]

@@ -74,6 +74,20 @@ class Telemetry:
         #: consumer layer (alerting, scoreboard, trace store); attached
         #: via :meth:`attach_observatory`, ``None`` on bare hubs
         self.observatory = None
+        #: control-plane shard this hub serves (``""`` = unsharded);
+        #: set via :meth:`set_shard`, stamped onto every observed event
+        self.shard = ""
+
+    def set_shard(self, name: str) -> None:
+        """Label this hub with its control-plane shard.
+
+        Every subsequently observed event carries ``shard=name`` (unless
+        the producer set its own), so flight records and alert payloads
+        from a sharded deployment stay attributable after the per-shard
+        traces are merged. Unsharded deployments never call this and
+        keep their exact historical event bytes.
+        """
+        self.shard = str(name)
 
     # ------------------------------------------------------------------
     # instrument access (null instruments when disabled)
@@ -164,6 +178,8 @@ class Telemetry:
         observatory = self.observatory
         if observatory is None:
             return
+        if self.shard and "shard" not in fields:
+            fields["shard"] = self.shard
         rounds = self.tracer.current_rounds()
         if rounds and "round_id" not in fields and "round_ids" not in fields:
             if len(rounds) == 1:

@@ -74,6 +74,10 @@ class FlightRecord:
     vid: str = ""
     property: str = ""
     source: str = "unknown"
+    #: control-plane shard the round ran on (``""`` = unsharded run);
+    #: emitted in :meth:`to_dict` only when set, so pre-shard traces
+    #: keep their exact historical record bytes
+    shard: str = ""
     start_ms: Optional[float] = None
     end_ms: Optional[float] = None
     verdict: str = VERDICT_UNKNOWN
@@ -114,6 +118,8 @@ class FlightRecord:
         }
         if self.error is not None:
             record["error"] = self.error
+        if self.shard:
+            record["shard"] = self.shard
         return record
 
 
@@ -145,6 +151,7 @@ def build_flight_records(
             record.vid = str(fields.get("vid", ""))
             record.property = str(fields.get("property", ""))
             record.source = str(fields.get("source", "unknown"))
+            record.shard = str(fields.get("shard", ""))
             continue
         if kind == EVENT_ROUND_END:
             record = ensure(fields["round_id"])

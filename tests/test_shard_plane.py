@@ -1,0 +1,326 @@
+"""The sharded control plane, end to end.
+
+The promises pinned here, in order: a sharded plane's per-VM reports
+(startup at launch, runtime on demand and in fleet batches) are
+byte-identical to a single-controller deployment's — sharding is a
+topology change, never an appraisal change; a 1-shard plane *is* the
+single-controller path; the cross-shard fleet root is the Merkle root
+over the per-shard signed batch roots in sorted shard-name order;
+adding/removing shards mid-stream is deterministic (two same-seed
+planes replay the identical rebalance) and moves only ring-adjacent
+VMs after draining the sources' in-flight rounds; standing monitoring
+policies are re-split across rebalances without losing coverage; and
+the coordinator refuses cross-customer and stale-version policies the
+same way a single controller would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CloudMonatt, SecurityProperty
+from repro.common.errors import PolicyError, StateError
+from repro.common.identifiers import VmId
+from repro.protocol.quotes import merkle_root
+from repro.shard import ShardPlane
+
+KEY_BITS = 512
+SEED = 2029
+RUNTIME = SecurityProperty.RUNTIME_INTEGRITY
+
+
+def _build_plane(num_vms: int, num_shards: int, properties=(RUNTIME,),
+                 seed: int = SEED, **plane_kwargs):
+    plane = ShardPlane(
+        num_shards=num_shards,
+        seed=seed,
+        num_servers=2,
+        num_pcpus=4,
+        key_bits=KEY_BITS,
+        **plane_kwargs,
+    )
+    customer = plane.register_customer("alice")
+    launches = [
+        customer.launch_vm(
+            "small", "cirros", properties=list(properties),
+            workload={"name": "idle"},
+        )
+        for _ in range(num_vms)
+    ]
+    assert all(launch.accepted for launch in launches)
+    return plane, customer, launches
+
+
+def _build_single(num_vms: int, properties=(RUNTIME,)):
+    cloud = CloudMonatt(
+        num_servers=2, num_pcpus=4, seed=SEED, key_bits=KEY_BITS
+    )
+    customer = cloud.register_customer("alice")
+    launches = [
+        customer.launch_vm(
+            "small", "cirros", properties=list(properties),
+            workload={"name": "idle"},
+        )
+        for _ in range(num_vms)
+    ]
+    assert all(launch.accepted for launch in launches)
+    return cloud, customer, launches
+
+
+def _policy(vids, name="prod", version=1, period_ms=2000.0):
+    return {
+        "name": name,
+        "version": version,
+        "entities": [str(v) for v in vids],
+        "checks": [{
+            "name": "runtime",
+            "property": "runtime_integrity",
+            "period_ms": period_ms,
+            "staleness_budget_ms": 3 * period_ms,
+        }],
+    }
+
+
+# ----------------------------------------------------------------------
+# transcript equivalence: sharded == single-controller, byte for byte
+# ----------------------------------------------------------------------
+
+def test_sharded_reports_byte_identical_to_single_controller():
+    num_vms = 6
+    single_cloud, single_customer, single_launches = _build_single(num_vms)
+    plane, customer, launches = _build_plane(num_vms, num_shards=3)
+
+    # the plane mints the same vid sequence a single cloud would
+    assert [str(l.vid) for l in launches] == [
+        str(l.vid) for l in single_launches
+    ]
+    # startup attestation reports from the launch pipeline
+    assert [l.report.to_dict() for l in launches] == [
+        l.report.to_dict() for l in single_launches
+    ]
+    # on-demand runtime rounds
+    sharded = [customer.attest(l.vid, RUNTIME) for l in launches]
+    baseline = [
+        single_customer.attest(l.vid, RUNTIME) for l in single_launches
+    ]
+    assert [r.report.to_dict() for r in sharded] == [
+        r.report.to_dict() for r in baseline
+    ]
+    # fleet batches, merged across shards back into request order
+    fleet = customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+    single_fleet = single_customer.attest_fleet(
+        [(l.vid, RUNTIME) for l in single_launches]
+    )
+    assert [r.report.to_dict() for r in fleet.results] == [
+        r.report.to_dict() for r in single_fleet
+    ]
+    # and the fleet really did span more than one shard
+    assert len([s for s in fleet.by_shard.values() if s]) > 1
+
+
+def test_one_shard_plane_is_the_single_controller_path():
+    num_vms = 4
+    single_cloud, single_customer, single_launches = _build_single(num_vms)
+    plane, customer, launches = _build_plane(num_vms, num_shards=1)
+    fleet = customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+    single_fleet = single_customer.attest_fleet(
+        [(l.vid, RUNTIME) for l in single_launches]
+    )
+    assert [r.report.to_dict() for r in fleet.results] == [
+        r.report.to_dict() for r in single_fleet
+    ]
+    assert list(fleet.by_shard) == ["shard-1"]
+
+
+# ----------------------------------------------------------------------
+# hierarchical evidence
+# ----------------------------------------------------------------------
+
+def test_cross_shard_root_aggregates_per_shard_batch_roots():
+    plane, customer, launches = _build_plane(6, num_shards=3)
+    fleet = customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+    assert fleet.healthy
+    involved = sorted(n for n in fleet.shard_roots)
+    assert sum(fleet.by_shard.values()) == len(launches)
+    # the aggregate binds the per-shard roots in sorted shard-name order
+    surviving = [fleet.shard_roots[n] for n in involved
+                 if fleet.shard_roots[n] is not None]
+    assert surviving and fleet.root == merkle_root(surviving)
+
+
+def test_empty_fleet_request_short_circuits():
+    plane, customer, _ = _build_plane(2, num_shards=2)
+    fleet = customer.attest_fleet([])
+    assert fleet.results == [] and fleet.root is None
+    assert fleet.shard_roots == {} and fleet.healthy
+
+
+def test_single_cloud_attest_fleet_with_root():
+    cloud, customer, launches = _build_single(3)
+    batch = customer.attest_fleet(
+        [(l.vid, RUNTIME) for l in launches], with_root=True
+    )
+    assert len(batch.results) == 3
+    assert batch.batch_root is not None
+    assert customer.attest_fleet([], with_root=True).results == []
+
+
+# ----------------------------------------------------------------------
+# rebalancing
+# ----------------------------------------------------------------------
+
+def test_add_shard_moves_only_ring_adjacent_vms_and_keeps_reports():
+    plane, customer, launches = _build_plane(8, num_shards=2)
+    before = [
+        customer.attest(l.vid, RUNTIME).report.to_dict() for l in launches
+    ]
+    report = plane.add_shard()
+    assert report.reason == "add:shard-3"
+    assert all(new == "shard-3" for _old, new in report.moved.values())
+    assert report.moved, "adding a shard should claim some VMs"
+    # placement agrees with the new ring everywhere
+    for vid, owner in plane.placement.items():
+        assert plane.ring.owner(vid) == owner
+    after = [
+        customer.attest(l.vid, RUNTIME).report.to_dict() for l in launches
+    ]
+    assert after == before
+
+
+def test_remove_shard_hands_vms_to_successors_and_keeps_reports():
+    plane, customer, launches = _build_plane(8, num_shards=3)
+    victims = [v for v, s in plane.placement.items() if s == "shard-2"]
+    before = [
+        customer.attest(l.vid, RUNTIME).report.to_dict() for l in launches
+    ]
+    report = plane.remove_shard("shard-2")
+    assert sorted(report.moved) == sorted(victims)
+    assert all(old == "shard-2" for old, _new in report.moved.values())
+    assert "shard-2" not in plane.shards
+    assert "shard-2" not in plane.ring
+    after = [
+        customer.attest(l.vid, RUNTIME).report.to_dict() for l in launches
+    ]
+    assert after == before
+    with pytest.raises(StateError):
+        plane.remove_shard("shard-2")
+
+
+def test_rebalance_is_deterministic_across_same_seed_planes():
+    outcomes = []
+    for _ in range(2):
+        plane, customer, launches = _build_plane(8, num_shards=2)
+        added = plane.add_shard()
+        removed = plane.remove_shard("shard-1")
+        fleet = customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+        outcomes.append({
+            "added": added.moved,
+            "removed": removed.moved,
+            "placement": dict(plane.placement),
+            "salt": plane.ring.salt.hex(),
+            "reports": [r.report.to_dict() for r in fleet.results],
+            "root": fleet.root,
+        })
+    assert outcomes[0] == outcomes[1]
+
+
+def test_rebalance_drains_in_flight_rounds_before_handoff():
+    plane, customer, launches = _build_plane(6, num_shards=2)
+    source = plane.shards["shard-1"]
+    pipeline = source.cloud.controller.pipeline
+    queued = [
+        v for v, s in plane.placement.items() if s == "shard-1"
+    ]
+    assert queued, "seeded placement should give shard-1 some VMs"
+    futures = [pipeline.submit(VmId(v), RUNTIME) for v in queued]
+    assert pipeline.depth > 0
+    report = plane.remove_shard("shard-1")
+    assert report.drained_rounds.get("shard-1", 0) >= len(queued)
+    assert all(f.done for f in futures)
+    assert source.cloud.controller.pipeline.depth == 0
+
+
+def test_last_shard_cannot_be_removed():
+    plane, _customer, _ = _build_plane(2, num_shards=1)
+    with pytest.raises(StateError):
+        plane.remove_shard("shard-1")
+
+
+# ----------------------------------------------------------------------
+# policy fan-out
+# ----------------------------------------------------------------------
+
+def test_policy_splits_per_shard_and_survives_rebalance():
+    plane, customer, launches = _build_plane(
+        6, num_shards=2, telemetry_enabled=True
+    )
+    vids = [l.vid for l in launches]
+    outcome = customer.register_policy(_policy(vids))
+    assert outcome["policy"] == "prod"
+    assert set(outcome["shards"]) == {
+        plane.ring.owner(str(v)) for v in vids
+    }
+    plane.run_for(6000.0)
+    status = customer.policy_status()
+    assert len(status["entries"]) == len(vids)
+    for entry in status["entries"]:
+        assert entry["shard"] in plane.shards
+        assert entry["fired"] > 0
+    # a rebalance re-splits the standing policy; coverage continues
+    plane.add_shard()
+    plane.run_for(6000.0)
+    rebalanced = customer.policy_status()
+    assert len(rebalanced["entries"]) == len(vids)
+    by_shard = {e["vid"]: e["shard"] for e in rebalanced["entries"]}
+    for vid, owner in plane.placement.items():
+        assert by_shard[vid] == owner
+
+
+def test_policy_rejects_foreign_and_stale_registrations():
+    plane, customer, launches = _build_plane(4, num_shards=2)
+    vids = [l.vid for l in launches]
+    mallory = plane.register_customer("mallory")
+    with pytest.raises(PolicyError):
+        mallory.register_policy(_policy(vids))
+    with pytest.raises(StateError):
+        customer.register_policy(_policy(["vm-9999"]))
+    customer.register_policy(_policy(vids, version=3))
+    with pytest.raises(PolicyError):
+        customer.register_policy(_policy(vids, version=3))
+    customer.register_policy(_policy(vids, version=4))
+
+
+# ----------------------------------------------------------------------
+# plane status / telemetry
+# ----------------------------------------------------------------------
+
+def test_plane_status_snapshot_is_deterministic():
+    outcomes = []
+    for _ in range(2):
+        plane, customer, launches = _build_plane(4, num_shards=2)
+        customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+        status = plane.status()
+        outcomes.append(status)
+        assert status["vms"] == 4
+        assert sorted(status["shards"]) == ["shard-1", "shard-2"]
+        assert sum(status["ring"]["distribution"].values()) == 4
+        for shard_status in status["shards"].values():
+            assert shard_status["pipeline_depth"] == 0
+            for described in shard_status["attestation_servers"]:
+                assert described["shard"] in ("shard-1", "shard-2")
+    assert outcomes[0] == outcomes[1]
+
+
+def test_fanout_counters_and_shard_tagged_flight_records():
+    plane, customer, launches = _build_plane(
+        4, num_shards=2, telemetry_enabled=True
+    )
+    customer.attest_fleet([(l.vid, RUNTIME) for l in launches])
+    snapshot = plane.telemetry.snapshot()
+    fanout = snapshot["shard.fanout.rounds"]["series"]
+    assert sum(fanout.values()) >= len(launches)
+    # each shard's flight records carry its shard label
+    for name, shard in plane.shards.items():
+        records = shard.cloud.observatory.flight_records()
+        assert records, "telemetry-enabled shard should record rounds"
+        assert all(r.shard == name for r in records)

@@ -1,0 +1,120 @@
+"""The consistent-hash ring underneath VM placement.
+
+The promises pinned here: ring construction is a pure function of
+(shards, seed, vnodes) — two same-seed rings agree on every owner and
+two different-seed rings use different salts; an empty ring refuses
+lookups instead of guessing; a single-shard ring owns everything;
+derived rings (``with_shard`` / ``without_shard``) move only keys whose
+new/old owner is the added/removed shard (ring adjacency — the property
+that makes rebalancing cheap); and the vnode count trades smoothness
+for ring size the way the docstring promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.shard.ring import DEFAULT_VNODES, ConsistentHashRing
+
+KEYS = [f"vm-{i:04d}" for i in range(1, 513)]
+
+
+def test_empty_ring_refuses_lookup():
+    ring = ConsistentHashRing([], seed=1)
+    assert len(ring) == 0
+    with pytest.raises(StateError):
+        ring.owner("vm-0001")
+
+
+def test_single_shard_owns_everything():
+    ring = ConsistentHashRing(["only"], seed=9)
+    assert all(ring.owner(k) == "only" for k in KEYS)
+    assert ring.distribution(KEYS) == {"only": len(KEYS)}
+
+
+def test_same_seed_rings_agree_different_seeds_diverge():
+    a = ConsistentHashRing(["s1", "s2", "s3"], seed=42)
+    b = ConsistentHashRing(["s1", "s2", "s3"], seed=42)
+    c = ConsistentHashRing(["s1", "s2", "s3"], seed=43)
+    assert a.salt == b.salt
+    assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+    assert c.salt != a.salt
+    # different salt must actually reshuffle ownership somewhere
+    assert [a.owner(k) for k in KEYS] != [c.owner(k) for k in KEYS]
+
+
+def test_duplicate_shard_rejected():
+    with pytest.raises(StateError):
+        ConsistentHashRing(["s1", "s1"], seed=1)
+    ring = ConsistentHashRing(["s1"], seed=1)
+    with pytest.raises(StateError):
+        ring.with_shard("s1")
+
+
+def test_distribution_is_reasonably_smooth():
+    ring = ConsistentHashRing(["s1", "s2", "s3", "s4"], seed=7)
+    distribution = ring.distribution(KEYS)
+    mean = len(KEYS) / 4
+    # vnodes smooth placement; no shard should be wildly over/under
+    for count in distribution.values():
+        assert 0.5 * mean < count < 1.6 * mean
+
+
+def test_low_vnode_ring_can_skew_onto_one_shard():
+    # with a single vnode per shard the arcs are arbitrary — feed the
+    # ring keys that all land on one shard and the distribution must
+    # report the skew honestly (and lookups still resolve)
+    ring = ConsistentHashRing(["s1", "s2"], seed=3, vnodes=1)
+    target = ring.owner(KEYS[0])
+    skewed = [k for k in KEYS if ring.owner(k) == target]
+    assert skewed, "some key must land on the first key's shard"
+    distribution = ring.distribution(skewed)
+    assert distribution[target] == len(skewed)
+    # every shard is listed, including the starved one
+    assert sorted(distribution) == ["s1", "s2"]
+    assert sum(distribution.values()) == len(skewed)
+
+
+def test_add_shard_moves_only_ring_adjacent_keys():
+    ring = ConsistentHashRing(["s1", "s2", "s3"], seed=11)
+    grown = ring.with_shard("s4")
+    assert grown.salt == ring.salt  # derived rings share the salt
+    moved = ring.moved_keys(grown, KEYS)
+    assert moved, "a new shard should take over some keys"
+    for key, (old, new) in moved.items():
+        assert new == "s4"
+        assert old != "s4"
+    # every unmoved key keeps its old owner
+    for key in KEYS:
+        if key not in moved:
+            assert grown.owner(key) == ring.owner(key)
+
+
+def test_remove_shard_moves_only_its_own_keys():
+    ring = ConsistentHashRing(["s1", "s2", "s3", "s4"], seed=11)
+    shrunk = ring.without_shard("s4")
+    moved = ring.moved_keys(shrunk, KEYS)
+    owned_by_s4 = [k for k in KEYS if ring.owner(k) == "s4"]
+    assert sorted(moved) == sorted(owned_by_s4)
+    for key, (old, new) in moved.items():
+        assert old == "s4" and new != "s4"
+    with pytest.raises(StateError):
+        ring.without_shard("nope")
+
+
+def test_add_then_remove_round_trips():
+    ring = ConsistentHashRing(["s1", "s2"], seed=5)
+    round_tripped = ring.with_shard("s3").without_shard("s3")
+    assert [round_tripped.owner(k) for k in KEYS] == [
+        ring.owner(k) for k in KEYS
+    ]
+
+
+def test_vnodes_configure_ring_size():
+    small = ConsistentHashRing(["s1", "s2"], seed=2, vnodes=4)
+    default = ConsistentHashRing(["s1", "s2"], seed=2)
+    assert default.vnodes == DEFAULT_VNODES
+    assert len(small._points) == 2 * 4
+    assert len(default._points) == 2 * DEFAULT_VNODES
+    assert "s1" in small and "nope" not in small

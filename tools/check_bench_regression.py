@@ -17,6 +17,9 @@ Fails (exit 1) if any fresh number drops more than ``--max-drop``
   fleet size and wave count; the benchmark's own ``--max-overhead``
   gate additionally fails the run if round tracking costs more than 2%
   over the untracked path;
+- ``BENCH_shard_scale.json`` — sharded control-plane throughput at the
+  guard cell (256 VMs; ``n256.s1`` and ``n256.s4`` rounds/sec), always
+  re-run at that exact cell since rounds/sec is size-dependent;
 - ``BENCH_crypto_floor.json`` — three raw-speed floors at once:
   accelerated sign ops/sec (``sign.accel``), farm prefill keys/sec
   (``keygen.farm_auto``) and engine events/sec (``engine.events``);
@@ -74,6 +77,16 @@ def _flightrecorder_args(baseline: dict, quick: bool) -> list[str]:
     return extra
 
 
+def _shard_scale_args(baseline: dict, quick: bool) -> list[str]:
+    # rounds/sec depends on the (fleet size, shard count) cell, so the
+    # guard always re-runs the fixed 256-VM guard cell — present in
+    # both the full sweep and the quick profile
+    extra = ["--sizes", "256", "--shards", "1,4"]
+    if "key_bits" in baseline:
+        extra += ["--key-bits", str(baseline["key_bits"])]
+    return extra
+
+
 def _crypto_floor_args(baseline: dict, quick: bool) -> list[str]:
     extra = ["--quick"] if quick else []
     if "key_bits" in baseline:
@@ -108,6 +121,17 @@ GUARDS = {
             (("recorded", "rounds_per_sec"), "flight-recorded rounds/sec"),
         ],
         "extra_args": _flightrecorder_args,
+    },
+    "shard_scale": {
+        "artifact": "BENCH_shard_scale.json",
+        "module": "bench_shard_scale",
+        "metrics": [
+            (("cells", "n256", "s1", "rounds_per_sec"),
+             "1-shard rounds/sec at 256 VMs"),
+            (("cells", "n256", "s4", "rounds_per_sec"),
+             "4-shard rounds/sec at 256 VMs"),
+        ],
+        "extra_args": _shard_scale_args,
     },
     "crypto_floor": {
         "artifact": "BENCH_crypto_floor.json",

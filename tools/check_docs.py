@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Documentation checks: link/path integrity and runnable snippets.
+"""Documentation checks: link/path integrity, snippets, docstrings.
 
-Two modes, combinable (CI's docs job runs both):
+Three modes, combinable (CI's docs job runs all of them):
 
 ``--links``
     Scans the repository's Markdown files and verifies that
@@ -18,6 +18,14 @@ Two modes, combinable (CI's docs job runs both):
     fresh namespace, then runs the quick example scripts end to end —
     the documentation's code must keep working, not just parse.
 
+``--docstrings``
+    Walks the operator-facing packages (``src/repro/shard/``,
+    ``src/repro/policy/``) and fails on any *public* module, class,
+    function or method without a docstring. Underscore-prefixed names
+    and dunders other than ``__init__``'s enclosing class are skipped —
+    the contract is that everything an operator can reach by name
+    explains itself.
+
 Exit status is non-zero on any failure; findings are printed one per
 line as ``file: problem``.
 """
@@ -25,6 +33,7 @@ line as ``file: problem``.
 from __future__ import annotations
 
 import argparse
+import ast
 import re
 import subprocess
 import sys
@@ -46,6 +55,9 @@ ROOT_FILE_SUFFIXES = (".md", ".txt")
 
 #: Examples fast enough for a CI smoke run (wall seconds each).
 QUICK_EXAMPLES = ("quickstart.py", "fault_tolerance.py")
+
+#: Packages whose public API must be fully docstring-covered.
+DOCSTRING_PACKAGES = ("src/repro/shard", "src/repro/policy")
 
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 INLINE_CODE = re.compile(r"`([^`\n]+)`")
@@ -154,21 +166,78 @@ def check_snippets() -> list[str]:
     return problems
 
 
+def _public_defs(tree: ast.Module):
+    """Yield (qualname, node) for every public def/class in a module.
+
+    Nested helper functions (defs inside function bodies) are private
+    by construction; only module- and class-level names are public API.
+    """
+    def walk(node, prefix: str, inside_class: bool):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = child.name
+                if name.startswith("_") and not (
+                    inside_class and name == "__init__"
+                ):
+                    continue
+                qualname = f"{prefix}{name}"
+                if inside_class and name == "__init__":
+                    # documented classes may leave __init__ bare — the
+                    # class docstring covers construction
+                    continue
+                yield qualname, child
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualname + ".", True)
+
+    yield from walk(tree, "", False)
+
+
+def check_docstrings() -> list[str]:
+    problems: list[str] = []
+    for package in DOCSTRING_PACKAGES:
+        root = REPO_ROOT / package
+        if not root.is_dir():
+            problems.append(f"{package}: docstring-checked package missing")
+            continue
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT)
+            tree = ast.parse(path.read_text(encoding="utf-8"), str(rel))
+            if ast.get_docstring(tree) is None:
+                problems.append(f"{rel}: module has no docstring")
+            for qualname, node in _public_defs(tree):
+                if ast.get_docstring(node) is None:
+                    kind = ("class" if isinstance(node, ast.ClassDef)
+                            else "function")
+                    problems.append(
+                        f"{rel}: public {kind} {qualname!r} "
+                        f"(line {node.lineno}) has no docstring"
+                    )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--links", action="store_true",
                         help="check Markdown links and repo path tokens")
     parser.add_argument("--snippets", action="store_true",
                         help="run README python blocks and quick examples")
+    parser.add_argument("--docstrings", action="store_true",
+                        help="require docstrings on the public API of "
+                             + " and ".join(DOCSTRING_PACKAGES))
     args = parser.parse_args()
-    if not (args.links or args.snippets):
-        parser.error("pick at least one of --links / --snippets")
+    if not (args.links or args.snippets or args.docstrings):
+        parser.error(
+            "pick at least one of --links / --snippets / --docstrings"
+        )
 
     problems: list[str] = []
     if args.links:
         problems += check_links()
     if args.snippets:
         problems += check_snippets()
+    if args.docstrings:
+        problems += check_docstrings()
 
     for problem in problems:
         print(problem)
