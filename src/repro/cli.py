@@ -624,6 +624,8 @@ def cmd_shard(args: argparse.Namespace) -> int:
         vnodes=args.vnodes,
         num_servers=args.servers,
         num_pcpus=8,
+        parallel=args.workers > 0,
+        parallel_workers=args.workers,
     )
     plane.prewarm_for_fleet(args.vms // args.servers + 2)
     customer = plane.register_customer("operator")
@@ -633,8 +635,13 @@ def cmd_shard(args: argparse.Namespace) -> int:
     ]
     fleet = customer.attest_fleet([(vid, prop) for vid in vids])
     status = plane.status()
+    executor = status["executor"]
+    executor_label = executor["mode"]
+    if executor.get("workers"):
+        executor_label += f" x{executor['workers']}"
     print(f"shard plane: {len(plane.shards)} shard(s), "
-          f"{status['vms']} VM(s), {plane.ring.vnodes} vnodes/shard "
+          f"{status['vms']} VM(s), {plane.ring.vnodes} vnodes/shard, "
+          f"executor {executor_label} "
           f"(ring salt {status['ring']['salt']})")
     print(f"  {'shard':12s} {'vms':>4s} {'rounds':>7s} {'registered':>11s} "
           f"{'sim_ms':>9s}  batch root")
@@ -651,6 +658,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
     healthy = sum(1 for r in fleet.results if r.report.healthy)
     print(f"fleet: {healthy}/{len(fleet.results)} healthy, cross-shard root "
           f"{fleet.root.hex() if fleet.root else '-'}")
+    plane.close()
     return 0 if healthy == len(fleet.results) else 1
 
 
@@ -815,6 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default 64)")
     shard_status.add_argument("--servers", type=int, default=2,
                               help="cloud servers per shard (default 2)")
+    shard_status.add_argument("--workers", type=int, default=0,
+                              help="forked executor workers (0 = serial "
+                                   "in-process execution, the default)")
     shard.set_defaults(func=cmd_shard)
     return parser
 

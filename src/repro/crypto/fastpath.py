@@ -57,6 +57,16 @@ class FastPathConfig:
     #: private-key ops via plain fixed-window (k-ary) exponentiation
     #: with per-key precomputed exponent digits
     modexp_fixed_window: bool = False
+    #: run each control-plane shard's deployment in a persistent forked
+    #: worker process (repro.shard.parallel); the coordinator merges
+    #: results and telemetry deltas in sorted shard-name order, so
+    #: reports, cross-shard roots and flight records stay byte-identical
+    #: to the serial in-process plane at any worker count
+    shard_parallel: bool = False
+    #: shard-executor worker count; 0 disables the forked path (serial
+    #: in-process plane), N > 0 runs min(N, shards) workers with shards
+    #: assigned round-robin in sorted name order
+    shard_parallel_workers: int = 0
     #: memoise *successful* signature verifications keyed by
     #: (modulus, exponent, message digest, signature)
     verify_memo: bool = True
@@ -118,6 +128,7 @@ def all_disabled(**extra: object):
         cache_symmetric_subkeys=False,
         cache_wire_encodings=False,
         keygen_farm=False,
+        shard_parallel=False,
         accel_backend=False,
         modexp_montgomery=False,
         modexp_fixed_window=False,

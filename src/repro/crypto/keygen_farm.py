@@ -9,24 +9,26 @@ DRBG state. The farm exploits exactly that split:
    matters for determinism, identical to the serial path.
 2. The snapshot of each child's state is shipped to a worker process,
    which runs the same ``generate_keypair`` the serial path runs.
-3. Results are re-assembled **in fork order** (``Pool.map`` preserves
+3. Results are re-assembled **in fork order** (the pool map preserves
    input order regardless of completion order), so the pool's contents
    are byte-identical to serial generation; which worker computed which
    key affects wall-clock only.
 
-The farm uses the ``fork`` start method (cheap, inherits the live
-``fastpath`` configuration so workers use the same modexp engine as the
-parent). Where ``fork`` is unavailable (non-POSIX) or a single worker
-is requested, :func:`generate_batch` degrades to the serial loop — same
-bytes, no processes.
+The pool plumbing itself lives in :mod:`repro.common.procpool` (shared
+with the parallel shard executor). On spawn-only platforms — no
+``fork`` start method — a parallel request degrades gracefully to the
+serial loop (same bytes, no processes) and bumps the
+``keygen_farm.serial_fallback`` fast-path statistic once per batch so
+operators can see the farm never actually engaged.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from typing import Optional
 
+from repro.common import procpool
+from repro.crypto import fastpath
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.keys import KeyPair, RsaPrivateKey, RsaPublicKey
 from repro.crypto.rsa import generate_keypair
@@ -34,16 +36,12 @@ from repro.crypto.rsa import generate_keypair
 
 def available() -> bool:
     """Whether the multiprocess path can run on this host."""
-    try:
-        return "fork" in multiprocessing.get_all_start_methods()
-    except Exception:
-        return False
+    return procpool.fork_available()
 
 
 def resolve_workers(requested: int, jobs: int) -> int:
     """Farm size for ``jobs`` keys: requested, else one per CPU."""
-    workers = requested if requested > 0 else (os.cpu_count() or 1)
-    return max(1, min(workers, jobs))
+    return procpool.resolve_workers(requested, jobs)
 
 
 def _generate_one(task: tuple[HmacDrbg, int]) -> tuple[int, int, int, int, int]:
@@ -67,6 +65,11 @@ def _rebuild(raw: tuple[int, int, int, int, int]) -> KeyPair:
     )
 
 
+def _record_fallback() -> None:
+    """Count one parallel request that degraded to the serial loop."""
+    fastpath.record("keygen_farm.serial_fallback")
+
+
 def generate_batch(
     drbgs: list[HmacDrbg], bits: int, workers: int = 0
 ) -> list[KeyPair]:
@@ -74,19 +77,25 @@ def generate_batch(
 
     ``drbgs[i]`` must be the exact stream the serial path would have
     used for slot ``i``; the result list is index-aligned with it.
+    A multi-worker request on a host without ``fork`` runs serially
+    and records ``keygen_farm.serial_fallback``.
     """
     count = len(drbgs)
     if count == 0:
         return []
     workers = resolve_workers(workers, count)
-    if workers <= 1 or not available():
+    if workers > 1 and not available():
+        _record_fallback()
+        workers = 1
+    if workers <= 1:
         return [generate_keypair(drbg, bits) for drbg in drbgs]
-    context = multiprocessing.get_context("fork")
     tasks = [(drbg, bits) for drbg in drbgs]
     # chunksize=1: keygen latency is heavy-tailed (candidate count is
     # geometric), so fine-grained dispatch keeps the farm load-balanced
-    with context.Pool(processes=workers) as pool:
-        raw = pool.map(_generate_one, tasks, chunksize=1)
+    raw = procpool.map_forked(
+        _generate_one, tasks, workers=workers, chunksize=1,
+        on_fallback=_record_fallback,
+    )
     return [_rebuild(entry) for entry in raw]
 
 

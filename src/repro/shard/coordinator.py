@@ -91,6 +91,12 @@ class ShardedCustomer:
         self.plane = plane
         self.name = name
 
+    def _call(self, shard_name: str, method: str, *args, **kwargs):
+        """Run one customer method on a shard through the executor."""
+        return self.plane.executor.call(
+            shard_name, ("customer", self.name, method, args, kwargs)
+        )
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -114,7 +120,9 @@ class ShardedCustomer:
 
         vid = self.plane.ids.vm_id()
         shard_name = self.plane.ring.owner(str(vid))
-        result = self.plane.shards[shard_name].customers[self.name].launch_vm(
+        result = self._call(
+            shard_name,
+            "launch_vm",
             flavor_name,
             image_name,
             properties=properties,
@@ -142,7 +150,7 @@ class ShardedCustomer:
     def terminate_vm(self, vid: VmId) -> None:
         """Terminate a VM on its owning shard and drop it from the plane."""
         shard = self.plane.shard_of(vid)
-        shard.customers[self.name].terminate_vm(vid)
+        self._call(shard.name, "terminate_vm", vid)
         self.plane.placement.pop(str(vid), None)
         self.plane.specs.pop(str(vid), None)
 
@@ -161,7 +169,7 @@ class ShardedCustomer:
         self.plane.telemetry.counter("shard.fanout.rounds").inc(
             shard=shard.name, mode="on-demand"
         )
-        return shard.customers[self.name].attest(vid, prop, window_ms=window_ms)
+        return self._call(shard.name, "attest", vid, prop, window_ms=window_ms)
 
     def attest_fleet(
         self,
@@ -182,14 +190,28 @@ class ShardedCustomer:
         results: list[Optional[VerifiedAttestation]] = [None] * len(requests)
         shard_roots: dict[str, Optional[bytes]] = {}
         by_shard: dict[str, int] = {}
-        for shard_name in sorted(groups):
-            indices = groups[shard_name]
-            shard = self.plane.shards[shard_name]
-            batch = shard.customers[self.name].attest_fleet(
-                [requests[i] for i in indices],
-                window_ms=window_ms,
-                with_root=True,
+        executor = self.plane.executor
+        # fan out: one batch command per involved shard, submitted in
+        # sorted shard-name order (under the parallel executor the
+        # batches run concurrently; under the serial executor submit
+        # order *is* execution order, the historical serial plane)
+        handles = [
+            (
+                shard_name,
+                executor.submit(
+                    shard_name,
+                    ("customer", self.name, "attest_fleet",
+                     ([requests[i] for i in groups[shard_name]],),
+                     {"window_ms": window_ms, "with_root": True}),
+                ),
             )
+            for shard_name in sorted(groups)
+        ]
+        # merge: collect in the same sorted order, so per-shard replies
+        # and telemetry deltas land exactly as the serial plane's would
+        for shard_name, handle in handles:
+            indices = groups[shard_name]
+            batch = executor.result(handle)
             for index, result in zip(indices, batch.results):
                 results[index] = result
             shard_roots[shard_name] = batch.batch_root
@@ -273,10 +295,9 @@ class ShardedCustomer:
         statuses: dict[str, dict] = {}
         entries: list[dict] = []
         for shard_name in sorted(self.plane.shards):
-            shard = self.plane.shards[shard_name]
-            if self.name not in shard.customers:
+            if self.name not in self.plane._customers:
                 continue
-            status = shard.customers[self.name].policy_status()
+            status = self._call(shard_name, "policy_status")
             statuses[shard_name] = status
             entries.extend(status.get("entries", []))
         return {"shards": statuses, "entries": entries}

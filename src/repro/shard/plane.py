@@ -35,8 +35,9 @@ from repro.cloud.customer import Customer
 from repro.common.errors import StateError
 from repro.common.identifiers import IdFactory
 from repro.shard.coordinator import RebalanceReport, ShardedCustomer
+from repro.shard.parallel import make_executor
 from repro.shard.ring import DEFAULT_VNODES, ConsistentHashRing
-from repro.telemetry import Telemetry
+from repro.telemetry import Observatory, Telemetry
 
 SHARD_SEED_STRIDE = 10_007
 """Prime stride between per-shard DRBG seeds. Shards are independent
@@ -59,6 +60,20 @@ class Shard:
     def now(self) -> float:
         """This shard's simulation clock (ms)."""
         return self.cloud.engine.now
+
+
+def _shard_status_fields(shard: Shard) -> dict:
+    # runs *inside* the executor (worker process under the forked
+    # executor) so status() reports authoritative shard state, not the
+    # coordinator-side mirror's
+    return {
+        "now_ms": shard.now,
+        "servers": len(shard.cloud.servers),
+        "attestation_servers": [
+            attestation_server.describe()
+            for attestation_server in shard.cloud.attestation_servers
+        ],
+    }
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,8 @@ class ShardPlane:
         seed: int = 42,
         vnodes: int = DEFAULT_VNODES,
         telemetry_enabled: bool = False,
+        parallel: Optional[bool] = None,
+        parallel_workers: Optional[int] = None,
         **cloud_kwargs,
     ):
         if num_shards < 1:
@@ -118,10 +135,18 @@ class ShardPlane:
         self.telemetry = Telemetry(
             clock=self._clock, enabled=telemetry_enabled, seed=seed
         )
+        if telemetry_enabled:
+            # plane-level consumer: rebalance / fan-out / executor
+            # events (notably shard_worker_crash) get alert coverage
+            self.telemetry.attach_observatory(Observatory(self.telemetry.clock))
         names = [f"shard-{i + 1}" for i in range(num_shards)]
         self.ring = ConsistentHashRing(names, seed=seed, vnodes=vnodes)
         for index, name in enumerate(names):
             self.shards[name] = self._build_shard(name, index)
+        #: executor running every shard command — serial in-process or
+        #: persistent forked workers (see :mod:`repro.shard.parallel`);
+        #: ``None`` knobs read the ``fastpath`` configuration
+        self.executor = make_executor(self, parallel, parallel_workers)
 
     # ------------------------------------------------------------------
     # construction
@@ -154,8 +179,8 @@ class ShardPlane:
         """Create a customer with a handle on every shard's controller."""
         if name in self._customers:
             raise StateError(f"customer {name!r} already registered")
-        for shard in self.shards.values():
-            shard.customers[name] = shard.cloud.register_customer(name)
+        for shard_name in sorted(self.shards):
+            self.executor.call(shard_name, ("register_customer", name))
         handle = ShardedCustomer(plane=self, name=name)
         self._customers[name] = handle
         return handle
@@ -168,16 +193,29 @@ class ShardPlane:
         return self.shards[name]
 
     def run_for(self, duration_ms: float) -> None:
-        """Advance every shard's engine by ``duration_ms`` (lock-step)."""
-        for name in sorted(self.shards):
-            self.shards[name].cloud.run_for(duration_ms)
+        """Advance every shard's engine by ``duration_ms``.
+
+        The tick is fanned out as one command per shard — under the
+        parallel executor, the shards' engines (and their policy
+        schedulers' firings) advance concurrently on separate cores —
+        and merged back in sorted shard-name order.
+        """
+        executor = self.executor
+        handles = [
+            executor.submit(name, ("run_for", duration_ms))
+            for name in sorted(self.shards)
+        ]
+        for handle in handles:
+            executor.result(handle)
 
     def prewarm_for_fleet(self, expected_rounds: int) -> int:
         """Pre-generate per-server session keys on every shard."""
-        return sum(
-            self.shards[name].cloud.prewarm_for_fleet(expected_rounds)
+        executor = self.executor
+        handles = [
+            executor.submit(name, ("prewarm", expected_rounds))
             for name in sorted(self.shards)
-        )
+        ]
+        return sum(executor.result(handle) for handle in handles)
 
     # ------------------------------------------------------------------
     # rebalancing
@@ -205,6 +243,7 @@ class ShardPlane:
                     f"non-adjacent move: {vid} → {new} while adding {name}"
                 )
         self.shards[name] = self._build_shard(name, self._next_shard_index - 2)
+        self.executor.attach_shard(name)
         return self._rebalance(new_ring, moved, reason=f"add:{name}")
 
     def remove_shard(self, name: str) -> RebalanceReport:
@@ -226,15 +265,13 @@ class ShardPlane:
                     f"non-adjacent move: {vid} from {old} while removing {name}"
                 )
         report = self._rebalance(new_ring, moved, reason=f"remove:{name}")
+        self.executor.release_shard(name)
         del self.shards[name]
         return report
 
     def _drain(self, shard: Shard) -> int:
         """Resolve every in-flight round on a shard before handoff."""
-        pipeline = shard.cloud.controller.pipeline
-        in_flight = pipeline.depth
-        pipeline.flush()
-        return in_flight
+        return self.executor.call(shard.name, ("drain",))
 
     def _rebalance(
         self,
@@ -248,15 +285,21 @@ class ShardPlane:
         for vid in sorted(moved):
             old_name, new_name = moved[vid]
             spec = self.specs[vid]
-            self.shards[old_name].customers[spec.customer].terminate_vm(vid)
-            self.shards[new_name].customers[spec.customer].launch_vm(
-                spec.flavor_name,
-                spec.image_name,
-                properties=list(spec.properties),
-                workload=dict(spec.workload),
-                entitled_share=spec.entitled_share,
-                dedicated=spec.dedicated,
-                vid=vid,
+            self.executor.call(
+                old_name,
+                ("customer", spec.customer, "terminate_vm", (vid,), {}),
+            )
+            self.executor.call(
+                new_name,
+                ("customer", spec.customer, "launch_vm",
+                 (spec.flavor_name, spec.image_name),
+                 {
+                     "properties": list(spec.properties),
+                     "workload": dict(spec.workload),
+                     "entitled_share": spec.entitled_share,
+                     "dedicated": spec.dedicated,
+                     "vid": vid,
+                 }),
             )
             self.placement[vid] = new_name
             self.telemetry.counter("shard.rebalance.moved").inc(
@@ -308,9 +351,9 @@ class ShardPlane:
                 checks=policy.checks,
                 notifications=policy.notifications,
             )
-            outcome[shard_name] = self.shards[shard_name].customers[
-                owner
-            ].register_policy(sub)
+            outcome[shard_name] = self.executor.call(
+                shard_name, ("customer", owner, "register_policy", (sub,), {})
+            )
             self.telemetry.counter("shard.policy.splits").inc(
                 shard=shard_name, policy=policy_name
             )
@@ -321,23 +364,27 @@ class ShardPlane:
     # ------------------------------------------------------------------
 
     def status(self) -> dict:
-        """Deterministic operator snapshot of the whole plane."""
+        """Deterministic operator snapshot of the whole plane.
+
+        Per-shard live fields (clock, server count, attestation-server
+        identity cards) are fetched *through the executor*: under the
+        forked executor the authoritative shard state lives in a worker
+        process, and the coordinator-side mirror only carries what the
+        telemetry deltas replay — reading it directly would report
+        stale registration counts.
+        """
         distribution = self.ring.distribution(sorted(self.placement))
         return {
+            "executor": self.executor.describe(),
             "shards": {
                 name: {
                     "vms": distribution.get(name, 0),
-                    "now_ms": shard.now,
-                    "pipeline_depth": shard.cloud.controller.pipeline.depth,
-                    "servers": len(shard.cloud.servers),
-                    "attestation_servers": [
-                        attestation_server.describe()
-                        for attestation_server in (
-                            shard.cloud.attestation_servers
-                        )
-                    ],
+                    "pipeline_depth": self.executor.pipeline_depth(name),
+                    **self.executor.call(
+                        name, ("apply", _shard_status_fields, ())
+                    ),
                 }
-                for name, shard in sorted(self.shards.items())
+                for name in sorted(self.shards)
             },
             "ring": {
                 "vnodes": self.ring.vnodes,
@@ -348,6 +395,26 @@ class ShardPlane:
             "customers": sorted(self._customers),
             "policies": sorted(self._policies),
         }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the executor down (a no-op for the serial executor).
+
+        Forked workers are daemons, so they die with the process either
+        way; closing promptly releases their pipes and memory. The
+        plane remains usable afterwards only through a fresh executor —
+        callers are expected to close at end of life.
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "ShardPlane":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def shards_for_fleet(total_vms: int, vms_per_shard: int) -> int:

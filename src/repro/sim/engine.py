@@ -32,7 +32,7 @@ Design notes:
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.common.errors import StateError
 
@@ -89,6 +89,9 @@ class Engine:
         self._cancelled = 0
         #: total events executed over the engine's lifetime (telemetry)
         self.events_fired = 0
+        #: mirror-replay override for :attr:`pending_count` (see
+        #: :meth:`sync_stats`); ``None`` = report the live queue
+        self._pending_override: Optional[int] = None
 
     @property
     def now(self) -> float:
@@ -98,7 +101,36 @@ class Engine:
     @property
     def pending_count(self) -> int:
         """Live (non-cancelled) events still queued — O(1)."""
+        if self._pending_override is not None:
+            return self._pending_override
         return len(self._queue) - self._cancelled
+
+    def sync_stats(
+        self, events_fired: int, pending: Optional[int]
+    ) -> None:
+        """Pin the telemetry-visible queue stats to observed values.
+
+        Companion to :meth:`sync_clock` for mirror engines: the worker
+        process that really ran the events reports its lifetime count
+        and queue depth, so the mirror's sampled ``sim.*`` gauges match
+        the serial run's bytes. ``pending=None`` clears the override
+        (the live queue becomes authoritative again — used when a
+        mirror is promoted after a worker crash).
+        """
+        self.events_fired = events_fired
+        self._pending_override = pending
+
+    def sync_clock(self, now_ms: float) -> None:
+        """Pin the clock to an externally observed time.
+
+        Used by the parallel shard executor (:mod:`repro.shard.
+        parallel`) to keep a coordinator-side mirror engine's clock in
+        lock-step with the worker process that actually ran the events,
+        so clock-stamped replays (observatory events, alert records)
+        land on the same timeline bytes. Never call this on an engine
+        that is executing its own queue.
+        """
+        self._now = now_ms
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any

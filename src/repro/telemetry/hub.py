@@ -77,6 +77,13 @@ class Telemetry:
         #: control-plane shard this hub serves (``""`` = unsharded);
         #: set via :meth:`set_shard`, stamped onto every observed event
         self.shard = ""
+        #: shard-executor delta capture (:mod:`repro.shard.parallel`):
+        #: a forked worker installs a list here so every event this hub
+        #: observes is also appended — interleaved with finished spans —
+        #: for the coordinator to replay into its mirror deployment.
+        #: ``None`` (the default, and always in-process) costs one
+        #: attribute check per event.
+        self.delta_sink = None
 
     def set_shard(self, name: str) -> None:
         """Label this hub with its control-plane shard.
@@ -186,7 +193,10 @@ class Telemetry:
                 fields["round_id"] = rounds[0]
             else:
                 fields["round_ids"] = list(rounds)
-        observatory.record(kind, self.clock(), fields)
+        now = self.clock()
+        if self.delta_sink is not None:
+            self.delta_sink.append(("event", kind, now, dict(fields)))
+        observatory.record(kind, now, fields)
 
     # ------------------------------------------------------------------
     # engine sampling

@@ -333,6 +333,38 @@ class BreakerOpenRule(AlertRule):
             engine.clear(self, endpoint)
 
 
+class WorkerCrashRule(AlertRule):
+    """A shard-executor worker process crashed.
+
+    The parallel shard plane (``repro.shard.parallel``) publishes one
+    ``shard_worker_crash`` event when a forked worker dies; the plane
+    has already degraded itself to serial in-process execution by the
+    time the event lands, so this alert marks the lost parallelism (and
+    the crash itself) rather than lost correctness. The scope never
+    re-arms within a run — a crashed executor stays degraded until the
+    plane is rebuilt.
+    """
+
+    name = "shard_worker_crash"
+    severity = SEVERITY_CRITICAL
+
+    def on_event(self, engine: "AlertEngine", event: "ObservatoryEvent") -> None:
+        if event.kind != "shard_worker_crash":
+            return
+        worker = str(event.fields.get("worker", ""))
+        engine.fire(
+            self,
+            scope=worker or "executor",
+            message=(
+                f"shard executor worker {worker or '?'} crashed; "
+                "plane degraded to serial execution"
+            ),
+            worker=worker,
+            shards=str(event.fields.get("shards", "")),
+            error=str(event.fields.get("error", "")),
+        )
+
+
 class KeyPoolExhaustedRule(AlertRule):
     """A pre-warmed KeyPool ran dry and fell back to on-demand keygen.
 
@@ -453,6 +485,7 @@ def default_rules(
         UnreachableRule(),
         RetryStormRule(),
         BreakerOpenRule(),
+        WorkerCrashRule(),
         KeyPoolExhaustedRule(),
         PolicyCoverageRule(),
         PolicyAlarmRule(),

@@ -367,3 +367,63 @@ def test_all_disabled_restores_previous_config():
         assert fastpath.config().key_pool is False
         assert fastpath.config().verify_memo is False
     assert fastpath.config().key_pool is before
+
+
+class TestShardParallelKnob:
+    """The ``shard_parallel`` knobs ride the same configuration plane.
+
+    ISSUE 10: parallel shard execution is a fast path like any other —
+    off by default, coverable by ``all_disabled``, and transcript-
+    transparent when engaged (the full matrix lives in
+    ``tests/test_shard_parallel.py``; here the knob-driven plane's
+    fleet bytes are pinned against the serial default).
+    """
+
+    def test_knobs_default_off_and_all_disabled_covers_them(self):
+        assert fastpath.config().shard_parallel is False
+        assert fastpath.config().shard_parallel_workers == 0
+        with fastpath.overridden(shard_parallel=True,
+                                 shard_parallel_workers=3):
+            config = fastpath.config()
+            assert config.shard_parallel is True
+            assert config.shard_parallel_workers == 3
+            with fastpath.all_disabled():
+                assert fastpath.config().shard_parallel is False
+            assert fastpath.config().shard_parallel is True
+        assert fastpath.config().shard_parallel is False
+
+    def test_knob_driven_plane_matches_serial_bytes(self):
+        from repro.common import procpool
+        from repro.shard import ShardPlane
+
+        if not procpool.fork_available():
+            pytest.skip("requires the fork start method")
+
+        def fleet(plane):
+            with plane:
+                customer = plane.register_customer("alice")
+                launches = [
+                    customer.launch_vm(
+                        "small", "cirros",
+                        properties=[SecurityProperty.RUNTIME_INTEGRITY],
+                    )
+                    for _ in range(4)
+                ]
+                result = customer.attest_fleet([
+                    (l.vid, SecurityProperty.RUNTIME_INTEGRITY)
+                    for l in launches
+                ])
+                return (
+                    [encode(r.report.to_dict()) for r in result.results],
+                    result.root,
+                )
+
+        serial = fleet(ShardPlane(num_shards=2, seed=SEED,
+                                  num_servers=1, key_bits=KEY_BITS))
+        with fastpath.overridden(shard_parallel=True,
+                                 shard_parallel_workers=2):
+            knob_driven = ShardPlane(num_shards=2, seed=SEED,
+                                     num_servers=1, key_bits=KEY_BITS)
+            assert knob_driven.executor.mode == "parallel"
+            parallel = fleet(knob_driven)
+        assert parallel == serial

@@ -565,8 +565,9 @@ class TestObservatoryWiring:
         assert names == {
             "attestation_failure_streak", "latency_slo_breach",
             "verification_failure_spike", "endpoint_unreachable",
-            "retry_storm", "circuit_breaker_open", "keypool_exhausted",
-            "policy_coverage_blown", "policy_alarm_critical",
+            "retry_storm", "circuit_breaker_open", "shard_worker_crash",
+            "keypool_exhausted", "policy_coverage_blown",
+            "policy_alarm_critical",
         }
 
     def test_observatory_slo_targets_flow_to_the_rule(self):

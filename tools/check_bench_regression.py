@@ -19,7 +19,9 @@ Fails (exit 1) if any fresh number drops more than ``--max-drop``
   over the untracked path;
 - ``BENCH_shard_scale.json`` — sharded control-plane throughput at the
   guard cell (256 VMs; ``n256.s1`` and ``n256.s4`` rounds/sec), always
-  re-run at that exact cell since rounds/sec is size-dependent;
+  re-run at that exact cell since rounds/sec is size-dependent, plus
+  the forked-executor throughput at the same cell
+  (``n256.s4.parallel``) re-timed at the committed worker count;
 - ``BENCH_crypto_floor.json`` — three raw-speed floors at once:
   accelerated sign ops/sec (``sign.accel``), farm prefill keys/sec
   (``keygen.farm_auto``) and engine events/sec (``engine.events``);
@@ -80,8 +82,18 @@ def _flightrecorder_args(baseline: dict, quick: bool) -> list[str]:
 def _shard_scale_args(baseline: dict, quick: bool) -> list[str]:
     # rounds/sec depends on the (fleet size, shard count) cell, so the
     # guard always re-runs the fixed 256-VM guard cell — present in
-    # both the full sweep and the quick profile
-    extra = ["--sizes", "256", "--shards", "1,4"]
+    # both the full sweep and the quick profile. The parallel guard
+    # re-times the cell at the committed artifact's worker count; the
+    # bench's own speedup gates stay out of the way (the guard compares
+    # throughput floors, not speedups, so it works on any core count).
+    extra = ["--sizes", "256", "--shards", "1,4",
+             "--min-parallel-speedup", "0"]
+    parallel = (
+        baseline["results"]["cells"].get("n256", {}).get("s4", {})
+        .get("parallel")
+    )
+    if parallel:
+        extra += ["--workers", str(parallel["workers"])]
     if "key_bits" in baseline:
         extra += ["--key-bits", str(baseline["key_bits"])]
     return extra
@@ -130,6 +142,8 @@ GUARDS = {
              "1-shard rounds/sec at 256 VMs"),
             (("cells", "n256", "s4", "rounds_per_sec"),
              "4-shard rounds/sec at 256 VMs"),
+            (("cells", "n256", "s4", "parallel", "rounds_per_sec"),
+             "4-shard forked-executor rounds/sec at 256 VMs"),
         ],
         "extra_args": _shard_scale_args,
     },

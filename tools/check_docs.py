@@ -56,8 +56,10 @@ ROOT_FILE_SUFFIXES = (".md", ".txt")
 #: Examples fast enough for a CI smoke run (wall seconds each).
 QUICK_EXAMPLES = ("quickstart.py", "fault_tolerance.py")
 
-#: Packages whose public API must be fully docstring-covered.
-DOCSTRING_PACKAGES = ("src/repro/shard", "src/repro/policy")
+#: Packages (directories) or single modules whose public API must be
+#: fully docstring-covered.
+DOCSTRING_PACKAGES = ("src/repro/shard", "src/repro/policy",
+                      "src/repro/common/procpool.py")
 
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 INLINE_CODE = re.compile(r"`([^`\n]+)`")
@@ -197,10 +199,14 @@ def check_docstrings() -> list[str]:
     problems: list[str] = []
     for package in DOCSTRING_PACKAGES:
         root = REPO_ROOT / package
-        if not root.is_dir():
+        if root.is_file():
+            paths = [root]
+        elif root.is_dir():
+            paths = sorted(root.rglob("*.py"))
+        else:
             problems.append(f"{package}: docstring-checked package missing")
             continue
-        for path in sorted(root.rglob("*.py")):
+        for path in paths:
             rel = path.relative_to(REPO_ROOT)
             tree = ast.parse(path.read_text(encoding="utf-8"), str(rel))
             if ast.get_docstring(tree) is None:
